@@ -1,0 +1,50 @@
+// Command qgear-bench regenerates the paper's evaluation artifacts:
+// every figure series and table row from §3, the appendix experiments,
+// and this reproduction's shape notes. See DESIGN.md §3 for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+//
+// Usage:
+//
+//	qgear-bench -exp all            # everything (several minutes)
+//	qgear-bench -exp fig4a          # one artifact
+//	qgear-bench -exp fig4b -seed 7
+//	qgear-bench -exp fig5 -large    # wider, slower local sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qgear/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	seed := flag.Uint64("seed", 2026, "seed for generators and sampling")
+	large := flag.Bool("large", os.Getenv("QGEAR_LARGE") == "1", "widen the measured local sweeps")
+	workers := flag.Int("workers", 0, "GPU-stand-in worker goroutines (0 = all cores)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	r := bench.NewRunner(*seed)
+	r.Large = *large
+	r.Workers = *workers
+
+	if *list {
+		fmt.Println(strings.Join(r.IDs(), "\n"))
+		return
+	}
+	var err error
+	if *exp == "all" {
+		err = r.RunAll(os.Stdout)
+	} else {
+		err = r.Run(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qgear-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,245 @@
+// Command qgear is the CLI front end of the Q-GEAR pipeline: generate
+// workload circuits, save/load them as QPY or HDF5 tensors, transform
+// them into kernels, and execute them on any target — the same flow as
+// the paper's run.py driver (§E.3).
+//
+// Usage:
+//
+//	qgear generate -kind random -qubits 8 -blocks 100 -count 4 -out circuits.qpy
+//	qgear generate -kind qft -qubits 12 -out qft.qpy
+//	qgear transform -in circuits.qpy -fusion 5 -prune 1e-6
+//	qgear run -in circuits.qpy -target nvidia -shots 1000
+//	qgear info -in circuits.qpy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/core"
+	"qgear/internal/qasm"
+	"qgear/internal/qft"
+	"qgear/internal/randcirc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "transform":
+		err = cmdTransform(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "qgear: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qgear: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `qgear <command> [flags]
+commands:
+  generate   build workload circuits (random | qft | ghz) and save them
+  transform  convert saved circuits to kernels, print transformation stats
+  run        transform and execute saved circuits on a target
+  info       describe a saved circuit file`)
+}
+
+// loadAny reads circuits from .qpy, .h5 or .qasm by extension.
+func loadAny(path string) ([]*circuit.Circuit, error) {
+	switch {
+	case strings.HasSuffix(path, ".h5"):
+		return core.LoadTensors(path)
+	case strings.HasSuffix(path, ".qasm"):
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		c, err := qasm.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return []*circuit.Circuit{c}, nil
+	default:
+		return core.LoadQPY(path)
+	}
+}
+
+func saveAny(path string, cs []*circuit.Circuit) error {
+	switch {
+	case strings.HasSuffix(path, ".h5"):
+		return core.SaveTensors(path, cs, 0)
+	case strings.HasSuffix(path, ".qasm"):
+		if len(cs) != 1 {
+			return fmt.Errorf("qasm files hold one circuit; have %d (use .qpy or .h5)", len(cs))
+		}
+		src, err := qasm.Export(cs[0])
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, []byte(src), 0o644)
+	default:
+		return core.SaveQPY(path, cs)
+	}
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "random", "workload kind: random | qft | ghz")
+	qubits := fs.Int("qubits", 8, "number of qubits")
+	blocks := fs.Int("blocks", randcirc.ShortBlocks, "CX blocks for random circuits")
+	count := fs.Int("count", 1, "number of circuits")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	reverse := fs.Bool("reverse", false, "QFT bit-order reversal swaps")
+	measure := fs.Bool("measure", false, "append measure_all")
+	out := fs.String("out", "circuits.qpy", "output path (.qpy or .h5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cs []*circuit.Circuit
+	switch *kind {
+	case "random":
+		list, err := randcirc.GenerateList(*qubits, *blocks, *count, *seed)
+		if err != nil {
+			return err
+		}
+		cs = list
+	case "qft":
+		c, err := qft.Circuit(*qubits, *reverse)
+		if err != nil {
+			return err
+		}
+		cs = []*circuit.Circuit{c}
+	case "ghz":
+		cs = []*circuit.Circuit{circuit.GHZ(*qubits, *measure)}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *measure && *kind != "ghz" {
+		for _, c := range cs {
+			c.MeasureAll()
+		}
+	}
+	if err := saveAny(*out, cs); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d circuit(s) to %s\n", len(cs), *out)
+	return nil
+}
+
+func cmdTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ExitOnError)
+	in := fs.String("in", "", "input circuits (.qpy or .h5)")
+	fusion := fs.Int("fusion", 0, "gate fusion window (paper default for QFT: 5)")
+	prune := fs.Float64("prune", 0, "prune rotations below this angle")
+	verbose := fs.Bool("v", false, "print kernel listings")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("transform: -in is required")
+	}
+	cs, err := loadAny(*in)
+	if err != nil {
+		return err
+	}
+	kernels, stats, err := core.Transform(cs, core.Options{FusionWindow: *fusion, PruneAngle: *prune})
+	if err != nil {
+		return err
+	}
+	for i, k := range kernels {
+		st := stats[i]
+		fmt.Printf("%-28s %3d qubits  %6d ops -> %6d instrs  (fused %d groups/%d gates, pruned %d)\n",
+			k.Name, k.NumQubits, st.SourceOps, st.EmittedOps, st.FusedGroups, st.FusedGates, st.PrunedGates)
+		if *verbose {
+			fmt.Print(k.String())
+		}
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	in := fs.String("in", "", "input circuits (.qpy or .h5)")
+	target := fs.String("target", "nvidia", "execution target: aer | nvidia | nvidia-mgpu | nvidia-mqpu | pennylane")
+	devices := fs.Int("devices", 1, "simulated devices for mgpu/mqpu")
+	shots := fs.Int("shots", 0, "measurement shots (0 = probabilities only)")
+	seed := fs.Uint64("seed", 42, "sampling seed")
+	fusion := fs.Int("fusion", 0, "gate fusion window")
+	top := fs.Int("top", 8, "top outcomes to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("run: -in is required")
+	}
+	cs, err := loadAny(*in)
+	if err != nil {
+		return err
+	}
+	results, err := core.Run(cs, core.Options{
+		Target: backend.Target(*target), Devices: *devices,
+		Shots: *shots, Seed: *seed, FusionWindow: *fusion,
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		fmt.Printf("%-28s target=%-12s %v", cs[i].Name, res.Target, res.Duration.Round(1e3))
+		if res.Exchanges > 0 {
+			fmt.Printf("  exchanges=%d bytes=%d", res.Exchanges, res.BytesSent)
+		}
+		fmt.Println()
+		if res.Counts != nil {
+			for _, key := range res.Counts.TopK(*top) {
+				fmt.Printf("    %0*b  %d\n", cs[i].NumQubits, key, res.Counts[key])
+			}
+		} else {
+			for j, p := range res.Probabilities {
+				if p > 0.01 && j < 1<<16 {
+					fmt.Printf("    |%0*b>  %.4f\n", cs[i].NumQubits, j, p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input circuits (.qpy or .h5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("info: -in is required")
+	}
+	cs, err := loadAny(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d circuit(s)\n", *in, len(cs))
+	for _, c := range cs {
+		fmt.Printf("  %-28s %3d qubits  %6d ops  depth %5d  2q-gates %6d  2q-depth %5d\n",
+			c.Name, c.NumQubits, c.NumOps(), c.Depth(), c.CountTwoQubit(), c.TwoQubitDepth())
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Image encoding (the paper's §3 QCrank scenario, Figs. 5-6): store a
+// grayscale image in a quantum state with QCrank, simulate the circuit
+// with the paper's 3000 shots per address, decode the measurements
+// back into an image, and report the reconstruction metrics of the
+// Fig. 6 panels.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "qgear"
+
+func main() {
+	// A synthetic zebra at reduced size (the paper's test images are
+	// proprietary; QCrank's behaviour depends only on pixel count and
+	// shot statistics).
+	img, err := qgear.SyntheticImage("zebra", 64, 40, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := qgear.NewQCrankPlan(img.Pixels(), 8, 0) // 0 -> s=3000
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image: %dx%d = %d px\n", img.W, img.H, img.Pixels())
+	fmt.Printf("plan: %d addr + %d data qubits, %d CX gates (= padded pixels), %d shots\n",
+		plan.AddrQubits, plan.DataQubits, plan.TwoQubitGates(), plan.Shots)
+
+	circ, err := qgear.QCrankEncode(img.Pix, plan, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := qgear.Run(circ, qgear.RunOptions{
+		Target:       qgear.TargetNvidia,
+		FusionWindow: 4,
+		Shots:        plan.Shots,
+		Seed:         9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated in %v\n", res.Duration.Round(1e6))
+
+	vals, missing, err := qgear.QCrankDecodeCounts(res.Counts, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(missing) > 0 {
+		fmt.Printf("warning: %d unsampled addresses\n", len(missing))
+	}
+	reco := img.Clone()
+	copy(reco.Pix, vals)
+	m, err := qgear.CompareImages(img, reco)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstruction: MAE %.4f  RMSE %.4f  max|err| %.4f  corr %.4f\n",
+		m.MAE, m.RMSE, m.MaxAbsErr, m.Correlation)
+	fmt.Println("(per-pixel sigma ~ 1/sqrt(3000) ~ 0.018 — the paper's Fig. 6 residual band)")
+}

@@ -1,0 +1,56 @@
+// QFT scaling (the paper's Fig. 4c scenario): sweep the quantum
+// Fourier transform over a range of qubit counts and compare the
+// Q-GEAR path against the Pennylane-like baseline, which pays the
+// per-gate high-level→kernel transpilation latency §4 of the paper
+// identifies. Then show the paper-scale modeled comparison from the
+// calibrated Perlmutter model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qgear"
+	"qgear/internal/cluster"
+	"qgear/internal/qft"
+)
+
+func main() {
+	fmt.Println("measured on this machine (real engine):")
+	fmt.Println("qubits      q-gear   pennylane     ratio")
+	for _, n := range []int{12, 14, 16, 18} {
+		c, err := qgear.QFT(n, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tQ := timeRun(c, qgear.RunOptions{Target: qgear.TargetNvidia, FusionWindow: 2})
+		tP := timeRun(c, qgear.RunOptions{Target: qgear.TargetPennylane})
+		fmt.Printf("%6d  %10v  %10v  %7.1fx\n", n, tQ.Round(time.Millisecond), tP.Round(time.Millisecond),
+			float64(tP)/float64(tQ))
+	}
+
+	fmt.Println("\nmodeled at paper scale (4xA100, calibrated Perlmutter model):")
+	fmt.Println("qubits   q-gear(min)   pennylane(min)")
+	model := qgear.Perlmutter()
+	for n := 28; n <= 34; n++ {
+		w := cluster.Workload{Qubits: n, Gates: qft.GateCount(n), Precision: cluster.FP32}
+		q, err := model.EstimateGPUSeconds(w, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := model.EstimatePennylaneSeconds(w, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %12.3f  %14.3f\n", n, q/60, p/60)
+	}
+}
+
+func timeRun(c *qgear.Circuit, opts qgear.RunOptions) time.Duration {
+	start := time.Now()
+	if _, err := qgear.Run(c, opts); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start)
+}

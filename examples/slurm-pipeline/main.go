@@ -1,0 +1,130 @@
+// Slurm + Podman pipeline (the paper's §2.4 and Appendix E): build the
+// Q-GEAR container image on the NVIDIA base, push it to a registry,
+// submit the paper's §E.3 job shapes to a Slurm-like scheduler, and —
+// inside each allocation — run containerized MPI ranks that execute
+// the Q-GEAR transformation and distributed simulation, with the
+// "podman wrapper" forwarding Slurm variables into the container
+// environment.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"qgear/internal/backend"
+	"qgear/internal/container"
+	"qgear/internal/core"
+	"qgear/internal/mgpu"
+	"qgear/internal/mpi"
+	"qgear/internal/randcirc"
+	"qgear/internal/sched"
+)
+
+func main() {
+	// 1. Container image: NVIDIA cu12 base + Cray-MPICH + quantum stack.
+	registry := container.NewRegistry()
+	if err := registry.Push(container.QGearImage()); err != nil {
+		log.Fatal(err)
+	}
+	runtime := &container.Runtime{Mode: container.Podman, Registry: registry}
+	fmt.Println("registry:", registry.List())
+
+	// 2. Workload: save a circuit list the jobs will pick up (Fig. 2c
+	// "Save QPY").
+	dir, err := os.MkdirTemp("", "qgear-pipeline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	circuits, err := randcirc.GenerateList(12, 50, 4, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qpyPath := filepath.Join(dir, "circuits.qpy")
+	if err := core.SaveQPY(qpyPath, circuits); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Machine + scheduler (one CPU node, two 4-GPU nodes).
+	machine := sched.Perlmutter(1, 2)
+
+	// 4. The paper's "4 GPUs mode": sbatch -N 1 -n 4 -C gpu
+	// --gpus-per-task 1; mpiexec -np 4 inside a podman container.
+	spec, err := sched.ParseArgs([]string{"-J", "qgear-mgpu", "-N", "1", "-n", "4", "-C", "gpu", "--gpus-per-task", "1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Run = func(_ context.Context, alloc *sched.Allocation) error {
+		// mpiexec -np 4: four ranks, each in its own container view.
+		return mpi.Run(4, func(c *mpi.Comm) error {
+			env := container.PodmanWrapper(alloc.Env, c.Rank(), qpyPath, dir)
+			ctr, err := runtime.Create("nersc/qgear:latest", env, map[string]string{"/data": dir})
+			if err != nil {
+				return err
+			}
+			return ctr.Run(func(env map[string]string) error {
+				// Inside the container: read QPY, transform, execute
+				// the first circuit as a 4-rank distributed state
+				// vector (this rank's shard).
+				cs, err := core.LoadQPY(env["QGEAR_CIRCUIT_FILE"])
+				if err != nil {
+					return err
+				}
+				kernels, _, err := core.Transform(cs[:1], core.Options{})
+				if err != nil {
+					return err
+				}
+				d, err := mgpu.NewDist(c, kernels[0].NumQubits, 2)
+				if err != nil {
+					return err
+				}
+				if err := d.ExecuteKernel(kernels[0]); err != nil {
+					return err
+				}
+				if probs := d.Probabilities(); probs != nil { // rank 0
+					fmt.Printf("  [job %s rank %d] distributed run done: %d amplitudes, %d exchanges\n",
+						env["SLURM_JOB_ID"], c.Rank(), len(probs), d.Exchanges())
+				}
+				return nil
+			})
+		})
+	}
+	id1, err := machine.Submit(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. The "1 CPU mode" baseline job on the CPU partition.
+	cpuSpec, err := sched.ParseArgs([]string{"-J", "qiskit-baseline", "-N", "1", "-c", "64", "-C", "cpu"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuSpec.Run = func(context.Context, *sched.Allocation) error {
+		results, err := core.RunQPYFile(qpyPath, core.Options{Target: backend.TargetAer})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  [cpu baseline] simulated %d circuits serially\n", len(results))
+		return nil
+	}
+	id2, err := machine.Submit(cpuSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range []int{id1, id2} {
+		info, err := machine.Wait(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %d (%s): %s on %v, queued %v\n",
+			info.ID, info.Name, info.State, info.NodeList, info.QueueTime().Round(1e6))
+		if info.Err != nil {
+			log.Fatal(info.Err)
+		}
+	}
+	machine.Drain()
+}

@@ -1,0 +1,230 @@
+package backend
+
+import (
+	"math"
+	"testing"
+
+	"qgear/internal/circuit"
+	"qgear/internal/qmath"
+)
+
+func randomCircuit(n, ops int, seed uint64) *circuit.Circuit {
+	r := qmath.NewRNG(seed)
+	c := circuit.New(n, 0)
+	c.Name = "random_test"
+	for i := 0; i < ops; i++ {
+		q := r.Intn(n)
+		q2 := (q + 1 + r.Intn(n-1)) % n
+		switch r.Intn(5) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RY(r.Angle(), q)
+		case 2:
+			c.RZ(r.Angle(), q)
+		case 3:
+			c.CX(q, q2)
+		case 4:
+			c.CP(r.Angle(), q, q2)
+		}
+	}
+	return c
+}
+
+func probsClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllTargetsAgree(t *testing.T) {
+	c := randomCircuit(6, 80, 11)
+	ref, err := Run(c, Config{Target: TargetAer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Target: TargetNvidia, FusionWindow: 4},
+		{Target: TargetNvidia},
+		{Target: TargetNvidiaMGPU, Devices: 4},
+		{Target: TargetPennylane},
+	} {
+		res, err := Run(c, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Target, err)
+		}
+		if !probsClose(res.Probabilities, ref.Probabilities, 1e-9) {
+			t.Fatalf("%s: probabilities differ from aer reference", cfg.Target)
+		}
+	}
+}
+
+func TestUnknownTargetRejected(t *testing.T) {
+	if _, err := Run(circuit.GHZ(2, false), Config{Target: "tpu"}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if Target("tpu").Valid() {
+		t.Fatal("tpu valid")
+	}
+	if len(Targets()) != 5 {
+		t.Fatal("target list wrong")
+	}
+}
+
+func TestShotSampling(t *testing.T) {
+	c := circuit.GHZ(3, true)
+	res, err := Run(c, Config{Target: TargetNvidia, Shots: 4000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Total() != 4000 {
+		t.Fatalf("total shots %d", res.Counts.Total())
+	}
+	// GHZ: only |000> and |111>.
+	if res.Counts[0]+res.Counts[7] != 4000 {
+		t.Fatalf("non-GHZ outcomes sampled: %v", res.Counts)
+	}
+	if res.Counts[0] < 1700 || res.Counts[0] > 2300 {
+		t.Fatalf("GHZ balance off: %v", res.Counts)
+	}
+	// Same seed reproduces identical counts.
+	res2, err := Run(c, Config{Target: TargetNvidia, Shots: 4000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counts[0] != res.Counts[0] {
+		t.Fatal("sampling not deterministic under fixed seed")
+	}
+}
+
+func TestKernelStatsSurface(t *testing.T) {
+	c := randomCircuit(5, 60, 3)
+	res, err := Run(c, Config{Target: TargetNvidia, FusionWindow: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelStats.SourceOps != 60 || res.KernelStats.FusedGroups == 0 {
+		t.Fatalf("stats not surfaced: %+v", res.KernelStats)
+	}
+}
+
+func TestMGPUCommCountersSurface(t *testing.T) {
+	c := circuit.GHZ(6, false)
+	res, err := Run(c, Config{Target: TargetNvidiaMGPU, Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exchanges == 0 || res.BytesSent == 0 {
+		t.Fatal("mgpu counters missing")
+	}
+}
+
+func TestMGPUFusionStaysLocal(t *testing.T) {
+	// Fusion enabled on mgpu must not break on global qubits: the
+	// Config wiring restricts fusion below the device boundary.
+	c := randomCircuit(6, 100, 99)
+	res, err := Run(c, Config{Target: TargetNvidiaMGPU, Devices: 4, FusionWindow: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(c, Config{Target: TargetAer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probsClose(res.Probabilities, ref.Probabilities, 1e-9) {
+		t.Fatal("mgpu fused run differs")
+	}
+}
+
+func TestRunBatchSequentialAndMqpu(t *testing.T) {
+	batch := []*circuit.Circuit{
+		circuit.GHZ(4, false),
+		randomCircuit(4, 30, 1),
+		randomCircuit(4, 30, 2),
+		randomCircuit(4, 30, 3),
+	}
+	seq, err := RunBatch(batch, Config{Target: TargetNvidia})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunBatch(batch, Config{Target: TargetNvidiaMQPU, Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatal("batch size mismatch")
+	}
+	for i := range batch {
+		if !probsClose(seq[i].Probabilities, par[i].Probabilities, 1e-9) {
+			t.Fatalf("circuit %d: mqpu result differs", i)
+		}
+		if par[i].Target != TargetNvidiaMQPU {
+			t.Fatal("mqpu result mislabeled")
+		}
+	}
+}
+
+func TestRunBatchPropagatesErrors(t *testing.T) {
+	// An mgpu config whose device count exceeds the circuit must fail.
+	bad := []*circuit.Circuit{circuit.GHZ(2, false)}
+	if _, err := RunBatch(bad, Config{Target: TargetNvidiaMGPU, Devices: 8}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMqpuParallelShotSampling(t *testing.T) {
+	// A single circuit on the mqpu target splits its shot budget
+	// across devices; the merged counts must be complete and sane.
+	c := circuit.GHZ(4, true)
+	const shots = 40001 // odd: exercises the remainder split
+	res, err := Run(c, Config{Target: TargetNvidiaMQPU, Devices: 4, Shots: shots, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Total() != shots {
+		t.Fatalf("merged shots %d != %d", res.Counts.Total(), shots)
+	}
+	if res.Counts[0]+res.Counts[15] != shots {
+		t.Fatalf("non-GHZ outcomes: %v", res.Counts)
+	}
+	if res.Counts[0] < shots/2-800 || res.Counts[0] > shots/2+800 {
+		t.Fatalf("GHZ balance off: %d", res.Counts[0])
+	}
+	// Deterministic under a fixed seed.
+	res2, err := Run(c, Config{Target: TargetNvidiaMQPU, Devices: 4, Shots: shots, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counts[0] != res.Counts[0] {
+		t.Fatal("parallel sampling not deterministic")
+	}
+	// Tiny budgets fall back to single-device sampling.
+	res3, err := Run(c, Config{Target: TargetNvidiaMQPU, Devices: 4, Shots: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Counts.Total() != 2 {
+		t.Fatal("small-budget fallback broken")
+	}
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	if w := (Config{Target: TargetAer}).workers(); w != 1 {
+		t.Fatalf("aer default workers %d", w)
+	}
+	if w := (Config{Target: TargetNvidia}).workers(); w < 1 {
+		t.Fatalf("nvidia default workers %d", w)
+	}
+	if w := (Config{Target: TargetNvidia, Workers: 3}).workers(); w != 3 {
+		t.Fatalf("explicit workers %d", w)
+	}
+	if d := (Config{}).devices(); d != 1 {
+		t.Fatalf("default devices %d", d)
+	}
+}

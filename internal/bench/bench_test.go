@@ -1,0 +1,328 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testRunner() *Runner {
+	r := NewRunner(2026)
+	return r // Workers 0 = all cores, like the GPU targets default
+}
+
+func TestFig1Shapes(t *testing.T) {
+	exp, err := testRunner().Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, gpu := exp.Series[0], exp.Series[1]
+	// The CPU curve must stop at its memory wall (34 qubits fp64)
+	// while the GPU curve continues to 42.
+	if last := cpu.Points[len(cpu.Points)-1].X; last != 34 {
+		t.Fatalf("CPU wall at %g, want 34", last)
+	}
+	if last := gpu.Points[len(gpu.Points)-1].X; last != 42 {
+		t.Fatalf("GPU reach %g, want 42", last)
+	}
+	// Performance gap: GPU below CPU everywhere they overlap.
+	for _, p := range cpu.Points {
+		g := interpY(gpu, p.X)
+		if g >= p.Y {
+			t.Fatalf("no gap at %g qubits: cpu %g vs gpu %g", p.X, p.Y, g)
+		}
+	}
+}
+
+func TestFig4aShapes(t *testing.T) {
+	exp, err := testRunner().Fig4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Series) != 11 {
+		t.Fatalf("%d series", len(exp.Series))
+	}
+	// Measured: serial slower than parallel at the largest local size.
+	serial, parallel := exp.Series[0], exp.Series[1]
+	li := len(serial.Points) - 1
+	if serial.Points[li].Y <= parallel.Points[li].Y {
+		t.Fatalf("parallel engine not faster: %g vs %g", parallel.Points[li].Y, serial.Points[li].Y)
+	}
+	// Measured: serial scaling is exponential-ish (exponent ≥ 0.5; the
+	// asymptotic 1.0 emerges at larger sizes).
+	if b := fitExponentBase2(serial.Points); b < 0.5 {
+		t.Fatalf("serial scaling exponent %.2f too flat", b)
+	}
+	// Modeled walls: 1-GPU series must stop at 32 qubits, 4-GPU at 34.
+	for _, s := range exp.Series {
+		switch s.Label {
+		case "model: 1-GPU, short", "model: 1-GPU, long":
+			if last := s.Points[len(s.Points)-1].X; last != 32 {
+				t.Fatalf("%s wall at %g, want 32", s.Label, last)
+			}
+		case "model: 4-GPU, short", "model: 4-GPU, long":
+			if last := s.Points[len(s.Points)-1].X; last != 34 {
+				t.Fatalf("%s wall at %g, want 34", s.Label, last)
+			}
+		}
+	}
+	// Modeled headline ratio within two-orders-of-magnitude band.
+	cpuLong, gpuLong := exp.Series[6], exp.Series[8]
+	ratio := interpY(cpuLong, 32) / interpY(gpuLong, 32)
+	if ratio < 100 || ratio > 1000 {
+		t.Fatalf("CPU/GPU ratio %.0f outside [100,1000]", ratio)
+	}
+	// Long/short ratio ~10 locally (10x block scale-down).
+	longSerial := exp.Series[3]
+	if r := longSerial.Points[li].Y / serial.Points[li].Y; r < 3 || r > 40 {
+		t.Fatalf("local long/short ratio %.1f implausible for 10x gates", r)
+	}
+}
+
+func TestFig4bShapes(t *testing.T) {
+	exp, err := testRunner().Fig4b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s256, s1024 *Series
+	for i := range exp.Series {
+		switch exp.Series[i].Label {
+		case "model: 256 GPUs":
+			s256 = &exp.Series[i]
+		case "model: 1024 GPUs":
+			s1024 = &exp.Series[i]
+		}
+	}
+	if s256 == nil || s1024 == nil {
+		t.Fatal("series missing")
+	}
+	// The reversal: 1024 faster at 39, slower at 40.
+	if !(interpY(*s1024, 39) < interpY(*s256, 39)) {
+		t.Fatal("no 1024-GPU advantage at 39 qubits")
+	}
+	if !(interpY(*s1024, 40) > interpY(*s256, 40)) {
+		t.Fatal("no reversal at 40 qubits")
+	}
+	// 42 qubits only fits on the largest pools and lands minutes-scale.
+	last := s1024.Points[len(s1024.Points)-1]
+	if last.X != 42 {
+		t.Fatalf("1024-GPU reach %g, want 42", last.X)
+	}
+	if last.Y < 2 || last.Y > 30 {
+		t.Fatalf("42q time %.1f min outside minutes scale", last.Y)
+	}
+	// Small pools cannot hold large states: the 4-GPU series stops
+	// well before 42.
+	if exp.Series[0].Points[len(exp.Series[0].Points)-1].X >= 40 {
+		t.Fatal("4-GPU series should hit its memory wall in the 30s")
+	}
+}
+
+func TestFig4cShapes(t *testing.T) {
+	exp, err := testRunner().Fig4c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, pl := exp.Series[0], exp.Series[1]
+	// Measured: the pennylane baseline is slower at every local point.
+	for i := range qg.Points {
+		if pl.Points[i].Y <= qg.Points[i].Y {
+			t.Fatalf("pennylane not slower at %g qubits: %g vs %g",
+				qg.Points[i].X, pl.Points[i].Y, qg.Points[i].Y)
+		}
+	}
+	// Modeled: same ordering across the paper range.
+	mq, mp := exp.Series[2], exp.Series[3]
+	for i := range mq.Points {
+		if mp.Points[i].Y <= mq.Points[i].Y {
+			t.Fatal("modeled pennylane not slower")
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	exp, err := testRunner().Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcpu, mgpuS := exp.Series[0], exp.Series[1]
+	// Measured: both curves grow with pixel count.
+	for i := 1; i < len(mcpu.Points); i++ {
+		if mcpu.Points[i].Y <= mcpu.Points[i-1].Y/2 {
+			t.Fatal("measured CPU time not growing with image size")
+		}
+	}
+	// Measured: parallel engine faster at the largest image.
+	li := len(mcpu.Points) - 1
+	if mgpuS.Points[li].Y >= mcpu.Points[li].Y {
+		t.Fatalf("gpu slower on largest image: %g vs %g", mgpuS.Points[li].Y, mcpu.Points[li].Y)
+	}
+	// Modeled: speedup positive everywhere and shrinking with size.
+	mc, mg := exp.Series[2], exp.Series[3]
+	first := mc.Points[0].Y / mg.Points[0].Y
+	last := mc.Points[len(mc.Points)-1].Y / mg.Points[len(mg.Points)-1].Y
+	if first < 10 {
+		t.Fatalf("modeled small-image speedup %.1fx too small (paper ~100x)", first)
+	}
+	if last >= first {
+		t.Fatalf("modeled speedup should shrink with size: %.1fx -> %.1fx", first, last)
+	}
+}
+
+func TestFig6ReconstructionQuality(t *testing.T) {
+	exp, err := testRunner().Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := exp.Tables[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d image rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		mae, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr, err := strconv.ParseFloat(row[8], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shot-noise-limited: MAE well under 0.1, correlation high —
+		// the Fig. 6 quality regime.
+		if mae > 0.1 {
+			t.Fatalf("%s: MAE %.3f too high", row[0], mae)
+		}
+		if corr < 0.97 {
+			t.Fatalf("%s: correlation %.3f too low", row[0], corr)
+		}
+	}
+}
+
+func TestTable1And2(t *testing.T) {
+	exp, err := testRunner().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Tables[0].Rows) != 5 {
+		t.Fatal("table1 rows")
+	}
+	exp2, err := testRunner().Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := exp2.Tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatal("table2 rows")
+	}
+	// Spot-check the finger row against the paper.
+	if rows[0][0] != "finger" || rows[0][3] != "10" || rows[0][4] != "5" || rows[0][5] != "3072000" {
+		t.Fatalf("finger row %v", rows[0])
+	}
+}
+
+func TestAppendixC(t *testing.T) {
+	exp, err := testRunner().AppendixC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := exp.Series[0].Points
+	if len(pts) != 3 {
+		t.Fatal("encode-time points")
+	}
+	// Near-constant: a 25x gate-count range must not cost 25x time
+	// (pre-allocated fixed tensors; allow generous CI slack).
+	if spread := pts[2].Y / pts[0].Y; spread > 8 {
+		t.Fatalf("encode time spread %.1fx not 'nearly constant'", spread)
+	}
+	// The compression note must report a real saving.
+	found := false
+	for _, n := range exp.Notes {
+		if strings.Contains(n, "compression saves") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("compression note missing")
+	}
+}
+
+func TestTheoremB3(t *testing.T) {
+	exp, err := testRunner().TheoremB3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := exp.Series[0]
+	if b := fitExponentBase2(serial.Points); b < 0.5 {
+		t.Fatalf("per-gate scaling exponent %.2f too flat for 2^n", b)
+	}
+	// The local box saturates its RAM bandwidth well below core count
+	// (the same wall that caps real state-vector engines); assert the
+	// mechanism shows, not a specific multiple.
+	speed := exp.Series[1]
+	lastSpeedup := speed.Points[len(speed.Points)-1].Y
+	if lastSpeedup < 1.3 {
+		t.Fatalf("parallel speedup %.1fx too small", lastSpeedup)
+	}
+}
+
+func TestMqpu(t *testing.T) {
+	exp, err := testRunner().Mqpu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := exp.Series[0].Points
+	if pts[1].Y >= pts[0].Y {
+		t.Fatalf("mqpu not faster: %g vs %g", pts[1].Y, pts[0].Y)
+	}
+}
+
+func TestRunAllAndRegistry(t *testing.T) {
+	r := testRunner()
+	ids := r.IDs()
+	if len(ids) != 11 {
+		t.Fatalf("%d experiments registered", len(ids))
+	}
+	var buf bytes.Buffer
+	// Run the cheap static ones through the dispatcher.
+	for _, id := range []string{"table1", "table2", "fig4b"} {
+		if err := r.Run(id, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"== table1", "== table2", "== fig4b", "reversal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	if err := r.Run("nope", &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestSeriesAndTablePrinting(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Label: "l", XLabel: "x", YLabel: "y", Points: []Point{{X: 1, Y: 2}, {X: 3, Y: 4, Err: 0.5}}}
+	s.Print(&buf)
+	if !strings.Contains(buf.String(), "±0.5") {
+		t.Fatal("error bar not printed")
+	}
+	buf.Reset()
+	tb := Table{Title: "t", Header: []string{"a", "bee"}, Rows: [][]string{{"1", "2"}}}
+	tb.Print(&buf)
+	if !strings.Contains(buf.String(), "bee") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestFitExponent(t *testing.T) {
+	// Perfect 2^n data fits exponent 1.
+	pts := []Point{{X: 10, Y: 1024}, {X: 12, Y: 4096}, {X: 14, Y: 16384}}
+	if b := fitExponentBase2(pts); b < 0.99 || b > 1.01 {
+		t.Fatalf("fit %g", b)
+	}
+	if fitExponentBase2(pts[:1]) != 0 {
+		t.Fatal("degenerate fit should be 0")
+	}
+}

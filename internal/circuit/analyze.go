@@ -1,0 +1,154 @@
+package circuit
+
+import "qgear/internal/gate"
+
+// GateCounts returns the number of occurrences of each gate type.
+func (c *Circuit) GateCounts() map[gate.Type]int {
+	m := make(map[gate.Type]int)
+	for _, op := range c.Ops {
+		m[op.Gate]++
+	}
+	return m
+}
+
+// CountTwoQubit returns the number of two-qubit entangling gates — the
+// quantity the paper's Table 2 reports as "n2q gates" and the QCrank
+// cost driver (one CX per gray pixel).
+func (c *Circuit) CountTwoQubit() int {
+	n := 0
+	for _, op := range c.Ops {
+		if op.Gate.IsEntangling() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumOps returns the number of operations excluding barriers.
+func (c *Circuit) NumOps() int {
+	n := 0
+	for _, op := range c.Ops {
+		if op.Gate != gate.Barrier {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the circuit depth: the length of the longest chain of
+// ops sharing qubits, with barriers forcing a global synchronization
+// level, matching Qiskit's depth().
+func (c *Circuit) Depth() int {
+	if c.NumQubits == 0 {
+		return 0
+	}
+	level := make([]int, c.NumQubits)
+	maxd := 0
+	for _, op := range c.Ops {
+		if op.Gate == gate.Barrier {
+			m := 0
+			for _, l := range level {
+				if l > m {
+					m = l
+				}
+			}
+			for i := range level {
+				level[i] = m
+			}
+			continue
+		}
+		m := 0
+		for _, q := range op.Qubits {
+			if level[q] > m {
+				m = level[q]
+			}
+		}
+		m++
+		for _, q := range op.Qubits {
+			level[q] = m
+		}
+		if m > maxd {
+			maxd = m
+		}
+	}
+	return maxd
+}
+
+// TwoQubitDepth returns the depth counting only two-qubit gates — the
+// paper's "2q gates depth" (Fig. 6 panels), which for QCrank equals the
+// sequence length because the CX ladders on different data qubits run
+// in parallel.
+func (c *Circuit) TwoQubitDepth() int {
+	if c.NumQubits == 0 {
+		return 0
+	}
+	level := make([]int, c.NumQubits)
+	maxd := 0
+	for _, op := range c.Ops {
+		if !op.Gate.IsEntangling() {
+			continue
+		}
+		m := 0
+		for _, q := range op.Qubits {
+			if level[q] > m {
+				m = level[q]
+			}
+		}
+		m++
+		for _, q := range op.Qubits {
+			level[q] = m
+		}
+		if m > maxd {
+			maxd = m
+		}
+	}
+	return maxd
+}
+
+// HasMeasurements reports whether any measurement op is present.
+func (c *Circuit) HasMeasurements() bool {
+	for _, op := range c.Ops {
+		if op.Gate == gate.Measure {
+			return true
+		}
+	}
+	return false
+}
+
+// MeasuredQubits returns (qubit, clbit) pairs in program order.
+func (c *Circuit) MeasuredQubits() (qubits, clbits []int) {
+	for _, op := range c.Ops {
+		if op.Gate == gate.Measure {
+			qubits = append(qubits, op.Qubits[0])
+			clbits = append(clbits, op.Clbit)
+		}
+	}
+	return qubits, clbits
+}
+
+// RemoveMeasurements returns a copy without measure ops; the kernel
+// transformation uses it when the caller wants the pure unitary.
+func (c *Circuit) RemoveMeasurements() *Circuit {
+	out := c.Copy()
+	ops := out.Ops[:0]
+	for _, op := range out.Ops {
+		if op.Gate != gate.Measure {
+			ops = append(ops, op)
+		}
+	}
+	out.Ops = ops
+	return out
+}
+
+// RemoveBarriers returns a copy without barrier ops.
+func (c *Circuit) RemoveBarriers() *Circuit {
+	out := c.Copy()
+	ops := out.Ops[:0]
+	for _, op := range out.Ops {
+		if op.Gate != gate.Barrier {
+			ops = append(ops, op)
+		}
+	}
+	out.Ops = ops
+	return out
+}

@@ -1,0 +1,167 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"qgear/internal/gate"
+)
+
+// Inverse returns the adjoint circuit: ops reversed with each gate
+// replaced by its adjoint. It fails if the circuit contains
+// measurements, which have no inverse.
+func (c *Circuit) Inverse() (*Circuit, error) {
+	out := New(c.NumQubits, c.NumClbits)
+	out.Name = c.Name + "_dg"
+	for i := len(c.Ops) - 1; i >= 0; i-- {
+		op := c.Ops[i]
+		if op.Gate == gate.Barrier {
+			out.Barrier()
+			continue
+		}
+		adjT, adjP, ok := gate.AdjointParams(op.Gate, op.Params)
+		if !ok {
+			return nil, fmt.Errorf("circuit: cannot invert non-unitary op %v", op.Gate)
+		}
+		out.Append(adjT, op.Qubits, adjP)
+	}
+	return out, nil
+}
+
+// Compose appends all ops of other to a copy of c. Register sizes must
+// match other's requirements.
+func (c *Circuit) Compose(other *Circuit) (*Circuit, error) {
+	if other.NumQubits > c.NumQubits || other.NumClbits > c.NumClbits {
+		return nil, fmt.Errorf("circuit: compose target too small (%d/%d qubits, %d/%d clbits)",
+			c.NumQubits, other.NumQubits, c.NumClbits, other.NumClbits)
+	}
+	out := c.Copy()
+	for _, op := range other.Ops {
+		if op.Gate == gate.Barrier {
+			out.Barrier()
+			continue
+		}
+		if op.Gate == gate.Measure {
+			out.Measure(op.Qubits[0], op.Clbit)
+			continue
+		}
+		out.Append(op.Gate, op.Qubits, op.Params)
+	}
+	return out, nil
+}
+
+// Basis identifies a transpilation target gate set.
+type Basis int
+
+const (
+	// BasisNative is the paper's native set of Eq. (8):
+	// {h, ry, rz, cx} plus measure/barrier. Everything else decomposes,
+	// possibly up to an unobservable global phase.
+	BasisNative Basis = iota
+	// BasisKernel is the set the CUDA-Q-like kernel IR executes
+	// directly: {h, x, y, z, rx, ry, rz, p, cr1, cx, cz, swap, u3} plus
+	// measure/barrier; transpiling to it is the identity.
+	BasisKernel
+)
+
+// nativeSet reports whether g is directly representable in BasisNative.
+func nativeSet(g gate.Type) bool {
+	switch g {
+	case gate.H, gate.RY, gate.RZ, gate.CX, gate.Measure, gate.Barrier:
+		return true
+	}
+	return false
+}
+
+// Transpile rewrites the circuit into the target basis. The
+// decompositions are exact up to global phase, which no state-vector
+// observable can see; the simulator tests verify probability
+// equivalence. This mirrors the paper's step of transpiling QPY
+// circuits "from native gate sets" before tensor encoding (§2.1).
+func (c *Circuit) Transpile(b Basis) *Circuit {
+	if b == BasisKernel {
+		return c.Copy()
+	}
+	out := New(c.NumQubits, c.NumClbits)
+	out.Name = c.Name + "_native"
+	for _, op := range c.Ops {
+		transpileOp(out, op)
+	}
+	return out
+}
+
+// transpileOp appends the BasisNative decomposition of op to out.
+func transpileOp(out *Circuit, op Op) {
+	if nativeSet(op.Gate) {
+		switch op.Gate {
+		case gate.Barrier:
+			out.Barrier()
+		case gate.Measure:
+			out.Measure(op.Qubits[0], op.Clbit)
+		default:
+			out.Append(op.Gate, op.Qubits, op.Params)
+		}
+		return
+	}
+	q := op.Qubits
+	switch op.Gate {
+	case gate.I:
+		// drop
+	case gate.X:
+		// X = H Z H = H RZ(π) H up to phase.
+		out.H(q[0]).RZ(math.Pi, q[0]).H(q[0])
+	case gate.Y:
+		// Y = RZ(π) X up to phase.
+		out.H(q[0]).RZ(math.Pi, q[0]).H(q[0]).RZ(math.Pi, q[0])
+	case gate.Z:
+		out.RZ(math.Pi, q[0])
+	case gate.S:
+		out.RZ(math.Pi/2, q[0])
+	case gate.Sdg:
+		out.RZ(-math.Pi/2, q[0])
+	case gate.T:
+		out.RZ(math.Pi/4, q[0])
+	case gate.Tdg:
+		out.RZ(-math.Pi/4, q[0])
+	case gate.P:
+		// p(λ) == rz(λ) up to global phase e^{iλ/2}.
+		out.RZ(op.Params[0], q[0])
+	case gate.RX:
+		// RX(θ) = RZ(-π/2) · RY(θ) · RZ(π/2): first-applied gate first.
+		out.RZ(math.Pi/2, q[0]).RY(op.Params[0], q[0]).RZ(-math.Pi/2, q[0])
+	case gate.U3:
+		// U3(θ,φ,λ) = RZ(φ) · RY(θ) · RZ(λ) up to global phase.
+		out.RZ(op.Params[2], q[0]).RY(op.Params[0], q[0]).RZ(op.Params[1], q[0])
+	case gate.CZ:
+		// CZ = (I⊗H) CX (I⊗H).
+		out.H(q[1]).CX(q[0], q[1]).H(q[1])
+	case gate.CP:
+		// cp(λ) = p(λ/2)_c · cx · p(-λ/2)_t · cx · p(λ/2)_t.
+		la := op.Params[0]
+		out.RZ(la/2, q[0]).CX(q[0], q[1]).RZ(-la/2, q[1]).CX(q[0], q[1]).RZ(la/2, q[1])
+	case gate.CRY:
+		// cry(θ) = ry(θ/2)_t · cx · ry(-θ/2)_t · cx.
+		th := op.Params[0]
+		out.RY(th/2, q[1]).CX(q[0], q[1]).RY(-th/2, q[1]).CX(q[0], q[1])
+	case gate.SWAP:
+		out.CX(q[0], q[1]).CX(q[1], q[0]).CX(q[0], q[1])
+	default:
+		panic(fmt.Sprintf("circuit: no BasisNative decomposition for %v", op.Gate))
+	}
+}
+
+// GHZ returns the (nq)-qubit GHZ-state preparation circuit from the
+// paper's Fig. 2b listing: h(q0) followed by a cx fan-out, then
+// measure_all if measure is set.
+func GHZ(nq int, measure bool) *Circuit {
+	c := New(nq, 0)
+	c.Name = fmt.Sprintf("ghz_%dq", nq)
+	c.H(0)
+	for i := 1; i < nq; i++ {
+		c.CX(0, i)
+	}
+	if measure {
+		c.MeasureAll()
+	}
+	return c
+}

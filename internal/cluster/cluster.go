@@ -1,0 +1,328 @@
+// Package cluster models the Perlmutter hardware of §2.3 — AMD EPYC
+// 7763 CPU nodes, NVIDIA A100 GPU nodes, NVLink-3 intra-node and HPE
+// Slingshot-11 inter-node fabrics, and the rack topology §3 blames for
+// the 1024-GPU throughput reversal — as a calibrated analytic
+// performance model.
+//
+// The repository cannot execute 2^42-amplitude simulations (nor does it
+// have A100s), so paper-scale points are *estimated* with the same cost
+// laws the paper derives: per-gate time is amplitude traffic divided by
+// effective memory bandwidth (Appendix A's O(2^n · d) work), multi-GPU
+// gates on global qubits pay pairwise-exchange communication over the
+// link class their rank distance selects, and rack-crossing exchanges
+// share a fixed bisection bandwidth — the mechanism behind Fig. 4b's
+// highlighted reversal. The model's engine-level constants can also be
+// recalibrated from measured runs of the real Go engine (Calibrate), so
+// measured small-n curves and modeled paper-scale curves are directly
+// comparable in the benchmark harness.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"qgear/internal/qmath"
+)
+
+// Precision selects the amplitude storage width (Table 1's fp32/fp64
+// rows).
+type Precision int
+
+// Precisions.
+const (
+	FP32 Precision = iota // 8-byte complex amplitudes
+	FP64                  // 16-byte complex amplitudes
+)
+
+// AmpBytes returns bytes per complex amplitude.
+func (p Precision) AmpBytes() float64 {
+	if p == FP32 {
+		return 8
+	}
+	return 16
+}
+
+func (p Precision) String() string {
+	if p == FP32 {
+		return "fp32"
+	}
+	return "fp64"
+}
+
+// DeviceSpec describes one compute device (a GPU or a CPU node treated
+// as a single device).
+type DeviceSpec struct {
+	Name string
+	// MemGB is usable memory for amplitudes.
+	MemGB float64
+	// EffBandwidthGBs is the effective amplitude-update bandwidth the
+	// state-vector kernels achieve (below the spec-sheet peak).
+	EffBandwidthGBs float64
+	// PerGateOverheadUS is fixed per-gate dispatch overhead
+	// (kernel-launch or Aer op dispatch), in microseconds.
+	PerGateOverheadUS float64
+}
+
+// LinkSpec describes an interconnect class.
+type LinkSpec struct {
+	Name string
+	// PerPairGBs is the bandwidth one exchanging device pair gets.
+	PerPairGBs float64
+	// LatencyUS is the per-message setup latency in microseconds.
+	LatencyUS float64
+}
+
+// Cluster is the machine model.
+type Cluster struct {
+	GPU         DeviceSpec
+	CPU         DeviceSpec
+	GPUsPerNode int
+	// NVLink connects GPUs within a node; Slingshot connects nodes
+	// within a rack group.
+	NVLink    LinkSpec
+	Slingshot LinkSpec
+	// RackSize is the number of GPUs per rack group; exchanges whose
+	// rank distance crosses it share RackBisectionGBs.
+	RackSize         int
+	RackBisectionGBs float64
+	// CongestionMsgGB and CongestionStallS model switch-buffer
+	// congestion on rack-crossing exchanges: when every crossing pair
+	// simultaneously ships more than CongestionMsgGB, each exchange
+	// stalls an extra CongestionStallS seconds. This is the modeled
+	// mechanism behind the paper's §3 observation that 1,024 GPUs can
+	// have *lower* throughput than 256 once the per-GPU shard grows
+	// past the fabric's comfort zone (the Fig. 4b highlighted region).
+	CongestionMsgGB  float64
+	CongestionStallS float64
+	// FusionFactor is the effective gate-count reduction the kernel
+	// fusion pass achieves on GPU targets (the paper's gate fusion = 5
+	// yields ~3x on the random-block mix).
+	FusionFactor float64
+	// CommReductionFactor models the exchange batching a production
+	// mgpu backend performs via index-bit remapping (cuQuantum's
+	// qubit-reordering); it divides the naive global-gate count.
+	CommReductionFactor float64
+	// CPUSampleRatePerCore / GPUSampleRate are shot-sampling
+	// throughputs (shots/second) for Fig. 5's two-component time.
+	CPUSampleRatePerCore float64
+	GPUSampleRate        float64
+	CPUCores             int
+	// WarmupJitter is the fractional run-to-run variability from
+	// non-warmed GPUs (§3 reports ~5%).
+	WarmupJitter float64
+}
+
+// Perlmutter returns the model of the paper's testbed with constants
+// set from §2.3 hardware specs and calibrated so the headline shapes
+// (400x CPU→GPU, 32q single-GPU wall, 34q 4-GPU wall, minutes-scale
+// 1024-GPU runs, Fig. 4b reversal) reproduce.
+func Perlmutter() *Cluster {
+	return &Cluster{
+		GPU: DeviceSpec{
+			Name:              "A100-40GB",
+			MemGB:             40,
+			EffBandwidthGBs:   1800, // ~88% of 2039 GB/s HBM2e peak with fused kernels
+			PerGateOverheadUS: 6,    // kernel launch
+		},
+		CPU: DeviceSpec{
+			Name:            "EPYC-7763x2",
+			MemGB:           512,
+			EffBandwidthGBs: 170, // Aer over 128 cores; anchored to the paper's 24 h / 34-qubit / 10k-block point
+			// Per-op cost of the Python/Qiskit software stack on the
+			// CPU path (circuit construction, binding, transpile,
+			// dispatch). It is what makes the paper's small-image
+			// QCrank runs minutes-scale on a CPU node despite tiny
+			// state vectors (Fig. 5's left edge).
+			PerGateOverheadUS: 8000,
+		},
+		GPUsPerNode: 4,
+		NVLink:      LinkSpec{Name: "NVLink3", PerPairGBs: 100, LatencyUS: 2},    // 4 links × 25 GB/s
+		Slingshot:   LinkSpec{Name: "Slingshot11", PerPairGBs: 25, LatencyUS: 4}, // one NIC per GPU
+		RackSize:    256,
+		// Inter-rack bisection shared by all concurrently exchanging
+		// pairs that cross the boundary.
+		RackBisectionGBs:     2400,
+		CongestionMsgGB:      8,
+		CongestionStallS:     4,
+		FusionFactor:         5, // the paper's gate fusion = 5
+		CommReductionFactor:  8, // index-bit remapping batches exchanges
+		CPUSampleRatePerCore: 3.0e3,
+		GPUSampleRate:        1.2e6,
+		CPUCores:             128,
+		WarmupJitter:         0.05,
+	}
+}
+
+// A100HBM80 is the 80 GB A100 variant the paper's multi-node jobs
+// request with the "gpu&hbm80g" Slurm constraint (§E.3); the Fig. 4b
+// sweep uses it via WithGPU.
+var A100HBM80 = DeviceSpec{
+	Name:              "A100-80GB",
+	MemGB:             80,
+	EffBandwidthGBs:   1800,
+	PerGateOverheadUS: 6,
+}
+
+// WithGPU returns a copy of the cluster with a different GPU device.
+func (cl *Cluster) WithGPU(dev DeviceSpec) *Cluster {
+	out := *cl
+	out.GPU = dev
+	return &out
+}
+
+// Workload describes one circuit-simulation job for estimation.
+type Workload struct {
+	Qubits    int
+	Gates     int // total primitive gate count
+	Precision Precision
+	Shots     int
+}
+
+// MemoryBytes returns the amplitude storage the workload needs.
+func (w Workload) MemoryBytes() float64 {
+	return math.Exp2(float64(w.Qubits)) * w.Precision.AmpBytes()
+}
+
+// ErrOutOfMemory reports a capacity wall — the open-symbol cutoffs in
+// Fig. 4a.
+type ErrOutOfMemory struct {
+	Need, Have float64 // bytes
+	Device     string
+}
+
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("cluster: %s out of memory: need %.1f GB, have %.1f GB",
+		e.Device, e.Need/1e9, e.Have/1e9)
+}
+
+// gateTraffic returns bytes moved per gate: every amplitude is read and
+// written once (Appendix A's O(2^n) per-gate work).
+func gateTraffic(w Workload) float64 {
+	return 2 * math.Exp2(float64(w.Qubits)) * w.Precision.AmpBytes()
+}
+
+// EstimateCPUSeconds models the Qiskit-Aer-on-CPU-node baseline
+// (dashed curves of Fig. 4a): full fp traffic over the CPU's effective
+// bandwidth plus per-op overhead, with shot sampling parallel over all
+// cores (§3's QCrank discussion).
+func (cl *Cluster) EstimateCPUSeconds(w Workload) (float64, error) {
+	if need := w.MemoryBytes(); need > cl.CPU.MemGB*1e9 {
+		return 0, &ErrOutOfMemory{Need: need, Have: cl.CPU.MemGB * 1e9, Device: cl.CPU.Name}
+	}
+	unitary := float64(w.Gates) * (gateTraffic(w)/(cl.CPU.EffBandwidthGBs*1e9) + cl.CPU.PerGateOverheadUS*1e-6)
+	sampling := float64(w.Shots) / (cl.CPUSampleRatePerCore * float64(cl.CPUCores))
+	return unitary + sampling, nil
+}
+
+// EstimateGPUSeconds models Q-GEAR on nGPU pooled A100s (solid curves
+// of Fig. 4a and the Fig. 4b sweep): compute is the sharded amplitude
+// traffic after fusion; communication is the pairwise exchange cost of
+// gates on global qubits, with the link class chosen by rank distance
+// and rack-crossing exchanges sharing the bisection. Shot sampling is
+// serial on one GPU (§3).
+func (cl *Cluster) EstimateGPUSeconds(w Workload, nGPU int) (float64, error) {
+	if nGPU < 1 || !qmath.IsPow2(uint64(nGPU)) {
+		return 0, fmt.Errorf("cluster: GPU count %d must be a power of two", nGPU)
+	}
+	if need := w.MemoryBytes(); need > cl.GPU.MemGB*1e9*float64(nGPU) {
+		return 0, &ErrOutOfMemory{
+			Need: need, Have: cl.GPU.MemGB * 1e9 * float64(nGPU),
+			Device: fmt.Sprintf("%d×%s", nGPU, cl.GPU.Name),
+		}
+	}
+	effGates := float64(w.Gates) / cl.FusionFactor
+	perGPUTraffic := gateTraffic(w) / float64(nGPU)
+	compute := effGates * (perGPUTraffic/(cl.GPU.EffBandwidthGBs*1e9) + cl.GPU.PerGateOverheadUS*1e-6)
+
+	comm := cl.commSeconds(w, nGPU)
+	sampling := float64(w.Shots) / cl.GPUSampleRate
+	return compute + comm + sampling, nil
+}
+
+// commSeconds models the exchange cost for the global qubits a
+// nGPU-way partition creates.
+func (cl *Cluster) commSeconds(w Workload, nGPU int) float64 {
+	if nGPU == 1 {
+		return 0
+	}
+	gbits := int(qmath.Log2Ceil(uint64(nGPU)))
+	// Random-structure circuits hit each qubit uniformly, so the
+	// fraction of gates touching a given global bit is 1/Qubits; the
+	// production backend batches exchanges (CommReductionFactor).
+	gatesPerBit := float64(w.Gates) / float64(w.Qubits) / cl.CommReductionFactor
+	bytesPerGPU := math.Exp2(float64(w.Qubits)) * w.Precision.AmpBytes() / float64(nGPU)
+
+	var total float64
+	for j := 0; j < gbits; j++ {
+		dist := 1 << uint(j) // rank distance of the exchange partner
+		var bw, lat, stall float64
+		switch {
+		case dist < cl.GPUsPerNode:
+			bw, lat = cl.NVLink.PerPairGBs*1e9, cl.NVLink.LatencyUS*1e-6
+		case dist < cl.RackSize:
+			bw, lat = cl.Slingshot.PerPairGBs*1e9, cl.Slingshot.LatencyUS*1e-6
+		default:
+			// All nGPU/2 pairs cross the rack boundary concurrently
+			// and share the bisection; oversized synchronized messages
+			// additionally stall in the switch buffers.
+			pairs := float64(nGPU) / 2
+			bw = cl.RackBisectionGBs * 1e9 / pairs
+			lat = cl.Slingshot.LatencyUS * 1e-6
+			if bytesPerGPU > cl.CongestionMsgGB*1e9 {
+				stall = cl.CongestionStallS
+			}
+		}
+		total += gatesPerBit * (bytesPerGPU/bw + lat + stall)
+	}
+	return total
+}
+
+// EstimatePennylaneSeconds models the lightning.gpu baseline of
+// Fig. 4c per §4's diagnosis: it runs the same cuQuantum state-vector
+// math but (a) pays a per-gate high-level→kernel transpilation
+// latency, (b) executes unfused, and (c) under-utilizes the
+// distributed interface when containerized. All three penalties are
+// explicit model constants.
+func (cl *Cluster) EstimatePennylaneSeconds(w Workload, nGPU int) (float64, error) {
+	base, err := cl.EstimateGPUSeconds(w, nGPU)
+	if err != nil {
+		return 0, err
+	}
+	const transpilePerGateMS = 5.0  // Python-object lowering per gate
+	const distribInefficiency = 1.8 // container init not overlapping GNU-distributed setup
+	const kernelInefficiency = 1.5  // generic vs. hand-fused kernels
+	unfused := base * cl.FusionFactor * kernelInefficiency * distribInefficiency
+	return unfused + float64(w.Gates)*transpilePerGateMS*1e-3, nil
+}
+
+// Jitter applies the warm-up variability of §3 to an estimate,
+// returning seconds scaled by a deterministic draw from rng. Estimates
+// in figures carry ~WarmupJitter relative error bars.
+func (cl *Cluster) Jitter(seconds float64, rng *qmath.RNG) float64 {
+	return seconds * (1 + cl.WarmupJitter*rng.NormFloat64())
+}
+
+// MaxQubits returns the largest simulable qubit count for the given
+// memory pool and precision — the capacity walls of Fig. 4a (32 for
+// one A100-40GB at fp32, 34 for four; 34 for the fp64 CPU node).
+func MaxQubits(memGB float64, p Precision) int {
+	n := 0
+	for math.Exp2(float64(n+1))*p.AmpBytes() <= memGB*1e9 {
+		n++
+	}
+	return n
+}
+
+// Calibrate rebuilds a device spec from a measured run of the real Go
+// engine: given a measured seconds-per-gate at `qubits` qubits, it
+// returns a DeviceSpec whose EffBandwidthGBs reproduces it. The bench
+// harness uses this to extend measured local curves with modeled
+// large-n points that are anchored to reality.
+func Calibrate(name string, qubits int, p Precision, secondsPerGate float64, memGB float64) DeviceSpec {
+	traffic := 2 * math.Exp2(float64(qubits)) * p.AmpBytes()
+	return DeviceSpec{
+		Name:            name,
+		MemGB:           memGB,
+		EffBandwidthGBs: traffic / secondsPerGate / 1e9,
+	}
+}

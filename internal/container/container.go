@@ -1,0 +1,319 @@
+// Package container is the Podman/Shifter substrate of the paper's
+// deployment story (§2, Appendix E): layered images built from a base
+// (the paper derives its image from an NVIDIA cu12 DevOps base and
+// layers Cray-MPICH, Qiskit and CUDA-Q on top), a registry to push and
+// pull them, two runtime modes (Podman's writable containers and
+// Shifter's read-only images with a scratch mount), and the paper's
+// "podman wrapper" technique that dynamically links Slurm batch
+// variables, MPI rank, and output directories into the containerized
+// environment.
+//
+// Filesystems are in-memory path→content maps: enough to exercise
+// layer resolution order, copy-on-write isolation, env merging, and
+// bind mounts — the orchestration semantics the §E.3 pipeline needs —
+// without privileged OS machinery.
+package container
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Layer is one filesystem layer.
+type Layer struct {
+	ID    string
+	Files map[string]string // absolute path -> content
+}
+
+// Image is an immutable, layered filesystem with environment defaults
+// and package metadata.
+type Image struct {
+	Name       string
+	Tag        string
+	Base       string // "name:tag" of the parent, "" for a root image
+	Layers     []Layer
+	Env        map[string]string
+	Packages   []string // installed packages, newest layer last
+	Entrypoint []string
+}
+
+// Ref returns the "name:tag" reference.
+func (im *Image) Ref() string { return im.Name + ":" + im.Tag }
+
+// Flatten resolves the layer stack into a single filesystem view,
+// later layers overriding earlier ones.
+func (im *Image) Flatten() map[string]string {
+	fs := make(map[string]string)
+	for _, l := range im.Layers {
+		for p, c := range l.Files {
+			fs[p] = c
+		}
+	}
+	return fs
+}
+
+// Builder accumulates layers on a base image (podman build).
+type Builder struct {
+	img Image
+	err error
+}
+
+// NewBuilder starts a build from a base image (nil for scratch).
+func NewBuilder(name, tag string, base *Image) *Builder {
+	b := &Builder{img: Image{Name: name, Tag: tag, Env: map[string]string{}}}
+	if base != nil {
+		b.img.Base = base.Ref()
+		b.img.Layers = append(b.img.Layers, base.Layers...)
+		for k, v := range base.Env {
+			b.img.Env[k] = v
+		}
+		b.img.Packages = append(b.img.Packages, base.Packages...)
+		b.img.Entrypoint = append([]string(nil), base.Entrypoint...)
+	}
+	return b
+}
+
+// AddLayer appends a filesystem layer.
+func (b *Builder) AddLayer(id string, files map[string]string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	for p := range files {
+		if !strings.HasPrefix(p, "/") {
+			b.err = fmt.Errorf("container: layer %q has relative path %q", id, p)
+			return b
+		}
+	}
+	cp := make(map[string]string, len(files))
+	for p, c := range files {
+		cp[p] = c
+	}
+	b.img.Layers = append(b.img.Layers, Layer{ID: id, Files: cp})
+	return b
+}
+
+// InstallPackages records package installs as a metadata-only layer
+// (the paper's image installs cupy-cuda12x, mpi4py, qiskit, cuda-q...).
+func (b *Builder) InstallPackages(pkgs ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.img.Packages = append(b.img.Packages, pkgs...)
+	return b
+}
+
+// SetEnv sets an environment default baked into the image.
+func (b *Builder) SetEnv(k, v string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.img.Env[k] = v
+	return b
+}
+
+// Entrypoint sets the default command.
+func (b *Builder) Entrypoint(cmd ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.img.Entrypoint = cmd
+	return b
+}
+
+// Build finalizes the image.
+func (b *Builder) Build() (*Image, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.img.Name == "" {
+		return nil, fmt.Errorf("container: image has no name")
+	}
+	img := b.img
+	return &img, nil
+}
+
+// NvidiaCUDABase returns the public base image the paper starts from:
+// a GCC-preinstalled cu12.0 DevOps container.
+func NvidiaCUDABase() *Image {
+	img, err := NewBuilder("nvidia/cuda-devops", "12.0", nil).
+		AddLayer("rootfs", map[string]string{
+			"/usr/bin/gcc":       "elf:gcc-12",
+			"/usr/local/cuda/12": "cuda-toolkit",
+		}).
+		SetEnv("CUDA_HOME", "/usr/local/cuda").
+		InstallPackages("gcc", "cuda-12.0").
+		Build()
+	if err != nil {
+		panic(err) // static content cannot fail
+	}
+	return img
+}
+
+// QGearImage builds the paper's Q-GEAR container on the NVIDIA base:
+// native Cray-MPICH plus the Python quantum stack (§E.1).
+func QGearImage() *Image {
+	img, err := NewBuilder("nersc/qgear", "latest", NvidiaCUDABase()).
+		AddLayer("cray-mpich", map[string]string{
+			"/opt/cray/mpich/lib/libmpi.so": "elf:cray-mpich",
+		}).
+		InstallPackages("cupy-cuda12x", "mpi4py", "qiskit", "cuda-quantum", "h5py", "qiskit-aer", "qiskit-ibm-experiment").
+		SetEnv("MPICH_GPU_SUPPORT_ENABLED", "1").
+		Entrypoint("python", "run.py").
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// Registry stores images by reference (the public NERSC repository of
+// §4).
+type Registry struct {
+	images map[string]*Image
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{images: map[string]*Image{}} }
+
+// Push stores an image.
+func (r *Registry) Push(img *Image) error {
+	if img == nil || img.Name == "" {
+		return fmt.Errorf("container: cannot push unnamed image")
+	}
+	r.images[img.Ref()] = img
+	return nil
+}
+
+// Pull fetches an image by "name:tag".
+func (r *Registry) Pull(ref string) (*Image, error) {
+	img, ok := r.images[ref]
+	if !ok {
+		return nil, fmt.Errorf("container: image %q not found", ref)
+	}
+	return img, nil
+}
+
+// List returns the stored references, sorted.
+func (r *Registry) List() []string {
+	out := make([]string, 0, len(r.images))
+	for ref := range r.images {
+		out = append(out, ref)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mode selects the runtime flavor.
+type Mode int
+
+// Runtime modes: Podman gives each container a writable copy-on-write
+// upper layer; Shifter mounts the image read-only with a writable
+// scratch directory (how NERSC runs user images at scale, §E.2).
+const (
+	Podman Mode = iota
+	Shifter
+)
+
+func (m Mode) String() string {
+	if m == Shifter {
+		return "shifter"
+	}
+	return "podman-hpc"
+}
+
+// Container is one runnable instance.
+type Container struct {
+	Image *Image
+	Mode  Mode
+	Env   map[string]string
+	upper map[string]string // writable layer (Podman) or scratch (Shifter)
+	binds map[string]string // containerPath -> hostPath label
+}
+
+// Runtime creates containers from a registry.
+type Runtime struct {
+	Mode     Mode
+	Registry *Registry
+}
+
+// Create instantiates a container from an image reference, merging
+// extraEnv over the image's baked-in env (podman run -e).
+func (rt *Runtime) Create(ref string, extraEnv map[string]string, binds map[string]string) (*Container, error) {
+	img, err := rt.Registry.Pull(ref)
+	if err != nil {
+		return nil, err
+	}
+	env := make(map[string]string, len(img.Env)+len(extraEnv))
+	for k, v := range img.Env {
+		env[k] = v
+	}
+	for k, v := range extraEnv {
+		env[k] = v
+	}
+	c := &Container{
+		Image: img,
+		Mode:  rt.Mode,
+		Env:   env,
+		upper: map[string]string{},
+		binds: map[string]string{},
+	}
+	for cpath, hpath := range binds {
+		c.binds[cpath] = hpath
+	}
+	return c, nil
+}
+
+// ReadFile resolves a path through binds, the writable layer, then the
+// image layers.
+func (c *Container) ReadFile(path string) (string, error) {
+	for cpath, hpath := range c.binds {
+		if strings.HasPrefix(path, cpath) {
+			return "bind:" + hpath + strings.TrimPrefix(path, cpath), nil
+		}
+	}
+	if v, ok := c.upper[path]; ok {
+		return v, nil
+	}
+	if v, ok := c.Image.Flatten()[path]; ok {
+		return v, nil
+	}
+	return "", fmt.Errorf("container: %q not found", path)
+}
+
+// WriteFile writes into the container. Shifter images are read-only
+// outside the /scratch mount (§E.2's local scratch file system).
+func (c *Container) WriteFile(path, content string) error {
+	if c.Mode == Shifter && !strings.HasPrefix(path, "/scratch/") {
+		return fmt.Errorf("container: shifter image is read-only; write %q under /scratch/", path)
+	}
+	c.upper[path] = content
+	return nil
+}
+
+// Run invokes fn with the container's merged environment — the
+// stand-in for executing the entrypoint. The image's own filesystem is
+// never mutated (copy-on-write isolation).
+func (c *Container) Run(fn func(env map[string]string) error) error {
+	env := make(map[string]string, len(c.Env))
+	for k, v := range c.Env {
+		env[k] = v
+	}
+	return fn(env)
+}
+
+// PodmanWrapper implements the paper's "podman wrapper" (§E.1): it
+// dynamically links batch submission variables (Slurm env), the MPI
+// rank, locally generated circuit paths and output directories into the
+// environment a containerized simulation sees.
+func PodmanWrapper(slurmEnv map[string]string, mpiRank int, circuitFile, outputDir string) map[string]string {
+	env := make(map[string]string, len(slurmEnv)+4)
+	for k, v := range slurmEnv {
+		env[k] = v
+	}
+	env["MPI_RANK"] = fmt.Sprintf("%d", mpiRank)
+	env["QGEAR_CIRCUIT_FILE"] = circuitFile
+	env["QGEAR_OUTPUT_DIR"] = outputDir
+	env["QGEAR_WRAPPED"] = "1"
+	return env
+}

@@ -1,0 +1,199 @@
+package container
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLayeredBuild(t *testing.T) {
+	img := QGearImage()
+	if img.Base != "nvidia/cuda-devops:12.0" {
+		t.Fatalf("base %q", img.Base)
+	}
+	fs := img.Flatten()
+	if fs["/usr/bin/gcc"] != "elf:gcc-12" {
+		t.Fatal("base layer lost")
+	}
+	if fs["/opt/cray/mpich/lib/libmpi.so"] != "elf:cray-mpich" {
+		t.Fatal("mpich layer missing")
+	}
+	// Packages accumulate base-first.
+	joined := strings.Join(img.Packages, ",")
+	for _, want := range []string{"gcc", "cuda-12.0", "cupy-cuda12x", "mpi4py", "qiskit", "cuda-quantum", "h5py"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("package %q missing from %q", want, joined)
+		}
+	}
+	if img.Env["MPICH_GPU_SUPPORT_ENABLED"] != "1" || img.Env["CUDA_HOME"] != "/usr/local/cuda" {
+		t.Fatalf("env %v", img.Env)
+	}
+}
+
+func TestLayerOverride(t *testing.T) {
+	base, err := NewBuilder("base", "1", nil).
+		AddLayer("l0", map[string]string{"/etc/conf": "v1"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := NewBuilder("child", "1", base).
+		AddLayer("l1", map[string]string{"/etc/conf": "v2"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Flatten()["/etc/conf"] != "v2" {
+		t.Fatal("later layer must override")
+	}
+	if base.Flatten()["/etc/conf"] != "v1" {
+		t.Fatal("base mutated by child build")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder("x", "1", nil).AddLayer("bad", map[string]string{"rel/path": "x"}).Build(); err == nil {
+		t.Fatal("relative path accepted")
+	}
+	if _, err := NewBuilder("", "1", nil).Build(); err == nil {
+		t.Fatal("unnamed image accepted")
+	}
+}
+
+func TestRegistryPushPull(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Push(QGearImage()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Push(NvidiaCUDABase()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := r.Pull("nersc/qgear:latest")
+	if err != nil || img.Name != "nersc/qgear" {
+		t.Fatalf("pull: %v", err)
+	}
+	if _, err := r.Pull("missing:1"); err == nil {
+		t.Fatal("missing image pulled")
+	}
+	refs := r.List()
+	if len(refs) != 2 || refs[0] != "nersc/qgear:latest" && refs[1] != "nersc/qgear:latest" {
+		t.Fatalf("refs %v", refs)
+	}
+	if err := r.Push(nil); err == nil {
+		t.Fatal("nil image pushed")
+	}
+}
+
+func TestPodmanContainerEnvAndCoW(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Push(QGearImage()); err != nil {
+		t.Fatal(err)
+	}
+	rt := &Runtime{Mode: Podman, Registry: r}
+	c, err := rt.Create("nersc/qgear:latest", map[string]string{"SLURM_JOB_ID": "7", "CUDA_HOME": "/override"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extra env overrides image env.
+	if c.Env["CUDA_HOME"] != "/override" || c.Env["SLURM_JOB_ID"] != "7" {
+		t.Fatalf("env merge wrong: %v", c.Env)
+	}
+	// Writes land in the upper layer; the image stays pristine.
+	if err := c.WriteFile("/tmp/out.h5", "data"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("/tmp/out.h5")
+	if err != nil || got != "data" {
+		t.Fatal("upper layer write lost")
+	}
+	if _, ok := c.Image.Flatten()["/tmp/out.h5"]; ok {
+		t.Fatal("container write leaked into the image")
+	}
+	// Image content remains readable.
+	if v, err := c.ReadFile("/usr/bin/gcc"); err != nil || v != "elf:gcc-12" {
+		t.Fatal("image read-through broken")
+	}
+	if _, err := c.ReadFile("/does/not/exist"); err == nil {
+		t.Fatal("missing file read")
+	}
+}
+
+func TestShifterReadOnly(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Push(QGearImage()); err != nil {
+		t.Fatal(err)
+	}
+	rt := &Runtime{Mode: Shifter, Registry: r}
+	c, err := rt.Create("nersc/qgear:latest", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("/usr/bin/hack", "x"); err == nil {
+		t.Fatal("shifter image writable outside scratch")
+	}
+	if err := c.WriteFile("/scratch/result.h5", "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if Mode(Podman).String() != "podman-hpc" || Mode(Shifter).String() != "shifter" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestBindMounts(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Push(QGearImage()); err != nil {
+		t.Fatal(err)
+	}
+	rt := &Runtime{Mode: Podman, Registry: r}
+	c, err := rt.Create("nersc/qgear:latest", nil, map[string]string{"/data": "/pscratch/user/run42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("/data/circuits.qpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "bind:/pscratch/user/run42/circuits.qpy" {
+		t.Fatalf("bind resolution %q", got)
+	}
+}
+
+func TestRunMergedEnvIsolated(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Push(QGearImage()); err != nil {
+		t.Fatal(err)
+	}
+	rt := &Runtime{Mode: Podman, Registry: r}
+	c, _ := rt.Create("nersc/qgear:latest", map[string]string{"A": "1"}, nil)
+	err := c.Run(func(env map[string]string) error {
+		if env["A"] != "1" {
+			t.Error("env not passed")
+		}
+		env["A"] = "mutated" // must not leak back
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Env["A"] != "1" {
+		t.Fatal("run env leaked into container")
+	}
+}
+
+func TestPodmanWrapper(t *testing.T) {
+	slurm := map[string]string{"SLURM_JOB_ID": "42", "SLURM_NTASKS": "4"}
+	env := PodmanWrapper(slurm, 3, "/pscratch/circ.h5", "/pscratch/out")
+	for k, want := range map[string]string{
+		"SLURM_JOB_ID":       "42",
+		"SLURM_NTASKS":       "4",
+		"MPI_RANK":           "3",
+		"QGEAR_CIRCUIT_FILE": "/pscratch/circ.h5",
+		"QGEAR_OUTPUT_DIR":   "/pscratch/out",
+		"QGEAR_WRAPPED":      "1",
+	} {
+		if env[k] != want {
+			t.Errorf("env[%s] = %q, want %q", k, env[k], want)
+		}
+	}
+	// Wrapper must not mutate the input map.
+	if _, ok := slurm["MPI_RANK"]; ok {
+		t.Fatal("wrapper mutated slurm env")
+	}
+}

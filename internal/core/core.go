@@ -1,0 +1,168 @@
+// Package core wires the Q-GEAR pipeline together — the paper's
+// primary contribution (Fig. 2c): Qiskit-style circuits are saved as
+// QPY, read back, tensor-encoded into HDF5, transformed gate-by-gate
+// into CUDA-Q-style kernels, and executed on the selected target
+// ("aer", "nvidia", "nvidia-mgpu", "nvidia-mqpu", "pennylane"), either
+// in the large-circuit mode (one circuit spread over pooled devices)
+// or the parallel mode (many circuits across devices as QPUs).
+package core
+
+import (
+	"fmt"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/kernel"
+	"qgear/internal/qpy"
+	"qgear/internal/tensorenc"
+)
+
+// Options configures the pipeline end to end.
+type Options struct {
+	// Transform options (§2.2, Appendix D.2).
+	FusionWindow int
+	PruneAngle   float64
+	// Execution target and sizing.
+	Target  backend.Target
+	Devices int
+	Workers int
+	Shots   int
+	Seed    uint64
+}
+
+// backendConfig lowers Options to a backend.Config.
+func (o Options) backendConfig() backend.Config {
+	return backend.Config{
+		Target:       o.Target,
+		Devices:      o.Devices,
+		Workers:      o.Workers,
+		Shots:        o.Shots,
+		Seed:         o.Seed,
+		FusionWindow: o.FusionWindow,
+		PruneAngle:   o.PruneAngle,
+	}
+}
+
+// Transform converts circuits to kernels with the configured options —
+// the Q-GEAR step proper. Per-circuit stats are returned alongside.
+func Transform(circuits []*circuit.Circuit, opts Options) ([]*kernel.Kernel, []kernel.Stats, error) {
+	kernels := make([]*kernel.Kernel, len(circuits))
+	stats := make([]kernel.Stats, len(circuits))
+	kopts := kernel.Options{FusionWindow: opts.FusionWindow, PruneAngle: opts.PruneAngle}
+	for i, c := range circuits {
+		k, st, err := kernel.FromCircuit(c, kopts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: transforming circuit %d (%q): %w", i, c.Name, err)
+		}
+		kernels[i] = k
+		stats[i] = st
+	}
+	return kernels, stats, nil
+}
+
+// Run executes circuits end to end: transform then execute, one result
+// per circuit. On the mqpu target the batch runs device-parallel.
+func Run(circuits []*circuit.Circuit, opts Options) ([]*backend.Result, error) {
+	return backend.RunBatch(circuits, opts.backendConfig())
+}
+
+// RunOne is Run for a single circuit.
+func RunOne(c *circuit.Circuit, opts Options) (*backend.Result, error) {
+	return backend.Run(c, opts.backendConfig())
+}
+
+// SaveQPY persists a circuit list in the QPY-like format ("Save QPY"
+// of Fig. 2c).
+func SaveQPY(path string, circuits []*circuit.Circuit) error {
+	return qpy.SaveFile(path, circuits)
+}
+
+// LoadQPY loads a circuit list back ("Read QPY").
+func LoadQPY(path string) ([]*circuit.Circuit, error) {
+	return qpy.LoadFile(path)
+}
+
+// TensorGroup is the HDF5 group the tensor encoding lives under.
+const TensorGroup = "qgear/circuits"
+
+// SaveTensors tensor-encodes circuits (§2.1) and writes the HDF5-lite
+// file with flate compression; capacity <= 0 auto-sizes per Lemma B.2.
+// Circuits are transpiled to the native basis first when they contain
+// gates outside the encodable set.
+func SaveTensors(path string, circuits []*circuit.Circuit, capacity int) error {
+	prepared := make([]*circuit.Circuit, len(circuits))
+	for i, c := range circuits {
+		prepared[i] = c
+		for _, op := range c.Ops {
+			if op.Gate.ParamCount() > 1 {
+				prepared[i] = c.Transpile(circuit.BasisNative)
+				break
+			}
+		}
+	}
+	enc, err := tensorenc.Encode(prepared, capacity)
+	if err != nil {
+		return err
+	}
+	return enc.SaveFile(path, TensorGroup)
+}
+
+// LoadTensors reads a tensor-encoded circuit list back from HDF5.
+func LoadTensors(path string) ([]*circuit.Circuit, error) {
+	enc, err := tensorenc.LoadFile(path, TensorGroup)
+	if err != nil {
+		return nil, err
+	}
+	return enc.Decode()
+}
+
+// RunQPYFile is the separate-program flow of §3: read a QPY circuit
+// list produced elsewhere, transform, execute.
+func RunQPYFile(path string, opts Options) ([]*backend.Result, error) {
+	circuits, err := LoadQPY(path)
+	if err != nil {
+		return nil, err
+	}
+	return Run(circuits, opts)
+}
+
+// RunTensorFile is the same flow for the HDF5 tensor interchange
+// format.
+func RunTensorFile(path string, opts Options) ([]*backend.Result, error) {
+	circuits, err := LoadTensors(path)
+	if err != nil {
+		return nil, err
+	}
+	return Run(circuits, opts)
+}
+
+// WorkflowMode selects between the Fig. 2c execution modes.
+type WorkflowMode int
+
+// Workflow modes.
+const (
+	// ModeLargeCircuit pools device memory for one big circuit
+	// (nvidia-mgpu).
+	ModeLargeCircuit WorkflowMode = iota
+	// ModeParallelCircuits fans independent circuits out across
+	// devices used as QPUs (nvidia-mqpu).
+	ModeParallelCircuits
+)
+
+// RunWorkflow dispatches a circuit batch according to the workflow
+// mode, defaulting the target appropriately.
+func RunWorkflow(circuits []*circuit.Circuit, mode WorkflowMode, opts Options) ([]*backend.Result, error) {
+	switch mode {
+	case ModeLargeCircuit:
+		if opts.Target == "" {
+			opts.Target = backend.TargetNvidiaMGPU
+		}
+	case ModeParallelCircuits:
+		if opts.Target == "" {
+			opts.Target = backend.TargetNvidiaMQPU
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown workflow mode %d", mode)
+	}
+	return Run(circuits, opts)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/qft"
+	"qgear/internal/randcirc"
+)
+
+func TestTransformBatch(t *testing.T) {
+	circs, err := randcirc.GenerateList(5, 20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels, stats, err := Transform(circs, Options{FusionWindow: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kernels) != 4 || len(stats) != 4 {
+		t.Fatal("batch sizes wrong")
+	}
+	for i, st := range stats {
+		if st.SourceOps != 60 {
+			t.Fatalf("kernel %d: %d source ops", i, st.SourceOps)
+		}
+		if st.FusedGroups == 0 {
+			t.Fatalf("kernel %d: no fusion", i)
+		}
+	}
+}
+
+func TestEndToEndQPYFlow(t *testing.T) {
+	// The Fig. 2c pipeline: generate -> save QPY -> (separate program)
+	// read QPY -> transform -> execute on GPU target; results must
+	// match direct execution.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "circuits.qpy")
+	circs, err := randcirc.GenerateList(5, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveQPY(path, circs); err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunQPYFile(path, Options{Target: backend.TargetNvidia, FusionWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(circs, Options{Target: backend.TargetAer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		for j := range results[i].Probabilities {
+			if math.Abs(results[i].Probabilities[j]-direct[i].Probabilities[j]) > 1e-9 {
+				t.Fatalf("circuit %d: QPY flow diverged from direct", i)
+			}
+		}
+	}
+}
+
+func TestEndToEndTensorFlow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "circuits.h5")
+	q, err := qft.Circuit(5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghz := circuit.GHZ(5, false)
+	if err := SaveTensors(path, []*circuit.Circuit{q, ghz}, 0); err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunTensorFile(path, Options{Target: backend.TargetNvidia})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatal("lost circuits in tensor round trip")
+	}
+	// QFT|0> = uniform distribution.
+	for _, p := range results[0].Probabilities {
+		if math.Abs(p-1.0/32) > 1e-9 {
+			t.Fatalf("QFT probs wrong after tensor flow: %g", p)
+		}
+	}
+	// GHZ: half mass on |00000>, half on |11111>.
+	p := results[1].Probabilities
+	if math.Abs(p[0]-0.5) > 1e-9 || math.Abs(p[31]-0.5) > 1e-9 {
+		t.Fatal("GHZ probs wrong after tensor flow")
+	}
+}
+
+func TestSaveTensorsTranspilesWideGates(t *testing.T) {
+	// u3 circuits can't tensor-encode directly; SaveTensors must
+	// transpile them rather than fail.
+	c := circuit.New(2, 0).U3(0.3, 0.4, 0.5, 0).CX(0, 1)
+	path := filepath.Join(t.TempDir(), "u3.h5")
+	if err := SaveTensors(path, []*circuit.Circuit{c}, 0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTensors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunOne(c, Options{Target: backend.TargetAer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunOne(back[0], Options{Target: backend.TargetAer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Probabilities {
+		if math.Abs(ref.Probabilities[i]-got.Probabilities[i]) > 1e-9 {
+			t.Fatal("transpiled tensor encoding changed semantics")
+		}
+	}
+}
+
+func TestWorkflowModes(t *testing.T) {
+	// Large-circuit mode on a GHZ spread over 4 devices.
+	big := circuit.GHZ(6, false)
+	res, err := RunWorkflow([]*circuit.Circuit{big}, ModeLargeCircuit, Options{Devices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Target != backend.TargetNvidiaMGPU || res[0].Exchanges == 0 {
+		t.Fatalf("large-circuit mode did not use mgpu: %+v", res[0].Target)
+	}
+	// Parallel mode on a batch.
+	batch, err := randcirc.GenerateList(4, 10, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunWorkflow(batch, ModeParallelCircuits, Options{Devices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != 6 || res2[0].Target != backend.TargetNvidiaMQPU {
+		t.Fatal("parallel mode wrong")
+	}
+	// Explicit target wins over the mode default.
+	res3, err := RunWorkflow(batch[:1], ModeParallelCircuits, Options{Target: backend.TargetAer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3[0].Target != backend.TargetAer {
+		t.Fatal("explicit target overridden")
+	}
+	if _, err := RunWorkflow(batch, WorkflowMode(9), Options{}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	if _, err := RunQPYFile("/nonexistent.qpy", Options{Target: backend.TargetAer}); err == nil {
+		t.Fatal("missing qpy accepted")
+	}
+	if _, err := RunTensorFile("/nonexistent.h5", Options{Target: backend.TargetAer}); err == nil {
+		t.Fatal("missing h5 accepted")
+	}
+	bad := &circuit.Circuit{NumQubits: 1, Ops: []circuit.Op{{Gate: 200, Qubits: []int{0}}}}
+	if _, _, err := Transform([]*circuit.Circuit{bad}, Options{}); err == nil {
+		t.Fatal("invalid circuit transformed")
+	}
+}

@@ -1,0 +1,365 @@
+package hdf5
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"qgear/internal/qmath"
+)
+
+func buildSample(t *testing.T) *File {
+	t.Helper()
+	f := NewFile()
+	if _, err := f.CreateGroup("circuits/batch0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutFloat64s("circuits/batch0/gate_param", []float64{0.1, -0.2, math.Pi, 0, 1e-300, -0}, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutInt64s("circuits/batch0/gate_type", []int64{1, 2, 3, 4, -5, 0}, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutFloat32s("meta/angles", []float32{1.5, -2.5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutUint8s("images/finger", []uint8{0, 128, 255, 7}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutComplex128s("states/bell", []complex128{complex(math.Sqrt2/2, 0), 0, 0, complex(0, math.Sqrt2/2)}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetAttr("circuits", "created_by", StringAttr("qgear")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetAttr("circuits/batch0/gate_type", "num_circ", IntAttr(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetAttr("meta/angles", "scale", FloatAttr(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestHierarchy(t *testing.T) {
+	f := buildSample(t)
+	g, err := f.Group("circuits/batch0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Datasets()) != 2 {
+		t.Fatalf("want 2 datasets, got %d", len(g.Datasets()))
+	}
+	paths := f.Paths()
+	want := []string{
+		"/circuits/batch0/gate_param", "/circuits/batch0/gate_type",
+		"/images/finger", "/meta/angles", "/states/bell",
+	}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("paths %v", paths)
+	}
+	if _, err := f.Group("missing/group"); err == nil {
+		t.Fatal("missing group found")
+	}
+	if _, err := f.Dataset("circuits/batch0"); err == nil {
+		t.Fatal("group read as dataset")
+	}
+	if _, err := f.Dataset("circuits/batch0/nope"); err == nil {
+		t.Fatal("missing dataset found")
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	f := buildSample(t)
+	f64, shape, err := f.Float64s("circuits/batch0/gate_param")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shape, []int{2, 3}) || f64[2] != math.Pi {
+		t.Fatalf("f64 read wrong: %v %v", f64, shape)
+	}
+	i64, _, err := f.Int64s("circuits/batch0/gate_type")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i64[4] != -5 {
+		t.Fatal("i64 read wrong")
+	}
+	f32, _, err := f.Float32s("meta/angles")
+	if err != nil || f32[1] != -2.5 {
+		t.Fatalf("f32 read wrong: %v %v", f32, err)
+	}
+	u8, shape8, err := f.Uint8s("images/finger")
+	if err != nil || u8[2] != 255 || shape8[0] != 2 {
+		t.Fatalf("u8 read wrong: %v %v", u8, err)
+	}
+	c, _, err := f.Complex128s("states/bell")
+	if err != nil || imag(c[3]) != math.Sqrt2/2 {
+		t.Fatalf("c128 read wrong: %v %v", c, err)
+	}
+	// Wrong-dtype reads fail loudly.
+	if _, _, err := f.Int64s("meta/angles"); err == nil {
+		t.Fatal("dtype confusion accepted")
+	}
+	if _, _, err := f.Float64s("images/finger"); err == nil {
+		t.Fatal("dtype confusion accepted")
+	}
+	if _, _, err := f.Float32s("images/finger"); err == nil {
+		t.Fatal("dtype confusion accepted")
+	}
+	if _, _, err := f.Uint8s("meta/angles"); err == nil {
+		t.Fatal("dtype confusion accepted")
+	}
+	if _, _, err := f.Complex128s("meta/angles"); err == nil {
+		t.Fatal("dtype confusion accepted")
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	f := NewFile()
+	if err := f.PutFloat64s("x", []float64{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("shape/data mismatch accepted")
+	}
+	if err := f.PutFloat64s("x", []float64{1, 2, 3}, -3); err == nil {
+		t.Fatal("negative dim accepted")
+	}
+	// Default shape is 1-D.
+	if err := f.PutFloat64s("y", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.Dataset("y")
+	if err != nil || d.Shape[0] != 3 {
+		t.Fatal("default shape wrong")
+	}
+}
+
+func TestGroupDatasetNameCollision(t *testing.T) {
+	f := NewFile()
+	if err := f.PutFloat64s("a/b", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateGroup("a/b"); err == nil {
+		t.Fatal("dataset shadowed by group")
+	}
+	if _, err := f.CreateGroup("a/b/c"); err == nil {
+		t.Fatal("path through dataset accepted")
+	}
+	if err := f.PutFloat64s("a", []float64{1}); err == nil {
+		t.Fatal("group overwritten by dataset")
+	}
+}
+
+func TestOverwriteDataset(t *testing.T) {
+	f := NewFile()
+	if err := f.PutFloat64s("d", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutInt64s("d", []int64{7}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := f.Int64s("d")
+	if err != nil || v[0] != 7 {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	f := buildSample(t)
+	a, err := f.Attr("circuits", "created_by")
+	if err != nil || a.S != "qgear" {
+		t.Fatal("group attr wrong")
+	}
+	a, err = f.Attr("circuits/batch0/gate_type", "num_circ")
+	if err != nil || a.I != 6 {
+		t.Fatal("dataset attr wrong")
+	}
+	if _, err := f.Attr("circuits", "missing"); err == nil {
+		t.Fatal("missing attr found")
+	}
+	if err := f.SetAttr("no/such/node", "k", IntAttr(1)); err == nil {
+		t.Fatal("attr on missing node accepted")
+	}
+	// Root attrs.
+	if err := f.SetAttr("/", "version", IntAttr(2)); err != nil {
+		t.Fatal(err)
+	}
+	if a, err := f.Attr("", "version"); err != nil || a.I != 2 {
+		t.Fatal("root attr wrong")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, comp := range []Compression{CompressionNone, CompressionFlate} {
+		f := buildSample(t)
+		var buf bytes.Buffer
+		if err := f.Save(&buf, SaveOptions{Compression: comp, ChunkSize: 16}); err != nil {
+			t.Fatal(err)
+		}
+		g, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("comp=%d: %v", comp, err)
+		}
+		if !reflect.DeepEqual(f.Paths(), g.Paths()) {
+			t.Fatalf("comp=%d: paths differ", comp)
+		}
+		v, shape, err := g.Float64s("circuits/batch0/gate_param")
+		if err != nil || shape[1] != 3 || v[2] != math.Pi {
+			t.Fatalf("comp=%d: payload differs", comp)
+		}
+		a, err := g.Attr("circuits/batch0/gate_type", "num_circ")
+		if err != nil || a.I != 6 {
+			t.Fatalf("comp=%d: attrs lost", comp)
+		}
+		c, _, err := g.Complex128s("states/bell")
+		if err != nil || imag(c[3]) != math.Sqrt2/2 {
+			t.Fatalf("comp=%d: complex payload differs", comp)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.h5")
+	f := buildSample(t)
+	if err := f.SaveFile(path, SaveOptions{Compression: CompressionFlate}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Paths()) != 5 {
+		t.Fatal("file round trip lost datasets")
+	}
+	if _, err := LoadFile("/nonexistent.h5"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompressionShrinksStructuredData(t *testing.T) {
+	// Appendix C: HDF5 compression reduced storage by up to 50% on the
+	// structured circuit tensors. One-hot style integer tensors are
+	// highly compressible.
+	f := NewFile()
+	data := make([]int64, 40000)
+	for i := range data {
+		data[i] = int64(i % 5)
+	}
+	if err := f.PutInt64s("gate_type", data); err != nil {
+		t.Fatal(err)
+	}
+	var plain, comp bytes.Buffer
+	if err := f.Save(&plain, SaveOptions{Compression: CompressionNone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Save(&comp, SaveOptions{Compression: CompressionFlate}); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= plain.Len()/2 {
+		t.Fatalf("compression too weak: %d vs %d bytes", comp.Len(), plain.Len())
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	f := buildSample(t)
+	var buf bytes.Buffer
+	if err := f.Save(&buf, SaveOptions{Compression: CompressionNone}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 'Z'
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[len(bad)-20] ^= 0x55
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("payload corruption accepted")
+	}
+
+	if _, err := Load(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("truncation accepted")
+	}
+}
+
+func TestEmptyDatasetAndFile(t *testing.T) {
+	f := NewFile()
+	if err := f.PutFloat64s("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf, SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := g.Float64s("empty")
+	if err != nil || len(v) != 0 {
+		t.Fatal("empty dataset round trip failed")
+	}
+
+	var buf2 bytes.Buffer
+	if err := NewFile().Save(&buf2, SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	f := NewFile()
+	if _, err := f.CreateGroup("a//b"); err == nil {
+		t.Fatal("empty component accepted")
+	}
+	if err := f.PutFloat64s("", []float64{1}); err == nil {
+		t.Fatal("empty dataset path accepted")
+	}
+	if err := f.PutFloat64s("/", []float64{1}); err == nil {
+		t.Fatal("root as dataset accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: random float tensors survive save/load bit-exactly
+	// under both codecs and random chunk sizes.
+	fcheck := func(seed uint32, chunk16 uint16, useComp bool) bool {
+		r := qmath.NewRNG(uint64(seed))
+		n := 1 + r.Intn(2000)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = r.NormFloat64() * 1e6
+		}
+		f := NewFile()
+		if err := f.PutFloat64s("t", data); err != nil {
+			return false
+		}
+		comp := CompressionNone
+		if useComp {
+			comp = CompressionFlate
+		}
+		var buf bytes.Buffer
+		if err := f.Save(&buf, SaveOptions{Compression: comp, ChunkSize: 1 + int(chunk16%4096)}); err != nil {
+			return false
+		}
+		g, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		got, _, err := g.Float64s("t")
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(data, got)
+	}
+	if err := quick.Check(fcheck, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

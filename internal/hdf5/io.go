@@ -1,0 +1,526 @@
+package hdf5
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// FormatVersion is the on-disk format version.
+const FormatVersion uint16 = 1
+
+var magic = []byte("QGH5L1\n")
+
+// Compression selects the per-chunk codec.
+type Compression uint8
+
+// Codec choices.
+const (
+	CompressionNone Compression = iota
+	CompressionFlate
+)
+
+// SaveOptions tunes serialization.
+type SaveOptions struct {
+	Compression Compression
+	// ChunkSize is the raw bytes per chunk; <= 0 selects DefaultChunkSize.
+	ChunkSize int
+}
+
+// DefaultChunkSize is the chunking granularity (Appendix C's
+// "scalability" property: large tensors stream in bounded buffers).
+const DefaultChunkSize = 256 << 10
+
+const (
+	maxDims      = 16
+	maxChunkSize = 64 << 20
+	maxChildren  = 1 << 24
+	maxKeyLength = 1 << 16
+)
+
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc.Write(p[:n])
+	return n, err
+}
+
+// Save serializes the file to w.
+func (f *File) Save(w io.Writer, opts SaveOptions) error {
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	if opts.ChunkSize > maxChunkSize {
+		return fmt.Errorf("hdf5: chunk size %d exceeds max %d", opts.ChunkSize, maxChunkSize)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
+	if err := wU16(cw, FormatVersion); err != nil {
+		return err
+	}
+	if _, err := cw.Write([]byte{byte(opts.Compression)}); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	if err := wU32(cw, uint32(opts.ChunkSize)); err != nil {
+		return err
+	}
+	if err := writeGroup(cw, f.root, opts); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc.Sum32())
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	return nil
+}
+
+func writeGroup(w io.Writer, g *Group, opts SaveOptions) error {
+	if err := wString(w, g.Name); err != nil {
+		return err
+	}
+	if err := writeAttrs(w, g.Attrs); err != nil {
+		return err
+	}
+	if err := wU32(w, uint32(len(g.groups))); err != nil {
+		return err
+	}
+	for _, c := range g.groups {
+		if err := writeGroup(w, c, opts); err != nil {
+			return err
+		}
+	}
+	if err := wU32(w, uint32(len(g.datasets))); err != nil {
+		return err
+	}
+	for _, d := range g.datasets {
+		if err := writeDataset(w, d, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeAttrs(w io.Writer, attrs map[string]Attr) error {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	// Deterministic output: sort attribute keys.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	if err := wU32(w, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		a := attrs[k]
+		if err := wString(w, k); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{byte(a.Kind)}); err != nil {
+			return fmt.Errorf("hdf5: %w", err)
+		}
+		switch a.Kind {
+		case AttrString:
+			if err := wString(w, a.S); err != nil {
+				return err
+			}
+		case AttrInt:
+			if err := wU64(w, uint64(a.I)); err != nil {
+				return err
+			}
+		case AttrFloat:
+			if err := wU64(w, math.Float64bits(a.F)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("hdf5: unknown attr kind %d", a.Kind)
+		}
+	}
+	return nil
+}
+
+func writeDataset(w io.Writer, d *Dataset, opts SaveOptions) error {
+	if err := wString(w, d.Name); err != nil {
+		return err
+	}
+	if err := writeAttrs(w, d.Attrs); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{byte(d.DType), byte(len(d.Shape))}); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	for _, s := range d.Shape {
+		if err := wU64(w, uint64(s)); err != nil {
+			return err
+		}
+	}
+	// Chunked payload.
+	n := len(d.Raw)
+	chunks := (n + opts.ChunkSize - 1) / opts.ChunkSize
+	if n == 0 {
+		chunks = 0
+	}
+	if err := wU32(w, uint32(chunks)); err != nil {
+		return err
+	}
+	for c := 0; c < chunks; c++ {
+		lo := c * opts.ChunkSize
+		hi := lo + opts.ChunkSize
+		if hi > n {
+			hi = n
+		}
+		raw := d.Raw[lo:hi]
+		payload := raw
+		if opts.Compression == CompressionFlate {
+			var buf bytes.Buffer
+			fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+			if err != nil {
+				return fmt.Errorf("hdf5: %w", err)
+			}
+			if _, err := fw.Write(raw); err != nil {
+				return fmt.Errorf("hdf5: %w", err)
+			}
+			if err := fw.Close(); err != nil {
+				return fmt.Errorf("hdf5: %w", err)
+			}
+			payload = buf.Bytes()
+		}
+		if err := wU32(w, uint32(len(raw))); err != nil {
+			return err
+		}
+		if err := wU32(w, uint32(len(payload))); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("hdf5: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load parses a file produced by Save, verifying magic, version and
+// checksum.
+func Load(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("hdf5: reading magic: %w", err)
+	}
+	if !bytes.Equal(got, magic) {
+		return nil, fmt.Errorf("hdf5: bad magic %q", got)
+	}
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+	version, err := rU16(tr)
+	if err != nil {
+		return nil, err
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("hdf5: unsupported version %d", version)
+	}
+	var hdr [1]byte
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+		return nil, fmt.Errorf("hdf5: %w", err)
+	}
+	comp := Compression(hdr[0])
+	if comp != CompressionNone && comp != CompressionFlate {
+		return nil, fmt.Errorf("hdf5: unknown compression %d", comp)
+	}
+	if _, err := rU32(tr); err != nil { // chunk size (informational)
+		return nil, err
+	}
+	root, err := readGroup(tr, comp)
+	if err != nil {
+		return nil, err
+	}
+	wantSum := crc.Sum32()
+	gotSum, err := rU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("hdf5: reading checksum: %w", err)
+	}
+	if gotSum != wantSum {
+		return nil, fmt.Errorf("hdf5: checksum mismatch (file %08x, payload %08x)", gotSum, wantSum)
+	}
+	return &File{root: root}, nil
+}
+
+func readGroup(r io.Reader, comp Compression) (*Group, error) {
+	name, err := rString(r)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := readAttrs(r)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{Name: name, Attrs: attrs}
+	ng, err := rU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if ng > maxChildren {
+		return nil, fmt.Errorf("hdf5: implausible group count %d", ng)
+	}
+	for i := uint32(0); i < ng; i++ {
+		c, err := readGroup(r, comp)
+		if err != nil {
+			return nil, err
+		}
+		g.groups = append(g.groups, c)
+	}
+	nd, err := rU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nd > maxChildren {
+		return nil, fmt.Errorf("hdf5: implausible dataset count %d", nd)
+	}
+	for i := uint32(0); i < nd; i++ {
+		d, err := readDataset(r, comp)
+		if err != nil {
+			return nil, err
+		}
+		g.datasets = append(g.datasets, d)
+	}
+	return g, nil
+}
+
+func readAttrs(r io.Reader) (map[string]Attr, error) {
+	n, err := rU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxChildren {
+		return nil, fmt.Errorf("hdf5: implausible attr count %d", n)
+	}
+	attrs := make(map[string]Attr, n)
+	for i := uint32(0); i < n; i++ {
+		key, err := rString(r)
+		if err != nil {
+			return nil, err
+		}
+		var kind [1]byte
+		if _, err := io.ReadFull(r, kind[:]); err != nil {
+			return nil, fmt.Errorf("hdf5: %w", err)
+		}
+		a := Attr{Kind: AttrKind(kind[0])}
+		switch a.Kind {
+		case AttrString:
+			if a.S, err = rString(r); err != nil {
+				return nil, err
+			}
+		case AttrInt:
+			v, err := rU64(r)
+			if err != nil {
+				return nil, err
+			}
+			a.I = int64(v)
+		case AttrFloat:
+			v, err := rU64(r)
+			if err != nil {
+				return nil, err
+			}
+			a.F = math.Float64frombits(v)
+		default:
+			return nil, fmt.Errorf("hdf5: unknown attr kind %d", a.Kind)
+		}
+		attrs[key] = a
+	}
+	return attrs, nil
+}
+
+func readDataset(r io.Reader, comp Compression) (*Dataset, error) {
+	name, err := rString(r)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := readAttrs(r)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("hdf5: %w", err)
+	}
+	d := &Dataset{Name: name, Attrs: attrs, DType: DType(hdr[0])}
+	if d.DType.Size() == 0 {
+		return nil, fmt.Errorf("hdf5: unknown dtype %d", hdr[0])
+	}
+	ndim := int(hdr[1])
+	if ndim > maxDims {
+		return nil, fmt.Errorf("hdf5: %d dimensions exceeds max %d", ndim, maxDims)
+	}
+	d.Shape = make([]int, ndim)
+	for i := range d.Shape {
+		v, err := rU64(r)
+		if err != nil {
+			return nil, err
+		}
+		d.Shape[i] = int(v)
+	}
+	nchunks, err := rU32(r)
+	if err != nil {
+		return nil, err
+	}
+	var raw bytes.Buffer
+	for c := uint32(0); c < nchunks; c++ {
+		rawLen, err := rU32(r)
+		if err != nil {
+			return nil, err
+		}
+		compLen, err := rU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if rawLen > maxChunkSize || compLen > maxChunkSize {
+			return nil, fmt.Errorf("hdf5: implausible chunk size %d/%d", rawLen, compLen)
+		}
+		payload := make([]byte, compLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("hdf5: %w", err)
+		}
+		if comp == CompressionFlate {
+			fr := flate.NewReader(bytes.NewReader(payload))
+			dec := make([]byte, rawLen)
+			if _, err := io.ReadFull(fr, dec); err != nil {
+				return nil, fmt.Errorf("hdf5: inflate: %w", err)
+			}
+			fr.Close()
+			raw.Write(dec)
+		} else {
+			if rawLen != compLen {
+				return nil, fmt.Errorf("hdf5: uncompressed chunk length mismatch")
+			}
+			raw.Write(payload)
+		}
+	}
+	d.Raw = raw.Bytes()
+	if d.Len()*d.DType.Size() != len(d.Raw) {
+		return nil, fmt.Errorf("hdf5: dataset %q payload %d bytes, shape %v wants %d",
+			name, len(d.Raw), d.Shape, d.Len()*d.DType.Size())
+	}
+	return d, nil
+}
+
+// SaveFile writes the file to path.
+func (f *File) SaveFile(path string, opts SaveOptions) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	if err := f.Save(fd, opts); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+// LoadFile reads a file from path.
+func LoadFile(path string) (*File, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hdf5: %w", err)
+	}
+	defer fd.Close()
+	return Load(fd)
+}
+
+func wU16(w io.Writer, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	return nil
+}
+
+func wU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	return nil
+}
+
+func wU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	return nil
+}
+
+func wString(w io.Writer, s string) error {
+	if len(s) > maxKeyLength {
+		return fmt.Errorf("hdf5: string longer than %d bytes", maxKeyLength)
+	}
+	if err := wU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, s); err != nil {
+		return fmt.Errorf("hdf5: %w", err)
+	}
+	return nil
+}
+
+func rU16(r io.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("hdf5: %w", err)
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func rU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("hdf5: %w", err)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func rU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("hdf5: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func rString(r io.Reader) (string, error) {
+	n, err := rU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxKeyLength {
+		return "", fmt.Errorf("hdf5: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("hdf5: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,137 @@
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PutFloat64s stores a float64 tensor at path with the given shape.
+func (f *File) PutFloat64s(path string, data []float64, shape ...int) error {
+	raw := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	return f.putDataset(path, F64, normShape(shape, len(data)), raw)
+}
+
+// Float64s reads a float64 tensor.
+func (f *File) Float64s(path string) ([]float64, []int, error) {
+	d, err := f.Dataset(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.DType != F64 {
+		return nil, nil, fmt.Errorf("hdf5: %q is %v, not f64", path, d.DType)
+	}
+	out := make([]float64, d.Len())
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.Raw[i*8:]))
+	}
+	return out, append([]int(nil), d.Shape...), nil
+}
+
+// PutFloat32s stores a float32 tensor — the paper's fp32 precision mode.
+func (f *File) PutFloat32s(path string, data []float32, shape ...int) error {
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	return f.putDataset(path, F32, normShape(shape, len(data)), raw)
+}
+
+// Float32s reads a float32 tensor.
+func (f *File) Float32s(path string) ([]float32, []int, error) {
+	d, err := f.Dataset(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.DType != F32 {
+		return nil, nil, fmt.Errorf("hdf5: %q is %v, not f32", path, d.DType)
+	}
+	out := make([]float32, d.Len())
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.Raw[i*4:]))
+	}
+	return out, append([]int(nil), d.Shape...), nil
+}
+
+// PutInt64s stores an int64 tensor (gate ids, qubit indices).
+func (f *File) PutInt64s(path string, data []int64, shape ...int) error {
+	raw := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], uint64(v))
+	}
+	return f.putDataset(path, I64, normShape(shape, len(data)), raw)
+}
+
+// Int64s reads an int64 tensor.
+func (f *File) Int64s(path string) ([]int64, []int, error) {
+	d, err := f.Dataset(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.DType != I64 {
+		return nil, nil, fmt.Errorf("hdf5: %q is %v, not i64", path, d.DType)
+	}
+	out := make([]int64, d.Len())
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(d.Raw[i*8:]))
+	}
+	return out, append([]int(nil), d.Shape...), nil
+}
+
+// PutUint8s stores a byte tensor (image pixels).
+func (f *File) PutUint8s(path string, data []uint8, shape ...int) error {
+	raw := append([]byte(nil), data...)
+	return f.putDataset(path, U8, normShape(shape, len(data)), raw)
+}
+
+// Uint8s reads a byte tensor.
+func (f *File) Uint8s(path string) ([]uint8, []int, error) {
+	d, err := f.Dataset(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.DType != U8 {
+		return nil, nil, fmt.Errorf("hdf5: %q is %v, not u8", path, d.DType)
+	}
+	return append([]uint8(nil), d.Raw...), append([]int(nil), d.Shape...), nil
+}
+
+// PutComplex128s stores a complex tensor (state vectors, fused
+// matrices).
+func (f *File) PutComplex128s(path string, data []complex128, shape ...int) error {
+	raw := make([]byte, 16*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*16:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(raw[i*16+8:], math.Float64bits(imag(v)))
+	}
+	return f.putDataset(path, C128, normShape(shape, len(data)), raw)
+}
+
+// Complex128s reads a complex tensor.
+func (f *File) Complex128s(path string) ([]complex128, []int, error) {
+	d, err := f.Dataset(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.DType != C128 {
+		return nil, nil, fmt.Errorf("hdf5: %q is %v, not c128", path, d.DType)
+	}
+	out := make([]complex128, d.Len())
+	for i := range out {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(d.Raw[i*16:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(d.Raw[i*16+8:]))
+		out[i] = complex(re, im)
+	}
+	return out, append([]int(nil), d.Shape...), nil
+}
+
+// normShape defaults a missing shape to 1-D of the data length.
+func normShape(shape []int, n int) []int {
+	if len(shape) == 0 {
+		return []int{n}
+	}
+	return shape
+}

@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"testing"
+
+	"qgear/internal/circuit"
+)
+
+func TestFusionLocalQubitsRestriction(t *testing.T) {
+	// Gates on qubits >= the local limit must never enter fused blocks.
+	c := circuit.New(6, 0)
+	c.H(0).RY(0.2, 1).CX(0, 1) // fusable, local
+	c.H(5).RZ(0.3, 4)          // global: must stay primitive
+	c.RY(0.4, 2).RZ(0.5, 2)    // fusable, local
+	c.CX(1, 5)                 // touches global qubit: must stay primitive
+	k, st, err := FromCircuit(c, Options{FusionWindow: 3, FusionLocalQubits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FusedGroups == 0 {
+		t.Fatal("local gates should still fuse")
+	}
+	for i, in := range k.Instrs {
+		if in.Kind != KFused {
+			continue
+		}
+		for _, q := range in.Qubits {
+			if q >= 4 {
+				t.Fatalf("instr %d: fused block contains global qubit %d", i, q)
+			}
+		}
+	}
+	// Semantics unchanged.
+	plain, _, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesClose(runKernel(t, plain), runKernel(t, k), 1e-10) {
+		t.Fatal("restricted fusion changed the state")
+	}
+}
+
+func TestFusionLocalQubitsZeroMeansUnrestricted(t *testing.T) {
+	c := circuit.New(4, 0)
+	c.H(3).RY(0.1, 3).RZ(0.2, 2)
+	k, st, err := FromCircuit(c, Options{FusionWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FusedGroups == 0 {
+		t.Fatal("unrestricted fusion should fuse top qubits")
+	}
+	hasHighFused := false
+	for _, in := range k.Instrs {
+		if in.Kind == KFused {
+			for _, q := range in.Qubits {
+				if q >= 2 {
+					hasHighFused = true
+				}
+			}
+		}
+	}
+	if !hasHighFused {
+		t.Fatal("expected fused block on high qubits when unrestricted")
+	}
+}

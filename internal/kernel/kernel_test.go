@@ -1,0 +1,329 @@
+package kernel
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"qgear/internal/circuit"
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+	"qgear/internal/statevec"
+)
+
+// runCircuit applies circuit ops directly to a fresh state — the
+// reference semantics kernels must reproduce.
+func runCircuit(t *testing.T, c *circuit.Circuit) *statevec.State {
+	t.Helper()
+	s := statevec.MustNew(c.NumQubits, 1)
+	for _, op := range c.Ops {
+		s.ApplyGate(op.Gate, op.Qubits, op.Params)
+	}
+	return s
+}
+
+// runKernel executes a kernel on a fresh state.
+func runKernel(t *testing.T, k *Kernel) *statevec.State {
+	t.Helper()
+	s := statevec.MustNew(k.NumQubits, 1)
+	if err := Execute(k, s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func statesClose(a, b *statevec.State, tol float64) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if cmplx.Abs(a.Amp(uint64(i))-b.Amp(uint64(i))) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// randomCircuit builds a seeded random circuit over n qubits with the
+// paper's gate mix.
+func randomCircuit(n, ops int, seed uint64) *circuit.Circuit {
+	r := qmath.NewRNG(seed)
+	c := circuit.New(n, 0)
+	for i := 0; i < ops; i++ {
+		q := r.Intn(n)
+		q2 := (q + 1 + r.Intn(n-1)) % n
+		switch r.Intn(6) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RY(r.Angle(), q)
+		case 2:
+			c.RZ(r.Angle(), q)
+		case 3:
+			c.CX(q, q2)
+		case 4:
+			c.CP(r.Angle(), q, q2)
+		case 5:
+			c.RX(r.Angle(), q)
+		}
+	}
+	return c
+}
+
+func TestBuilderGHZKernel(t *testing.T) {
+	// The paper's ghz_kernel listing (Fig. 2b).
+	n := 5
+	k := New("ghz", n)
+	k.H(0)
+	for i := 1; i < n; i++ {
+		k.XCtrl(0, i)
+	}
+	k.Mz()
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if k.NumGates() != 5 || k.CountTwoQubit() != 4 || !k.HasMeasurements() {
+		t.Fatalf("ghz kernel shape wrong: gates=%d 2q=%d", k.NumGates(), k.CountTwoQubit())
+	}
+	s := runKernel(t, k)
+	w := 1 / math.Sqrt2
+	if cmplx.Abs(s.Amp(0)-complex(w, 0)) > 1e-12 || cmplx.Abs(s.Amp(31)-complex(w, 0)) > 1e-12 {
+		t.Fatal("GHZ kernel state wrong")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("range", func() { New("k", 2).H(2) })
+	mustPanic("dup operands", func() { New("k", 2).XCtrl(1, 1) })
+	mustPanic("negative size", func() { New("k", -1) })
+	mustPanic("negative clbit", func() { New("k", 2).MeasureOne(0, -1) })
+}
+
+func TestFromCircuitMatchesDirectExecution(t *testing.T) {
+	c := randomCircuit(6, 120, 42)
+	k, st, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SourceOps != 120 || st.EmittedOps != 120 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if !statesClose(runCircuit(t, c), runKernel(t, k), 1e-10) {
+		t.Fatal("kernel execution differs from circuit execution")
+	}
+}
+
+func TestFromCircuitCarriesMeasurements(t *testing.T) {
+	c := circuit.GHZ(3, true)
+	k, st, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Measurements != 3 || !k.HasMeasurements() {
+		t.Fatal("measurements dropped")
+	}
+	if k.NumClbits != 3 {
+		t.Fatal("clbits not carried")
+	}
+	k2, _, err := FromCircuit(c, Options{DropMeasurements: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.HasMeasurements() {
+		t.Fatal("DropMeasurements ignored")
+	}
+}
+
+func TestFromCircuitRejectsInvalid(t *testing.T) {
+	bad := &circuit.Circuit{NumQubits: 1, Ops: []circuit.Op{{Gate: gate.CX, Qubits: []int{0, 5}}}}
+	if _, _, err := FromCircuit(bad, Options{}); err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+	if _, _, err := FromCircuit(circuit.New(1, 0), Options{FusionWindow: 99}); err == nil {
+		t.Fatal("oversized fusion window accepted")
+	}
+}
+
+func TestFusionPreservesState(t *testing.T) {
+	for _, window := range []int{2, 3, 4, 5} {
+		c := randomCircuit(6, 150, uint64(window)*7)
+		plain, _, err := FromCircuit(c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, st, err := FromCircuit(c, Options{FusionWindow: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FusedGroups == 0 || st.FusedGates < 2*st.FusedGroups {
+			t.Fatalf("window %d: fusion did nothing: %+v", window, st)
+		}
+		if err := fused.Validate(); err != nil {
+			t.Fatalf("window %d: fused kernel invalid: %v", window, err)
+		}
+		if len(fused.Instrs) >= len(plain.Instrs) {
+			t.Fatalf("window %d: fusion did not shrink the stream (%d vs %d)",
+				window, len(fused.Instrs), len(plain.Instrs))
+		}
+		if !statesClose(runKernel(t, plain), runKernel(t, fused), 1e-9) {
+			t.Fatalf("window %d: fused state differs", window)
+		}
+	}
+}
+
+func TestFusionCutsAtBarriersAndMeasures(t *testing.T) {
+	c := circuit.New(2, 2)
+	c.H(0).RY(0.5, 1).Barrier().RZ(0.2, 0).Measure(0, 0).RX(0.3, 0)
+	k, _, err := FromCircuit(c, Options{FusionWindow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: fused(h,ry) | barrier | rz | measure | rx — fusion must
+	// not reorder across the barrier or the measurement.
+	kindSeq := make([]InstrKind, len(k.Instrs))
+	for i, in := range k.Instrs {
+		kindSeq[i] = in.Kind
+	}
+	want := []InstrKind{KFused, KBarrier, KGate, KMeasure, KGate}
+	if len(kindSeq) != len(want) {
+		t.Fatalf("instr kinds %v", kindSeq)
+	}
+	for i := range want {
+		if kindSeq[i] != want[i] {
+			t.Fatalf("instr %d kind %v, want %v (%v)", i, kindSeq[i], want[i], kindSeq)
+		}
+	}
+}
+
+func TestPruningDropsSmallAngles(t *testing.T) {
+	c := circuit.New(3, 0)
+	c.H(0).CP(1e-7, 0, 1).RY(0.8, 2).RZ(1e-9, 1).CX(0, 2)
+	k, st, err := FromCircuit(c, Options{PruneAngle: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PrunedGates != 2 {
+		t.Fatalf("pruned %d gates, want 2", st.PrunedGates)
+	}
+	// The pruned kernel state must stay within the pruning error.
+	full, _, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := runKernel(t, full).Fidelity(runKernel(t, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 1-1e-8 {
+		t.Fatalf("pruning destroyed fidelity: %g", f)
+	}
+	// Non-prunable gates (H, CX) are never dropped even at huge
+	// thresholds.
+	k2, st2, err := FromCircuit(circuit.GHZ(3, false), Options{PruneAngle: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.PrunedGates != 0 || k2.NumGates() != 3 {
+		t.Fatal("pruning dropped non-rotation gates")
+	}
+}
+
+func TestAdjointRoundTrip(t *testing.T) {
+	c := randomCircuit(5, 80, 17)
+	for _, window := range []int{0, 3} {
+		k, _, err := FromCircuit(c, Options{FusionWindow: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj, err := k.Adjoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := statevec.MustNew(5, 1)
+		if err := Execute(k, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := Execute(adj, s); err != nil {
+			t.Fatal(err)
+		}
+		zero := statevec.MustNew(5, 1)
+		f, err := s.Fidelity(zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < 1-1e-9 {
+			t.Fatalf("window %d: k·k† != I, fidelity %g", window, f)
+		}
+	}
+}
+
+func TestAdjointRejectsMeasured(t *testing.T) {
+	k := New("m", 1).H(0).Mz()
+	if _, err := k.Adjoint(); err == nil {
+		t.Fatal("adjoint of measured kernel accepted")
+	}
+}
+
+func TestExecuteSizeMismatch(t *testing.T) {
+	k := New("k", 3).H(0)
+	s := statevec.MustNew(2, 1)
+	if err := Execute(k, s); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []*Kernel{
+		{NumQubits: 2, Instrs: []Instr{{Kind: KGate, Gate: gate.Measure, Qubits: []int{0}}}},
+		{NumQubits: 2, Instrs: []Instr{{Kind: KGate, Gate: gate.CX, Qubits: []int{0}}}},
+		{NumQubits: 2, Instrs: []Instr{{Kind: KGate, Gate: gate.RY, Qubits: []int{0}}}},
+		{NumQubits: 2, Instrs: []Instr{{Kind: KGate, Gate: gate.H, Qubits: []int{4}}}},
+		{NumQubits: 2, Instrs: []Instr{{Kind: KFused, Qubits: []int{0, 1}, Mat: make([]complex128, 3)}}},
+		{NumQubits: 2, Instrs: []Instr{{Kind: KFused, Qubits: []int{1, 1}, Mat: make([]complex128, 16)}}},
+		{NumQubits: 2, Instrs: []Instr{{Kind: KFused}}},
+		{NumQubits: 2, NumClbits: 0, Instrs: []Instr{{Kind: KMeasure, Qubits: []int{0}, Clbit: 0}}},
+		{NumQubits: 2, Instrs: []Instr{{Kind: InstrKind(9), Qubits: []int{0}}}},
+		{NumQubits: -2},
+	}
+	for i, k := range cases {
+		if err := k.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	k := New("demo", 2).H(0).CR1(0.25, 0, 1).Mz()
+	s := k.String()
+	for _, want := range []string{"kernel demo(qvector[2])", "h q[0]", "cr1(0.25) q[0 1]", "mz(q[1]) -> c[1]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTransformIsConstantTimePerGate(t *testing.T) {
+	// Lemma B.2 / §2.1: conversion cost is linear in gate count (no
+	// super-linear blowup). We verify the output size tracks input size
+	// exactly; wall-clock linearity is covered by BenchmarkTransform.
+	for _, ops := range []int{100, 1000, 4000} {
+		c := randomCircuit(8, ops, uint64(ops))
+		k, st, err := FromCircuit(c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.EmittedOps != ops || len(k.Instrs) != ops {
+			t.Fatalf("ops=%d: emitted %d", ops, st.EmittedOps)
+		}
+	}
+}

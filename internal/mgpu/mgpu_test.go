@@ -1,0 +1,315 @@
+package mgpu
+
+import (
+	"math"
+	"testing"
+
+	"qgear/internal/circuit"
+	"qgear/internal/kernel"
+	"qgear/internal/mpi"
+	"qgear/internal/qmath"
+	"qgear/internal/statevec"
+)
+
+// singleDeviceProbs runs the kernel on one in-memory state as the
+// reference.
+func singleDeviceProbs(t *testing.T, k *kernel.Kernel) []float64 {
+	t.Helper()
+	s := statevec.MustNew(k.NumQubits, 1)
+	if err := kernel.Execute(k, s); err != nil {
+		t.Fatal(err)
+	}
+	return s.Probabilities()
+}
+
+// randomKernel builds a seeded random kernel covering every locality
+// case (single/controlled × local/global qubits).
+func randomKernel(n, ops int, seed uint64) *kernel.Kernel {
+	r := qmath.NewRNG(seed)
+	c := circuit.New(n, 0)
+	for i := 0; i < ops; i++ {
+		q := r.Intn(n)
+		q2 := (q + 1 + r.Intn(n-1)) % n
+		switch r.Intn(7) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RY(r.Angle(), q)
+		case 2:
+			c.RZ(r.Angle(), q)
+		case 3:
+			c.CX(q, q2)
+		case 4:
+			c.CP(r.Angle(), q, q2)
+		case 5:
+			c.CRY(r.Angle(), q, q2)
+		case 6:
+			c.SWAP(q, q2)
+		}
+	}
+	k, _, err := kernel.FromCircuit(c, kernel.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func probsClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDistributedMatchesSingleDevice(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4, 8} {
+		k := randomKernel(7, 120, uint64(ranks)*31)
+		want := singleDeviceProbs(t, k)
+		res, err := SimulateKernel(k, ranks, 1)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if !probsClose(res.Probabilities, want, 1e-10) {
+			t.Fatalf("ranks=%d: distributed probabilities differ", ranks)
+		}
+		if math.Abs(res.Norm-1) > 1e-10 {
+			t.Fatalf("ranks=%d: norm %g", ranks, res.Norm)
+		}
+	}
+}
+
+func TestGHZAcrossDevices(t *testing.T) {
+	// GHZ entangles across the device boundary: the cx fan-out from
+	// qubit 0 hits every global qubit.
+	n := 6
+	k := kernel.New("ghz", n).H(0)
+	for i := 1; i < n; i++ {
+		k.XCtrl(0, i)
+	}
+	res, err := SimulateKernel(k, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Probabilities
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[len(p)-1]-0.5) > 1e-12 {
+		t.Fatalf("GHZ probs wrong: p0=%g pN=%g", p[0], p[len(p)-1])
+	}
+	for i := 1; i < len(p)-1; i++ {
+		if p[i] > 1e-12 {
+			t.Fatalf("unexpected probability mass at %d", i)
+		}
+	}
+	if res.Exchanges == 0 {
+		t.Fatal("entangling across ranks must exchange buffers")
+	}
+}
+
+func TestLocalityCasesExplicitly(t *testing.T) {
+	// n=4, ranks=4 => local=2; qubits 0,1 local, 2,3 global.
+	run := func(build func(c *circuit.Circuit)) (*Result, []float64) {
+		c := circuit.New(4, 0)
+		// Spread amplitude everywhere first so controlled updates act
+		// on non-trivial data.
+		for q := 0; q < 4; q++ {
+			c.H(q)
+		}
+		c.RY(0.3, 0).RY(0.7, 2)
+		build(c)
+		k, _, err := kernel.FromCircuit(c, kernel.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateKernel(k, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, singleDeviceProbs(t, k)
+	}
+
+	cases := map[string]func(c *circuit.Circuit){
+		"local-local":       func(c *circuit.Circuit) { c.CX(0, 1).CP(0.5, 1, 0) },
+		"global-ctl-local":  func(c *circuit.Circuit) { c.CX(3, 1).CRY(0.8, 2, 0) },
+		"local-ctl-global":  func(c *circuit.Circuit) { c.CX(0, 3).CP(1.1, 1, 2) },
+		"global-global":     func(c *circuit.Circuit) { c.CX(2, 3).CP(0.4, 3, 2) },
+		"single-global":     func(c *circuit.Circuit) { c.RY(1.2, 3).H(2) },
+		"swap-cross-border": func(c *circuit.Circuit) { c.SWAP(1, 3) },
+	}
+	for name, build := range cases {
+		res, want := run(build)
+		if !probsClose(res.Probabilities, want, 1e-10) {
+			t.Errorf("%s: distributed result differs", name)
+		}
+	}
+}
+
+func TestControlGlobalTargetLocalNeedsNoComm(t *testing.T) {
+	// The control-on-rank-bit case must be communication-free.
+	c := circuit.New(4, 0)
+	c.H(3)           // put amplitude into the |c=1> half (global qubit)
+	c.CX(3, 0)       // control global, target local
+	c.CRY(0.5, 2, 1) // control global, target local
+	k, _, err := kernel.FromCircuit(c, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateKernel(k, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the initial H on the global qubit exchanges (4 ranks × 1).
+	if res.Exchanges != 4 {
+		t.Fatalf("exchanges = %d, want 4 (controlled ops should be free)", res.Exchanges)
+	}
+}
+
+func TestExchangeAccounting(t *testing.T) {
+	// One single-qubit gate on a global qubit = one exchange per rank.
+	k := kernel.New("x", 4).Ry(0.5, 3)
+	res, err := SimulateKernel(k, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exchanges != 4 {
+		t.Fatalf("exchanges = %d, want 4", res.Exchanges)
+	}
+	// local = 2 qubits => 4 amplitudes × 16 bytes per rank.
+	if res.BytesSent != 4*4*16 {
+		t.Fatalf("bytes = %d, want %d", res.BytesSent, 4*4*16)
+	}
+	// Local gates are free.
+	k2 := kernel.New("loc", 4).Ry(0.5, 0).XCtrl(0, 1)
+	res2, err := SimulateKernel(k2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Exchanges != 0 {
+		t.Fatalf("local gates exchanged %d times", res2.Exchanges)
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	k := kernel.New("k", 3).H(0)
+	if _, err := SimulateKernel(k, 3, 1); err == nil {
+		t.Fatal("non-power-of-two world accepted")
+	}
+	if _, err := SimulateKernel(k, 8, 1); err == nil {
+		t.Fatal("world leaving 0 local qubits accepted")
+	}
+	// 4 ranks on 3 qubits => local = 1, allowed.
+	if _, err := SimulateKernel(k, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelSizeMismatch(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		d, err := NewDist(c, 4, 1)
+		if err != nil {
+			return err
+		}
+		k := kernel.New("wrong", 3).H(0)
+		if err := d.ExecuteKernel(k); err == nil {
+			t.Error("kernel size mismatch accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedRefusesGlobalQubits(t *testing.T) {
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		d, err := NewDist(c, 4, 1)
+		if err != nil {
+			return err
+		}
+		// Fused on local qubits 0,1 works.
+		id := make([]complex128, 16)
+		for i := 0; i < 4; i++ {
+			id[i*4+i] = 1
+		}
+		if err := d.ApplyFused([]int{0, 1}, id); err != nil {
+			t.Errorf("local fused rejected: %v", err)
+		}
+		// Fused touching global qubit 3 must refuse.
+		if err := d.ApplyFused([]int{0, 3}, id); err == nil {
+			t.Error("global fused accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedKernelDistributed(t *testing.T) {
+	// Kernels fused on local qubits only still match the reference.
+	c := circuit.New(6, 0)
+	r := qmath.NewRNG(9)
+	for i := 0; i < 40; i++ {
+		q := r.Intn(3) // only local qubits (ranks=4 -> local=4... use 0..2)
+		q2 := (q + 1) % 3
+		switch r.Intn(3) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RY(r.Angle(), q)
+		case 2:
+			c.CX(q, q2)
+		}
+	}
+	c.H(5).CX(5, 0) // some global action, kept unfused via FusionLocalQubits
+	k, st, err := kernel.FromCircuit(c, kernel.Options{FusionWindow: 3, FusionLocalQubits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FusedGroups == 0 {
+		t.Fatal("expected fusion")
+	}
+	want := singleDeviceProbs(t, k)
+	res, err := SimulateKernel(k, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probsClose(res.Probabilities, want, 1e-10) {
+		t.Fatal("fused distributed run differs")
+	}
+}
+
+func TestNormPreservedAcrossRandomDistributedRuns(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		k := randomKernel(6, 80, seed)
+		res, err := SimulateKernel(k, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Norm-1) > 1e-9 {
+			t.Fatalf("seed %d: norm %g", seed, res.Norm)
+		}
+		var sum float64
+		for _, p := range res.Probabilities {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("seed %d: probability sum %g", seed, sum)
+		}
+	}
+}
+
+func TestMoreWorkersPerRank(t *testing.T) {
+	k := randomKernel(8, 60, 404)
+	want := singleDeviceProbs(t, k)
+	res, err := SimulateKernel(k, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probsClose(res.Probabilities, want, 1e-10) {
+		t.Fatal("multi-worker ranks differ")
+	}
+}

@@ -1,0 +1,181 @@
+package observable
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+	"qgear/internal/statevec"
+)
+
+// ghz prepares the n-qubit GHZ state.
+func ghz(t *testing.T, n int) *statevec.State {
+	t.Helper()
+	s := statevec.MustNew(n, 1)
+	s.ApplyMat1(0, gate.Matrix1(gate.H, nil))
+	for i := 1; i < n; i++ {
+		s.ApplyCX(0, i)
+	}
+	return s
+}
+
+func expectTerm(t *testing.T, s *statevec.State, term Term, want float64) {
+	t.Helper()
+	got, err := term.Expectation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("<%s> = %g, want %g", term, got, want)
+	}
+}
+
+func TestGHZCorrelations(t *testing.T) {
+	s := ghz(t, 3)
+	// <Z_i> = 0 individually; <Z_i Z_j> = +1; <XXX> = +1; <YYX> = -1.
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{0: Z}), 0)
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{2: Z}), 0)
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{0: Z, 1: Z}), 1)
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{1: Z, 2: Z}), 1)
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{0: X, 1: X, 2: X}), 1)
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{0: Y, 1: Y, 2: X}), -1)
+	expectTerm(t, s, NewTerm(2.5, map[int]Pauli{0: Z, 1: Z}), 2.5)
+}
+
+func TestSingleQubitRotationExpectations(t *testing.T) {
+	// RY(θ)|0>: <Z> = cos θ, <X> = sin θ, <Y> = 0.
+	th := 0.81
+	s := statevec.MustNew(1, 1)
+	s.ApplyMat1(0, gate.Matrix1(gate.RY, []float64{th}))
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{0: Z}), math.Cos(th))
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{0: X}), math.Sin(th))
+	expectTerm(t, s, NewTerm(1, map[int]Pauli{0: Y}), 0)
+	// RX(θ)|0>: <Y> = -sin θ.
+	s2 := statevec.MustNew(1, 1)
+	s2.ApplyMat1(0, gate.Matrix1(gate.RX, []float64{th}))
+	expectTerm(t, s2, NewTerm(1, map[int]Pauli{0: Y}), -math.Sin(th))
+}
+
+func TestIdentityTermAndValidation(t *testing.T) {
+	s := statevec.MustNew(2, 1)
+	expectTerm(t, s, NewTerm(3.25, nil), 3.25)
+	if _, err := NewTerm(1, map[int]Pauli{9: Z}).Expectation(s); err == nil {
+		t.Fatal("out-of-range qubit accepted")
+	}
+}
+
+func TestExpectationDoesNotMutateState(t *testing.T) {
+	s := ghz(t, 3)
+	before := append([]complex128(nil), s.Amplitudes()...)
+	if _, err := NewTerm(1, map[int]Pauli{0: X, 1: Y, 2: Z}).Expectation(s); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range s.Amplitudes() {
+		if a != before[i] {
+			t.Fatal("Expectation mutated the state")
+		}
+	}
+}
+
+func TestHamiltonianSequentialVsParallel(t *testing.T) {
+	h := TransverseFieldIsing(6, 1.0, 0.7)
+	r := qmath.NewRNG(12)
+	s := statevec.MustNew(6, 1)
+	for i := 0; i < 30; i++ {
+		q := r.Intn(6)
+		s.ApplyMat1(q, gate.Matrix1(gate.U3, []float64{r.Angle(), r.Angle(), r.Angle()}))
+		s.ApplyCX(q, (q+1)%6)
+	}
+	seq, err := h.Expectation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, devices := range []int{1, 2, 4, 16} {
+		par, err := h.ExpectationParallel(s, devices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(par-seq) > 1e-10 {
+			t.Fatalf("devices=%d: parallel %g != sequential %g", devices, par, seq)
+		}
+	}
+}
+
+func TestTFIMGroundStateLimits(t *testing.T) {
+	// g=0: |00...0> is a ground state with energy -J(n-1).
+	n := 5
+	h := TransverseFieldIsing(n, 2.0, 0)
+	s := statevec.MustNew(n, 1)
+	e, err := h.Expectation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-(-2.0*float64(n-1))) > 1e-12 {
+		t.Fatalf("TFIM g=0 energy %g", e)
+	}
+	// J=0, g>0: |+>^n has energy -g·n.
+	h2 := TransverseFieldIsing(n, 0, 1.5)
+	s2 := statevec.MustNew(n, 1)
+	for q := 0; q < n; q++ {
+		s2.ApplyMat1(q, gate.Matrix1(gate.H, nil))
+	}
+	e2, err := h2.Expectation(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e2-(-1.5*float64(n))) > 1e-12 {
+		t.Fatalf("TFIM J=0 energy %g", e2)
+	}
+}
+
+func TestPartitionBalancedAndComplete(t *testing.T) {
+	h := TransverseFieldIsing(8, 1, 1) // 7 + 8 = 15 terms
+	groups := h.Partition(4)
+	if len(groups) != 4 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		if len(g) < 3 || len(g) > 4 {
+			t.Fatalf("unbalanced group size %d", len(g))
+		}
+	}
+	if total != 15 {
+		t.Fatalf("partition lost terms: %d", total)
+	}
+	// Degenerate cases.
+	if len(h.Partition(0)) != 1 {
+		t.Fatal("k=0 should clamp to 1")
+	}
+	if len(h.Partition(100)) != 15 {
+		t.Fatal("k>terms should clamp to terms")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	term := NewTerm(0.5, map[int]Pauli{2: Z, 0: X})
+	if term.String() != "0.5·X0Z2" {
+		t.Fatalf("term string %q", term.String())
+	}
+	h := &Hamiltonian{NumQubits: 3}
+	h.Add(term)
+	h.Add(NewTerm(1, nil))
+	if !strings.Contains(h.String(), "X0Z2") || !strings.Contains(h.String(), "·I") {
+		t.Fatalf("hamiltonian string %q", h.String())
+	}
+	if X.String() != "X" || Y.String() != "Y" || Z.String() != "Z" || Pauli(0).String() != "I" {
+		t.Fatal("pauli names")
+	}
+}
+
+func TestParallelErrorPropagation(t *testing.T) {
+	h := &Hamiltonian{NumQubits: 2}
+	h.Add(NewTerm(1, map[int]Pauli{5: Z})) // out of range
+	s := statevec.MustNew(2, 1)
+	if _, err := h.ExpectationParallel(s, 2); err == nil {
+		t.Fatal("error not propagated from parallel group")
+	}
+}

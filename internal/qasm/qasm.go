@@ -1,0 +1,308 @@
+// Package qasm implements OpenQASM 2.0 export and import for the
+// circuit layer — the textual interchange format of the Qiskit
+// ecosystem the paper's pipeline lives in (its ref. [19] is the Qiskit
+// OpenQASM backend specification). The supported subset covers every
+// gate this repository's workloads emit; angles serialize as exact
+// float64 literals and parse with pi-expression support (pi/2, 2*pi,
+// -pi/4 ...), so export→import round-trips bit-exactly.
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"qgear/internal/circuit"
+	"qgear/internal/gate"
+)
+
+// qasmNames maps gate types to their qelib1 spellings.
+var qasmNames = map[gate.Type]string{
+	gate.I: "id", gate.H: "h", gate.X: "x", gate.Y: "y", gate.Z: "z",
+	gate.S: "s", gate.Sdg: "sdg", gate.T: "t", gate.Tdg: "tdg",
+	gate.RX: "rx", gate.RY: "ry", gate.RZ: "rz", gate.P: "u1",
+	gate.U3: "u3", gate.CX: "cx", gate.CZ: "cz", gate.CP: "cu1",
+	gate.CRY: "cry", gate.SWAP: "swap",
+}
+
+var nameToGate = func() map[string]gate.Type {
+	m := make(map[string]gate.Type, len(qasmNames))
+	for g, n := range qasmNames {
+		m[n] = g
+	}
+	// Qiskit aliases.
+	m["p"] = gate.P
+	m["cp"] = gate.CP
+	return m
+}()
+
+// Export renders the circuit as an OpenQASM 2.0 program.
+func Export(c *circuit.Circuit) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", fmt.Errorf("qasm: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	if c.Name != "" {
+		fmt.Fprintf(&b, "// circuit: %s\n", c.Name)
+	}
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	if c.NumClbits > 0 {
+		fmt.Fprintf(&b, "creg c[%d];\n", c.NumClbits)
+	}
+	for _, op := range c.Ops {
+		switch op.Gate {
+		case gate.Barrier:
+			b.WriteString("barrier q;\n")
+		case gate.Measure:
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", op.Qubits[0], op.Clbit)
+		default:
+			name, ok := qasmNames[op.Gate]
+			if !ok {
+				return "", fmt.Errorf("qasm: no OpenQASM spelling for %v", op.Gate)
+			}
+			b.WriteString(name)
+			if len(op.Params) > 0 {
+				b.WriteString("(")
+				for i, p := range op.Params {
+					if i > 0 {
+						b.WriteString(",")
+					}
+					// %.17g preserves float64 exactly.
+					fmt.Fprintf(&b, "%.17g", p)
+				}
+				b.WriteString(")")
+			}
+			b.WriteString(" ")
+			for i, q := range op.Qubits {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "q[%d]", q)
+			}
+			b.WriteString(";\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// Parse reads an OpenQASM 2.0 program in the exported subset back into
+// a circuit.
+func Parse(src string) (*circuit.Circuit, error) {
+	var c *circuit.Circuit
+	name := ""
+	nq, nc := -1, 0
+	lineNo := 0
+	for _, rawLine := range strings.Split(src, "\n") {
+		lineNo++
+		line := rawLine
+		if i := strings.Index(line, "//"); i >= 0 {
+			if strings.HasPrefix(strings.TrimSpace(line[i+2:]), "circuit:") {
+				name = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line[i+2:]), "circuit:"))
+			}
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !strings.HasSuffix(line, ";") {
+			return nil, fmt.Errorf("qasm: line %d: missing semicolon: %q", lineNo, line)
+		}
+		stmt := strings.TrimSpace(strings.TrimSuffix(line, ";"))
+		switch {
+		case strings.HasPrefix(stmt, "OPENQASM"):
+			if !strings.Contains(stmt, "2.0") {
+				return nil, fmt.Errorf("qasm: line %d: unsupported version %q", lineNo, stmt)
+			}
+		case strings.HasPrefix(stmt, "include"):
+			// qelib1.inc is implied.
+		case strings.HasPrefix(stmt, "qreg"):
+			n, err := parseReg(stmt, "qreg", "q")
+			if err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo, err)
+			}
+			nq = n
+		case strings.HasPrefix(stmt, "creg"):
+			n, err := parseReg(stmt, "creg", "c")
+			if err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo, err)
+			}
+			nc = n
+		default:
+			if nq < 0 {
+				return nil, fmt.Errorf("qasm: line %d: gate before qreg declaration", lineNo)
+			}
+			if c == nil {
+				c = &circuit.Circuit{Name: name, NumQubits: nq, NumClbits: nc}
+			}
+			if err := parseOp(c, stmt); err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if c == nil {
+		if nq < 0 {
+			return nil, fmt.Errorf("qasm: no qreg declaration found")
+		}
+		c = &circuit.Circuit{Name: name, NumQubits: nq, NumClbits: nc}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("qasm: parsed circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+func parseReg(stmt, keyword, reg string) (int, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(stmt, keyword))
+	if !strings.HasPrefix(rest, reg+"[") || !strings.HasSuffix(rest, "]") {
+		return 0, fmt.Errorf("malformed %s: %q (only register %q supported)", keyword, stmt, reg)
+	}
+	n, err := strconv.Atoi(rest[len(reg)+1 : len(rest)-1])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s size in %q", keyword, stmt)
+	}
+	return n, nil
+}
+
+func parseOp(c *circuit.Circuit, stmt string) error {
+	if stmt == "barrier q" {
+		c.Ops = append(c.Ops, circuit.Op{Gate: gate.Barrier})
+		return nil
+	}
+	if strings.HasPrefix(stmt, "measure") {
+		parts := strings.Split(strings.TrimSpace(strings.TrimPrefix(stmt, "measure")), "->")
+		if len(parts) != 2 {
+			return fmt.Errorf("malformed measure %q", stmt)
+		}
+		q, err := parseIndex(strings.TrimSpace(parts[0]), "q")
+		if err != nil {
+			return err
+		}
+		cb, err := parseIndex(strings.TrimSpace(parts[1]), "c")
+		if err != nil {
+			return err
+		}
+		c.Ops = append(c.Ops, circuit.Op{Gate: gate.Measure, Qubits: []int{q}, Clbit: cb})
+		return nil
+	}
+
+	// "<name>[(params)] q[i][,q[j]]"
+	nameEnd := strings.IndexAny(stmt, "( ")
+	if nameEnd < 0 {
+		return fmt.Errorf("malformed statement %q", stmt)
+	}
+	gname := stmt[:nameEnd]
+	g, ok := nameToGate[gname]
+	if !ok {
+		return fmt.Errorf("unsupported gate %q", gname)
+	}
+	rest := stmt[nameEnd:]
+	var params []float64
+	if strings.HasPrefix(rest, "(") {
+		close := strings.Index(rest, ")")
+		if close < 0 {
+			return fmt.Errorf("unterminated parameter list in %q", stmt)
+		}
+		for _, ps := range strings.Split(rest[1:close], ",") {
+			v, err := evalAngle(strings.TrimSpace(ps))
+			if err != nil {
+				return err
+			}
+			params = append(params, v)
+		}
+		rest = rest[close+1:]
+	}
+	var qubits []int
+	for _, qs := range strings.Split(strings.TrimSpace(rest), ",") {
+		q, err := parseIndex(strings.TrimSpace(qs), "q")
+		if err != nil {
+			return err
+		}
+		qubits = append(qubits, q)
+	}
+	if len(qubits) != g.Arity() {
+		return fmt.Errorf("%s wants %d qubits, got %d", gname, g.Arity(), len(qubits))
+	}
+	if len(params) != g.ParamCount() {
+		return fmt.Errorf("%s wants %d params, got %d", gname, g.ParamCount(), len(params))
+	}
+	c.Ops = append(c.Ops, circuit.Op{Gate: g, Qubits: qubits, Params: params})
+	return nil
+}
+
+func parseIndex(s, reg string) (int, error) {
+	if !strings.HasPrefix(s, reg+"[") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("malformed operand %q", s)
+	}
+	n, err := strconv.Atoi(s[len(reg)+1 : len(s)-1])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad index in %q", s)
+	}
+	return n, nil
+}
+
+// evalAngle evaluates the pi-expression subset QASM angles use:
+// optional sign, factors of numbers and "pi" joined by * and /.
+func evalAngle(expr string) (float64, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, fmt.Errorf("empty angle expression")
+	}
+	sign := 1.0
+	for strings.HasPrefix(expr, "-") || strings.HasPrefix(expr, "+") {
+		if expr[0] == '-' {
+			sign = -sign
+		}
+		expr = strings.TrimSpace(expr[1:])
+	}
+	// Split into factors keeping the operators.
+	val := 0.0
+	first := true
+	op := byte('*')
+	start := 0
+	apply := func(tok string) error {
+		tok = strings.TrimSpace(tok)
+		var f float64
+		switch {
+		case tok == "pi":
+			f = math.Pi
+		default:
+			var err error
+			f, err = strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return fmt.Errorf("bad angle token %q", tok)
+			}
+		}
+		if first {
+			val = f
+			first = false
+			return nil
+		}
+		switch op {
+		case '*':
+			val *= f
+		case '/':
+			if f == 0 {
+				return fmt.Errorf("division by zero in angle")
+			}
+			val /= f
+		}
+		return nil
+	}
+	for i := 0; i < len(expr); i++ {
+		if expr[i] == '*' || expr[i] == '/' {
+			if err := apply(expr[start:i]); err != nil {
+				return 0, err
+			}
+			op = expr[i]
+			start = i + 1
+		}
+	}
+	if err := apply(expr[start:]); err != nil {
+		return 0, err
+	}
+	return sign * val, nil
+}

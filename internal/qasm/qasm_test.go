@@ -1,0 +1,217 @@
+package qasm
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qgear/internal/circuit"
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+)
+
+func normalize(c *circuit.Circuit) *circuit.Circuit {
+	out := c.Copy()
+	for i := range out.Ops {
+		if len(out.Ops[i].Qubits) == 0 {
+			out.Ops[i].Qubits = nil
+		}
+		if len(out.Ops[i].Params) == 0 {
+			out.Ops[i].Params = nil
+		}
+	}
+	return out
+}
+
+func TestExportKnownProgram(t *testing.T) {
+	c := circuit.New(2, 2)
+	c.Name = "bell"
+	c.H(0).CX(0, 1).Barrier().Measure(0, 0).Measure(1, 1)
+	src, err := Export(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		`include "qelib1.inc";`,
+		"// circuit: bell",
+		"qreg q[2];",
+		"creg c[2];",
+		"h q[0];",
+		"cx q[0],q[1];",
+		"barrier q;",
+		"measure q[0] -> c[0];",
+		"measure q[1] -> c[1];",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("export missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestRoundTripAllGates(t *testing.T) {
+	c := circuit.New(3, 3)
+	c.Name = "allgates"
+	c.H(0).X(1).Y(2).Z(0).S(1).T(2)
+	c.Append(gate.Sdg, []int{0}, nil)
+	c.Append(gate.Tdg, []int{1}, nil)
+	c.Append(gate.I, []int{2}, nil)
+	c.RX(0.25, 0).RY(-1.5, 1).RZ(math.Pi/3, 2).P(2.75, 0)
+	c.U3(0.1, 0.2, 0.3, 1)
+	c.CX(0, 1).CZ(1, 2).CP(0.625, 2, 0).CRY(-0.875, 0, 2).SWAP(1, 2)
+	c.Barrier().Measure(2, 1)
+	src, err := Export(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse failed: %v\nsource:\n%s", err, src)
+	}
+	if !reflect.DeepEqual(normalize(c), normalize(back)) {
+		t.Fatalf("round trip differs:\nwant %+v\ngot  %+v", c, back)
+	}
+}
+
+func TestRoundTripExactAngles(t *testing.T) {
+	// Angles must survive bit-exactly through %.17g.
+	angles := []float64{math.Pi, -math.Pi / 7, 1e-17, 0.1 + 0.2, 2.000000000000004}
+	c := circuit.New(1, 0)
+	for _, a := range angles {
+		c.RY(a, 0)
+	}
+	src, err := Export(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range angles {
+		if back.Ops[i].Params[0] != a {
+			t.Fatalf("angle %d: %v != %v", i, back.Ops[i].Params[0], a)
+		}
+	}
+}
+
+func TestParsePiExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+ry(pi) q[0];
+ry(pi/2) q[0];
+ry(-pi/4) q[1];
+ry(2*pi) q[1];
+cu1(3*pi/8) q[0],q[1];
+ry(0.5) q[0];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{math.Pi, math.Pi / 2, -math.Pi / 4, 2 * math.Pi, 3 * math.Pi / 8, 0.5}
+	for i, w := range want {
+		if math.Abs(c.Ops[i].Params[0]-w) > 1e-15 {
+			t.Fatalf("op %d angle %g, want %g", i, c.Ops[i].Params[0], w)
+		}
+	}
+}
+
+func TestParseQiskitAliases(t *testing.T) {
+	src := "OPENQASM 2.0;\nqreg q[2];\np(0.5) q[0];\ncp(0.25) q[0],q[1];\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ops[0].Gate != gate.P || c.Ops[1].Gate != gate.CP {
+		t.Fatalf("alias parsing wrong: %v %v", c.Ops[0].Gate, c.Ops[1].Gate)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad version":       "OPENQASM 3.0;\nqreg q[1];\n",
+		"no qreg":           "OPENQASM 2.0;\nh q[0];\n",
+		"missing semicolon": "OPENQASM 2.0;\nqreg q[1]\n",
+		"unknown gate":      "OPENQASM 2.0;\nqreg q[1];\nfoo q[0];\n",
+		"bad arity":         "OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n",
+		"bad params":        "OPENQASM 2.0;\nqreg q[1];\nry q[0];\n",
+		"bad index":         "OPENQASM 2.0;\nqreg q[1];\nh q[x];\n",
+		"out of range":      "OPENQASM 2.0;\nqreg q[1];\nh q[5];\n",
+		"bad measure":       "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nmeasure q[0];\n",
+		"bad angle":         "OPENQASM 2.0;\nqreg q[1];\nry(banana) q[0];\n",
+		"div by zero":       "OPENQASM 2.0;\nqreg q[1];\nry(pi/0) q[0];\n",
+		"unterminated":      "OPENQASM 2.0;\nqreg q[1];\nry(0.5 q[0];\n",
+		"bad qreg":          "OPENQASM 2.0;\nqreg r[1];\n",
+		"empty":             "",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestExportRejectsInvalid(t *testing.T) {
+	bad := &circuit.Circuit{NumQubits: 1, Ops: []circuit.Op{{Gate: gate.H, Qubits: []int{7}}}}
+	if _, err := Export(bad); err == nil {
+		t.Fatal("invalid circuit exported")
+	}
+}
+
+func TestRandomRoundTripProperty(t *testing.T) {
+	r := qmath.NewRNG(321)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(5)
+		c := circuit.New(n, n)
+		c.Name = "prop"
+		for i := 0; i < r.Intn(40); i++ {
+			q := r.Intn(n)
+			q2 := (q + 1 + r.Intn(n-1)) % n
+			switch r.Intn(7) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.RY(r.Angle(), q)
+			case 2:
+				c.CX(q, q2)
+			case 3:
+				c.CP(r.Angle(), q, q2)
+			case 4:
+				c.U3(r.Angle(), r.Angle(), r.Angle(), q)
+			case 5:
+				c.Barrier()
+			case 6:
+				c.Measure(q, r.Intn(n))
+			}
+		}
+		src, err := Export(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(normalize(c), normalize(back)) {
+			t.Fatalf("trial %d: round trip differs", trial)
+		}
+	}
+}
+
+func TestEmptyCircuitRoundTrip(t *testing.T) {
+	c := circuit.New(3, 0)
+	src, err := Export(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQubits != 3 || len(back.Ops) != 0 {
+		t.Fatal("empty circuit round trip failed")
+	}
+}

@@ -1,0 +1,256 @@
+// Package qcrank implements the QCrank quantum image encoding of
+// Balewski et al. (the paper's [33]) used in the §3 image benchmark:
+// a grayscale image normalized to [-1, 1] is stored in a quantum state
+// over k address qubits and n_d data qubits, using one uniformly
+// controlled Ry rotation per data qubit. Each uniformly controlled
+// rotation decomposes into an alternating ladder of 2^k Ry gates and
+// 2^k CX gates whose controls follow the Gray code (Möttönen et al.,
+// the paper's [27]) — so the entangling-gate count equals the pixel
+// count, the property Fig. 5 keys its cost scaling on.
+//
+// Readout inverts the encoding from measurement statistics: for
+// address a, the data qubit's Z expectation is cos(α_a) = v_a, so
+// shot-frequency estimates reconstruct the image (Fig. 6), with
+// accuracy set by shots-per-address (Table 2's s·2^m shot budgets).
+package qcrank
+
+import (
+	"fmt"
+	"math"
+
+	"qgear/internal/circuit"
+	"qgear/internal/qmath"
+	"qgear/internal/sampling"
+)
+
+// DefaultShotsPerAddress is the paper's s = 3000 (Table 2).
+const DefaultShotsPerAddress = 3000
+
+// Plan fixes the qubit layout and shot budget for one encoding:
+// address qubits 0..AddrQubits-1, data qubits AddrQubits..+DataQubits.
+type Plan struct {
+	AddrQubits   int
+	DataQubits   int
+	Pixels       int // real pixels (≤ PaddedPixels)
+	PaddedPixels int // DataQubits · 2^AddrQubits
+	Shots        int // shots-per-address · 2^AddrQubits
+}
+
+// NewPlan sizes a plan for the given pixel count and address-qubit
+// choice (Table 2 explores several address splits per image).
+func NewPlan(pixels, addrQubits, shotsPerAddr int) (Plan, error) {
+	if pixels < 1 {
+		return Plan{}, fmt.Errorf("qcrank: no pixels")
+	}
+	if addrQubits < 1 || addrQubits > 30 {
+		return Plan{}, fmt.Errorf("qcrank: address qubits %d out of range", addrQubits)
+	}
+	if shotsPerAddr < 0 {
+		return Plan{}, fmt.Errorf("qcrank: negative shots per address")
+	}
+	if shotsPerAddr == 0 {
+		shotsPerAddr = DefaultShotsPerAddress
+	}
+	addrs := 1 << uint(addrQubits)
+	dataQubits := (pixels + addrs - 1) / addrs
+	return Plan{
+		AddrQubits:   addrQubits,
+		DataQubits:   dataQubits,
+		Pixels:       pixels,
+		PaddedPixels: dataQubits * addrs,
+		Shots:        shotsPerAddr * addrs,
+	}, nil
+}
+
+// TotalQubits returns address + data qubits.
+func (p Plan) TotalQubits() int { return p.AddrQubits + p.DataQubits }
+
+// TwoQubitGates returns the CX count — one per (padded) pixel, the
+// QCrank invariant the paper highlights.
+func (p Plan) TwoQubitGates() int { return p.PaddedPixels }
+
+// addresses returns 2^AddrQubits.
+func (p Plan) addresses() int { return 1 << uint(p.AddrQubits) }
+
+// ucryAngles converts per-address target angles into the Gray-code
+// ladder angles: β_i = WH(α)[gray(i)] / 2^k.
+func ucryAngles(alpha []float64) []float64 {
+	n := len(alpha)
+	w := make([]float64, n)
+	copy(w, alpha)
+	qmath.WalshHadamard(w)
+	beta := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range beta {
+		beta[i] = w[qmath.GrayCode(uint64(i))] * inv
+	}
+	return beta
+}
+
+// Encode builds the QCrank circuit for values in [-1, 1] (length at
+// most PaddedPixels; missing entries encode as 0). Pixel p lives on
+// data qubit p / 2^k at address p mod 2^k. The circuit ends with
+// measure_all when measure is set.
+func Encode(values []float64, plan Plan, measure bool) (*circuit.Circuit, error) {
+	if len(values) > plan.PaddedPixels {
+		return nil, fmt.Errorf("qcrank: %d values exceed plan capacity %d", len(values), plan.PaddedPixels)
+	}
+	for i, v := range values {
+		if v < -1 || v > 1 || math.IsNaN(v) {
+			return nil, fmt.Errorf("qcrank: value %d = %g outside [-1, 1]", i, v)
+		}
+	}
+	addrs := plan.addresses()
+	c := circuit.New(plan.TotalQubits(), 0)
+	c.Name = fmt.Sprintf("qcrank_a%d_d%d", plan.AddrQubits, plan.DataQubits)
+
+	// Uniform superposition over addresses.
+	for q := 0; q < plan.AddrQubits; q++ {
+		c.H(q)
+	}
+	c.Barrier()
+
+	// One uniformly controlled Ry ladder per data qubit.
+	alpha := make([]float64, addrs)
+	for j := 0; j < plan.DataQubits; j++ {
+		for a := 0; a < addrs; a++ {
+			v := 0.0
+			if p := j*addrs + a; p < len(values) {
+				v = values[p]
+			}
+			alpha[a] = math.Acos(v) // E[Z] = cos(α) = v
+		}
+		beta := ucryAngles(alpha)
+		data := plan.AddrQubits + j
+		for i := 0; i < addrs; i++ {
+			c.RY(beta[i], data)
+			if addrs == 1 {
+				continue // single address: plain rotation, no ladder
+			}
+			ctrl := int(qmath.GrayFlipBit(uint64(i)))
+			if i == addrs-1 {
+				ctrl = plan.AddrQubits - 1 // closing CX of the ladder
+			}
+			c.CX(ctrl, data)
+		}
+	}
+	if measure {
+		c.Barrier()
+		c.MeasureAll()
+	}
+	return c, nil
+}
+
+// DecodeProbs inverts the encoding exactly from a probability vector
+// over all TotalQubits() qubits (the infinite-shot limit): for each
+// (address, data qubit), v = E[Z | address].
+func DecodeProbs(probs []float64, plan Plan) ([]float64, error) {
+	want := 1 << uint(plan.TotalQubits())
+	if len(probs) != want {
+		return nil, fmt.Errorf("qcrank: %d probabilities, want %d", len(probs), want)
+	}
+	addrs := plan.addresses()
+	addrMask := uint64(addrs - 1)
+	num := make([]float64, plan.PaddedPixels) // Σ p·(±1)
+	den := make([]float64, addrs)             // Σ p per address
+	for idx, p := range probs {
+		if p == 0 {
+			continue
+		}
+		a := uint64(idx) & addrMask
+		den[a] += p
+		for j := 0; j < plan.DataQubits; j++ {
+			sign := 1.0
+			if uint64(idx)>>uint(plan.AddrQubits+j)&1 == 1 {
+				sign = -1
+			}
+			num[j*addrs+int(a)] += sign * p
+		}
+	}
+	out := make([]float64, plan.Pixels)
+	for p := range out {
+		a := p % addrs
+		if den[a] == 0 {
+			return nil, fmt.Errorf("qcrank: address %d has zero probability mass", a)
+		}
+		out[p] = num[p] / den[a]
+	}
+	return out, nil
+}
+
+// DecodeCounts reconstructs pixel values from measured shot counts
+// (counts keyed by the full measure_all bitstring). Addresses that
+// received no shots decode to 0 and are reported in missing.
+func DecodeCounts(counts sampling.Counts, plan Plan) (values []float64, missing []int, err error) {
+	addrs := plan.addresses()
+	addrMask := uint64(addrs - 1)
+	n1 := make([]int, plan.PaddedPixels)
+	tot := make([]int, addrs)
+	for key, n := range counts {
+		if key >= 1<<uint(plan.TotalQubits()) {
+			return nil, nil, fmt.Errorf("qcrank: outcome %d exceeds register", key)
+		}
+		a := key & addrMask
+		tot[a] += n
+		for j := 0; j < plan.DataQubits; j++ {
+			if key>>uint(plan.AddrQubits+j)&1 == 1 {
+				n1[j*addrs+int(a)] += n
+			}
+		}
+	}
+	values = make([]float64, plan.Pixels)
+	for p := range values {
+		a := p % addrs
+		if tot[a] == 0 {
+			missing = append(missing, a)
+			continue
+		}
+		ones := n1[(p/addrs)*addrs+a]
+		// E[Z] estimate: (n0 - n1)/n = 1 - 2·n1/n.
+		values[p] = 1 - 2*float64(ones)/float64(tot[a])
+	}
+	return values, missing, nil
+}
+
+// Table2Row is one configuration row of the paper's Table 2.
+type Table2Row struct {
+	Image      string
+	W, H       int
+	GrayPixels int
+	AddrQubits int
+	DataQubits int
+	Shots      int
+}
+
+// Table2 returns the six rows of the paper's Table 2, derived from the
+// image dimensions and address-qubit choices via NewPlan (the listed
+// data-qubit and shot values are reproduced, not hard-coded).
+func Table2() ([]Table2Row, error) {
+	configs := []struct {
+		image string
+		w, h  int
+		addr  int
+	}{
+		{"finger", 64, 80, 10},
+		{"shoes", 128, 128, 11},
+		{"building", 192, 128, 12},
+		{"zebra", 384, 256, 13},
+		{"zebra", 384, 256, 14},
+		{"zebra", 384, 256, 15},
+	}
+	rows := make([]Table2Row, len(configs))
+	for i, cfg := range configs {
+		plan, err := NewPlan(cfg.w*cfg.h, cfg.addr, DefaultShotsPerAddress)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = Table2Row{
+			Image: cfg.image, W: cfg.w, H: cfg.h,
+			GrayPixels: cfg.w * cfg.h,
+			AddrQubits: plan.AddrQubits,
+			DataQubits: plan.DataQubits,
+			Shots:      plan.Shots,
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,269 @@
+package qcrank
+
+import (
+	"math"
+	"testing"
+
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+	"qgear/internal/sampling"
+	"qgear/internal/statevec"
+)
+
+// simulate runs the encoding circuit and returns the probability
+// vector.
+func simulate(t *testing.T, values []float64, plan Plan) []float64 {
+	t.Helper()
+	c, err := Encode(values, plan, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := statevec.MustNew(plan.TotalQubits(), 1)
+	for _, op := range c.Ops {
+		s.ApplyGate(op.Gate, op.Qubits, op.Params)
+	}
+	return s.Probabilities()
+}
+
+func TestNewPlanTable2Math(t *testing.T) {
+	// Finger: 5120 px, 10 address qubits -> 5 data qubits, 3.072M shots.
+	plan, err := NewPlan(64*80, 10, DefaultShotsPerAddress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DataQubits != 5 || plan.Shots != 3000*1024 || plan.PaddedPixels != 5120 {
+		t.Fatalf("finger plan %+v", plan)
+	}
+	if plan.TotalQubits() != 15 { // Fig. 6a: "qubits: 15"
+		t.Fatalf("finger qubits %d, want 15", plan.TotalQubits())
+	}
+	if plan.TwoQubitGates() != 5120 { // Fig. 6a: "n2q gates: 5120"
+		t.Fatalf("finger 2q gates %d, want 5120", plan.TwoQubitGates())
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Table2Row{
+		{"finger", 64, 80, 5120, 10, 5, 3_072_000},
+		{"shoes", 128, 128, 16384, 11, 8, 6_144_000},
+		{"building", 192, 128, 24576, 12, 6, 12_288_000},
+		{"zebra", 384, 256, 98304, 13, 12, 24_576_000},
+		{"zebra", 384, 256, 98304, 14, 6, 49_152_000},
+		{"zebra", 384, 256, 98304, 15, 3, 98_304_000},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d:\ngot  %+v\nwant %+v", i, rows[i], w)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := NewPlan(0, 4, 0); err == nil {
+		t.Fatal("0 pixels accepted")
+	}
+	if _, err := NewPlan(16, 0, 0); err == nil {
+		t.Fatal("0 address qubits accepted")
+	}
+	if _, err := NewPlan(16, 4, -1); err == nil {
+		t.Fatal("negative shots accepted")
+	}
+}
+
+func TestEncodeStructure(t *testing.T) {
+	plan, err := NewPlan(16, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 px over 4 addresses -> 4 data qubits, padded 16.
+	vals := make([]float64, 16)
+	c, err := Encode(vals, plan, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.GateCounts()
+	if counts[gate.H] != plan.AddrQubits {
+		t.Fatalf("H count %d", counts[gate.H])
+	}
+	// One CX per padded pixel — the QCrank invariant.
+	if counts[gate.CX] != plan.TwoQubitGates() {
+		t.Fatalf("CX count %d, want %d", counts[gate.CX], plan.TwoQubitGates())
+	}
+	if counts[gate.RY] != plan.PaddedPixels {
+		t.Fatalf("RY count %d", counts[gate.RY])
+	}
+	if counts[gate.Measure] != plan.TotalQubits() {
+		t.Fatalf("measure count %d", counts[gate.Measure])
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	plan, err := NewPlan(4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Encode(make([]float64, 100), plan, false); err == nil {
+		t.Fatal("oversized values accepted")
+	}
+	if _, err := Encode([]float64{2}, plan, false); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+	if _, err := Encode([]float64{math.NaN()}, plan, false); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestExactRoundTrip(t *testing.T) {
+	// Encode -> simulate -> DecodeProbs must reproduce the values to
+	// numerical precision across several layouts.
+	r := qmath.NewRNG(5)
+	for _, cfg := range []struct{ addr, pixels int }{
+		{1, 2}, {2, 4}, {2, 7}, {3, 16}, {4, 48}, {5, 32},
+	} {
+		plan, err := NewPlan(cfg.pixels, cfg.addr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := make([]float64, cfg.pixels)
+		for i := range values {
+			values[i] = r.Float64()*2 - 1
+		}
+		probs := simulate(t, values, plan)
+		got, err := DecodeProbs(probs, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range values {
+			if math.Abs(got[i]-values[i]) > 1e-9 {
+				t.Fatalf("addr=%d pixels=%d: pixel %d decoded %g, want %g",
+					cfg.addr, cfg.pixels, i, got[i], values[i])
+			}
+		}
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	// v = ±1 and 0 are the boundary angles (0, π, π/2).
+	plan, err := NewPlan(4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{1, -1, 0, 0.5}
+	probs := simulate(t, values, plan)
+	got, err := DecodeProbs(probs, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if math.Abs(got[i]-values[i]) > 1e-9 {
+			t.Fatalf("pixel %d: %g != %g", i, got[i], values[i])
+		}
+	}
+}
+
+func TestShotBasedReconstruction(t *testing.T) {
+	// With s shots per address the per-pixel std-dev is ~1/√s; check
+	// the Fig. 6-style residuals behave accordingly.
+	plan, err := NewPlan(24, 3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := qmath.NewRNG(77)
+	values := make([]float64, 24)
+	for i := range values {
+		values[i] = r.Float64()*1.6 - 0.8
+	}
+	probs := simulate(t, values, plan)
+	counts, err := sampling.Sample(probs, plan.Shots, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, missing, err := DecodeCounts(counts, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing addresses %v", missing)
+	}
+	var maxErr float64
+	for i := range values {
+		if e := math.Abs(got[i] - values[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	// ~1/√4000 ≈ 0.016 per-pixel sigma; 6 sigma bound with headroom.
+	if maxErr > 0.1 {
+		t.Fatalf("worst shot-reconstruction error %g too large", maxErr)
+	}
+	// More shots must (statistically) shrink the error.
+	plan2 := plan
+	plan2.Shots = plan.Shots * 16
+	counts2, err := sampling.Sample(probs, plan2.Shots, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := DecodeCounts(counts2, plan2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae1, mae2 float64
+	for i := range values {
+		mae1 += math.Abs(got[i] - values[i])
+		mae2 += math.Abs(got2[i] - values[i])
+	}
+	if mae2 >= mae1 {
+		t.Fatalf("16x shots did not reduce MAE: %g vs %g", mae2/24, mae1/24)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	plan, err := NewPlan(4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeProbs(make([]float64, 7), plan); err == nil {
+		t.Fatal("wrong-size probs accepted")
+	}
+	if _, _, err := DecodeCounts(sampling.Counts{1 << 40: 3}, plan); err == nil {
+		t.Fatal("oversized outcome accepted")
+	}
+	// Counts missing an address decode to zero with a report.
+	counts := sampling.Counts{0: 10} // only address 0 measured
+	vals, missing, err := DecodeCounts(counts, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) == 0 {
+		t.Fatal("missing addresses unreported")
+	}
+	if vals[0] != 1 { // address 0, data bit 0 -> all zeros -> E[Z]=1
+		t.Fatalf("decoded %v", vals)
+	}
+}
+
+func TestSingleAddressDegenerateCase(t *testing.T) {
+	// addr=1 ⇒ 2 addresses; pixels=1 pads the second address with 0.
+	plan, err := NewPlan(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{0.73}
+	probs := simulate(t, values, plan)
+	got, err := DecodeProbs(probs, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.73) > 1e-9 {
+		t.Fatalf("degenerate decode %g", got[0])
+	}
+}

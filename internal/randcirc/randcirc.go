@@ -1,0 +1,105 @@
+// Package randcirc implements the randomized quantum circuit generator
+// of Appendix D.1 (Algorithm 1): circuits built from two-qubit "CX
+// blocks", each consisting of two random single-qubit rotations (a
+// parameterized Ry and Rz with angles drawn uniformly from [0, 2π))
+// followed by an entangling CX gate on a randomly drawn ordered qubit
+// pair. These random non-Clifford unitaries are the paper's §3 speed
+// benchmark workload: 'short' = 100 blocks, 'long' = 10,000 blocks,
+// and the Fig. 4b 'intermediate' = 3,000 blocks.
+package randcirc
+
+import (
+	"fmt"
+
+	"qgear/internal/circuit"
+	"qgear/internal/qmath"
+)
+
+// Block counts of the paper's three workload sizes.
+const (
+	ShortBlocks        = 100
+	IntermediateBlocks = 3000
+	LongBlocks         = 10000
+)
+
+// GatesPerBlock is the primitive gate count of one CX block
+// (ry + rz + cx).
+const GatesPerBlock = 3
+
+// Spec configures one random unitary.
+type Spec struct {
+	Qubits int
+	Blocks int
+	Seed   uint64
+	// Measure appends measure_all, matching the 3,000-shot sampling
+	// runs of Table 1.
+	Measure bool
+}
+
+// RandomQubitPairs draws k ordered qubit pairs (control, target) with
+// replacement from all nq·(nq-1) valid pairs, excluding self-pairs —
+// the paper's random_qubit_pairs helper.
+func RandomQubitPairs(nq, k int, rng *qmath.RNG) ([][2]int, error) {
+	if nq < 2 {
+		return nil, fmt.Errorf("randcirc: need at least 2 qubits, have %d", nq)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("randcirc: negative pair count %d", k)
+	}
+	pairs := make([][2]int, k)
+	for i := range pairs {
+		qc := rng.Intn(nq)
+		// Algorithm 1: resample the target until it differs from the
+		// control.
+		qt := rng.Intn(nq)
+		for qt == qc {
+			qt = rng.Intn(nq)
+		}
+		pairs[i] = [2]int{qc, qt}
+	}
+	return pairs, nil
+}
+
+// Generate builds one random CX-block circuit per Algorithm 1.
+func Generate(spec Spec) (*circuit.Circuit, error) {
+	if spec.Qubits < 2 {
+		return nil, fmt.Errorf("randcirc: need at least 2 qubits, have %d", spec.Qubits)
+	}
+	if spec.Blocks < 1 {
+		return nil, fmt.Errorf("randcirc: need at least 1 block, have %d", spec.Blocks)
+	}
+	rng := qmath.NewRNG(spec.Seed)
+	pairs, err := RandomQubitPairs(spec.Qubits, spec.Blocks, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := circuit.New(spec.Qubits, 0)
+	c.Name = fmt.Sprintf("random_%db_%dq_s%d", spec.Blocks, spec.Qubits, spec.Seed)
+	for _, p := range pairs {
+		qc, qt := p[0], p[1]
+		c.RY(rng.Angle(), qc)
+		c.RZ(rng.Angle(), qt)
+		c.CX(qc, qt)
+	}
+	if spec.Measure {
+		c.MeasureAll()
+	}
+	return c, nil
+}
+
+// GenerateList builds a batch of independent random unitaries with
+// split seeds, the "list of quantum circuits" the tensor encoder
+// consumes (generate_random_gateList in the paper).
+func GenerateList(qubits, blocks, count int, seed uint64) ([]*circuit.Circuit, error) {
+	root := qmath.NewRNG(seed)
+	out := make([]*circuit.Circuit, count)
+	for i := range out {
+		c, err := Generate(Spec{Qubits: qubits, Blocks: blocks, Seed: root.Uint64()})
+		if err != nil {
+			return nil, err
+		}
+		c.Name = fmt.Sprintf("random_%db_%dq_i%d", blocks, qubits, i)
+		out[i] = c
+	}
+	return out, nil
+}

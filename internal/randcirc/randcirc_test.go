@@ -1,0 +1,162 @@
+package randcirc
+
+import (
+	"math"
+	"testing"
+
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+	"qgear/internal/statevec"
+)
+
+func TestGenerateShape(t *testing.T) {
+	c, err := Generate(Spec{Qubits: 6, Blocks: ShortBlocks, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := c.GateCounts()
+	if counts[gate.RY] != ShortBlocks || counts[gate.RZ] != ShortBlocks || counts[gate.CX] != ShortBlocks {
+		t.Fatalf("block structure wrong: %v", counts)
+	}
+	if len(c.Ops) != ShortBlocks*GatesPerBlock {
+		t.Fatalf("total ops %d, want %d", len(c.Ops), ShortBlocks*GatesPerBlock)
+	}
+	// Per-block order: ry, rz, cx.
+	for b := 0; b < ShortBlocks; b++ {
+		if c.Ops[3*b].Gate != gate.RY || c.Ops[3*b+1].Gate != gate.RZ || c.Ops[3*b+2].Gate != gate.CX {
+			t.Fatalf("block %d misordered", b)
+		}
+		// The rotations sit on the CX operand pair.
+		cx := c.Ops[3*b+2]
+		if c.Ops[3*b].Qubits[0] != cx.Qubits[0] || c.Ops[3*b+1].Qubits[0] != cx.Qubits[1] {
+			t.Fatalf("block %d rotations not on the CX pair", b)
+		}
+	}
+}
+
+func TestMeasureOption(t *testing.T) {
+	c, err := Generate(Spec{Qubits: 4, Blocks: 5, Seed: 2, Measure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GateCounts()[gate.Measure] != 4 {
+		t.Fatal("measure_all missing")
+	}
+}
+
+func TestDeterminismAndSeedSensitivity(t *testing.T) {
+	a, err := Generate(Spec{Qubits: 5, Blocks: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Spec{Qubits: 5, Blocks: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different circuits")
+	}
+	c, err := Generate(Spec{Qubits: 5, Blocks: 50, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestAnglesInRange(t *testing.T) {
+	c, err := Generate(Spec{Qubits: 4, Blocks: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range c.Ops {
+		for _, p := range op.Params {
+			if p < 0 || p >= 2*math.Pi {
+				t.Fatalf("angle %g outside [0, 2π)", p)
+			}
+		}
+	}
+}
+
+func TestRandomQubitPairs(t *testing.T) {
+	rng := qmath.NewRNG(3)
+	pairs, err := RandomQubitPairs(5, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]int{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatal("self-pair generated")
+		}
+		if p[0] < 0 || p[0] >= 5 || p[1] < 0 || p[1] >= 5 {
+			t.Fatal("qubit out of range")
+		}
+		seen[p]++
+	}
+	// All 20 ordered pairs should appear with 2000 draws.
+	if len(seen) != 20 {
+		t.Fatalf("only %d/20 ordered pairs seen", len(seen))
+	}
+}
+
+func TestRandomQubitPairsErrors(t *testing.T) {
+	rng := qmath.NewRNG(1)
+	if _, err := RandomQubitPairs(1, 5, rng); err == nil {
+		t.Fatal("1-qubit pairs accepted")
+	}
+	if _, err := RandomQubitPairs(3, -1, rng); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Qubits: 1, Blocks: 5}); err == nil {
+		t.Fatal("1 qubit accepted")
+	}
+	if _, err := Generate(Spec{Qubits: 3, Blocks: 0}); err == nil {
+		t.Fatal("0 blocks accepted")
+	}
+}
+
+func TestGenerateList(t *testing.T) {
+	list, err := GenerateList(4, 10, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 8 {
+		t.Fatalf("count %d", len(list))
+	}
+	// Circuits must be mutually distinct (independent seeds).
+	for i := 0; i < len(list); i++ {
+		for j := i + 1; j < len(list); j++ {
+			if list[i].String() == list[j].String() {
+				t.Fatalf("circuits %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratedUnitaryIsNonTrivial(t *testing.T) {
+	// Simulating a random unitary must spread amplitude: the state
+	// should not stay concentrated on |0...0> (non-Clifford workload).
+	c, err := Generate(Spec{Qubits: 6, Blocks: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := statevec.MustNew(6, 1)
+	for _, op := range c.Ops {
+		s.ApplyGate(op.Gate, op.Qubits, op.Params)
+	}
+	p0 := s.Probabilities()[0]
+	if p0 > 0.5 {
+		t.Fatalf("random unitary left %g mass on |0>", p0)
+	}
+	if n := s.Norm(); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("norm %g", n)
+	}
+}

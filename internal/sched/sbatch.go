@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseArgs parses the sbatch flag subset the paper's §E.3 submission
+// scripts use, e.g.
+//
+//	-N 1 -c 64 -C cpu --tasks-per-node 4
+//	-N 1 -n 1 -C gpu --gpus-per-task 1
+//	-C gpu&hbm80g -N4 --gpus-per-task=1
+//
+// into a JobSpec (Run is left nil for the caller to fill in).
+func ParseArgs(args []string) (JobSpec, error) {
+	var spec JobSpec
+	// Normalize "--flag=value" and glued forms like "-N4".
+	var norm []string
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "--") && strings.Contains(a, "="):
+			parts := strings.SplitN(a, "=", 2)
+			norm = append(norm, parts[0], parts[1])
+		case len(a) > 2 && a[0] == '-' && a[1] != '-' && a[2] >= '0' && a[2] <= '9':
+			norm = append(norm, a[:2], a[2:])
+		default:
+			norm = append(norm, a)
+		}
+	}
+	i := 0
+	next := func(flag string) (string, error) {
+		i++
+		if i >= len(norm) {
+			return "", fmt.Errorf("sched: flag %s missing value", flag)
+		}
+		return norm[i], nil
+	}
+	atoi := func(flag, v string) (int, error) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("sched: flag %s: bad integer %q", flag, v)
+		}
+		return n, nil
+	}
+	for ; i < len(norm); i++ {
+		flag := norm[i]
+		switch flag {
+		case "-N", "--nodes":
+			v, err := next(flag)
+			if err != nil {
+				return spec, err
+			}
+			if spec.Nodes, err = atoi(flag, v); err != nil {
+				return spec, err
+			}
+		case "-n", "--ntasks", "--tasks-per-node", "--task-per-node":
+			v, err := next(flag)
+			if err != nil {
+				return spec, err
+			}
+			if spec.TasksPerNode, err = atoi(flag, v); err != nil {
+				return spec, err
+			}
+		case "-c", "--cpus-per-task":
+			v, err := next(flag)
+			if err != nil {
+				return spec, err
+			}
+			if spec.CoresPerTask, err = atoi(flag, v); err != nil {
+				return spec, err
+			}
+		case "--gpus-per-task":
+			v, err := next(flag)
+			if err != nil {
+				return spec, err
+			}
+			if spec.GPUsPerTask, err = atoi(flag, v); err != nil {
+				return spec, err
+			}
+		case "-C", "--constraint":
+			v, err := next(flag)
+			if err != nil {
+				return spec, err
+			}
+			spec.Constraint = strings.Trim(v, `"`)
+		case "-J", "--job-name":
+			v, err := next(flag)
+			if err != nil {
+				return spec, err
+			}
+			spec.Name = v
+		case "-t", "--time":
+			v, err := next(flag)
+			if err != nil {
+				return spec, err
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return spec, fmt.Errorf("sched: flag %s: %w", flag, err)
+			}
+			spec.TimeLimit = d
+		default:
+			return spec, fmt.Errorf("sched: unknown sbatch flag %q", flag)
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,379 @@
+// Package sched is a Slurm-like workload manager substrate for the
+// paper's job pipeline (§2.4, §E.3): nodes with cores/memory/GPUs and
+// feature tags, sbatch-style job specs (-N, --tasks-per-node,
+// --gpus-per-task, -C "gpu&hbm80g"), FIFO scheduling with simple
+// backfill, per-job environment injection (SLURM_* variables the
+// paper's "podman wrapper" forwards into containers), and job
+// accounting.
+//
+// Jobs execute for real (their Run functions are called on allocated
+// resources); the scheduler is not a discrete-event mockup, so the
+// §E.3 pipeline examples run end-to-end in-process.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NodeSpec describes one node's resources.
+type NodeSpec struct {
+	Name     string
+	Cores    int
+	MemGB    int
+	GPUs     int
+	Features []string // e.g. "cpu", "gpu", "hbm80g"
+}
+
+// HasFeatures reports whether the node advertises every feature in the
+// &-joined constraint expression (Slurm's -C syntax subset).
+func (n NodeSpec) HasFeatures(constraint string) bool {
+	if constraint == "" {
+		return true
+	}
+	for _, want := range strings.Split(constraint, "&") {
+		want = strings.TrimSpace(want)
+		found := false
+		for _, f := range n.Features {
+			if f == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job states (Slurm naming).
+const (
+	StatePending   JobState = "PENDING"
+	StateRunning   JobState = "RUNNING"
+	StateCompleted JobState = "COMPLETED"
+	StateFailed    JobState = "FAILED"
+	StateTimeout   JobState = "TIMEOUT"
+)
+
+// JobSpec is an sbatch submission.
+type JobSpec struct {
+	Name         string
+	Nodes        int    // -N
+	TasksPerNode int    // --tasks-per-node (default 1)
+	CoresPerTask int    // -c (default 1)
+	GPUsPerTask  int    // --gpus-per-task
+	Constraint   string // -C
+	TimeLimit    time.Duration
+	// Run executes the job; ctx is canceled at the time limit.
+	Run func(ctx context.Context, alloc *Allocation) error
+}
+
+// Allocation describes the resources granted to a running job.
+type Allocation struct {
+	JobID int
+	Nodes []string
+	// Env carries the SLURM_* variables the podman wrapper forwards.
+	Env map[string]string
+}
+
+// JobInfo is the accounting record.
+type JobInfo struct {
+	ID        int
+	Name      string
+	State     JobState
+	Submitted time.Time
+	Started   time.Time
+	Ended     time.Time
+	Err       error
+	NodeList  []string
+}
+
+// QueueTime returns how long the job waited.
+func (j JobInfo) QueueTime() time.Duration {
+	if j.Started.IsZero() {
+		return time.Since(j.Submitted)
+	}
+	return j.Started.Sub(j.Submitted)
+}
+
+type queuedJob struct {
+	id   int
+	spec JobSpec
+}
+
+// Scheduler owns a set of nodes and a FIFO+backfill queue.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	nodes   []NodeSpec
+	free    map[string]nodeCapacity // by node name
+	queue   []queuedJob
+	jobs    map[int]*JobInfo
+	nextID  int
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+type nodeCapacity struct {
+	cores int
+	gpus  int
+}
+
+// New builds a scheduler over the given nodes.
+func New(nodes []NodeSpec) *Scheduler {
+	s := &Scheduler{
+		nodes:  nodes,
+		free:   make(map[string]nodeCapacity, len(nodes)),
+		jobs:   make(map[int]*JobInfo),
+		nextID: 1,
+	}
+	for _, n := range nodes {
+		s.free[n.Name] = nodeCapacity{cores: n.Cores, gpus: n.GPUs}
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Perlmutter returns a small machine shaped like the paper's testbed:
+// CPU nodes (128 cores) and GPU nodes (64 cores + 4 A100s), plus one
+// 80 GB-HBM GPU node for the "gpu&hbm80g" constraint.
+func Perlmutter(cpuNodes, gpuNodes int) *Scheduler {
+	var nodes []NodeSpec
+	for i := 0; i < cpuNodes; i++ {
+		nodes = append(nodes, NodeSpec{
+			Name: fmt.Sprintf("nid-cpu%03d", i), Cores: 128, MemGB: 512,
+			Features: []string{"cpu"},
+		})
+	}
+	for i := 0; i < gpuNodes; i++ {
+		feat := []string{"gpu"}
+		if i%2 == 1 {
+			feat = append(feat, "hbm80g")
+		}
+		nodes = append(nodes, NodeSpec{
+			Name: fmt.Sprintf("nid-gpu%03d", i), Cores: 64, MemGB: 256, GPUs: 4,
+			Features: feat,
+		})
+	}
+	return New(nodes)
+}
+
+// Submit enqueues a job and returns its id (sbatch).
+func (s *Scheduler) Submit(spec JobSpec) (int, error) {
+	if spec.Run == nil {
+		return 0, fmt.Errorf("sched: job %q has no Run function", spec.Name)
+	}
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	if spec.TasksPerNode <= 0 {
+		spec.TasksPerNode = 1
+	}
+	if spec.CoresPerTask <= 0 {
+		spec.CoresPerTask = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return 0, fmt.Errorf("sched: scheduler is drained")
+	}
+	if err := s.feasible(spec); err != nil {
+		return 0, err
+	}
+	id := s.nextID
+	s.nextID++
+	s.jobs[id] = &JobInfo{ID: id, Name: spec.Name, State: StatePending, Submitted: time.Now()}
+	s.queue = append(s.queue, queuedJob{id: id, spec: spec})
+	s.schedule()
+	return id, nil
+}
+
+// feasible checks the job could ever run on this machine.
+func (s *Scheduler) feasible(spec JobSpec) error {
+	matching := 0
+	for _, n := range s.nodes {
+		if !n.HasFeatures(spec.Constraint) {
+			continue
+		}
+		if spec.TasksPerNode*spec.CoresPerTask > n.Cores {
+			continue
+		}
+		if spec.TasksPerNode*spec.GPUsPerTask > n.GPUs {
+			continue
+		}
+		matching++
+	}
+	if matching < spec.Nodes {
+		return fmt.Errorf("sched: job %q needs %d nodes matching %q with %d cores/%d gpus per node; only %d exist",
+			spec.Name, spec.Nodes, spec.Constraint,
+			spec.TasksPerNode*spec.CoresPerTask, spec.TasksPerNode*spec.GPUsPerTask, matching)
+	}
+	return nil
+}
+
+// schedule starts every queued job that fits right now (FIFO order
+// with backfill: later jobs may start past a blocked head). Caller
+// holds s.mu.
+func (s *Scheduler) schedule() {
+	remaining := s.queue[:0]
+	for _, qj := range s.queue {
+		nodes, ok := s.tryAllocate(qj.spec)
+		if !ok {
+			remaining = append(remaining, qj)
+			continue // backfill: keep scanning the queue
+		}
+		s.start(qj, nodes)
+	}
+	s.queue = remaining
+}
+
+// tryAllocate finds spec.Nodes nodes with capacity; deterministic
+// (name-sorted) for reproducible tests. Caller holds s.mu.
+func (s *Scheduler) tryAllocate(spec JobSpec) ([]string, bool) {
+	needCores := spec.TasksPerNode * spec.CoresPerTask
+	needGPUs := spec.TasksPerNode * spec.GPUsPerTask
+	var picked []string
+	sorted := append([]NodeSpec(nil), s.nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, n := range sorted {
+		if len(picked) == spec.Nodes {
+			break
+		}
+		if !n.HasFeatures(spec.Constraint) {
+			continue
+		}
+		cap := s.free[n.Name]
+		if cap.cores >= needCores && cap.gpus >= needGPUs {
+			picked = append(picked, n.Name)
+		}
+	}
+	if len(picked) < spec.Nodes {
+		return nil, false
+	}
+	for _, name := range picked {
+		cap := s.free[name]
+		cap.cores -= needCores
+		cap.gpus -= needGPUs
+		s.free[name] = cap
+	}
+	return picked, true
+}
+
+// start launches a job on its allocation. Caller holds s.mu.
+func (s *Scheduler) start(qj queuedJob, nodes []string) {
+	info := s.jobs[qj.id]
+	info.State = StateRunning
+	info.Started = time.Now()
+	info.NodeList = nodes
+
+	alloc := &Allocation{
+		JobID: qj.id,
+		Nodes: nodes,
+		Env: map[string]string{
+			"SLURM_JOB_ID":        fmt.Sprintf("%d", qj.id),
+			"SLURM_JOB_NAME":      qj.spec.Name,
+			"SLURM_JOB_NUM_NODES": fmt.Sprintf("%d", len(nodes)),
+			"SLURM_NTASKS":        fmt.Sprintf("%d", len(nodes)*qj.spec.TasksPerNode),
+			"SLURM_JOB_NODELIST":  strings.Join(nodes, ","),
+			"SLURM_CONSTRAINT":    qj.spec.Constraint,
+		},
+	}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ctx := context.Background()
+		cancel := func() {}
+		if qj.spec.TimeLimit > 0 {
+			ctx, cancel = context.WithTimeout(ctx, qj.spec.TimeLimit)
+		}
+		err := func() (err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("job panicked: %v", p)
+				}
+			}()
+			return qj.spec.Run(ctx, alloc)
+		}()
+		timedOut := ctx.Err() == context.DeadlineExceeded
+		cancel()
+
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		info.Ended = time.Now()
+		info.Err = err
+		switch {
+		case timedOut:
+			info.State = StateTimeout
+		case err != nil:
+			info.State = StateFailed
+		default:
+			info.State = StateCompleted
+		}
+		// Release resources and let waiting jobs in.
+		needCores := qj.spec.TasksPerNode * qj.spec.CoresPerTask
+		needGPUs := qj.spec.TasksPerNode * qj.spec.GPUsPerTask
+		for _, name := range nodes {
+			cap := s.free[name]
+			cap.cores += needCores
+			cap.gpus += needGPUs
+			s.free[name] = cap
+		}
+		s.schedule()
+		s.cond.Broadcast()
+	}()
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// record.
+func (s *Scheduler) Wait(id int) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("sched: unknown job %d", id)
+	}
+	for info.State == StatePending || info.State == StateRunning {
+		s.cond.Wait()
+	}
+	return *info, nil
+}
+
+// Drain waits for every submitted job to finish and refuses new work.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Info returns a snapshot of a job's record.
+func (s *Scheduler) Info(id int) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("sched: unknown job %d", id)
+	}
+	return *info, nil
+}
+
+// Queue returns ids of jobs not yet started, in submission order
+// (squeue).
+func (s *Scheduler) Queue() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.queue))
+	for i, qj := range s.queue {
+		out[i] = qj.id
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okJob() func(context.Context, *Allocation) error {
+	return func(context.Context, *Allocation) error { return nil }
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	s := Perlmutter(1, 1)
+	var gotEnv map[string]string
+	var gotNodes []string
+	id, err := s.Submit(JobSpec{
+		Name:       "hello",
+		Constraint: "cpu",
+		Run: func(_ context.Context, a *Allocation) error {
+			gotEnv, gotNodes = a.Env, a.Nodes
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateCompleted {
+		t.Fatalf("state %s", info.State)
+	}
+	if len(gotNodes) != 1 || gotNodes[0] != "nid-cpu000" {
+		t.Fatalf("nodes %v", gotNodes)
+	}
+	if gotEnv["SLURM_JOB_ID"] != fmt.Sprintf("%d", id) || gotEnv["SLURM_JOB_NAME"] != "hello" {
+		t.Fatalf("env %v", gotEnv)
+	}
+	if gotEnv["SLURM_CONSTRAINT"] != "cpu" {
+		t.Fatalf("constraint env missing: %v", gotEnv)
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	s := Perlmutter(1, 0)
+	boom := errors.New("boom")
+	id, err := s.Submit(JobSpec{Name: "bad", Run: func(context.Context, *Allocation) error { return boom }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := s.Wait(id)
+	if info.State != StateFailed || !errors.Is(info.Err, boom) {
+		t.Fatalf("state %s err %v", info.State, info.Err)
+	}
+}
+
+func TestPanickingJobIsFailed(t *testing.T) {
+	s := Perlmutter(1, 0)
+	id, err := s.Submit(JobSpec{Name: "p", Run: func(context.Context, *Allocation) error { panic("eek") }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := s.Wait(id)
+	if info.State != StateFailed {
+		t.Fatalf("state %s", info.State)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	s := Perlmutter(1, 0)
+	id, err := s.Submit(JobSpec{
+		Name:      "slow",
+		TimeLimit: 20 * time.Millisecond,
+		Run: func(ctx context.Context, _ *Allocation) error {
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := s.Wait(id)
+	if info.State != StateTimeout {
+		t.Fatalf("state %s", info.State)
+	}
+}
+
+func TestInfeasibleJobRejectedAtSubmit(t *testing.T) {
+	s := Perlmutter(1, 1)
+	cases := []JobSpec{
+		{Name: "too-many-nodes", Nodes: 5, Run: okJob()},
+		{Name: "no-such-feature", Constraint: "tpu", Run: okJob()},
+		{Name: "too-many-gpus", Constraint: "gpu", TasksPerNode: 1, GPUsPerTask: 8, Run: okJob()},
+		{Name: "too-many-cores", Constraint: "gpu", TasksPerNode: 2, CoresPerTask: 64, Run: okJob()},
+		{Name: "nil-run"},
+	}
+	for _, spec := range cases {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("%s: accepted", spec.Name)
+		}
+	}
+}
+
+func TestConstraintMatching(t *testing.T) {
+	n := NodeSpec{Features: []string{"gpu", "hbm80g"}}
+	if !n.HasFeatures("gpu") || !n.HasFeatures("gpu&hbm80g") || !n.HasFeatures("") {
+		t.Fatal("feature matching broken")
+	}
+	if n.HasFeatures("cpu") || n.HasFeatures("gpu&cpu") {
+		t.Fatal("feature matching too permissive")
+	}
+}
+
+func TestGPUAllocationExclusion(t *testing.T) {
+	// One GPU node with 4 GPUs: a 4-GPU job blocks a second 4-GPU job
+	// until it finishes.
+	s := Perlmutter(0, 1)
+	release := make(chan struct{})
+	var concurrent, maxConcurrent int64
+	gpuJob := JobSpec{
+		Name: "gpu4", Constraint: "gpu", TasksPerNode: 4, GPUsPerTask: 1,
+		Run: func(context.Context, *Allocation) error {
+			c := atomic.AddInt64(&concurrent, 1)
+			for {
+				m := atomic.LoadInt64(&maxConcurrent)
+				if c <= m || atomic.CompareAndSwapInt64(&maxConcurrent, m, c) {
+					break
+				}
+			}
+			<-release
+			atomic.AddInt64(&concurrent, -1)
+			return nil
+		},
+	}
+	id1, err := s.Submit(gpuJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Submit(gpuJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the scheduler a beat: job 2 must still be queued.
+	time.Sleep(20 * time.Millisecond)
+	if q := s.Queue(); len(q) != 1 || q[0] != id2 {
+		t.Fatalf("queue %v, want [%d]", q, id2)
+	}
+	close(release)
+	if info, _ := s.Wait(id1); info.State != StateCompleted {
+		t.Fatal("job1 failed")
+	}
+	if info, _ := s.Wait(id2); info.State != StateCompleted {
+		t.Fatal("job2 failed")
+	}
+	if atomic.LoadInt64(&maxConcurrent) != 1 {
+		t.Fatalf("GPU jobs overlapped: max concurrency %d", maxConcurrent)
+	}
+}
+
+func TestBackfillLetsSmallJobsPass(t *testing.T) {
+	// Machine: 1 CPU node. Head-of-queue wants the busy CPU node, but a
+	// GPU job behind it can backfill onto the free GPU node.
+	s := Perlmutter(1, 1)
+	blockCPU := make(chan struct{})
+	id1, err := s.Submit(JobSpec{
+		Name: "hog", Constraint: "cpu", CoresPerTask: 128,
+		Run: func(context.Context, *Allocation) error { <-blockCPU; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Submit(JobSpec{
+		Name: "blocked", Constraint: "cpu", CoresPerTask: 128,
+		Run: okJob(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	id3, err := s.Submit(JobSpec{
+		Name: "backfill", Constraint: "gpu", GPUsPerTask: 1,
+		Run: func(context.Context, *Allocation) error { close(done); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("backfill job never ran while head-of-queue was blocked")
+	}
+	close(blockCPU)
+	for _, id := range []int{id1, id2, id3} {
+		if info, _ := s.Wait(id); info.State != StateCompleted {
+			t.Fatalf("job %d state %s", id, info.State)
+		}
+	}
+}
+
+func TestWaitUnknownJob(t *testing.T) {
+	s := Perlmutter(1, 0)
+	if _, err := s.Wait(999); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	if _, err := s.Info(999); err == nil {
+		t.Fatal("unknown job info accepted")
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := Perlmutter(1, 0)
+	id, _ := s.Submit(JobSpec{Name: "a", Run: okJob()})
+	s.Drain()
+	if info, _ := s.Info(id); info.State != StateCompleted {
+		t.Fatal("drain did not wait")
+	}
+	if _, err := s.Submit(JobSpec{Name: "late", Run: okJob()}); err == nil {
+		t.Fatal("drained scheduler accepted work")
+	}
+}
+
+func TestAccountingTimes(t *testing.T) {
+	s := Perlmutter(1, 0)
+	id, _ := s.Submit(JobSpec{Name: "t", Run: func(context.Context, *Allocation) error {
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	}})
+	info, _ := s.Wait(id)
+	if info.Started.Before(info.Submitted) || info.Ended.Before(info.Started) {
+		t.Fatal("timestamps out of order")
+	}
+	if info.Ended.Sub(info.Started) < 10*time.Millisecond {
+		t.Fatal("run time too short")
+	}
+	if info.QueueTime() < 0 {
+		t.Fatal("negative queue time")
+	}
+}
+
+func TestParseArgsPaperExamples(t *testing.T) {
+	// The three §E.3 submission lines.
+	spec, err := ParseArgs([]string{"-N", "1", "-c", "64", "-C", "cpu", "--tasks-per-node", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Nodes != 1 || spec.CoresPerTask != 64 || spec.Constraint != "cpu" || spec.TasksPerNode != 4 {
+		t.Fatalf("cpu spec %+v", spec)
+	}
+	spec, err = ParseArgs([]string{"-N", "1", "-n", "1", "-C", "gpu", "--gpus-per-task", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Constraint != "gpu" || spec.GPUsPerTask != 1 || spec.TasksPerNode != 1 {
+		t.Fatalf("gpu spec %+v", spec)
+	}
+	spec, err = ParseArgs([]string{"-C", `"gpu&hbm80g"`, "-N4", "--gpus-per-task=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Constraint != "gpu&hbm80g" || spec.Nodes != 4 || spec.GPUsPerTask != 1 {
+		t.Fatalf("multinode spec %+v", spec)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := [][]string{
+		{"-N"},
+		{"-N", "abc"},
+		{"--mystery", "1"},
+		{"-t", "notaduration"},
+	}
+	for _, args := range cases {
+		if _, err := ParseArgs(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// Named and timed job.
+	spec, err := ParseArgs([]string{"-J", "qft", "-t", "30m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "qft" || spec.TimeLimit != 30*time.Minute {
+		t.Fatalf("spec %+v", spec)
+	}
+}

@@ -1,0 +1,224 @@
+package statevec
+
+import (
+	"fmt"
+
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+)
+
+// ApplyMat1 applies a 2×2 unitary to the target qubit. Per Eq. (2) of
+// the paper this is U acting on qubit t with identities elsewhere; the
+// engine realizes it by mixing the 2^(n-1) amplitude pairs whose
+// indices differ only in bit t.
+func (s *State) ApplyMat1(target int, m gate.Mat2) {
+	s.checkQubit(target)
+	t := uint(target)
+	half := len(s.amps) >> 1
+	mask := uint64(1) << t
+	m0, m1, m2, m3 := m[0], m[1], m[2], m[3]
+	amps := s.amps
+	s.parallelRange(half, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i0 := insertBit(uint64(p), t, 0)
+			i1 := i0 | mask
+			a0, a1 := amps[i0], amps[i1]
+			amps[i0] = m0*a0 + m1*a1
+			amps[i1] = m2*a0 + m3*a1
+		}
+	})
+}
+
+// ApplyControlled1 applies a 2×2 unitary to target, controlled on
+// control being |1> — Eq. (3)'s diag(I, U) block structure. Only the
+// 2^(n-2) amplitude pairs with the control bit set are touched, which
+// is the scattered, non-contiguous access pattern Appendix A describes
+// for the CX gate.
+func (s *State) ApplyControlled1(control, target int, m gate.Mat2) {
+	s.checkQubit(control)
+	s.checkQubit(target)
+	if control == target {
+		panic("statevec: control equals target")
+	}
+	c, t := uint(control), uint(target)
+	quarter := len(s.amps) >> 2
+	tmask := uint64(1) << t
+	m0, m1, m2, m3 := m[0], m[1], m[2], m[3]
+	amps := s.amps
+	s.parallelRange(quarter, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i0 := qmath.InsertTwoBits(uint64(p), c, 1, t, 0)
+			i1 := i0 | tmask
+			a0, a1 := amps[i0], amps[i1]
+			amps[i0] = m0*a0 + m1*a1
+			amps[i1] = m2*a0 + m3*a1
+		}
+	})
+}
+
+// ApplyCX applies the controlled-X with a swap-only inner loop (no
+// complex multiplies), the special case the paper's QCrank workload
+// leans on: the CX count equals the pixel count, so this path dominates
+// image-encoding simulations.
+func (s *State) ApplyCX(control, target int) {
+	s.checkQubit(control)
+	s.checkQubit(target)
+	if control == target {
+		panic("statevec: control equals target")
+	}
+	c, t := uint(control), uint(target)
+	quarter := len(s.amps) >> 2
+	tmask := uint64(1) << t
+	amps := s.amps
+	s.parallelRange(quarter, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i0 := qmath.InsertTwoBits(uint64(p), c, 1, t, 0)
+			i1 := i0 | tmask
+			amps[i0], amps[i1] = amps[i1], amps[i0]
+		}
+	})
+}
+
+// ApplyMat2 applies a 4×4 unitary to the qubit pair (hi=q1, lo=q0); the
+// matrix row/column index is (bit(q1)<<1)|bit(q0).
+func (s *State) ApplyMat2(q1, q0 int, m gate.Mat4) {
+	s.checkQubit(q1)
+	s.checkQubit(q0)
+	if q1 == q0 {
+		panic("statevec: duplicate qubit operands")
+	}
+	u1, u0 := uint(q1), uint(q0)
+	quarter := len(s.amps) >> 2
+	m1 := uint64(1) << u1
+	m0 := uint64(1) << u0
+	amps := s.amps
+	s.parallelRange(quarter, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i00 := qmath.InsertTwoBits(uint64(p), u1, 0, u0, 0)
+			i01 := i00 | m0
+			i10 := i00 | m1
+			i11 := i00 | m0 | m1
+			a0, a1, a2, a3 := amps[i00], amps[i01], amps[i10], amps[i11]
+			amps[i00] = m[0]*a0 + m[1]*a1 + m[2]*a2 + m[3]*a3
+			amps[i01] = m[4]*a0 + m[5]*a1 + m[6]*a2 + m[7]*a3
+			amps[i10] = m[8]*a0 + m[9]*a1 + m[10]*a2 + m[11]*a3
+			amps[i11] = m[12]*a0 + m[13]*a1 + m[14]*a2 + m[15]*a3
+		}
+	})
+}
+
+// MaxFusedQubits caps fused-unitary width; the paper's QFT kernel uses
+// gate fusion = 5 (Appendix D.2).
+const MaxFusedQubits = 6
+
+// ApplyFused applies a dense 2^k × 2^k unitary (row-major) to the k
+// listed qubits, where qubits[j] carries bit j of the matrix index.
+// This is the execution primitive behind the kernel transformer's gate
+// fusion pass: adjacent gates on a small qubit set are pre-multiplied
+// into one matrix and applied in a single sweep over the state.
+func (s *State) ApplyFused(qubits []int, m []complex128) error {
+	k := len(qubits)
+	if k == 0 || k > MaxFusedQubits {
+		return fmt.Errorf("statevec: fused width %d outside [1,%d]", k, MaxFusedQubits)
+	}
+	if k > s.n {
+		return fmt.Errorf("statevec: fused width %d exceeds %d qubits", k, s.n)
+	}
+	dim := 1 << uint(k)
+	if len(m) != dim*dim {
+		return fmt.Errorf("statevec: fused matrix has %d entries, want %d", len(m), dim*dim)
+	}
+	seen := make(map[int]bool, k)
+	for _, q := range qubits {
+		s.checkQubit(q)
+		if seen[q] {
+			return fmt.Errorf("statevec: duplicate fused qubit %d", q)
+		}
+		seen[q] = true
+	}
+
+	// Sorted insertion positions for expanding the base index.
+	sorted := append([]int(nil), qubits...)
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	masks := make([]uint64, k)
+	for j, q := range qubits {
+		masks[j] = 1 << uint(q)
+	}
+
+	outer := len(s.amps) >> uint(k)
+	amps := s.amps
+	s.parallelRangeIndexed(outer, func(w, lo, hi int) {
+		if s.scratch[w] == nil || len(s.scratch[w]) < 2*dim {
+			s.scratch[w] = make([]complex128, 2*dim)
+		}
+		in := s.scratch[w][:dim]
+		out := s.scratch[w][dim : 2*dim]
+		idx := make([]uint64, dim)
+		for p := lo; p < hi; p++ {
+			base := uint64(p)
+			for _, q := range sorted {
+				base = insertBit(base, uint(q), 0)
+			}
+			for v := 0; v < dim; v++ {
+				i := base
+				for j := 0; j < k; j++ {
+					if v>>uint(j)&1 == 1 {
+						i |= masks[j]
+					}
+				}
+				idx[v] = i
+				in[v] = amps[i]
+			}
+			for r := 0; r < dim; r++ {
+				var acc complex128
+				row := m[r*dim : (r+1)*dim]
+				for cI := 0; cI < dim; cI++ {
+					acc += row[cI] * in[cI]
+				}
+				out[r] = acc
+			}
+			for v := 0; v < dim; v++ {
+				amps[idx[v]] = out[v]
+			}
+		}
+	})
+	return nil
+}
+
+// ApplyGate dispatches a gate type with qubit operands and params to
+// the right kernel. Measure and Barrier are ignored (sampling is the
+// caller's concern); unknown combinations panic.
+func (s *State) ApplyGate(g gate.Type, qubits []int, params []float64) {
+	switch {
+	case g == gate.Barrier || g == gate.Measure || g == gate.I:
+		return
+	case IsDiagonalGate(g):
+		s.ApplyDiagonalGate(g, qubits, params)
+	case g == gate.CX:
+		s.ApplyCX(qubits[0], qubits[1])
+	case g == gate.SWAP:
+		s.ApplyCX(qubits[0], qubits[1])
+		s.ApplyCX(qubits[1], qubits[0])
+		s.ApplyCX(qubits[0], qubits[1])
+	case g.Arity() == 2:
+		// Remaining controlled gates: CZ, CP, CRY.
+		var tgt gate.Mat2
+		switch g {
+		case gate.CZ:
+			tgt = gate.Matrix1(gate.Z, nil)
+		case gate.CP:
+			tgt = gate.Matrix1(gate.P, params)
+		case gate.CRY:
+			tgt = gate.Matrix1(gate.RY, params)
+		default:
+			panic(fmt.Sprintf("statevec: unhandled two-qubit gate %v", g))
+		}
+		s.ApplyControlled1(qubits[0], qubits[1], tgt)
+	default:
+		s.ApplyMat1(qubits[0], gate.Matrix1(g, params))
+	}
+}

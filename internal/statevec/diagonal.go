@@ -1,0 +1,95 @@
+package statevec
+
+import (
+	"fmt"
+
+	"qgear/internal/gate"
+)
+
+// Diagonal-gate fast paths. Z-axis rotations (rz, p, z, s, t) and
+// controlled phases (cz, cp/cr1) have diagonal unitaries: they scale
+// amplitudes in place without the pair gather/scatter of the general
+// kernels — half the memory traffic and no index insertion. The QFT
+// workload (Appendix D.2) is dominated by cr1 gates, so this path is a
+// large fraction of its runtime; BenchmarkAblationDiagonal quantifies
+// it.
+
+// ApplyPhase1 multiplies amplitudes whose target bit is 1 by phase —
+// the diag(1, e^{iλ}) family.
+func (s *State) ApplyPhase1(target int, phase complex128) {
+	s.checkQubit(target)
+	mask := uint64(1) << uint(target)
+	amps := s.amps
+	s.parallelRange(len(amps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if uint64(i)&mask != 0 {
+				amps[i] *= phase
+			}
+		}
+	})
+}
+
+// ApplyGlobalAndRelativePhase applies diag(a, b) on the target qubit —
+// the general single-qubit diagonal (rz has a ≠ 1).
+func (s *State) ApplyGlobalAndRelativePhase(target int, a, b complex128) {
+	s.checkQubit(target)
+	mask := uint64(1) << uint(target)
+	amps := s.amps
+	s.parallelRange(len(amps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if uint64(i)&mask != 0 {
+				amps[i] *= b
+			} else {
+				amps[i] *= a
+			}
+		}
+	})
+}
+
+// ApplyControlledPhase multiplies amplitudes with both control and
+// target bits set by phase — cz (phase = -1) and cr1(λ) (Eq. 9).
+func (s *State) ApplyControlledPhase(control, target int, phase complex128) {
+	s.checkQubit(control)
+	s.checkQubit(target)
+	if control == target {
+		panic("statevec: control equals target")
+	}
+	both := uint64(1)<<uint(control) | uint64(1)<<uint(target)
+	amps := s.amps
+	s.parallelRange(len(amps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if uint64(i)&both == both {
+				amps[i] *= phase
+			}
+		}
+	})
+}
+
+// IsDiagonalGate reports whether the fast path covers gate g.
+func IsDiagonalGate(g gate.Type) bool {
+	switch g {
+	case gate.Z, gate.S, gate.Sdg, gate.T, gate.Tdg, gate.RZ, gate.P, gate.CZ, gate.CP:
+		return true
+	}
+	return false
+}
+
+// ApplyDiagonalGate dispatches a diagonal gate through the fast path.
+// It panics for non-diagonal gates; callers gate on IsDiagonalGate.
+func (s *State) ApplyDiagonalGate(g gate.Type, qubits []int, params []float64) {
+	switch g {
+	case gate.Z, gate.S, gate.Sdg, gate.T, gate.Tdg, gate.P:
+		m := gate.Matrix1(g, params)
+		s.ApplyPhase1(qubits[0], m[3])
+	case gate.RZ:
+		m := gate.Matrix1(g, params)
+		s.ApplyGlobalAndRelativePhase(qubits[0], m[0], m[3])
+	case gate.CZ:
+		s.ApplyControlledPhase(qubits[0], qubits[1], -1)
+	case gate.CP:
+		m := gate.Matrix1(gate.P, params)
+		s.ApplyControlledPhase(qubits[0], qubits[1], m[3])
+	default:
+		panic(fmt.Sprintf("statevec: %v is not diagonal", g))
+	}
+}

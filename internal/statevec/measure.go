@@ -1,0 +1,54 @@
+package statevec
+
+import (
+	"math"
+
+	"qgear/internal/qmath"
+)
+
+// MeasureQubit performs a projective Z-basis measurement of qubit q:
+// it draws the outcome from the state's distribution using rng,
+// collapses the state, renormalizes, and returns the observed bit.
+// Shot-count experiments use sampling over Probabilities instead (one
+// pass, many shots); this op exists for mid-circuit measurement tests.
+func (s *State) MeasureQubit(q int, rng *qmath.RNG) int {
+	p1 := s.ProbOne(q)
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.CollapseQubit(q, outcome)
+	return outcome
+}
+
+// CollapseQubit projects qubit q onto the given outcome and
+// renormalizes. A zero-probability projection leaves the state at
+// |0...0> (the convention Qiskit uses after an impossible post-select
+// is an error; here the reset keeps the invariant Norm()==1 testable).
+func (s *State) CollapseQubit(q int, outcome int) {
+	s.checkQubit(q)
+	mask := uint64(1) << uint(q)
+	want := uint64(0)
+	if outcome != 0 {
+		want = mask
+	}
+	var norm float64
+	for i := range s.amps {
+		if uint64(i)&mask != want {
+			s.amps[i] = 0
+		} else {
+			a := s.amps[i]
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	if norm == 0 {
+		s.Reset()
+		return
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	s.parallelRange(len(s.amps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.amps[i] *= inv
+		}
+	})
+}

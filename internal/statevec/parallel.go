@@ -1,0 +1,81 @@
+package statevec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallelWork is the smallest index-space size worth fanning out;
+// below it the dispatch overhead dominates the amplitude math (the
+// same reason real GPU simulators batch tiny kernels).
+const minParallelWork = 1 << 12
+
+// The amplitude-sweep executor: a process-wide pool of worker
+// goroutines fed from one task channel. Gate application dispatches
+// one task per chunk and waits; reusing live workers instead of
+// spawning goroutines per gate keeps the per-gate overhead at a few
+// microseconds, which matters for the paper's QCrank workloads
+// (~10^5 gates on mid-sized states). Multiple states (mqpu batches,
+// mgpu ranks) share the pool safely: tasks are self-contained chunk
+// closures.
+type sweepTask struct {
+	fn     func(worker, lo, hi int)
+	worker int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan sweepTask
+)
+
+func poolInit() {
+	poolOnce.Do(func() {
+		poolTasks = make(chan sweepTask, 4*runtime.NumCPU())
+		for i := 0; i < runtime.NumCPU(); i++ {
+			go func() {
+				for t := range poolTasks {
+					t.fn(t.worker, t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// parallelRange splits [0, n) into at most s.workers contiguous chunks
+// and runs fn on each via the shared pool. The chunks never overlap,
+// so fn bodies may write disjoint amplitude indices without
+// synchronization — the contract a CUDA kernel launch gives its thread
+// blocks.
+func (s *State) parallelRange(n int, fn func(lo, hi int)) {
+	s.parallelRangeIndexed(n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// parallelRangeIndexed is parallelRange with a worker id in [0,
+// s.workers) for kernels needing per-worker scratch buffers.
+func (s *State) parallelRangeIndexed(n int, fn func(worker, lo, hi int)) {
+	if s.workers <= 1 || n < minParallelWork {
+		fn(0, 0, n)
+		return
+	}
+	poolInit()
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	id := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		poolTasks <- sweepTask{fn: fn, worker: id, lo: lo, hi: hi, wg: &wg}
+		id++
+	}
+	wg.Wait()
+}

@@ -1,0 +1,400 @@
+package statevec
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+)
+
+func TestNewState(t *testing.T) {
+	s := MustNew(3, 1)
+	if s.Len() != 8 || s.NumQubits() != 3 {
+		t.Fatal("size wrong")
+	}
+	if s.Amp(0) != 1 {
+		t.Fatal("initial state not |000>")
+	}
+	if n := s.Norm(); math.Abs(n-1) > 1e-15 {
+		t.Fatalf("norm %g", n)
+	}
+	if _, err := New(-1, 1); err == nil {
+		t.Fatal("negative qubits accepted")
+	}
+	if _, err := New(MaxQubits+1, 1); err == nil {
+		t.Fatal("oversize accepted")
+	}
+}
+
+func TestHadamardOnZero(t *testing.T) {
+	s := MustNew(1, 1)
+	s.ApplyMat1(0, gate.Matrix1(gate.H, nil))
+	want := complex(1/math.Sqrt2, 0)
+	if cmplx.Abs(s.Amp(0)-want) > 1e-15 || cmplx.Abs(s.Amp(1)-want) > 1e-15 {
+		t.Fatalf("H|0> wrong: %v %v", s.Amp(0), s.Amp(1))
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := MustNew(2, 1)
+	s.ApplyMat1(0, gate.Matrix1(gate.H, nil))
+	s.ApplyCX(0, 1)
+	w := 1 / math.Sqrt2
+	if cmplx.Abs(s.Amp(0)-complex(w, 0)) > 1e-15 ||
+		cmplx.Abs(s.Amp(3)-complex(w, 0)) > 1e-15 ||
+		cmplx.Abs(s.Amp(1)) > 1e-15 || cmplx.Abs(s.Amp(2)) > 1e-15 {
+		t.Fatalf("Bell state wrong: %v", s.Amplitudes())
+	}
+}
+
+func TestAppendixAExample(t *testing.T) {
+	// Appendix A: 3 qubits, control q0, target q2. In states with
+	// q0=1 the amplitudes swap for q2: α001↔α101, α011↔α111
+	// (bit order: index bit i = qubit i, so |q2 q1 q0>).
+	s := MustNew(3, 1)
+	// Load a recognizable non-uniform state.
+	for i := 0; i < 8; i++ {
+		s.SetAmp(uint64(i), complex(float64(i+1), 0))
+	}
+	s.ApplyCX(0, 2)
+	// q0 is bit 0, q2 is bit 2. Pairs with bit0=1: (001,101)=(1,5), (011,111)=(3,7).
+	wants := []float64{1, 6, 3, 8, 5, 2, 7, 4}
+	for i, w := range wants {
+		if real(s.Amp(uint64(i))) != w {
+			t.Fatalf("amp[%d] = %v, want %g", i, s.Amp(uint64(i)), w)
+		}
+	}
+}
+
+func TestCXControlTargetOrientation(t *testing.T) {
+	// |01> (q0=1, q1=0): cx(0,1) must flip q1 -> |11>.
+	s := MustNew(2, 1)
+	if err := s.PrepareBasis(0b01); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyCX(0, 1)
+	if cmplx.Abs(s.Amp(0b11)-1) > 1e-15 {
+		t.Fatalf("cx(0,1)|01> != |11>: %v", s.Amplitudes())
+	}
+	// cx(1,0) on |01>: control q1=0, no-op.
+	s2 := MustNew(2, 1)
+	if err := s2.PrepareBasis(0b01); err != nil {
+		t.Fatal(err)
+	}
+	s2.ApplyCX(1, 0)
+	if cmplx.Abs(s2.Amp(0b01)-1) > 1e-15 {
+		t.Fatal("cx(1,0)|01> should be a no-op")
+	}
+}
+
+func TestControlled1MatchesMat2(t *testing.T) {
+	// ApplyControlled1(c,t,U) must equal ApplyMat2 with diag(I,U).
+	r := qmath.NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 4
+		a := randomState(n, r)
+		b := a.Clone()
+		th := r.Angle()
+		u := gate.Matrix1(gate.RY, []float64{th})
+		c, tg := r.Intn(n), r.Intn(n)
+		if c == tg {
+			continue
+		}
+		a.ApplyControlled1(c, tg, u)
+		// Mat2 with q1=control, q0=target: ControlledOnHigh.
+		b.ApplyMat2(c, tg, gate.ControlledOnHigh(u))
+		requireClose(t, a, b, 1e-12)
+	}
+}
+
+func TestSWAPViaApplyGate(t *testing.T) {
+	s := MustNew(2, 1)
+	if err := s.PrepareBasis(0b01); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyGate(gate.SWAP, []int{0, 1}, nil)
+	if cmplx.Abs(s.Amp(0b10)-1) > 1e-15 {
+		t.Fatalf("swap failed: %v", s.Amplitudes())
+	}
+}
+
+func TestApplyGateDispatchAgainstMatrices(t *testing.T) {
+	// Every unitary gate type applied via ApplyGate matches the direct
+	// matrix kernels on a random state.
+	r := qmath.NewRNG(77)
+	params := map[gate.Type][]float64{
+		gate.RX: {0.3}, gate.RY: {0.9}, gate.RZ: {-0.4}, gate.P: {1.2},
+		gate.U3: {0.5, 0.6, 0.7}, gate.CP: {0.8}, gate.CRY: {1.4},
+	}
+	for _, g := range gate.Types() {
+		if !g.IsUnitary() {
+			continue
+		}
+		a := randomState(3, r)
+		b := a.Clone()
+		switch g.Arity() {
+		case 1:
+			a.ApplyGate(g, []int{1}, params[g])
+			b.ApplyMat1(1, gate.Matrix1(g, params[g]))
+		case 2:
+			a.ApplyGate(g, []int{2, 0}, params[g])
+			b.ApplyMat2(2, 0, gate.Matrix2(g, params[g]))
+		}
+		requireClose(t, a, b, 1e-12)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// The GPU-stand-in path (many workers) and the CPU path (1 worker)
+	// must produce identical states on a random circuit.
+	r := qmath.NewRNG(99)
+	const n = 10
+	serial := MustNew(n, 1)
+	parallel := MustNew(n, 8)
+	for i := 0; i < 200; i++ {
+		g := r.Intn(4)
+		q := r.Intn(n)
+		q2 := r.Intn(n)
+		for q2 == q {
+			q2 = r.Intn(n)
+		}
+		switch g {
+		case 0:
+			m := gate.Matrix1(gate.H, nil)
+			serial.ApplyMat1(q, m)
+			parallel.ApplyMat1(q, m)
+		case 1:
+			m := gate.Matrix1(gate.RY, []float64{r.Angle()})
+			serial.ApplyMat1(q, m)
+			parallel.ApplyMat1(q, m)
+		case 2:
+			serial.ApplyCX(q, q2)
+			parallel.ApplyCX(q, q2)
+		case 3:
+			m := gate.Matrix2(gate.CP, []float64{r.Angle()})
+			serial.ApplyMat2(q, q2, m)
+			parallel.ApplyMat2(q, q2, m)
+		}
+	}
+	requireClose(t, serial, parallel, 1e-12)
+}
+
+func TestNormPreservationProperty(t *testing.T) {
+	// Unitary evolution preserves Eq. (1)'s normalization across long
+	// random circuits.
+	r := qmath.NewRNG(31)
+	s := randomState(8, r)
+	for i := 0; i < 500; i++ {
+		q := r.Intn(8)
+		q2 := (q + 1 + r.Intn(7)) % 8
+		switch r.Intn(3) {
+		case 0:
+			s.ApplyMat1(q, gate.Matrix1(gate.U3, []float64{r.Angle(), r.Angle(), r.Angle()}))
+		case 1:
+			s.ApplyCX(q, q2)
+		case 2:
+			s.ApplyControlled1(q, q2, gate.Matrix1(gate.RY, []float64{r.Angle()}))
+		}
+	}
+	if n := s.Norm(); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("norm drifted to %g after 500 gates", n)
+	}
+}
+
+func TestFusedMatchesSequential(t *testing.T) {
+	// A fused 2-qubit matrix equals applying the constituent gates.
+	r := qmath.NewRNG(13)
+	for trial := 0; trial < 10; trial++ {
+		a := randomState(5, r)
+		b := a.Clone()
+		th := r.Angle()
+		// Sequence: ry(th) on q3; cx(3,1).
+		m := gate.Matrix2(gate.CX, nil).Mul(gate.Kron(gate.Matrix1(gate.RY, []float64{th}), gate.Identity2()))
+		// Fused matrix on qubits (hi=3, lo=1): qubits[j]=bit j -> [1,3].
+		if err := a.ApplyFused([]int{1, 3}, m[:]); err != nil {
+			t.Fatal(err)
+		}
+		b.ApplyMat1(3, gate.Matrix1(gate.RY, []float64{th}))
+		b.ApplyCX(3, 1)
+		requireClose(t, a, b, 1e-12)
+	}
+}
+
+func TestFusedThreeQubitGHZ(t *testing.T) {
+	// Build the 3-qubit GHZ unitary as one fused 8×8 matrix and compare
+	// with gate-by-gate execution.
+	gates := []struct {
+		g  gate.Type
+		qs []int
+	}{{gate.H, []int{0}}, {gate.CX, []int{0, 1}}, {gate.CX, []int{0, 2}}}
+
+	seq := MustNew(3, 1)
+	for _, op := range gates {
+		seq.ApplyGate(op.g, op.qs, nil)
+	}
+
+	// Dense 8×8 by applying each gate to basis columns.
+	dim := 8
+	u := make([]complex128, dim*dim)
+	for col := 0; col < dim; col++ {
+		v := MustNew(3, 1)
+		if err := v.PrepareBasis(uint64(col)); err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range gates {
+			v.ApplyGate(op.g, op.qs, nil)
+		}
+		for row := 0; row < dim; row++ {
+			u[row*dim+col] = v.Amp(uint64(row))
+		}
+	}
+	fused := MustNew(3, 2)
+	if err := fused.ApplyFused([]int{0, 1, 2}, u); err != nil {
+		t.Fatal(err)
+	}
+	requireClose(t, fused, seq, 1e-12)
+}
+
+func TestFusedValidation(t *testing.T) {
+	s := MustNew(3, 1)
+	if err := s.ApplyFused(nil, nil); err == nil {
+		t.Fatal("empty qubit list accepted")
+	}
+	if err := s.ApplyFused([]int{0, 0}, make([]complex128, 16)); err == nil {
+		t.Fatal("duplicate qubits accepted")
+	}
+	if err := s.ApplyFused([]int{0, 1}, make([]complex128, 5)); err == nil {
+		t.Fatal("wrong matrix size accepted")
+	}
+	if err := s.ApplyFused([]int{0, 1, 2, 3}, make([]complex128, 256)); err == nil {
+		t.Fatal("width beyond qubit count accepted")
+	}
+}
+
+func TestProbabilitiesAndExpZ(t *testing.T) {
+	s := MustNew(2, 1)
+	s.ApplyMat1(0, gate.Matrix1(gate.H, nil))
+	p := s.Probabilities()
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 || p[2] != 0 || p[3] != 0 {
+		t.Fatalf("probs wrong: %v", p)
+	}
+	if z := s.ExpZ(0); math.Abs(z) > 1e-12 {
+		t.Fatalf("<Z0> = %g, want 0", z)
+	}
+	if z := s.ExpZ(1); math.Abs(z-1) > 1e-12 {
+		t.Fatalf("<Z1> = %g, want 1", z)
+	}
+	// RY(θ)|0>: <Z> = cos θ — the QCrank readout relation.
+	th := 0.87
+	s2 := MustNew(1, 1)
+	s2.ApplyMat1(0, gate.Matrix1(gate.RY, []float64{th}))
+	if z := s2.ExpZ(0); math.Abs(z-math.Cos(th)) > 1e-12 {
+		t.Fatalf("<Z> = %g, want cos θ = %g", z, math.Cos(th))
+	}
+}
+
+func TestInnerProductAndFidelity(t *testing.T) {
+	a := MustNew(2, 1)
+	b := MustNew(2, 1)
+	f, err := a.Fidelity(b)
+	if err != nil || math.Abs(f-1) > 1e-15 {
+		t.Fatalf("identical states fidelity %g, err %v", f, err)
+	}
+	b.ApplyMat1(0, gate.Matrix1(gate.X, nil))
+	f, _ = a.Fidelity(b)
+	if f > 1e-15 {
+		t.Fatalf("orthogonal states fidelity %g", f)
+	}
+	c := MustNew(3, 1)
+	if _, err := a.InnerProduct(c); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestMeasureAndCollapse(t *testing.T) {
+	r := qmath.NewRNG(2024)
+	ones := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		s := MustNew(2, 1)
+		s.ApplyMat1(0, gate.Matrix1(gate.H, nil))
+		s.ApplyCX(0, 1)
+		m0 := s.MeasureQubit(0, r)
+		// After measuring a Bell pair, the second qubit is perfectly
+		// correlated.
+		m1 := s.MeasureQubit(1, r)
+		if m0 != m1 {
+			t.Fatal("Bell correlation broken")
+		}
+		if math.Abs(s.Norm()-1) > 1e-12 {
+			t.Fatal("collapse broke normalization")
+		}
+		ones += m0
+	}
+	if ones < trials/2-150 || ones > trials/2+150 {
+		t.Fatalf("measurement bias: %d/%d ones", ones, trials)
+	}
+}
+
+func TestCollapseImpossibleOutcome(t *testing.T) {
+	s := MustNew(1, 1) // |0>
+	s.CollapseQubit(0, 1)
+	if s.Amp(0) != 1 {
+		t.Fatal("impossible collapse should reset")
+	}
+}
+
+func TestPrepareBasisAndReset(t *testing.T) {
+	s := MustNew(3, 1)
+	if err := s.PrepareBasis(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Amp(5) != 1 || s.Amp(0) != 0 {
+		t.Fatal("PrepareBasis wrong")
+	}
+	if err := s.PrepareBasis(8); err == nil {
+		t.Fatal("out-of-range basis accepted")
+	}
+	s.Reset()
+	if s.Amp(0) != 1 || s.Amp(5) != 0 {
+		t.Fatal("Reset wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustNew(2, 1)
+	b := a.Clone()
+	b.ApplyMat1(0, gate.Matrix1(gate.X, nil))
+	if a.Amp(1) != 0 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+// randomState prepares a pseudo-random normalized state by running a
+// seeded random circuit on |0...0>.
+func randomState(n int, r *qmath.RNG) *State {
+	s := MustNew(n, 1)
+	for i := 0; i < 3*n; i++ {
+		q := r.Intn(n)
+		s.ApplyMat1(q, gate.Matrix1(gate.U3, []float64{r.Angle(), r.Angle(), r.Angle()}))
+		if n > 1 {
+			q2 := (q + 1 + r.Intn(n-1)) % n
+			s.ApplyCX(q, q2)
+		}
+	}
+	return s
+}
+
+func requireClose(t *testing.T, a, b *State, tol float64) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.amps {
+		if cmplx.Abs(a.amps[i]-b.amps[i]) > tol {
+			t.Fatalf("amplitude %d differs: %v vs %v", i, a.amps[i], b.amps[i])
+		}
+	}
+}

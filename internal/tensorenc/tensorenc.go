@@ -1,0 +1,317 @@
+// Package tensorenc implements the circuit encoding of §2.1 and
+// Appendix B/D.1 of the paper: a quantum circuit list is converted into
+// a three-dimensional tensor whose first dimension encodes per-circuit
+// properties (circuit type, qubit count, gate count), second dimension
+// the gate specifications (gate category, control qubit, target qubit),
+// and third dimension the unified gate parameters.
+//
+// The tensors are pre-allocated at a fixed capacity d satisfying
+// Lemma B.2 (d ≥ max(|G|, |C|)) and overridden in place as circuits are
+// processed, which is what makes the conversion time constant per gate
+// and independent of entanglement depth (Appendix C). The encoding
+// persists to the HDF5-lite container with the Eq. (8) one-hot matrix
+// and generation metadata attached.
+package tensorenc
+
+import (
+	"fmt"
+	"strings"
+
+	"qgear/internal/circuit"
+	"qgear/internal/gate"
+	"qgear/internal/hdf5"
+)
+
+// Circuit type ids stored in the circ_type tensor (first dimension of
+// the encoding; "the type of circuit" in §2.1).
+const (
+	TypeOther int64 = iota
+	TypeRandom
+	TypeQFT
+	TypeQCrank
+)
+
+// InferType maps a circuit name to its type id by prefix convention:
+// the workload generators name their outputs "random_*", "qft_*",
+// "qcrank_*".
+func InferType(name string) int64 {
+	switch {
+	case strings.HasPrefix(name, "random"):
+		return TypeRandom
+	case strings.HasPrefix(name, "qft"):
+		return TypeQFT
+	case strings.HasPrefix(name, "qcrank"):
+		return TypeQCrank
+	default:
+		return TypeOther
+	}
+}
+
+// emptySlot marks unused tensor rows beyond a circuit's gate count.
+const emptySlot int64 = -1
+
+// noQubit marks an absent control/target operand.
+const noQubit int64 = -1
+
+// Encoding is the in-memory three-dimensional tensor set. All slices
+// are row-major with the circuit index outermost.
+type Encoding struct {
+	NumCircuits int
+	Capacity    int // d of Lemma B.2
+
+	// CircType holds (type id, num qubits, gate count) per circuit.
+	CircType []int64 // [NumCircuits][3]
+	// GateType holds (gate id, control/aux, target) per gate slot; the
+	// aux slot carries the classical bit for measure ops.
+	GateType []int64 // [NumCircuits][Capacity][3]
+	// GateParam holds one rotation angle per gate slot.
+	GateParam []float64 // [NumCircuits][Capacity]
+	// Names preserves circuit names (joined metadata, not part of the
+	// numeric tensors).
+	Names []string
+}
+
+// Encode builds the tensor encoding of the circuit list with the given
+// capacity; capacity <= 0 auto-sizes to the largest gate count, per
+// Lemma B.2. Gates with more than one parameter (u3) are rejected —
+// callers transpile to the native basis first, matching the paper's
+// "transpiled from native gate sets" step.
+func Encode(circuits []*circuit.Circuit, capacity int) (*Encoding, error) {
+	maxGates := 0
+	for _, c := range circuits {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("tensorenc: %w", err)
+		}
+		if n := len(c.Ops); n > maxGates {
+			maxGates = n
+		}
+	}
+	if capacity <= 0 {
+		capacity = maxGates
+	}
+	if capacity < maxGates {
+		return nil, fmt.Errorf("tensorenc: capacity %d violates Lemma B.2: largest circuit has %d gates", capacity, maxGates)
+	}
+	n := len(circuits)
+	e := &Encoding{
+		NumCircuits: n,
+		Capacity:    capacity,
+		CircType:    make([]int64, n*3),
+		GateType:    make([]int64, n*capacity*3),
+		GateParam:   make([]float64, n*capacity),
+		Names:       make([]string, n),
+	}
+	// Pre-fill gate slots with the empty marker; encoding then
+	// overrides in place (the fixed-size override strategy of the
+	// Lemma B.2 proof).
+	for i := range e.GateType {
+		e.GateType[i] = emptySlot
+	}
+	for ci, c := range circuits {
+		e.Names[ci] = c.Name
+		e.CircType[ci*3+0] = InferType(c.Name)
+		e.CircType[ci*3+1] = int64(c.NumQubits)
+		e.CircType[ci*3+2] = int64(len(c.Ops))
+		for gi, op := range c.Ops {
+			if op.Gate.ParamCount() > 1 {
+				return nil, fmt.Errorf("tensorenc: circuit %q op %d: %v has %d params; transpile to the native basis first",
+					c.Name, gi, op.Gate, op.Gate.ParamCount())
+			}
+			base := (ci*capacity + gi) * 3
+			e.GateType[base+0] = int64(op.Gate)
+			switch {
+			case op.Gate == gate.Measure:
+				e.GateType[base+1] = int64(op.Clbit)
+				e.GateType[base+2] = int64(op.Qubits[0])
+			case len(op.Qubits) == 2:
+				e.GateType[base+1] = int64(op.Qubits[0])
+				e.GateType[base+2] = int64(op.Qubits[1])
+			case len(op.Qubits) == 1:
+				e.GateType[base+1] = noQubit
+				e.GateType[base+2] = int64(op.Qubits[0])
+			default: // barrier
+				e.GateType[base+1] = noQubit
+				e.GateType[base+2] = noQubit
+			}
+			if len(op.Params) == 1 {
+				e.GateParam[ci*capacity+gi] = op.Params[0]
+			}
+		}
+	}
+	return e, nil
+}
+
+// Decode reconstructs the circuit list from the tensors.
+func (e *Encoding) Decode() ([]*circuit.Circuit, error) {
+	if len(e.CircType) != e.NumCircuits*3 ||
+		len(e.GateType) != e.NumCircuits*e.Capacity*3 ||
+		len(e.GateParam) != e.NumCircuits*e.Capacity {
+		return nil, fmt.Errorf("tensorenc: tensor dimensions inconsistent with header (%d circuits × %d capacity)",
+			e.NumCircuits, e.Capacity)
+	}
+	out := make([]*circuit.Circuit, e.NumCircuits)
+	for ci := 0; ci < e.NumCircuits; ci++ {
+		nq := int(e.CircType[ci*3+1])
+		ng := int(e.CircType[ci*3+2])
+		if ng > e.Capacity {
+			return nil, fmt.Errorf("tensorenc: circuit %d claims %d gates beyond capacity %d", ci, ng, e.Capacity)
+		}
+		c := &circuit.Circuit{NumQubits: nq}
+		if ci < len(e.Names) {
+			c.Name = e.Names[ci]
+		}
+		for gi := 0; gi < ng; gi++ {
+			base := (ci*e.Capacity + gi) * 3
+			gid := e.GateType[base+0]
+			if gid == emptySlot {
+				return nil, fmt.Errorf("tensorenc: circuit %d gate %d is an empty slot inside the declared gate count", ci, gi)
+			}
+			g := gate.Type(gid)
+			if !g.Valid() {
+				return nil, fmt.Errorf("tensorenc: circuit %d gate %d: invalid gate id %d", ci, gi, gid)
+			}
+			op := circuit.Op{Gate: g}
+			a, b := e.GateType[base+1], e.GateType[base+2]
+			switch {
+			case g == gate.Measure:
+				op.Qubits = []int{int(b)}
+				op.Clbit = int(a)
+				if op.Clbit >= c.NumClbits {
+					c.NumClbits = op.Clbit + 1
+				}
+			case g == gate.Barrier:
+			case g.Arity() == 2:
+				op.Qubits = []int{int(a), int(b)}
+			default:
+				op.Qubits = []int{int(b)}
+			}
+			if g.ParamCount() == 1 {
+				op.Params = []float64{e.GateParam[ci*e.Capacity+gi]}
+			}
+			c.Ops = append(c.Ops, op)
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("tensorenc: decoded circuit %d invalid: %w", ci, err)
+		}
+		out[ci] = c
+	}
+	return out, nil
+}
+
+// Dataset and attribute names inside the HDF5 container.
+const (
+	DSCircType  = "circ_type"
+	DSGateType  = "gate_type"
+	DSGateParam = "gate_param"
+	DSNames     = "names"
+	DSOneHot    = "one_hot"
+	AttrNumCirc = "num_circ"
+	AttrCap     = "capacity"
+	AttrVersion = "version"
+)
+
+// ToHDF5 packs the encoding into an HDF5-lite file under the given
+// group path, including the Eq. (8) one-hot matrix and metadata
+// attributes.
+func (e *Encoding) ToHDF5(group string) (*hdf5.File, error) {
+	f := hdf5.NewFile()
+	p := func(name string) string { return group + "/" + name }
+	if err := f.PutInt64s(p(DSCircType), e.CircType, e.NumCircuits, 3); err != nil {
+		return nil, err
+	}
+	if err := f.PutInt64s(p(DSGateType), e.GateType, e.NumCircuits, e.Capacity, 3); err != nil {
+		return nil, err
+	}
+	if err := f.PutFloat64s(p(DSGateParam), e.GateParam, e.NumCircuits, e.Capacity); err != nil {
+		return nil, err
+	}
+	if err := f.PutUint8s(p(DSNames), []byte(strings.Join(e.Names, "\n"))); err != nil {
+		return nil, err
+	}
+	oh := gate.OneHot()
+	flat := make([]float64, 0, gate.OneHotSize*gate.OneHotSize)
+	for i := 0; i < gate.OneHotSize; i++ {
+		flat = append(flat, oh[i][:]...)
+	}
+	if err := f.PutFloat64s(p(DSOneHot), flat, gate.OneHotSize, gate.OneHotSize); err != nil {
+		return nil, err
+	}
+	if err := f.SetAttr(group, AttrNumCirc, hdf5.IntAttr(int64(e.NumCircuits))); err != nil {
+		return nil, err
+	}
+	if err := f.SetAttr(group, AttrCap, hdf5.IntAttr(int64(e.Capacity))); err != nil {
+		return nil, err
+	}
+	if err := f.SetAttr(group, AttrVersion, hdf5.IntAttr(1)); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FromHDF5 unpacks an encoding from the given group of an HDF5-lite
+// file.
+func FromHDF5(f *hdf5.File, group string) (*Encoding, error) {
+	p := func(name string) string { return group + "/" + name }
+	nAttr, err := f.Attr(group, AttrNumCirc)
+	if err != nil {
+		return nil, err
+	}
+	capAttr, err := f.Attr(group, AttrCap)
+	if err != nil {
+		return nil, err
+	}
+	e := &Encoding{NumCircuits: int(nAttr.I), Capacity: int(capAttr.I)}
+	if e.NumCircuits < 0 || e.Capacity < 0 {
+		return nil, fmt.Errorf("tensorenc: negative dimensions in metadata")
+	}
+	var shape []int
+	if e.CircType, shape, err = f.Int64s(p(DSCircType)); err != nil {
+		return nil, err
+	}
+	if len(shape) != 2 || shape[0] != e.NumCircuits || shape[1] != 3 {
+		return nil, fmt.Errorf("tensorenc: circ_type shape %v inconsistent with %d circuits", shape, e.NumCircuits)
+	}
+	if e.GateType, shape, err = f.Int64s(p(DSGateType)); err != nil {
+		return nil, err
+	}
+	if len(shape) != 3 || shape[0] != e.NumCircuits || shape[1] != e.Capacity || shape[2] != 3 {
+		return nil, fmt.Errorf("tensorenc: gate_type shape %v inconsistent", shape)
+	}
+	if e.GateParam, shape, err = f.Float64s(p(DSGateParam)); err != nil {
+		return nil, err
+	}
+	if len(shape) != 2 || shape[0] != e.NumCircuits || shape[1] != e.Capacity {
+		return nil, fmt.Errorf("tensorenc: gate_param shape %v inconsistent", shape)
+	}
+	raw, _, err := f.Uint8s(p(DSNames))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) > 0 {
+		e.Names = strings.Split(string(raw), "\n")
+	}
+	if len(e.Names) < e.NumCircuits {
+		pad := make([]string, e.NumCircuits-len(e.Names))
+		e.Names = append(e.Names, pad...)
+	}
+	return e, nil
+}
+
+// SaveFile writes the encoding to an HDF5-lite file at path with flate
+// compression (the Appendix C configuration).
+func (e *Encoding) SaveFile(path, group string) error {
+	f, err := e.ToHDF5(group)
+	if err != nil {
+		return err
+	}
+	return f.SaveFile(path, hdf5.SaveOptions{Compression: hdf5.CompressionFlate})
+}
+
+// LoadFile reads an encoding back from path.
+func LoadFile(path, group string) (*Encoding, error) {
+	f, err := hdf5.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromHDF5(f, group)
+}

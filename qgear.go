@@ -1,0 +1,242 @@
+// Package qgear is the public API of the Q-GEAR reproduction: a
+// framework that transforms Qiskit-style quantum circuit objects into
+// CUDA-Q-style GPU kernels and executes them on CPU-baseline,
+// single-device, pooled-memory multi-device, and multi-QPU simulation
+// targets, as described in "Q-GEAR: Improving quantum simulation
+// framework" (Guo, Balewski, Pan — ICPP 2025, arXiv:2504.03967).
+//
+// Quickstart (the paper's Fig. 2b GHZ example):
+//
+//	c := qgear.GHZ(20, false)
+//	res, err := qgear.Run(c, qgear.RunOptions{Target: qgear.TargetNvidia})
+//	// res.Probabilities[0] ≈ 0.5, res.Probabilities[2^20-1] ≈ 0.5
+//
+// The package re-exports the stable subset of the internal layers:
+// circuit building, the kernel transformation, execution targets, the
+// workload generators used in the paper's evaluation (random CX-block
+// unitaries, QFT, QCrank image encoding), the QPY/HDF5 interchange
+// formats, and the calibrated Perlmutter performance model used to
+// extrapolate paper-scale figures.
+package qgear
+
+import (
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/cluster"
+	"qgear/internal/core"
+	"qgear/internal/kernel"
+	"qgear/internal/observable"
+	"qgear/internal/qasm"
+	"qgear/internal/qcrank"
+	"qgear/internal/qft"
+	"qgear/internal/qimage"
+	"qgear/internal/randcirc"
+	"qgear/internal/sampling"
+	"qgear/internal/statevec"
+)
+
+// Circuit is a Qiskit-like object circuit (builder API: H, CX, RY,
+// CP, MeasureAll, ...).
+type Circuit = circuit.Circuit
+
+// Op is one circuit operation.
+type Op = circuit.Op
+
+// Kernel is a CUDA-Q-style kernel: the transformation target.
+type Kernel = kernel.Kernel
+
+// TransformStats reports what the circuit→kernel transformation did.
+type TransformStats = kernel.Stats
+
+// Target selects an execution backend.
+type Target = backend.Target
+
+// Execution targets (the paper's CUDA-Q target strings plus the two
+// baselines).
+const (
+	TargetAer        = backend.TargetAer
+	TargetNvidia     = backend.TargetNvidia
+	TargetNvidiaMGPU = backend.TargetNvidiaMGPU
+	TargetNvidiaMQPU = backend.TargetNvidiaMQPU
+	TargetPennylane  = backend.TargetPennylane
+)
+
+// Result carries probabilities, sampled counts, timing, transformation
+// stats and multi-device communication counters.
+type Result = backend.Result
+
+// Counts maps basis states to observed shot counts.
+type Counts = sampling.Counts
+
+// RunOptions configures transformation and execution.
+type RunOptions = core.Options
+
+// NewCircuit returns an empty circuit with nq qubits and nc classical
+// bits.
+func NewCircuit(nq, nc int) *Circuit { return circuit.New(nq, nc) }
+
+// GHZ builds the n-qubit GHZ preparation circuit of Fig. 2b.
+func GHZ(n int, measure bool) *Circuit { return circuit.GHZ(n, measure) }
+
+// Transform converts a circuit into a kernel — the Q-GEAR step
+// (§2.2) — with optional gate fusion and small-angle pruning.
+func Transform(c *Circuit, opts RunOptions) (*Kernel, TransformStats, error) {
+	ks, sts, err := core.Transform([]*Circuit{c}, opts)
+	if err != nil {
+		return nil, TransformStats{}, err
+	}
+	return ks[0], sts[0], nil
+}
+
+// Run transforms and executes one circuit.
+func Run(c *Circuit, opts RunOptions) (*Result, error) { return core.RunOne(c, opts) }
+
+// RunBatch transforms and executes a circuit batch (device-parallel on
+// the nvidia-mqpu target).
+func RunBatch(cs []*Circuit, opts RunOptions) ([]*Result, error) { return core.Run(cs, opts) }
+
+// SaveQPY / LoadQPY persist circuit lists in the QPY-like interchange
+// format of the paper's pipeline (Fig. 2c).
+func SaveQPY(path string, cs []*Circuit) error { return core.SaveQPY(path, cs) }
+
+// LoadQPY reads a circuit list saved by SaveQPY.
+func LoadQPY(path string) ([]*Circuit, error) { return core.LoadQPY(path) }
+
+// SaveTensors tensor-encodes circuits (§2.1) into a compressed
+// HDF5-lite file; capacity <= 0 auto-sizes per Lemma B.2.
+func SaveTensors(path string, cs []*Circuit, capacity int) error {
+	return core.SaveTensors(path, cs, capacity)
+}
+
+// LoadTensors reads circuits back from a tensor file.
+func LoadTensors(path string) ([]*Circuit, error) { return core.LoadTensors(path) }
+
+// RandomUnitarySpec configures the Appendix D.1 random CX-block
+// generator.
+type RandomUnitarySpec = randcirc.Spec
+
+// Paper workload sizes: 'short' (100 blocks), Fig. 4b 'intermediate'
+// (3,000) and 'long' (10,000).
+const (
+	ShortBlocks        = randcirc.ShortBlocks
+	IntermediateBlocks = randcirc.IntermediateBlocks
+	LongBlocks         = randcirc.LongBlocks
+)
+
+// RandomUnitary generates one random CX-block circuit (Algorithm 1).
+func RandomUnitary(spec RandomUnitarySpec) (*Circuit, error) { return randcirc.Generate(spec) }
+
+// RandomUnitaryList generates a batch with independent seeds.
+func RandomUnitaryList(qubits, blocks, count int, seed uint64) ([]*Circuit, error) {
+	return randcirc.GenerateList(qubits, blocks, count, seed)
+}
+
+// QFT builds the n-qubit quantum Fourier transform (Appendix D.2);
+// reverse appends the bit-order swaps.
+func QFT(n int, reverse bool) (*Circuit, error) { return qft.Circuit(n, reverse) }
+
+// Image is a grayscale image normalized to [-1, 1].
+type Image = qimage.Image
+
+// ImageMetrics summarizes reconstruction quality (Fig. 6).
+type ImageMetrics = qimage.Metrics
+
+// SyntheticImage generates one of the paper's test-image stand-ins
+// ("finger", "shoes", "building", "zebra") at the given size.
+func SyntheticImage(kind string, w, h int, seed uint64) (*Image, error) {
+	return qimage.Synthetic(kind, w, h, seed)
+}
+
+// CompareImages computes reconstruction metrics.
+func CompareImages(ref, reco *Image) (ImageMetrics, error) { return qimage.Compare(ref, reco) }
+
+// QCrankPlan fixes a QCrank encoding layout (address/data qubits,
+// shot budget).
+type QCrankPlan = qcrank.Plan
+
+// NewQCrankPlan sizes a plan for pixels and address qubits;
+// shotsPerAddr = 0 selects the paper's s = 3000.
+func NewQCrankPlan(pixels, addrQubits, shotsPerAddr int) (QCrankPlan, error) {
+	return qcrank.NewPlan(pixels, addrQubits, shotsPerAddr)
+}
+
+// QCrankEncode builds the image-encoding circuit (one CX per pixel).
+func QCrankEncode(values []float64, plan QCrankPlan, measure bool) (*Circuit, error) {
+	return qcrank.Encode(values, plan, measure)
+}
+
+// QCrankDecodeCounts reconstructs pixel values from measured shots.
+func QCrankDecodeCounts(counts Counts, plan QCrankPlan) ([]float64, []int, error) {
+	return qcrank.DecodeCounts(counts, plan)
+}
+
+// QCrankDecodeProbs reconstructs pixel values exactly from a
+// probability vector (the infinite-shot limit).
+func QCrankDecodeProbs(probs []float64, plan QCrankPlan) ([]float64, error) {
+	return qcrank.DecodeProbs(probs, plan)
+}
+
+// PerformanceModel is the calibrated Perlmutter hardware model used
+// for paper-scale estimates (Figs. 1, 4, 5 at qubit counts beyond
+// local memory).
+type PerformanceModel = cluster.Cluster
+
+// Perlmutter returns the §2.3 hardware model.
+func Perlmutter() *PerformanceModel { return cluster.Perlmutter() }
+
+// Targets lists the supported execution targets.
+func Targets() []Target { return backend.Targets() }
+
+// ExportQASM renders a circuit as an OpenQASM 2.0 program.
+func ExportQASM(c *Circuit) (string, error) { return qasm.Export(c) }
+
+// ParseQASM reads an OpenQASM 2.0 program back into a circuit.
+func ParseQASM(src string) (*Circuit, error) { return qasm.Parse(src) }
+
+// Pauli is a single-qubit Pauli factor for observables.
+type Pauli = observable.Pauli
+
+// Pauli factors.
+const (
+	PauliX = observable.X
+	PauliY = observable.Y
+	PauliZ = observable.Z
+)
+
+// Hamiltonian is a real-weighted sum of Pauli strings — the Fig. 2c
+// "distinct Hamiltonians" workload structure.
+type Hamiltonian = observable.Hamiltonian
+
+// PauliTerm is one weighted Pauli string.
+type PauliTerm = observable.Term
+
+// NewPauliTerm builds a weighted Pauli string from qubit→factor pairs.
+func NewPauliTerm(coef float64, factors map[int]Pauli) PauliTerm {
+	return observable.NewTerm(coef, factors)
+}
+
+// TransverseFieldIsing builds the TFIM chain Hamiltonian benchmark.
+func TransverseFieldIsing(n int, j, g float64) *Hamiltonian {
+	return observable.TransverseFieldIsing(n, j, g)
+}
+
+// Expectation evaluates a Hamiltonian on the final state of a circuit,
+// partitioning its terms across `devices` concurrent evaluators when
+// devices > 1 (the Fig. 2c parallel-Hamiltonian mode).
+func Expectation(c *Circuit, h *Hamiltonian, devices int) (float64, error) {
+	k, _, err := kernel.FromCircuit(c, kernel.Options{DropMeasurements: true})
+	if err != nil {
+		return 0, err
+	}
+	s, err := statevec.New(c.NumQubits, 0)
+	if err != nil {
+		return 0, err
+	}
+	if err := kernel.Execute(k, s); err != nil {
+		return 0, err
+	}
+	if devices > 1 {
+		return h.ExpectationParallel(s, devices)
+	}
+	return h.Expectation(s)
+}
