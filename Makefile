@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet check serve bench-serve clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+# The tier-1 gate: plain build + test, as CI runs it.
+check:
+	$(GO) build ./... && $(GO) test ./...
+
+serve: build
+	$(GO) run ./cmd/qgear-serve serve -addr :8042 -fusion 2
+
+bench-serve: build
+	$(GO) run ./cmd/qgear-serve bench -clients 100 -waves 2 -qubits 16
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,3 @@
+module qgear
+
+go 1.21

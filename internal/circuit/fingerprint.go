@@ -1,0 +1,48 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a stable content hash of the circuit: the qubit
+// and classical register sizes plus every operation (gate type, qubit
+// operands, exact parameter bits, and measurement destination). Two
+// circuits share a fingerprint iff they describe the same computation,
+// independent of Name and of how the object was built or loaded —
+// the key property a content-addressed result cache needs.
+//
+// The encoding is versioned: the leading byte bumps if the layout ever
+// changes, so persisted fingerprints cannot silently collide across
+// releases.
+func (c *Circuit) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	h.Write([]byte{fingerprintVersion})
+	wInt(c.NumQubits)
+	wInt(c.NumClbits)
+	wInt(len(c.Ops))
+	for _, op := range c.Ops {
+		h.Write([]byte{byte(op.Gate)})
+		wInt(len(op.Qubits))
+		for _, q := range op.Qubits {
+			wInt(q)
+		}
+		wInt(len(op.Params))
+		for _, p := range op.Params {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+			h.Write(buf[:])
+		}
+		wInt(op.Clbit)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fingerprintVersion tags the Fingerprint byte layout.
+const fingerprintVersion = 1

@@ -8,7 +8,10 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"math"
 
 	"qgear/internal/backend"
 	"qgear/internal/circuit"
@@ -41,6 +44,21 @@ func (o Options) backendConfig() backend.Config {
 		FusionWindow: o.FusionWindow,
 		PruneAngle:   o.PruneAngle,
 	}
+}
+
+// CacheKey returns the content address of (circuit, options): the
+// circuit fingerprint extended with every option that changes the
+// simulation output — transform knobs (fusion window, prune angle),
+// target, device/worker sizing, and the shot budget and seed. Two
+// submissions with equal keys are guaranteed to produce identical
+// results, so a result cache may serve one from the other.
+func CacheKey(c *circuit.Circuit, opts Options) string {
+	h := sha256.New()
+	h.Write([]byte(c.Fingerprint()))
+	fmt.Fprintf(h, "|f%d|p%x|t%s|d%d|w%d|s%d|r%d",
+		opts.FusionWindow, math.Float64bits(opts.PruneAngle), opts.Target,
+		opts.Devices, opts.Workers, opts.Shots, opts.Seed)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Transform converts circuits to kernels with the configured options —

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"container/list"
+
+	"qgear/internal/backend"
+)
+
+// lruCache is a content-addressed result cache: cache keys are the
+// canonical (circuit fingerprint, options) hashes from core.CacheKey,
+// values are completed simulation results. Least-recently-used entries
+// are evicted once the capacity is exceeded. It is not safe for
+// concurrent use; the Server serializes access under its mutex.
+type lruCache struct {
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *backend.Result
+}
+
+// newLRUCache returns a cache holding up to capacity entries;
+// capacity <= 0 disables caching (every Get misses, Add is a no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result for key and refreshes its recency.
+func (c *lruCache) Get(key string) (*backend.Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Add inserts (or refreshes) key's result, evicting the LRU entry when
+// over capacity.
+func (c *lruCache) Add(key string, res *backend.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached results.
+func (c *lruCache) Len() int { return c.ll.Len() }
+
+// Keys returns cache keys from most to least recently used (test hook
+// for eviction-order assertions).
+func (c *lruCache) Keys() []string {
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*cacheEntry).key)
+	}
+	return keys
+}

@@ -1,0 +1,325 @@
+package service
+
+import (
+	"container/heap"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/gate"
+	"qgear/internal/qasm"
+	"qgear/internal/sampling"
+)
+
+// The HTTP JSON API:
+//
+//	POST /v1/jobs          submit a circuit; returns the job snapshot
+//	GET  /v1/jobs/{id}     poll a job's state
+//	GET  /v1/results/{id}  fetch a finished job's result
+//	GET  /v1/stats         server counters, hit rate, latency histograms
+//	GET  /v1/healthz       liveness
+//
+// Circuits are submitted either as OpenQASM 2.0 text ("qasm") or as a
+// structured op list ("circuit"); shots and seed ride alongside.
+
+// WireOp is one operation of a structured circuit submission. Gate
+// names are the canonical lowercase spellings of internal/gate ("h",
+// "cx", "ry", "cr1", "measure", ...).
+type WireOp struct {
+	Gate   string    `json:"gate"`
+	Qubits []int     `json:"qubits,omitempty"`
+	Params []float64 `json:"params,omitempty"`
+	Clbit  int       `json:"clbit,omitempty"`
+}
+
+// WireCircuit is the structured circuit form of the submit payload.
+type WireCircuit struct {
+	Name   string   `json:"name,omitempty"`
+	Qubits int      `json:"qubits"`
+	Clbits int      `json:"clbits"`
+	Ops    []WireOp `json:"ops"`
+}
+
+// SubmitRequest is the POST /v1/jobs payload. Exactly one of Circuit
+// and QASM must be set.
+type SubmitRequest struct {
+	Circuit *WireCircuit `json:"circuit,omitempty"`
+	QASM    string       `json:"qasm,omitempty"`
+	Shots   int          `json:"shots,omitempty"`
+	Seed    uint64       `json:"seed,omitempty"`
+}
+
+// ToCircuit materializes the wire form into a validated circuit.
+func (w *WireCircuit) ToCircuit() (*circuit.Circuit, error) {
+	c := &circuit.Circuit{Name: w.Name, NumQubits: w.Qubits, NumClbits: w.Clbits}
+	c.Ops = make([]circuit.Op, len(w.Ops))
+	for i, op := range w.Ops {
+		g, err := gate.Parse(op.Gate)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		c.Ops[i] = circuit.Op{
+			Gate:   g,
+			Qubits: append([]int(nil), op.Qubits...),
+			Params: append([]float64(nil), op.Params...),
+			Clbit:  op.Clbit,
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// FromCircuit renders a circuit in wire form (used by clients like the
+// qgear-serve bench subcommand).
+func FromCircuit(c *circuit.Circuit) *WireCircuit {
+	w := &WireCircuit{Name: c.Name, Qubits: c.NumQubits, Clbits: c.NumClbits}
+	w.Ops = make([]WireOp, len(c.Ops))
+	for i, op := range c.Ops {
+		w.Ops[i] = WireOp{
+			Gate:   op.Gate.String(),
+			Qubits: append([]int(nil), op.Qubits...),
+			Params: append([]float64(nil), op.Params...),
+			Clbit:  op.Clbit,
+		}
+	}
+	return w
+}
+
+// TopProb is one entry of the result's top-probability list.
+type TopProb struct {
+	Index       uint64  `json:"index"`
+	Bitstring   string  `json:"bitstring"`
+	Probability float64 `json:"p"`
+}
+
+// ResultResponse is the GET /v1/results/{id} payload. The full
+// probability vector (2^n entries) is included only when requested
+// with ?full=1; by default the top-k states carry the distribution.
+type ResultResponse struct {
+	ID            string         `json:"id"`
+	State         JobState       `json:"state"`
+	Cached        bool           `json:"cached"`
+	Target        string         `json:"target"`
+	DurationMS    float64        `json:"duration_ms"`
+	NumQubits     int            `json:"num_qubits"`
+	Top           []TopProb      `json:"top,omitempty"`
+	Probabilities []float64      `json:"probabilities,omitempty"`
+	Counts        map[string]int `json:"counts,omitempty"`
+	GateCount     int            `json:"gate_count"`
+	FusedOps      int            `json:"fused_ops"`
+}
+
+// Handler returns the HTTP API bound to this server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	mux.HandleFunc("/v1/results/", s.handleResult)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// maxSubmitBytes bounds one submission body (a few hundred thousand
+// ops); oversized payloads fail fast instead of exhausting memory.
+const maxSubmitBytes = 16 << 20
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	var (
+		c   *circuit.Circuit
+		err error
+	)
+	switch {
+	case req.Circuit != nil && req.QASM != "":
+		writeError(w, http.StatusBadRequest, errors.New("set exactly one of circuit and qasm"))
+		return
+	case req.Circuit != nil:
+		c, err = req.Circuit.ToCircuit()
+	case req.QASM != "":
+		c, err = qasm.Parse(req.QASM)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("missing circuit"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.Submit(c, SubmitOptions{Shots: req.Shots, Seed: req.Seed})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, info)
+	}
+}
+
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	info, err := s.Job(id)
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/results/")
+	// One consistent read: snapshot state and result presence agree.
+	info, res, err := s.Lookup(id)
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if errors.Is(err, ErrNotDone) {
+		writeJSON(w, http.StatusAccepted, info)
+		return
+	}
+	if err != nil {
+		// Failed job: surface the simulation error with the snapshot.
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	resp := buildResultResponse(info, res)
+	q := r.URL.Query()
+	if q.Get("full") == "1" {
+		resp.Probabilities = res.Probabilities
+	} else {
+		k := 16
+		if kv := q.Get("top"); kv != "" {
+			if n, err := strconv.Atoi(kv); err == nil && n > 0 && n <= 4096 {
+				k = n
+			}
+		}
+		resp.Top = topProbs(res.Probabilities, k, numQubits(res))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func numQubits(res *backend.Result) int {
+	n := 0
+	for 1<<uint(n) < len(res.Probabilities) {
+		n++
+	}
+	return n
+}
+
+func buildResultResponse(info JobInfo, res *backend.Result) ResultResponse {
+	resp := ResultResponse{
+		ID:         info.ID,
+		State:      info.State,
+		Cached:     info.Cached,
+		Target:     string(res.Target),
+		DurationMS: float64(res.Duration.Microseconds()) / 1e3,
+		NumQubits:  numQubits(res),
+		GateCount:  res.KernelStats.SourceOps,
+		FusedOps:   res.KernelStats.EmittedOps,
+	}
+	if len(res.Counts) > 0 {
+		resp.Counts = make(map[string]int, len(res.Counts))
+		for idx, n := range res.Counts {
+			resp.Counts[sampling.Bitstring(idx, resp.NumQubits)] = n
+		}
+	}
+	return resp
+}
+
+// topHeap is a bounded min-heap on (probability, index): the root is
+// the current weakest of the kept top-k entries. "Worse" means lower
+// probability, ties broken by larger index, so the surviving set (and
+// hence the sorted output) matches a full descending sort.
+type topHeap []TopProb
+
+func (h topHeap) Len() int { return len(h) }
+func (h topHeap) Less(a, b int) bool {
+	if h[a].Probability != h[b].Probability {
+		return h[a].Probability < h[b].Probability
+	}
+	return h[a].Index > h[b].Index
+}
+func (h topHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *topHeap) Push(x any)   { *h = append(*h, x.(TopProb)) }
+func (h *topHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h topHeap) worseThan(p float64, i uint64) bool {
+	if h[0].Probability != p {
+		return h[0].Probability < p
+	}
+	return h[0].Index > i
+}
+
+// topProbs returns the k highest-probability basis states in
+// descending order (ties broken by index). One O(n log k) pass — no
+// index-slice allocation, which matters for 2^28-amplitude results.
+func topProbs(probs []float64, k int, nq int) []TopProb {
+	h := make(topHeap, 0, k)
+	for i, p := range probs {
+		if p == 0 {
+			continue
+		}
+		switch {
+		case len(h) < k:
+			heap.Push(&h, TopProb{Index: uint64(i), Probability: p})
+		case h.worseThan(p, uint64(i)):
+			h[0] = TopProb{Index: uint64(i), Probability: p}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]TopProb, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(TopProb)
+	}
+	for i := range out {
+		out[i].Bitstring = sampling.Bitstring(out[i].Index, nq)
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

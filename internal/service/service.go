@@ -1,0 +1,689 @@
+// Package service is the simulation serving layer on top of the
+// Q-GEAR pipeline: a bounded job queue feeding a worker pool that
+// executes circuits through internal/core on a configured
+// backend.Target, fronted by a content-addressed LRU result cache.
+//
+// Three mechanisms let it serve high submission rates without
+// re-simulating work:
+//
+//   - content addressing: every job is keyed by core.CacheKey (circuit
+//     fingerprint + output-affecting options); completed results are
+//     cached and identical resubmissions are served instantly;
+//   - single-flight: concurrent submissions of the same key attach to
+//     the one in-flight execution instead of queueing duplicates;
+//   - batch coalescing: a worker draining the queue gathers up to
+//     MaxBatch compatible jobs and executes them in one core.Run call,
+//     exploiting the nvidia-mqpu device-parallel path.
+//
+// Shot sampling is performed per job from the batch-computed
+// probability vector with the job's own seed, so coalesced execution
+// is bit-identical to running each job alone (see TestBatchMatchesSequential).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/core"
+)
+
+// Config sizes the server. Zero values select the documented defaults.
+type Config struct {
+	// Execution options applied to every job (the server owns the
+	// target; jobs own circuit, shots, and seed).
+	Target       backend.Target // default nvidia (nvidia-mqpu when Devices > 1)
+	Devices      int            // simulated device count, default 1
+	Workers      int            // per-device goroutine parallelism, 0 = NumCPU
+	FusionWindow int            // forwarded to the kernel transform
+	PruneAngle   float64        // forwarded to the kernel transform
+
+	// QueueSize bounds the job queue; Submit fails with ErrQueueFull
+	// beyond it. Default 256.
+	QueueSize int
+	// WorkerPool is the number of executor goroutines. Default 2.
+	WorkerPool int
+	// CacheSize is the LRU result-cache capacity in entries; < 0
+	// disables caching. Default 1024. Each entry pins a full 2^n-entry
+	// probability vector (8 MB at 20 qubits), so size it to the
+	// circuit widths you serve; byte-bounded admission is a roadmap
+	// item. Retained finished jobs (MaxRetainedJobs) share the cached
+	// result pointers, so they do not duplicate that memory.
+	CacheSize int
+	// MaxBatch caps how many queued jobs one worker coalesces into a
+	// single core.Run call. Default 8; 1 disables coalescing.
+	MaxBatch int
+	// BatchWindow is how long a worker waits for more queued jobs
+	// before executing a partial batch. Default 2ms.
+	BatchWindow time.Duration
+	// MaxRetainedJobs bounds the finished-job table consulted by
+	// polling clients; the oldest finished jobs are forgotten beyond
+	// it. Default 4096.
+	MaxRetainedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Target == "" {
+		if c.Devices > 1 {
+			c.Target = backend.TargetNvidiaMQPU
+		} else {
+			c.Target = backend.TargetNvidia
+		}
+	}
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.WorkerPool <= 0 {
+		c.WorkerPool = 2
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 4096
+	}
+	return c
+}
+
+// JobState is the lifecycle phase of a submitted job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// SubmitOptions are the per-job knobs (everything else is server
+// configuration).
+type SubmitOptions struct {
+	// Shots samples measurement outcomes; 0 returns probabilities only.
+	Shots int
+	// Seed drives shot sampling (ignored, and normalized to zero in
+	// the cache key, when Shots == 0).
+	Seed uint64
+}
+
+// JobInfo is a point-in-time snapshot of one job.
+type JobInfo struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Cached is true when the job was served without a fresh
+	// simulation: a result-cache hit or a single-flight join.
+	Cached      bool      `json:"cached"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	// FinishedAt is nil while the job is queued or running (a pointer
+	// because encoding/json's omitempty cannot elide a zero time.Time).
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// Service errors.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrClosed    = errors.New("service: server closed")
+	ErrNotFound  = errors.New("service: no such job")
+	ErrNotDone   = errors.New("service: job not finished")
+)
+
+// job is the internal job record. The leader of each cache key is the
+// only copy that enters the queue; identical concurrent submissions
+// attach to it (single-flight) and share its outcome.
+type job struct {
+	id   string
+	key  string
+	fp   string // circuit fingerprint (groups batch members sharing a state)
+	circ *circuit.Circuit
+	opts SubmitOptions
+
+	state       JobState
+	cached      bool
+	result      *backend.Result
+	err         error
+	submittedAt time.Time
+	finishedAt  time.Time
+	done        chan struct{}
+}
+
+func (j *job) info() JobInfo {
+	in := JobInfo{
+		ID:          j.id,
+		State:       j.state,
+		Cached:      j.cached,
+		SubmittedAt: j.submittedAt,
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		in.FinishedAt = &t
+	}
+	if j.err != nil {
+		in.Error = j.err.Error()
+	}
+	return in
+}
+
+// flight tracks one in-flight cache key and every job attached to it.
+type flight struct {
+	jobs []*job
+}
+
+// Server is the simulation service. Create with New, submit with
+// Submit, stop with Close (which drains in-flight work).
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu        sync.Mutex
+	closed    bool
+	nextID    uint64
+	jobs      map[string]*job
+	doneOrder []string // finished job ids, oldest first (retention)
+	inflight  map[string]*flight
+	cache     *lruCache
+	queue     chan *job
+	wg        sync.WaitGroup
+
+	// counters (under mu)
+	submitted, completed, failed uint64
+	cacheHits, sfHits, executed  uint64
+	batches, batchedJobs         uint64
+	latency                      map[string]*histogram
+}
+
+// New starts a server with cfg's worker pool running.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Target.Valid() {
+		return nil, fmt.Errorf("service: unknown target %q", cfg.Target)
+	}
+	if cfg.Target == backend.TargetNvidiaMGPU && cfg.Devices&(cfg.Devices-1) != 0 {
+		// mgpu pools device memory over a hypercube; reject up front
+		// rather than failing every job at runtime.
+		return nil, fmt.Errorf("service: nvidia-mgpu needs a power-of-two device count, got %d", cfg.Devices)
+	}
+	s := &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*flight),
+		cache:    newLRUCache(cfg.CacheSize),
+		queue:    make(chan *job, cfg.QueueSize),
+		latency:  make(map[string]*histogram),
+	}
+	for i := 0; i < cfg.WorkerPool; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// execOptions lowers the server configuration to pipeline options for
+// a probabilities-only run; per-job shots are sampled afterwards.
+func (s *Server) execOptions() core.Options {
+	return core.Options{
+		FusionWindow: s.cfg.FusionWindow,
+		PruneAngle:   s.cfg.PruneAngle,
+		Target:       s.cfg.Target,
+		Devices:      s.cfg.Devices,
+		Workers:      s.cfg.Workers,
+	}
+}
+
+// key returns the content address of (circuit, per-job options) under
+// this server's execution configuration. The worker count is excluded
+// (it changes wall-clock, not output) but the device count is kept: on
+// the mqpu target the shot sampler splits the budget per device with
+// per-device seeds, so Devices changes Counts. The seed is normalized
+// away when no shots are drawn, so probabilities-only submissions of
+// the same circuit always share a key.
+func (s *Server) key(c *circuit.Circuit, opts SubmitOptions) string {
+	kopts := s.execOptions() // derive, so key and execution never drift
+	kopts.Workers = 0        // wall-clock only, not output
+	kopts.Shots = opts.Shots
+	if opts.Shots > 0 {
+		kopts.Seed = opts.Seed
+	}
+	return core.CacheKey(c, kopts)
+}
+
+// Submit validates and enqueues a circuit, returning immediately with
+// the job's snapshot. Identical submissions (same content address) are
+// served from the result cache or attached to the in-flight execution
+// without consuming queue capacity.
+func (s *Server) Submit(c *circuit.Circuit, opts SubmitOptions) (JobInfo, error) {
+	j, err := s.submit(c, opts)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.info(), nil
+}
+
+// submit is Submit returning the job record itself, for callers (Run)
+// that must outlive the finished-job retention window.
+func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
+	if c == nil {
+		return nil, errors.New("service: nil circuit")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("service: invalid circuit: %w", err)
+	}
+	if opts.Shots < 0 {
+		return nil, fmt.Errorf("service: negative shots %d", opts.Shots)
+	}
+	// Deep-copy: the server owns its jobs' circuits, so a caller
+	// mutating theirs after Submit cannot race the worker or poison
+	// the cache under the pre-mutation fingerprint.
+	c = c.Copy()
+	key := s.key(c, opts)
+	fp := c.Fingerprint()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextID++
+	j := &job{
+		id:          fmt.Sprintf("j-%08d", s.nextID),
+		key:         key,
+		fp:          fp,
+		circ:        c,
+		opts:        opts,
+		state:       StateQueued,
+		submittedAt: time.Now(),
+		done:        make(chan struct{}),
+	}
+
+	// Content-addressed fast path: cache hit.
+	if res, ok := s.cache.Get(key); ok {
+		s.submitted++
+		s.cacheHits++
+		j.cached = true
+		s.finishLocked(j, res, nil, "cache")
+		s.jobs[j.id] = j
+		s.retainLocked(j)
+		return j, nil
+	}
+	// Single-flight: attach to the identical in-flight job.
+	if f, ok := s.inflight[key]; ok {
+		s.submitted++
+		s.sfHits++
+		j.cached = true
+		j.state = f.jobs[0].state // queued or already running
+		f.jobs = append(f.jobs, j)
+		s.jobs[j.id] = j
+		return j, nil
+	}
+	// Leader: consume queue capacity.
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // job never existed
+		return nil, ErrQueueFull
+	}
+	s.submitted++
+	s.inflight[key] = &flight{jobs: []*job{j}}
+	s.jobs[j.id] = j
+	return j, nil
+}
+
+// finishLocked records a terminal state for j. Callers hold s.mu.
+func (s *Server) finishLocked(j *job, res *backend.Result, err error, latencyKey string) {
+	j.result = res
+	j.err = err
+	j.finishedAt = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		s.failed++
+	} else {
+		j.state = StateDone
+		s.completed++
+	}
+	h := s.latency[latencyKey]
+	if h == nil {
+		h = &histogram{}
+		s.latency[latencyKey] = h
+	}
+	h.observe(j.finishedAt.Sub(j.submittedAt))
+	close(j.done)
+}
+
+// retainLocked enforces the finished-job retention bound.
+func (s *Server) retainLocked(j *job) {
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.MaxRetainedJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// completeKeyLocked finishes every job attached to key's flight.
+func (s *Server) completeKeyLocked(key string, res *backend.Result, err error) {
+	f := s.inflight[key]
+	if f == nil {
+		return
+	}
+	delete(s.inflight, key)
+	if err == nil && res != nil {
+		s.cache.Add(key, res)
+	}
+	lat := string(s.cfg.Target)
+	for _, j := range f.jobs {
+		s.finishLocked(j, res, err, lat)
+		s.retainLocked(j)
+	}
+}
+
+// worker drains the queue, coalescing compatible jobs into batches.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := s.collectBatch(j)
+		s.runBatch(batch)
+	}
+}
+
+// collectBatch gathers up to MaxBatch-1 additional queued jobs, waiting
+// at most BatchWindow for stragglers. Every queued job is compatible by
+// construction: the server owns all output-affecting options except
+// shots and seed, which are applied per job after the shared
+// probabilities are computed.
+func (s *Server) collectBatch(first *job) []*job {
+	batch := []*job{first}
+	if s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// markRunning flips every batch member (and its attached joiners) to
+// running.
+func (s *Server) markRunning(batch []*job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range batch {
+		if f := s.inflight[j.key]; f != nil {
+			for _, m := range f.jobs {
+				m.state = StateRunning
+			}
+		}
+	}
+}
+
+// runBatch executes one coalesced batch: unique circuits (by
+// fingerprint) run through core.Run in a single call — the mqpu
+// device-parallel path when so configured — then each job's shots are
+// sampled from its circuit's probability vector with the job's seed,
+// reproducing exactly what a standalone backend.Run would return.
+func (s *Server) runBatch(batch []*job) {
+	s.markRunning(batch)
+
+	var order []string
+	byFP := make(map[string][]*job, len(batch))
+	circs := make([]*circuit.Circuit, 0, len(batch))
+	for _, j := range batch {
+		if byFP[j.fp] == nil {
+			order = append(order, j.fp)
+			circs = append(circs, j.circ)
+		}
+		byFP[j.fp] = append(byFP[j.fp], j)
+	}
+
+	results, err := core.Run(circs, s.execOptions())
+	var indivErrs []error
+	if err != nil && len(circs) > 1 {
+		// One poisonous circuit must not fail its batch-mates: fall
+		// back to individual runs so errors stay job-local. The good
+		// circuits are re-simulated — backend.RunBatch discards its
+		// partial results on error — which is acceptable because error
+		// batches are rare and bad circuits are mostly rejected at
+		// Submit by Validate.
+		results = make([]*backend.Result, len(circs))
+		indivErrs = make([]error, len(circs))
+		for i, c := range circs {
+			results[i], indivErrs[i] = core.RunOne(c, s.execOptions())
+		}
+		err = nil
+	}
+
+	// Build every job's outcome — including shot sampling, which is
+	// O(2^n + shots) — before touching s.mu, so a big batch never
+	// stalls submissions, polls, or other workers' completions.
+	type outcome struct {
+		j   *job
+		res *backend.Result
+		err error
+	}
+	outs := make([]outcome, 0, len(batch))
+	for i, fp := range order {
+		jobs := byFP[fp]
+		if err != nil {
+			for _, j := range jobs {
+				outs = append(outs, outcome{j: j, err: err})
+			}
+			continue
+		}
+		if results[i] == nil {
+			// Individual-fallback failure for this circuit: surface
+			// its own error, not a generic one.
+			ferr := fmt.Errorf("service: simulation failed for circuit %q", jobs[0].circ.Name)
+			if indivErrs != nil && indivErrs[i] != nil {
+				ferr = indivErrs[i]
+			}
+			for _, j := range jobs {
+				outs = append(outs, outcome{j: j, err: ferr})
+			}
+			continue
+		}
+		for _, j := range jobs {
+			// Duration is this circuit's own simulation time (from
+			// backend.Run), not the whole batch's wall-clock.
+			jr := &backend.Result{
+				Target:        s.cfg.Target,
+				Probabilities: results[i].Probabilities,
+				KernelStats:   results[i].KernelStats,
+				Exchanges:     results[i].Exchanges,
+				BytesSent:     results[i].BytesSent,
+				Duration:      results[i].Duration,
+			}
+			var serr error
+			if j.opts.Shots > 0 {
+				// backend.SampleShots applies the target's own
+				// sampling path (incl. the mqpu per-device split), so
+				// a coalesced job's counts match a standalone
+				// backend.Run bit for bit.
+				jr.Counts, serr = backend.SampleShots(jr.Probabilities, backend.Config{
+					Target:  s.cfg.Target,
+					Devices: s.cfg.Devices,
+					Shots:   j.opts.Shots,
+					Seed:    j.opts.Seed,
+				})
+			}
+			outs = append(outs, outcome{j: j, res: jr, err: serr})
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	s.batchedJobs += uint64(len(batch))
+	for _, o := range outs {
+		s.executed++
+		s.completeKeyLocked(o.j.key, o.res, o.err)
+	}
+}
+
+// Job returns the snapshot of a job by id.
+func (s *Server) Job(id string) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	return j.info(), nil
+}
+
+// Result returns the completed result of a job. ErrNotDone is returned
+// while the job is queued or running; a failed job returns its error.
+func (s *Server) Result(id string) (*backend.Result, error) {
+	_, res, err := s.Lookup(id)
+	return res, err
+}
+
+// Lookup returns a job's snapshot and, when finished, its result, in
+// one consistent read: the snapshot's state always matches whether a
+// result is present. ErrNotDone accompanies the snapshot while the job
+// is queued or running; a failed job returns its simulation error.
+func (s *Server) Lookup(id string) (JobInfo, *backend.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, nil, ErrNotFound
+	}
+	switch j.state {
+	case StateDone:
+		return j.info(), j.result, nil
+	case StateFailed:
+		return j.info(), nil, j.err
+	default:
+		return j.info(), nil, ErrNotDone
+	}
+}
+
+// Wait blocks until the job finishes (or ctx is done) and returns its
+// final snapshot.
+func (s *Server) Wait(ctx context.Context, id string) (JobInfo, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.info(), nil
+}
+
+// Run is the synchronous convenience path: submit and wait, returning
+// the result directly — the embeddable equivalent of one API call. It
+// holds the job record itself, so the result survives even if the
+// finished-job retention window evicts the id before the caller reads
+// it.
+func (s *Server) Run(ctx context.Context, c *circuit.Circuit, opts SubmitOptions) (*backend.Result, JobInfo, error) {
+	j, err := s.submit(c, opts)
+	if err != nil {
+		return nil, JobInfo{}, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		in := j.info()
+		s.mu.Unlock()
+		return nil, in, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.result, j.info(), j.err
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		QueueDepth:       len(s.queue),
+		QueueCapacity:    s.cfg.QueueSize,
+		Workers:          s.cfg.WorkerPool,
+		Submitted:        s.submitted,
+		Completed:        s.completed,
+		Failed:           s.failed,
+		CacheHits:        s.cacheHits,
+		SingleFlightHits: s.sfHits,
+		Executed:         s.executed,
+		CacheLen:         s.cache.Len(),
+		CacheCapacity:    s.cfg.CacheSize,
+		CacheEvictions:   s.cache.evictions,
+		Batches:          s.batches,
+		BatchedJobs:      s.batchedJobs,
+		Latency:          make(map[string]HistogramSnapshot, len(s.latency)),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+	}
+	if st.Submitted > 0 {
+		st.HitRate = float64(st.CacheHits+st.SingleFlightHits) / float64(st.Submitted)
+	}
+	if st.Batches > 0 {
+		st.MeanBatchLen = float64(st.BatchedJobs) / float64(st.Batches)
+	}
+	for k, h := range s.latency {
+		st.Latency[k] = h.snapshot()
+	}
+	return st
+}
+
+// cacheKeys exposes LRU recency order to tests.
+func (s *Server) cacheKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Keys()
+}
+
+// Close stops accepting submissions, drains every queued and in-flight
+// job to completion, and stops the worker pool. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	return nil
+}

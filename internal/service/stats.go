@@ -1,0 +1,101 @@
+package service
+
+import (
+	"math/bits"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two microsecond buckets in a
+// latency histogram: bucket i counts observations with ceil(log2(µs))
+// == i, so the span runs 1 µs .. ~2^19 µs (≈ 0.5 s) with a final
+// overflow bucket.
+const latencyBuckets = 20
+
+// histogram is a fixed-shape exponential latency histogram.
+type histogram struct {
+	Counts [latencyBuckets + 1]uint64
+	Sum    time.Duration
+	N      uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	var b int
+	if us > 0 {
+		b = bits.Len64(uint64(us)) // 1µs -> 1, 1ms -> ~10, 1s -> ~20
+	}
+	if b > latencyBuckets {
+		b = latencyBuckets
+	}
+	h.Counts[b]++
+	h.Sum += d
+	h.N++
+}
+
+// HistogramSnapshot is the JSON-friendly view of one latency histogram:
+// bucket i counts observations with latency < UpperBoundsUS[i]
+// (cumulative-free, Prometheus-style le bounds).
+type HistogramSnapshot struct {
+	UpperBoundsUS []int64  `json:"upper_bounds_us"`
+	Counts        []uint64 `json:"counts"`
+	Count         uint64   `json:"count"`
+	MeanUS        float64  `json:"mean_us"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		UpperBoundsUS: make([]int64, latencyBuckets+1),
+		Counts:        make([]uint64, latencyBuckets+1),
+		Count:         h.N,
+	}
+	for i := 0; i <= latencyBuckets; i++ {
+		s.UpperBoundsUS[i] = int64(1) << uint(i)
+		s.Counts[i] = h.Counts[i]
+	}
+	s.UpperBoundsUS[latencyBuckets] = -1 // overflow bucket
+	if h.N > 0 {
+		s.MeanUS = float64(h.Sum.Microseconds()) / float64(h.N)
+	}
+	return s
+}
+
+// Stats is a point-in-time snapshot of the server's counters. Counter
+// fields are cumulative since server start, so clients can compute
+// windowed rates (e.g. the hit rate of one load wave) by differencing
+// two snapshots.
+type Stats struct {
+	// Queue and pool state.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+
+	// Job counters.
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+
+	// Content-address counters. A submission is served without
+	// re-simulation when it hits the result cache or joins an
+	// identical in-flight job (single-flight).
+	CacheHits        uint64  `json:"cache_hits"`
+	SingleFlightHits uint64  `json:"single_flight_hits"`
+	Executed         uint64  `json:"executed"`
+	HitRate          float64 `json:"hit_rate"`
+
+	// Cache occupancy.
+	CacheLen       int    `json:"cache_len"`
+	CacheCapacity  int    `json:"cache_capacity"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+
+	// Batch coalescing.
+	Batches      uint64  `json:"batches"`
+	BatchedJobs  uint64  `json:"batched_jobs"`
+	MeanBatchLen float64 `json:"mean_batch_len"`
+
+	// Per-target end-to-end job latency (submit -> done), keyed by
+	// execution target, plus the synthetic "cache" target for
+	// submissions served straight from the cache.
+	Latency map[string]HistogramSnapshot `json:"latency"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}

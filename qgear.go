@@ -32,6 +32,7 @@ import (
 	"qgear/internal/qimage"
 	"qgear/internal/randcirc"
 	"qgear/internal/sampling"
+	"qgear/internal/service"
 	"qgear/internal/statevec"
 )
 
@@ -90,6 +91,50 @@ func Transform(c *Circuit, opts RunOptions) (*Kernel, TransformStats, error) {
 
 // Run transforms and executes one circuit.
 func Run(c *Circuit, opts RunOptions) (*Result, error) { return core.RunOne(c, opts) }
+
+// Fingerprint returns the stable content hash of a circuit (register
+// sizes, ops, exact parameter bits) — the basis of the serving layer's
+// content-addressed result cache.
+func Fingerprint(c *Circuit) string { return c.Fingerprint() }
+
+// CacheKey returns the content address of a (circuit, options) pair:
+// two submissions with equal keys produce identical results.
+func CacheKey(c *Circuit, opts RunOptions) string { return core.CacheKey(c, opts) }
+
+// Server is the embeddable simulation service: a bounded job queue and
+// worker pool over the pipeline, with single-flight deduplication,
+// batch coalescing onto the mqpu device-parallel path, and a
+// content-addressed LRU result cache. The qgear-serve command exposes
+// the same server over HTTP.
+type Server = service.Server
+
+// ServerConfig sizes a Server (zero values select documented defaults).
+type ServerConfig = service.Config
+
+// SubmitOptions are the per-job knobs of a Server submission.
+type SubmitOptions = service.SubmitOptions
+
+// JobInfo is a snapshot of a submitted job's lifecycle.
+type JobInfo = service.JobInfo
+
+// JobState is a job lifecycle phase.
+type JobState = service.JobState
+
+// Job lifecycle states.
+const (
+	JobQueued  = service.StateQueued
+	JobRunning = service.StateRunning
+	JobDone    = service.StateDone
+	JobFailed  = service.StateFailed
+)
+
+// ServerStats is a snapshot of a Server's counters: queue depth, cache
+// hit rate, batch coalescing, and per-target latency histograms.
+type ServerStats = service.Stats
+
+// NewServer starts a simulation server with its worker pool running;
+// Close it to drain in-flight jobs and stop.
+func NewServer(cfg ServerConfig) (*Server, error) { return service.New(cfg) }
 
 // RunBatch transforms and executes a circuit batch (device-parallel on
 // the nvidia-mqpu target).
