@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet check serve bench-serve clean
+.PHONY: build test vet check serve bench bench-serve clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ check:
 
 serve: build
 	$(GO) run ./cmd/qgear-serve serve -addr :8042 -fusion 2
+
+# Tiled-executor ablation at acceptance sizes (QFT-24, QCrank image
+# encoding): per-gate sweeps vs cache-blocked tile runs, with the
+# speedup trajectory recorded in BENCH_qft.json / BENCH_qcrank.json.
+bench: build
+	$(GO) run ./cmd/qgear-bench -exp tiling -large -json-dir .
 
 bench-serve: build
 	$(GO) run ./cmd/qgear-serve bench -clients 100 -waves 2 -qubits 16

@@ -26,12 +26,14 @@ func main() {
 	seed := flag.Uint64("seed", 2026, "seed for generators and sampling")
 	large := flag.Bool("large", os.Getenv("QGEAR_LARGE") == "1", "widen the measured local sweeps")
 	workers := flag.Int("workers", 0, "GPU-stand-in worker goroutines (0 = all cores)")
+	jsonDir := flag.String("json-dir", "", "directory for BENCH_*.json artifacts (empty = don't write)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
 	r := bench.NewRunner(*seed)
 	r.Large = *large
 	r.Workers = *workers
+	r.JSONDir = *jsonDir
 
 	if *list {
 		fmt.Println(strings.Join(r.IDs(), "\n"))

@@ -76,6 +76,7 @@ func serviceFlags(fs *flag.FlagSet) *service.Config {
 	fs.IntVar(&cfg.Workers, "workers", 0, "goroutine parallelism per device (0 = NumCPU)")
 	fs.IntVar(&cfg.FusionWindow, "fusion", 0, "gate-fusion window (0 = off)")
 	fs.Float64Var(&cfg.PruneAngle, "prune", 0, "small-angle prune threshold")
+	fs.IntVar(&cfg.TileBits, "tile", 0, "tiled-executor tile width in qubits (0 = auto, negative = per-gate sweeps)")
 	fs.IntVar(&cfg.QueueSize, "queue", 256, "job queue bound")
 	fs.IntVar(&cfg.WorkerPool, "pool", 2, "executor worker pool size")
 	fs.IntVar(&cfg.CacheSize, "cache", 1024, "LRU result-cache entries (-1 disables)")

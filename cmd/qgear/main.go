@@ -184,6 +184,7 @@ func cmdRun(args []string) error {
 	shots := fs.Int("shots", 0, "measurement shots (0 = probabilities only)")
 	seed := fs.Uint64("seed", 42, "sampling seed")
 	fusion := fs.Int("fusion", 0, "gate fusion window")
+	tile := fs.Int("tile", 0, "tiled-executor tile width in qubits (0 = auto, negative = per-gate sweeps)")
 	top := fs.Int("top", 8, "top outcomes to print")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -197,7 +198,7 @@ func cmdRun(args []string) error {
 	}
 	results, err := core.Run(cs, core.Options{
 		Target: backend.Target(*target), Devices: *devices,
-		Shots: *shots, Seed: *seed, FusionWindow: *fusion,
+		Shots: *shots, Seed: *seed, FusionWindow: *fusion, TileBits: *tile,
 	})
 	if err != nil {
 		return err

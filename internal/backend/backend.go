@@ -75,6 +75,15 @@ type Config struct {
 	FusionWindow int
 	// PruneAngle forwards to the kernel transformation.
 	PruneAngle float64
+	// TileBits selects the cache-blocked tiled executor: runs of gates
+	// whose mixing operands sit below 2^TileBits amplitudes apply to
+	// L2-resident tiles in one memory pass per run instead of one per
+	// gate, with SWAPs absorbed into a qubit relabeling table. The
+	// tiled path is bit-identical to the per-gate path. 0 selects
+	// kernel.DefaultTileBits on GPU-class targets and leaves aer on the
+	// per-gate baseline; negative disables tiling everywhere; positive
+	// forces that tile width on any target.
+	TileBits int
 }
 
 // pennylaneTranspileReps models the per-gate latency of Pennylane's
@@ -113,6 +122,23 @@ func (c Config) devices() int {
 		return c.Devices
 	}
 	return 1
+}
+
+// tileBits resolves the tiled-executor policy: explicit widths win,
+// negative disables, and the zero default enables tiling on GPU-class
+// targets while keeping aer on the per-gate sweep baseline (the same
+// way aer keeps fusion off).
+func (c Config) tileBits() int {
+	switch {
+	case c.TileBits > 0:
+		return c.TileBits
+	case c.TileBits < 0:
+		return 0
+	case c.Target == TargetAer:
+		return 0
+	default:
+		return kernel.DefaultTileBits
+	}
 }
 
 // Run transforms the circuit for the configured target and executes it.
@@ -164,13 +190,13 @@ func RunKernel(k *kernel.Kernel, cfg Config) (*Result, error) {
 		res.BytesSent = out.BytesSent
 	case TargetPennylane:
 		pennylaneTranspile(k)
-		probs, err := runSingle(k, cfg.workers())
+		probs, err := runSingle(k, cfg.workers(), cfg.tileBits())
 		if err != nil {
 			return nil, err
 		}
 		res.Probabilities = probs
 	default: // aer, nvidia, and mqpu-with-one-circuit all run the local engine
-		probs, err := runSingle(k, cfg.workers())
+		probs, err := runSingle(k, cfg.workers(), cfg.tileBits())
 		if err != nil {
 			return nil, err
 		}
@@ -236,13 +262,19 @@ func sampleShots(probs []float64, cfg Config) (sampling.Counts, error) {
 	return merged, nil
 }
 
-// runSingle executes on one in-memory device.
-func runSingle(k *kernel.Kernel, workers int) ([]float64, error) {
+// runSingle executes on one in-memory device, through the tiled
+// executor when tileBits > 0 (bit-identical output either way).
+func runSingle(k *kernel.Kernel, workers, tileBits int) ([]float64, error) {
 	s, err := statevec.New(k.NumQubits, workers)
 	if err != nil {
 		return nil, err
 	}
-	if err := kernel.Execute(k, s); err != nil {
+	if tileBits > 0 {
+		err = kernel.ExecuteTiled(k, s, tileBits)
+	} else {
+		err = kernel.Execute(k, s)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return s.Probabilities(), nil

@@ -1,0 +1,70 @@
+package backend
+
+import (
+	"testing"
+
+	"qgear/internal/qcrank"
+	"qgear/internal/qft"
+	"qgear/internal/qimage"
+)
+
+// TestTiledCountsBitIdentical is the backend-level acceptance check:
+// with a fixed seed, shot counts through the tiled executor must equal
+// the per-gate path bit for bit, on both workloads the ablation names.
+func TestTiledCountsBitIdentical(t *testing.T) {
+	qftC, err := qft.Circuit(12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := qimage.Synthetic("finger", 16, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := qcrank.NewPlan(img.Pixels(), 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcC, err := qcrank.Encode(img.Pix, plan, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		fusion int
+	}{
+		{"qft12", 2},
+		{"qcrank", 4},
+	} {
+		c := qftC
+		if tc.name == "qcrank" {
+			c = qcC
+		}
+		run := func(tileBits int) (map[uint64]int, error) {
+			res, err := Run(c, Config{
+				Target: TargetNvidia, Workers: 4, Shots: 2000, Seed: 77,
+				FusionWindow: tc.fusion, TileBits: tileBits,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res.Counts, nil
+		}
+		perGate, err := run(-1) // tiling disabled
+		if err != nil {
+			t.Fatalf("%s per-gate: %v", tc.name, err)
+		}
+		tiled, err := run(6) // forced small tiles so blocking engages
+		if err != nil {
+			t.Fatalf("%s tiled: %v", tc.name, err)
+		}
+		if len(perGate) != len(tiled) {
+			t.Fatalf("%s: %d vs %d distinct outcomes", tc.name, len(perGate), len(tiled))
+		}
+		for key, n := range perGate {
+			if tiled[key] != n {
+				t.Fatalf("%s: outcome %b count %d vs %d — not bit-identical", tc.name, key, n, tiled[key])
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qgear/internal/circuit"
+	"qgear/internal/kernel"
+	"qgear/internal/qcrank"
+	"qgear/internal/qft"
+	"qgear/internal/qimage"
+	"qgear/internal/qmath"
+	"qgear/internal/sampling"
+	"qgear/internal/statevec"
+)
+
+// The tiling ablation: the same kernel executed twice on identical
+// worker budgets — once through the per-gate sweep path (one barrier-
+// synchronized memory pass per gate) and once through the cache-
+// blocked tiled executor — with the outputs cross-checked amplitude-
+// for-amplitude and shot-for-shot. This is the experiment behind the
+// repo's perf-trajectory tracking: `make bench` runs it at paper-
+// flavored sizes (QFT-24, a QCrank image encoding) and writes
+// BENCH_qft.json / BENCH_qcrank.json next to the working directory.
+
+// AblationRow is one workload's tiled-vs-per-gate measurement, in the
+// shape BENCH_*.json records.
+type AblationRow struct {
+	Workload        string  `json:"workload"`
+	Qubits          int     `json:"qubits"`
+	Instrs          int     `json:"kernel_instrs"`
+	TileBits        int     `json:"tile_bits"`
+	Workers         int     `json:"workers"`
+	PerGateSeconds  float64 `json:"per_gate_seconds"`
+	TiledSeconds    float64 `json:"tiled_seconds"`
+	Speedup         float64 `json:"speedup"`
+	TileLocalGates  int     `json:"tile_local_gates"`
+	GlobalGates     int     `json:"global_gates"`
+	Runs            int     `json:"runs"`
+	BitSwaps        int     `json:"bit_swaps"`
+	PermSwaps       int     `json:"perm_swaps"`
+	Shots           int     `json:"shots"`
+	MaxProbDiff     float64 `json:"max_prob_diff"`
+	CountsIdentical bool    `json:"counts_identical"`
+}
+
+// ablate measures one kernel both ways and cross-checks the outputs.
+func (r *Runner) ablate(name string, k *kernel.Kernel, tileBits, shots int) (AblationRow, error) {
+	row := AblationRow{Workload: name, Qubits: k.NumQubits, Instrs: len(k.Instrs), TileBits: tileBits, Workers: maxWorkers(r), Shots: shots}
+
+	plan, err := kernel.PlanTiled(k, tileBits)
+	if err != nil {
+		return row, err
+	}
+	row.TileLocalGates = plan.Stats.TileLocal
+	row.GlobalGates = plan.Stats.Global
+	row.Runs = plan.Stats.Runs
+	row.BitSwaps = plan.Stats.BitSwaps
+	row.PermSwaps = plan.Stats.PermSwaps
+
+	// Both arms are timed through execute *and* readout: the tiled
+	// executor defers its final qubit relabeling to the probability
+	// pass, so stopping the clock before readout would hide real work
+	// the per-gate path has already paid for.
+	workers := maxWorkers(r)
+	naive, err := statevec.New(k.NumQubits, workers)
+	if err != nil {
+		return row, err
+	}
+	var pNaive, pTiled []float64
+	row.PerGateSeconds, err = measure(func() error {
+		if err := kernel.Execute(k, naive); err != nil {
+			return err
+		}
+		pNaive = naive.Probabilities()
+		return nil
+	})
+	if err != nil {
+		return row, err
+	}
+	tiled, err := statevec.New(k.NumQubits, workers)
+	if err != nil {
+		return row, err
+	}
+	row.TiledSeconds, err = measure(func() error {
+		if err := plan.Execute(tiled); err != nil {
+			return err
+		}
+		pTiled = tiled.Probabilities()
+		return nil
+	})
+	if err != nil {
+		return row, err
+	}
+	if row.TiledSeconds > 0 {
+		row.Speedup = row.PerGateSeconds / row.TiledSeconds
+	}
+	// Equivalence: probabilities elementwise, and fixed-seed shot
+	// counts drawn from both vectors must agree exactly.
+	for i := range pNaive {
+		d := pNaive[i] - pTiled[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > row.MaxProbDiff {
+			row.MaxProbDiff = d
+		}
+	}
+	cNaive, err := sampling.Sample(pNaive, shots, qmath.NewRNG(r.Seed))
+	if err != nil {
+		return row, err
+	}
+	cTiled, err := sampling.Sample(pTiled, shots, qmath.NewRNG(r.Seed))
+	if err != nil {
+		return row, err
+	}
+	row.CountsIdentical = len(cNaive) == len(cTiled)
+	if row.CountsIdentical {
+		for key, n := range cNaive {
+			if cTiled[key] != n {
+				row.CountsIdentical = false
+				break
+			}
+		}
+	}
+	return row, nil
+}
+
+// tilingWorkloads sizes the ablation. The Large sweep runs the
+// acceptance sizes (QFT-24, a 20-qubit QCrank image encoding) with the
+// production tile width; the default sweep shrinks both the states and
+// the tile so tests exercise the same machinery in seconds.
+func (r *Runner) tilingWorkloads() (qftQubits, qftTile, addrQubits, imgW, imgH, qcrankTile int) {
+	if r.Large {
+		return 24, kernel.DefaultTileBits, 10, 128, 80, kernel.DefaultTileBits
+	}
+	return 16, 10, 6, 32, 20, 10
+}
+
+// Tiling regenerates the tiled-executor ablation: per-gate sweeps vs
+// cache-blocked tile runs on the two gate-run-dominated workloads of
+// the paper's evaluation, QFT (cr1-dominated, Appendix D.2) and QCrank
+// image encoding (Ry/CX-ladder-dominated, §3). When JSONDir is set the
+// rows are also written as BENCH_qft.json / BENCH_qcrank.json.
+func (r *Runner) Tiling() (Experiment, error) {
+	exp := Experiment{ID: "tiling", Title: "tiled sweep executor ablation: one memory pass per gate-run vs per gate"}
+	qftRow, qcRow, err := r.TilingRows()
+	if err != nil {
+		return exp, err
+	}
+
+	for _, row := range []AblationRow{qftRow, qcRow} {
+		exp.Series = append(exp.Series, Series{
+			Label: "measured: " + row.Workload, XLabel: "mode (1=per-gate, 2=tiled)", YLabel: "seconds",
+			Points: []Point{{X: 1, Y: row.PerGateSeconds}, {X: 2, Y: row.TiledSeconds}},
+		})
+		exp.Notes = append(exp.Notes, fmt.Sprintf(
+			"%s: %.1fx speedup (%d instrs -> %d tile runs + %d global sweeps + %d relabel swaps; %d swaps free); max |Δp| %.2g, counts identical: %v",
+			row.Workload, row.Speedup, row.Instrs, row.Runs, row.GlobalGates, row.BitSwaps, row.PermSwaps, row.MaxProbDiff, row.CountsIdentical))
+	}
+
+	if r.JSONDir != "" {
+		for _, out := range []struct {
+			file string
+			row  AblationRow
+		}{
+			{"BENCH_qft.json", qftRow},
+			{"BENCH_qcrank.json", qcRow},
+		} {
+			buf, err := json.MarshalIndent(out.row, "", "  ")
+			if err != nil {
+				return exp, err
+			}
+			path := filepath.Join(r.JSONDir, out.file)
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				return exp, err
+			}
+			exp.Notes = append(exp.Notes, "wrote "+path)
+		}
+	}
+	return exp, nil
+}
+
+// TilingRows measures the two ablation workloads and returns the raw
+// rows; Tiling wraps them in the printable experiment. The QFT kernel
+// runs with its reversal swaps (free table updates tiled, three CX
+// sweeps each per-gate); QCrank runs one address split of a synthetic
+// zebra image.
+func (r *Runner) TilingRows() (qftRow, qcrankRow AblationRow, err error) {
+	qftN, qftTile, addr, imgW, imgH, qcTile := r.tilingWorkloads()
+	qftK, _, err := qft.Kernel(qftN, true, kernel.Options{})
+	if err != nil {
+		return
+	}
+	if qftRow, err = r.ablate(fmt.Sprintf("qft_%dq_reversed", qftN), qftK, qftTile, 4096); err != nil {
+		return
+	}
+	var img *qimage.Image
+	if img, err = qimage.Synthetic("zebra", imgW, imgH, r.Seed); err != nil {
+		return
+	}
+	var plan qcrank.Plan
+	if plan, err = qcrank.NewPlan(img.Pixels(), addr, localShotsPerAddr); err != nil {
+		return
+	}
+	var qc *circuit.Circuit
+	if qc, err = qcrank.Encode(img.Pix, plan, false); err != nil {
+		return
+	}
+	var qcK *kernel.Kernel
+	if qcK, _, err = kernel.FromCircuit(qc, kernel.Options{}); err != nil {
+		return
+	}
+	qcrankRow, err = r.ablate(fmt.Sprintf("qcrank_a%d_d%d", plan.AddrQubits, plan.DataQubits), qcK, qcTile, plan.Shots)
+	return
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTilingAblation checks the deterministic properties of the
+// ablation (wall-clock ratios are reported, not asserted — see the
+// timingReliable note at the top of bench_test.go): both executors
+// must produce identical distributions and identical fixed-seed shot
+// counts, and the plan must actually collapse memory passes.
+func TestTilingAblation(t *testing.T) {
+	r := testRunner()
+	qftRow, qcRow, err := r.TilingRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []AblationRow{qftRow, qcRow} {
+		if row.MaxProbDiff > 1e-12 {
+			t.Errorf("%s: max prob diff %g > 1e-12", row.Workload, row.MaxProbDiff)
+		}
+		if !row.CountsIdentical {
+			t.Errorf("%s: fixed-seed shot counts differ between executors", row.Workload)
+		}
+		if row.PerGateSeconds <= 0 || row.TiledSeconds <= 0 {
+			t.Errorf("%s: non-positive timings %g / %g", row.Workload, row.PerGateSeconds, row.TiledSeconds)
+		}
+		passes := row.Runs + row.GlobalGates + row.BitSwaps
+		if passes*3 >= row.Instrs {
+			t.Errorf("%s: %d memory passes for %d instructions — tiling did not collapse the stream",
+				row.Workload, passes, row.Instrs)
+		}
+	}
+	// QFT reversal swaps must ride the permutation table.
+	if qftRow.PermSwaps == 0 {
+		t.Error("qft: no swaps absorbed into the permutation table")
+	}
+	// QCrank's high data qubits must be relabeled, not swept.
+	if qcRow.BitSwaps == 0 {
+		t.Error("qcrank: no relabeling bit-swaps planned")
+	}
+	if qcRow.GlobalGates > qcRow.Qubits {
+		t.Errorf("qcrank: %d global sweeps, want at most ~%d", qcRow.GlobalGates, qcRow.Qubits)
+	}
+}
+
+// TestTilingJSONEmission checks the BENCH_*.json artifacts.
+func TestTilingJSONEmission(t *testing.T) {
+	r := testRunner()
+	r.JSONDir = t.TempDir()
+	var buf bytes.Buffer
+	if err := r.Run("tiling", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("tiling output missing speedup note")
+	}
+	for _, f := range []string{"BENCH_qft.json", "BENCH_qcrank.json"} {
+		data, err := os.ReadFile(filepath.Join(r.JSONDir, f))
+		if err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+		for _, key := range []string{`"speedup"`, `"tile_bits"`, `"counts_identical": true`} {
+			if !strings.Contains(string(data), key) {
+				t.Errorf("%s missing %s", f, key)
+			}
+		}
+	}
+}

@@ -121,6 +121,9 @@ type Runner struct {
 	Large bool
 	// Workers caps the GPU-stand-in parallelism (0 = NumCPU).
 	Workers int
+	// JSONDir, when set, makes machine-readable experiments (the
+	// tiling ablation) write BENCH_*.json files there.
+	JSONDir string
 }
 
 // NewRunner returns a Runner with the Perlmutter model.
@@ -170,6 +173,7 @@ func (r *Runner) Registry() map[string]func() (Experiment, error) {
 		"appC":   r.AppendixC,
 		"thmB3":  r.TheoremB3,
 		"mqpu":   r.Mqpu,
+		"tiling": r.Tiling,
 	}
 }
 

@@ -387,7 +387,7 @@ func TestMqpu(t *testing.T) {
 func TestRunAllAndRegistry(t *testing.T) {
 	r := testRunner()
 	ids := r.IDs()
-	if len(ids) != 11 {
+	if len(ids) != 12 {
 		t.Fatalf("%d experiments registered", len(ids))
 	}
 	var buf bytes.Buffer

@@ -25,6 +25,11 @@ type Options struct {
 	// Transform options (§2.2, Appendix D.2).
 	FusionWindow int
 	PruneAngle   float64
+	// TileBits tunes the cache-blocked tiled sweep executor (see
+	// backend.Config.TileBits): 0 = auto (tiled on GPU-class targets,
+	// per-gate on aer), negative = per-gate everywhere, positive =
+	// force that tile width.
+	TileBits int
 	// Execution target and sizing.
 	Target  backend.Target
 	Devices int
@@ -43,6 +48,7 @@ func (o Options) backendConfig() backend.Config {
 		Seed:         o.Seed,
 		FusionWindow: o.FusionWindow,
 		PruneAngle:   o.PruneAngle,
+		TileBits:     o.TileBits,
 	}
 }
 
@@ -51,13 +57,16 @@ func (o Options) backendConfig() backend.Config {
 // simulation output — transform knobs (fusion window, prune angle),
 // target, device/worker sizing, and the shot budget and seed. Two
 // submissions with equal keys are guaranteed to produce identical
-// results, so a result cache may serve one from the other.
+// results, so a result cache may serve one from the other. TileBits
+// is folded in conservatively: the tiled executor is bit-identical to
+// the per-gate path by construction, but the key must stay sound even
+// if a future tile compiler relaxes that.
 func CacheKey(c *circuit.Circuit, opts Options) string {
 	h := sha256.New()
 	h.Write([]byte(c.Fingerprint()))
-	fmt.Fprintf(h, "|f%d|p%x|t%s|d%d|w%d|s%d|r%d",
+	fmt.Fprintf(h, "|f%d|p%x|t%s|d%d|w%d|s%d|r%d|b%d",
 		opts.FusionWindow, math.Float64bits(opts.PruneAngle), opts.Target,
-		opts.Devices, opts.Workers, opts.Shots, opts.Seed)
+		opts.Devices, opts.Workers, opts.Shots, opts.Seed, opts.TileBits)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

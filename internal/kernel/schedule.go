@@ -1,0 +1,417 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"qgear/internal/gate"
+	"qgear/internal/statevec"
+)
+
+// The tiled scheduler: a linear pass that partitions a kernel's
+// instruction stream into *runs* of tile-local micro-ops — gates whose
+// mixing operands all sit below the tile boundary once the lazy qubit
+// permutation is applied — separated by the few genuinely global
+// operations that still need a full sweep. Executing a run costs one
+// memory pass over the state for the whole run (internal/statevec's
+// ApplyTileRun), instead of one pass per gate; for gate-run-dominated
+// workloads (QFT's cr1 mass, QCrank's Ry/CX ladders) this removes
+// almost all DRAM traffic.
+//
+// Placement is managed with a logical→physical permutation table:
+//   - SWAP gates never move data — they swap two table entries;
+//   - a non-diagonal gate targeting a high qubit that will be targeted
+//     again is *relabeled*: one physical bit-swap sweep moves it below
+//     the boundary (evicting, Bélády-style, the resident qubit whose
+//     next mixing use is farthest away), and every later gate on it is
+//     tile-local;
+//   - a high-target gate used only once falls back to today's full
+//     sweep — a relabeling would cost the same pass without the payoff.
+//
+// Diagonal gates and controls are tile-local at *any* position (a high
+// bit is constant within a tile), so only high non-diagonal targets
+// ever force data movement.
+
+// DefaultTileBits sizes tiles at 2^14 amplitudes × 16 B = 256 KiB —
+// resident in any modern L2 — matching the cache blocking of
+// hardware-accelerated simulators (Qibo, qibojit).
+const DefaultTileBits = 14
+
+// minResidencyUses is how many remaining mixing uses a high qubit
+// needs before a relabeling bit-swap pays for itself: the swap costs
+// one sweep, the same as a single global fallback, so it takes two
+// uses to come out ahead.
+const minResidencyUses = 2
+
+// SegmentKind discriminates plan segments.
+type SegmentKind uint8
+
+const (
+	// SegRun is a run of tile-local micro-ops: one memory pass total.
+	SegRun SegmentKind = iota
+	// SegGlobal is a single full-sweep instruction (operands already
+	// rewritten to physical positions).
+	SegGlobal
+	// SegBitSwap physically exchanges two bit positions to relabel a
+	// hot high qubit into the tile-resident range.
+	SegBitSwap
+)
+
+// Segment is one step of a tiled execution plan.
+type Segment struct {
+	Kind  SegmentKind
+	Ops   []statevec.TileOp // SegRun
+	Instr Instr             // SegGlobal, with physical qubit operands
+	A, B  int               // SegBitSwap: physical bit positions
+}
+
+// PlanStats summarizes what the scheduler did.
+type PlanStats struct {
+	TileLocal int // gate instructions compiled into tile runs
+	Global    int // full-sweep fallbacks
+	Runs      int // tile runs emitted (≈ memory passes for local gates)
+	BitSwaps  int // relabeling sweeps inserted
+	PermSwaps int // SWAP gates absorbed into the permutation table
+}
+
+// TilePlan is a compiled tiled execution schedule for one kernel. It
+// is immutable after planning and safe to execute against many states
+// concurrently.
+type TilePlan struct {
+	TileBits  int
+	NumQubits int
+	Segments  []Segment
+	// FinalPerm is the logical→physical layout the state data is left
+	// in after all segments run (nil when it ends at the identity);
+	// Execute hands it to the state, which materializes lazily on
+	// readout.
+	FinalPerm []int
+	Stats     PlanStats
+}
+
+// mixingTargets appends to dst the logical qubits instruction in mixes
+// non-diagonally — the operands that must sit below the tile boundary.
+// Diagonal gates, controls, and SWAP (absorbed by the permutation
+// table) contribute nothing.
+func mixingTargets(in Instr, dst []int) []int {
+	switch in.Kind {
+	case KFused:
+		return append(dst, in.Qubits...)
+	case KGate:
+		switch {
+		case in.Gate == gate.Barrier || in.Gate == gate.Measure || in.Gate == gate.I:
+			return dst
+		case in.Gate == gate.SWAP:
+			return dst
+		case statevec.IsDiagonalGate(in.Gate):
+			return dst
+		case in.Gate.Arity() == 2: // cx, cry: control free, target mixes
+			return append(dst, in.Qubits[1])
+		default:
+			return append(dst, in.Qubits[0])
+		}
+	}
+	return dst
+}
+
+// PlanTiled compiles the kernel into a tiled execution plan for the
+// given tile width. It fails when the kernel does not validate or the
+// tile width leaves fewer than two tiles (callers should run the plain
+// executor instead — the whole state is already cache-resident).
+func PlanTiled(k *Kernel, tileBits int) (*TilePlan, error) {
+	if tileBits <= 0 {
+		tileBits = DefaultTileBits
+	}
+	if k.NumQubits <= tileBits {
+		return nil, fmt.Errorf("kernel: %d qubits need no tiling at tile width %d", k.NumQubits, tileBits)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("kernel: cannot plan invalid kernel: %w", err)
+	}
+	p := &TilePlan{TileBits: tileBits, NumQubits: k.NumQubits}
+	n := k.NumQubits
+
+	// Per-qubit mixing-use positions, for residency decisions: uses[q]
+	// lists the instruction indices where q must be tile-resident, and
+	// ptr[q] advances monotonically as planning walks the stream.
+	uses := make([][]int, n)
+	var scratch []int
+	for i, in := range k.Instrs {
+		scratch = mixingTargets(in, scratch[:0])
+		for _, q := range scratch {
+			uses[q] = append(uses[q], i)
+		}
+	}
+	ptr := make([]int, n)
+	nextUse := func(q, i int) int { // first mixing use at or after i
+		for ptr[q] < len(uses[q]) && uses[q][ptr[q]] < i {
+			ptr[q]++
+		}
+		if ptr[q] == len(uses[q]) {
+			return math.MaxInt
+		}
+		return uses[q][ptr[q]]
+	}
+	remainingUses := func(q, i int) int {
+		nextUse(q, i)
+		return len(uses[q]) - ptr[q]
+	}
+
+	perm := make([]int, n) // logical → physical
+	inv := make([]int, n)  // physical → logical
+	for q := range perm {
+		perm[q], inv[q] = q, q
+	}
+
+	var run []statevec.TileOp
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		p.Segments = append(p.Segments, Segment{Kind: SegRun, Ops: append([]statevec.TileOp(nil), run...)})
+		p.Stats.Runs++
+		run = run[:0]
+	}
+
+	isOperand := func(in Instr, q int) bool {
+		for _, o := range in.Qubits {
+			if o == q {
+				return true
+			}
+		}
+		return false
+	}
+
+	// relabel brings logical qubit q (currently high) below the tile
+	// boundary with one physical bit-swap, evicting the resident qubit
+	// whose next mixing use is farthest away (never an operand of the
+	// current instruction). Returns false when no slot qualifies.
+	relabel := func(in Instr, q, i int) bool {
+		victim, victimNext := -1, -1
+		for v := 0; v < tileBits; v++ {
+			lq := inv[v]
+			if isOperand(in, lq) {
+				continue
+			}
+			nu := nextUse(lq, i+1)
+			if nu == math.MaxInt { // never mixed again: perfect victim
+				victim, victimNext = v, nu
+				break
+			}
+			if nu > victimNext {
+				victim, victimNext = v, nu
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		flush()
+		src := perm[q]
+		p.Segments = append(p.Segments, Segment{Kind: SegBitSwap, A: victim, B: src})
+		p.Stats.BitSwaps++
+		vq := inv[victim]
+		perm[q], perm[vq] = victim, src
+		inv[victim], inv[src] = q, vq
+		return true
+	}
+
+	for i, in := range k.Instrs {
+		switch in.Kind {
+		case KBarrier, KMeasure:
+			continue
+		case KGate:
+			if in.Gate == gate.Barrier || in.Gate == gate.Measure || in.Gate == gate.I {
+				continue
+			}
+			if in.Gate == gate.SWAP {
+				a, b := in.Qubits[0], in.Qubits[1]
+				pa, pb := perm[a], perm[b]
+				perm[a], perm[b] = pb, pa
+				inv[pa], inv[pb] = b, a
+				p.Stats.PermSwaps++
+				continue
+			}
+		}
+
+		// Relabel any high mixing target that will be mixed again.
+		scratch = mixingTargets(in, scratch[:0])
+		if len(scratch) <= tileBits {
+			for _, q := range scratch {
+				if perm[q] >= tileBits && remainingUses(q, i) >= minResidencyUses {
+					relabel(in, q, i)
+				}
+			}
+		}
+
+		local := true
+		for _, q := range scratch {
+			if perm[q] >= tileBits {
+				local = false
+				break
+			}
+		}
+		if !local {
+			flush()
+			p.Segments = append(p.Segments, Segment{Kind: SegGlobal, Instr: physInstr(in, perm)})
+			p.Stats.Global++
+			continue
+		}
+		run = append(run, compileTileOp(in, perm, tileBits))
+		p.Stats.TileLocal++
+	}
+	flush()
+
+	identity := true
+	for q, pos := range perm {
+		if q != pos {
+			identity = false
+			break
+		}
+	}
+	if !identity {
+		p.FinalPerm = append([]int(nil), perm...)
+	}
+	return p, nil
+}
+
+// physInstr rewrites an instruction's operands to physical positions.
+func physInstr(in Instr, perm []int) Instr {
+	out := in
+	out.Qubits = make([]int, len(in.Qubits))
+	for j, q := range in.Qubits {
+		out.Qubits[j] = perm[q]
+	}
+	return out
+}
+
+// compileTileOp lowers one tile-local instruction to a micro-op. The
+// matrices and phases are derived exactly as the per-gate path derives
+// them (statevec.ApplyGate / ApplyDiagonalGate), keeping the two
+// executors arithmetic-identical.
+func compileTileOp(in Instr, perm []int, tileBits int) statevec.TileOp {
+	split := func(pos int) (low uint64, high uint64) {
+		if pos < tileBits {
+			return 1 << uint(pos), 0
+		}
+		return 0, 1 << uint(pos)
+	}
+	if in.Kind == KFused {
+		op := statevec.TileOp{Kind: statevec.TileFused, Mat: in.Mat, Qubits: make([]uint, len(in.Qubits))}
+		for j, q := range in.Qubits {
+			op.Qubits[j] = uint(perm[q])
+		}
+		return op
+	}
+	g := in.Gate
+	switch {
+	case statevec.IsDiagonalGate(g):
+		switch g {
+		case gate.RZ:
+			m := gate.Matrix1(g, in.Params)
+			op := statevec.TileOp{Kind: statevec.TileRelPhase, A: m[0], B: m[3]}
+			pos := perm[in.Qubits[0]]
+			if pos < tileBits {
+				op.T = uint(pos)
+			} else {
+				op.HighMask = 1 << uint(pos)
+			}
+			return op
+		case gate.CZ, gate.CP:
+			phase := complex128(-1)
+			if g == gate.CP {
+				phase = gate.Matrix1(gate.P, in.Params)[3]
+			}
+			op := statevec.TileOp{Kind: statevec.TileDiag, Phase: phase}
+			for _, q := range in.Qubits {
+				low, high := split(perm[q])
+				op.LowMask |= low
+				op.HighMask |= high
+			}
+			return op
+		default: // z, s, sdg, t, tdg, p
+			op := statevec.TileOp{Kind: statevec.TileDiag, Phase: gate.Matrix1(g, in.Params)[3]}
+			op.LowMask, op.HighMask = split(perm[in.Qubits[0]])
+			return op
+		}
+	case g == gate.CX:
+		op := statevec.TileOp{Kind: statevec.TileCX, T: uint(perm[in.Qubits[1]])}
+		if cpos := perm[in.Qubits[0]]; cpos < tileBits {
+			op.C, op.HasCtrl = uint(cpos), true
+		} else {
+			op.HighMask = 1 << uint(cpos)
+		}
+		return op
+	case g.Arity() == 2: // cry (cz/cp are diagonal, swap never reaches here)
+		var m gate.Mat2
+		switch g {
+		case gate.CRY:
+			m = gate.Matrix1(gate.RY, in.Params)
+		default:
+			panic(fmt.Sprintf("kernel: unhandled two-qubit gate %v in tile compiler", g))
+		}
+		op := statevec.TileOp{Kind: statevec.TileMat1, T: uint(perm[in.Qubits[1]]), M: m}
+		if cpos := perm[in.Qubits[0]]; cpos < tileBits {
+			op.C, op.HasCtrl = uint(cpos), true
+		} else {
+			op.HighMask = 1 << uint(cpos)
+		}
+		return op
+	default:
+		return statevec.TileOp{Kind: statevec.TileMat1, T: uint(perm[in.Qubits[0]]), M: gate.Matrix1(g, in.Params)}
+	}
+}
+
+// Execute runs the plan against a state. The state must be in the
+// canonical layout (any pending permutation is materialized first);
+// afterwards the state carries the plan's final permutation, which
+// readout materializes lazily.
+func (p *TilePlan) Execute(s *statevec.State) error {
+	if s.NumQubits() != p.NumQubits {
+		return fmt.Errorf("kernel: state has %d qubits, plan wants %d", s.NumQubits(), p.NumQubits)
+	}
+	s.MaterializePerm()
+	for i, seg := range p.Segments {
+		switch seg.Kind {
+		case SegRun:
+			if err := s.ApplyTileRun(p.TileBits, seg.Ops); err != nil {
+				return fmt.Errorf("kernel: tile run %d: %w", i, err)
+			}
+		case SegBitSwap:
+			s.ApplySwap(seg.A, seg.B)
+		case SegGlobal:
+			switch seg.Instr.Kind {
+			case KGate:
+				s.ApplyGate(seg.Instr.Gate, seg.Instr.Qubits, seg.Instr.Params)
+			case KFused:
+				if err := s.ApplyFused(seg.Instr.Qubits, seg.Instr.Mat); err != nil {
+					return fmt.Errorf("kernel: global segment %d: %w", i, err)
+				}
+			}
+		}
+	}
+	if p.FinalPerm != nil {
+		return s.SetPermutation(p.FinalPerm)
+	}
+	return nil
+}
+
+// ExecuteTiled applies the kernel to the state through the tiled
+// executor: plan, run, and leave any residual qubit relabeling on the
+// state for lazy materialization. States no larger than one tile are
+// already cache-resident and run the plain per-gate executor.
+func ExecuteTiled(k *Kernel, s *statevec.State, tileBits int) error {
+	if tileBits <= 0 {
+		tileBits = DefaultTileBits
+	}
+	if s.NumQubits() != k.NumQubits {
+		return fmt.Errorf("kernel: state has %d qubits, kernel %q wants %d", s.NumQubits(), k.Name, k.NumQubits)
+	}
+	if k.NumQubits <= tileBits {
+		return Execute(k, s)
+	}
+	plan, err := PlanTiled(k, tileBits)
+	if err != nil {
+		return err
+	}
+	return plan.Execute(s)
+}

@@ -1,0 +1,256 @@
+package kernel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qgear/internal/circuit"
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+	"qgear/internal/statevec"
+)
+
+// qftCircuit rebuilds the reversed QFT inline (the qft package sits
+// above kernel, so importing it here would cycle).
+func qftCircuit(n int) *circuit.Circuit {
+	c := circuit.New(n, 0)
+	for j := n - 1; j >= 0; j-- {
+		c.H(j)
+		for k := j - 1; k >= 0; k-- {
+			c.CP(2*math.Pi/math.Exp2(float64(j-k+1)), k, j)
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		c.SWAP(i, n-1-i)
+	}
+	return c
+}
+
+func qftGateCount(n int) int { return n + n*(n-1)/2 }
+
+// soupGate is one entry of the randomized gate pool: every gate type
+// the engine executes, including the permutation-table SWAP and the
+// diagonal family the tile compiler special-cases.
+type soupGate struct {
+	g      gate.Type
+	params int
+}
+
+var soupPool = []soupGate{
+	{gate.H, 0}, {gate.X, 0}, {gate.Y, 0}, {gate.Z, 0},
+	{gate.S, 0}, {gate.Sdg, 0}, {gate.T, 0}, {gate.Tdg, 0},
+	{gate.RX, 1}, {gate.RY, 1}, {gate.RZ, 1}, {gate.P, 1}, {gate.U3, 3},
+	{gate.CX, 0}, {gate.CZ, 0}, {gate.CP, 1}, {gate.CRY, 1}, {gate.SWAP, 0},
+}
+
+// gateSoup builds a random circuit over n qubits from the full pool.
+func gateSoup(n, gates int, rng *qmath.RNG) *circuit.Circuit {
+	c := circuit.New(n, 0)
+	c.Name = "soup"
+	for i := 0; i < gates; i++ {
+		sg := soupPool[rng.Intn(len(soupPool))]
+		params := make([]float64, sg.params)
+		for j := range params {
+			params[j] = rng.Angle() - math.Pi
+		}
+		q0 := rng.Intn(n)
+		if sg.g.Arity() == 2 {
+			q1 := rng.Intn(n - 1)
+			if q1 >= q0 {
+				q1++
+			}
+			c.Append(sg.g, []int{q0, q1}, params)
+		} else {
+			c.Append(sg.g, []int{q0}, params)
+		}
+	}
+	return c
+}
+
+// maxAmpDiff compares full amplitude vectors.
+func maxAmpDiff(t *testing.T, a, b *statevec.State) float64 {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("length mismatch: %d vs %d", a.Len(), b.Len())
+	}
+	worst := 0.0
+	for i := 0; i < a.Len(); i++ {
+		if d := cmplx.Abs(a.Amp(uint64(i)) - b.Amp(uint64(i))); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestTiledGateSoupEquivalence is the randomized equivalence suite:
+// tiled execution must match the naive per-gate path to 1e-12 across
+// qubit counts, tile widths, worker counts, fusion windows, and the
+// permutation states the SWAP-heavy soup drives the table through.
+func TestTiledGateSoupEquivalence(t *testing.T) {
+	seed := uint64(0x7a11ed)
+	for _, tc := range []struct {
+		n, tileBits, workers, window int
+	}{
+		{3, 5, 1, 0},  // smaller than one tile: plain-executor fallback
+		{6, 3, 1, 0},  // 8 tiles of 8 amplitudes
+		{6, 3, 4, 0},  // same, parallel
+		{9, 4, 1, 0},  // deeper index space
+		{9, 4, 4, 2},  // fused pairs in the stream
+		{11, 5, 4, 0}, // more high qubits than low
+		{11, 5, 4, 4}, // wide fused blocks straddling the boundary
+		{12, 8, 3, 3},
+		{13, 6, 4, 5},
+	} {
+		rng := qmath.NewRNG(seed + uint64(tc.n*1000+tc.tileBits*100+tc.workers*10+tc.window))
+		c := gateSoup(tc.n, 160, rng)
+		k, _, err := FromCircuit(c, Options{FusionWindow: tc.window})
+		if err != nil {
+			t.Fatalf("n=%d: transform: %v", tc.n, err)
+		}
+
+		naive := statevec.MustNew(tc.n, tc.workers)
+		if err := Execute(k, naive); err != nil {
+			t.Fatalf("n=%d: naive execute: %v", tc.n, err)
+		}
+		tiled := statevec.MustNew(tc.n, tc.workers)
+		if err := ExecuteTiled(k, tiled, tc.tileBits); err != nil {
+			t.Fatalf("n=%d tile=%d: tiled execute: %v", tc.n, tc.tileBits, err)
+		}
+
+		if d := maxAmpDiff(t, naive, tiled); d > 1e-12 {
+			t.Errorf("n=%d tile=%d workers=%d window=%d: max amplitude diff %g > 1e-12",
+				tc.n, tc.tileBits, tc.workers, tc.window, d)
+		}
+		if norm := tiled.Norm(); math.Abs(norm-1) > 1e-9 {
+			t.Errorf("n=%d tile=%d: tiled norm %g", tc.n, tc.tileBits, norm)
+		}
+	}
+}
+
+// TestTiledResumesAfterMaterialize checks the lazy-permutation
+// contract: after a tiled run leaves a pending relabeling, readout and
+// further gate application on the same state stay correct.
+func TestTiledResumesAfterMaterialize(t *testing.T) {
+	const n, tileBits = 9, 4
+	rng := qmath.NewRNG(99)
+	c := gateSoup(n, 120, rng)
+	k, _, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	naive := statevec.MustNew(n, 1)
+	if err := Execute(k, naive); err != nil {
+		t.Fatal(err)
+	}
+	tiled := statevec.MustNew(n, 1)
+	if err := ExecuteTiled(k, tiled, tileBits); err != nil {
+		t.Fatal(err)
+	}
+
+	// Continue evolving both states with plain gates; the tiled state
+	// must transparently materialize its layout first.
+	naive.ApplyGate(gate.H, []int{n - 1}, nil)
+	tiled.ApplyGate(gate.H, []int{n - 1}, nil)
+	naive.ApplyGate(gate.CX, []int{n - 1, 0}, nil)
+	tiled.ApplyGate(gate.CX, []int{n - 1, 0}, nil)
+
+	if d := maxAmpDiff(t, naive, tiled); d > 1e-12 {
+		t.Fatalf("post-materialize evolution diverged: %g", d)
+	}
+}
+
+// TestTiledQFTPlanShape pins the headline scheduling property on the
+// reversed QFT: every cr1 is tile-local, the reversal SWAPs are free
+// table updates, and only the high-qubit Hadamards fall back to full
+// sweeps — the G-passes-to-a-handful collapse the tentpole claims.
+func TestTiledQFTPlanShape(t *testing.T) {
+	const n, tileBits = 12, 8
+	k, _, err := FromCircuit(qftCircuit(n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanTiled(k, tileBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan.Stats
+	if st.PermSwaps != n/2 {
+		t.Errorf("PermSwaps = %d, want %d (all reversal swaps absorbed)", st.PermSwaps, n/2)
+	}
+	// Only Hadamards on the n-tileBits high qubits may go global; each
+	// is mixed exactly once so relabeling never pays.
+	if want := n - tileBits; st.Global != want {
+		t.Errorf("Global = %d, want %d (one per high-qubit H)", st.Global, want)
+	}
+	if st.BitSwaps != 0 {
+		t.Errorf("BitSwaps = %d, want 0 for QFT", st.BitSwaps)
+	}
+	wantLocal := qftGateCount(n) - (n - tileBits)
+	if st.TileLocal != wantLocal {
+		t.Errorf("TileLocal = %d, want %d", st.TileLocal, wantLocal)
+	}
+	// Memory passes collapse: runs + globals ≪ gate count.
+	if passes := st.Runs + st.Global + st.BitSwaps; passes >= qftGateCount(n)/3 {
+		t.Errorf("passes = %d, want far fewer than %d gates", passes, qftGateCount(n))
+	}
+
+	// And the plan must still be exact.
+	naive := statevec.MustNew(n, 2)
+	if err := Execute(k, naive); err != nil {
+		t.Fatal(err)
+	}
+	tiled := statevec.MustNew(n, 2)
+	if err := plan.Execute(tiled); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAmpDiff(t, naive, tiled); d > 1e-12 {
+		t.Fatalf("QFT tiled diff %g", d)
+	}
+}
+
+// TestTiledRelabelLadder pins the QCrank-shaped win: a long Ry/CX
+// ladder targeting a high data qubit triggers exactly one relabeling
+// bit-swap, after which the whole ladder is tile-local.
+func TestTiledRelabelLadder(t *testing.T) {
+	const n, tileBits, data = 10, 6, 9 // data qubit above the boundary
+	c := circuit.New(n, 0)
+	for q := 0; q < tileBits; q++ {
+		c.H(q)
+	}
+	rng := qmath.NewRNG(7)
+	for i := 0; i < 32; i++ {
+		c.RY(rng.Angle(), data)
+		c.CX(i%tileBits, data)
+	}
+	k, _, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanTiled(k, tileBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.BitSwaps != 1 {
+		t.Errorf("BitSwaps = %d, want 1 (one relabel for the ladder)", plan.Stats.BitSwaps)
+	}
+	if plan.Stats.Global != 0 {
+		t.Errorf("Global = %d, want 0 after relabeling", plan.Stats.Global)
+	}
+	if plan.FinalPerm == nil {
+		t.Error("FinalPerm = nil, want a pending relabeling")
+	}
+
+	naive := statevec.MustNew(n, 1)
+	if err := Execute(k, naive); err != nil {
+		t.Fatal(err)
+	}
+	tiled := statevec.MustNew(n, 1)
+	if err := plan.Execute(tiled); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAmpDiff(t, naive, tiled); d > 1e-12 {
+		t.Fatalf("ladder tiled diff %g", d)
+	}
+}

@@ -41,6 +41,7 @@ type Config struct {
 	Workers      int            // per-device goroutine parallelism, 0 = NumCPU
 	FusionWindow int            // forwarded to the kernel transform
 	PruneAngle   float64        // forwarded to the kernel transform
+	TileBits     int            // tiled-executor tile width (see core.Options.TileBits)
 
 	// QueueSize bounds the job queue; Submit fails with ErrQueueFull
 	// beyond it. Default 256.
@@ -241,6 +242,7 @@ func (s *Server) execOptions() core.Options {
 	return core.Options{
 		FusionWindow: s.cfg.FusionWindow,
 		PruneAngle:   s.cfg.PruneAngle,
+		TileBits:     s.cfg.TileBits,
 		Target:       s.cfg.Target,
 		Devices:      s.cfg.Devices,
 		Workers:      s.cfg.Workers,

@@ -12,6 +12,7 @@ import (
 // engine realizes it by mixing the 2^(n-1) amplitude pairs whose
 // indices differ only in bit t.
 func (s *State) ApplyMat1(target int, m gate.Mat2) {
+	s.ensureCanonical()
 	s.checkQubit(target)
 	t := uint(target)
 	half := len(s.amps) >> 1
@@ -35,6 +36,7 @@ func (s *State) ApplyMat1(target int, m gate.Mat2) {
 // is the scattered, non-contiguous access pattern Appendix A describes
 // for the CX gate.
 func (s *State) ApplyControlled1(control, target int, m gate.Mat2) {
+	s.ensureCanonical()
 	s.checkQubit(control)
 	s.checkQubit(target)
 	if control == target {
@@ -61,6 +63,7 @@ func (s *State) ApplyControlled1(control, target int, m gate.Mat2) {
 // leans on: the CX count equals the pixel count, so this path dominates
 // image-encoding simulations.
 func (s *State) ApplyCX(control, target int) {
+	s.ensureCanonical()
 	s.checkQubit(control)
 	s.checkQubit(target)
 	if control == target {
@@ -82,6 +85,7 @@ func (s *State) ApplyCX(control, target int) {
 // ApplyMat2 applies a 4×4 unitary to the qubit pair (hi=q1, lo=q0); the
 // matrix row/column index is (bit(q1)<<1)|bit(q0).
 func (s *State) ApplyMat2(q1, q0 int, m gate.Mat4) {
+	s.ensureCanonical()
 	s.checkQubit(q1)
 	s.checkQubit(q0)
 	if q1 == q0 {
@@ -107,6 +111,36 @@ func (s *State) ApplyMat2(q1, q0 int, m gate.Mat4) {
 	})
 }
 
+// ApplySwap exchanges qubits a and b in a single sweep: amplitudes
+// whose (a, b) bits read 01 swap with their 10 partners; the 00 and 11
+// subspaces are untouched. One pass over half the amplitudes, versus
+// the three ApplyCX passes of the textbook decomposition — the moves
+// are value-exact either way, so both produce bit-identical states.
+func (s *State) ApplySwap(a, b int) {
+	s.ensureCanonical()
+	s.checkQubit(a)
+	s.checkQubit(b)
+	if a == b {
+		panic("statevec: swap with identical operands")
+	}
+	s.swapBits(uint(a), uint(b))
+}
+
+// swapBits is the raw physical-bit exchange kernel behind ApplySwap
+// and MaterializePerm.
+func (s *State) swapBits(a, b uint) {
+	quarter := len(s.amps) >> 2
+	flip := uint64(1)<<a | uint64(1)<<b
+	amps := s.amps
+	s.parallelRange(quarter, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i01 := qmath.InsertTwoBits(uint64(p), a, 0, b, 1)
+			i10 := i01 ^ flip
+			amps[i01], amps[i10] = amps[i10], amps[i01]
+		}
+	})
+}
+
 // MaxFusedQubits caps fused-unitary width; the paper's QFT kernel uses
 // gate fusion = 5 (Appendix D.2).
 const MaxFusedQubits = 6
@@ -117,6 +151,7 @@ const MaxFusedQubits = 6
 // fusion pass: adjacent gates on a small qubit set are pre-multiplied
 // into one matrix and applied in a single sweep over the state.
 func (s *State) ApplyFused(qubits []int, m []complex128) error {
+	s.ensureCanonical()
 	k := len(qubits)
 	if k == 0 || k > MaxFusedQubits {
 		return fmt.Errorf("statevec: fused width %d outside [1,%d]", k, MaxFusedQubits)
@@ -128,65 +163,124 @@ func (s *State) ApplyFused(qubits []int, m []complex128) error {
 	if len(m) != dim*dim {
 		return fmt.Errorf("statevec: fused matrix has %d entries, want %d", len(m), dim*dim)
 	}
-	seen := make(map[int]bool, k)
-	for _, q := range qubits {
+	for i, q := range qubits {
 		s.checkQubit(q)
-		if seen[q] {
-			return fmt.Errorf("statevec: duplicate fused qubit %d", q)
+		for j := 0; j < i; j++ {
+			if qubits[j] == q {
+				return fmt.Errorf("statevec: duplicate fused qubit %d", q)
+			}
 		}
-		seen[q] = true
 	}
 
-	// Sorted insertion positions for expanding the base index.
-	sorted := append([]int(nil), qubits...)
+	// Sorted insertion positions and bit masks, built into per-state
+	// scratch: ApplyFused runs once per fused block on the hot path, so
+	// these must not allocate per call.
+	sorted := append(s.sortBuf[:0], qubits...)
 	for i := 1; i < k; i++ {
 		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
 	}
-	masks := make([]uint64, k)
-	for j, q := range qubits {
-		masks[j] = 1 << uint(q)
+	masks := s.maskBuf[:0]
+	for _, q := range qubits {
+		masks = append(masks, 1<<uint(q))
 	}
+	s.sortBuf, s.maskBuf = sorted, masks
 
 	outer := len(s.amps) >> uint(k)
 	amps := s.amps
 	s.parallelRangeIndexed(outer, func(w, lo, hi int) {
-		if s.scratch[w] == nil || len(s.scratch[w]) < 2*dim {
-			s.scratch[w] = make([]complex128, 2*dim)
-		}
-		in := s.scratch[w][:dim]
-		out := s.scratch[w][dim : 2*dim]
-		idx := make([]uint64, dim)
+		in, out, idx := s.fusedBuffers(w, dim)
 		for p := lo; p < hi; p++ {
 			base := uint64(p)
 			for _, q := range sorted {
 				base = insertBit(base, uint(q), 0)
 			}
-			for v := 0; v < dim; v++ {
-				i := base
-				for j := 0; j < k; j++ {
-					if v>>uint(j)&1 == 1 {
-						i |= masks[j]
-					}
-				}
-				idx[v] = i
-				in[v] = amps[i]
-			}
-			for r := 0; r < dim; r++ {
-				var acc complex128
-				row := m[r*dim : (r+1)*dim]
-				for cI := 0; cI < dim; cI++ {
-					acc += row[cI] * in[cI]
-				}
-				out[r] = acc
-			}
-			for v := 0; v < dim; v++ {
-				amps[idx[v]] = out[v]
-			}
+			fusedApplyAt(amps, base, masks, m, in, out, idx)
 		}
 	})
 	return nil
+}
+
+// fusedBuffers returns worker w's gather/result/index scratch, each of
+// length dim, growing the per-worker buffers as needed.
+func (s *State) fusedBuffers(w, dim int) (in, out []complex128, idx []uint64) {
+	if len(s.scratch[w]) < 2*dim {
+		s.scratch[w] = make([]complex128, 2*dim)
+	}
+	if len(s.idxBuf[w]) < dim {
+		s.idxBuf[w] = make([]uint64, dim)
+	}
+	return s.scratch[w][:dim], s.scratch[w][dim : 2*dim], s.idxBuf[w][:dim]
+}
+
+// fusedApplyAt applies the dim×dim matrix m (dim = 2^len(masks)) to
+// the amplitude group anchored at base, where matrix index bit j
+// selects masks[j]. The k=1..3 widths are fully unrolled; the term
+// order of every path matches the generic accumulation loop exactly,
+// so fused execution is arithmetic-identical whichever path runs.
+func fusedApplyAt(amps []complex128, base uint64, masks []uint64, m []complex128, in, out []complex128, idx []uint64) {
+	switch len(masks) {
+	case 1:
+		i0 := base
+		i1 := base | masks[0]
+		a0, a1 := amps[i0], amps[i1]
+		amps[i0] = m[0]*a0 + m[1]*a1
+		amps[i1] = m[2]*a0 + m[3]*a1
+	case 2:
+		i0 := base
+		i1 := base | masks[0]
+		i2 := base | masks[1]
+		i3 := base | masks[0] | masks[1]
+		a0, a1, a2, a3 := amps[i0], amps[i1], amps[i2], amps[i3]
+		amps[i0] = m[0]*a0 + m[1]*a1 + m[2]*a2 + m[3]*a3
+		amps[i1] = m[4]*a0 + m[5]*a1 + m[6]*a2 + m[7]*a3
+		amps[i2] = m[8]*a0 + m[9]*a1 + m[10]*a2 + m[11]*a3
+		amps[i3] = m[12]*a0 + m[13]*a1 + m[14]*a2 + m[15]*a3
+	case 3:
+		m0, m1, m2 := masks[0], masks[1], masks[2]
+		i0 := base
+		i1 := base | m0
+		i2 := base | m1
+		i3 := base | m0 | m1
+		i4 := base | m2
+		i5 := base | m0 | m2
+		i6 := base | m1 | m2
+		i7 := base | m0 | m1 | m2
+		a0, a1, a2, a3 := amps[i0], amps[i1], amps[i2], amps[i3]
+		a4, a5, a6, a7 := amps[i4], amps[i5], amps[i6], amps[i7]
+		for r := 0; r < 8; r++ {
+			row := m[r*8 : r*8+8]
+			out[r] = row[0]*a0 + row[1]*a1 + row[2]*a2 + row[3]*a3 +
+				row[4]*a4 + row[5]*a5 + row[6]*a6 + row[7]*a7
+		}
+		amps[i0], amps[i1], amps[i2], amps[i3] = out[0], out[1], out[2], out[3]
+		amps[i4], amps[i5], amps[i6], amps[i7] = out[4], out[5], out[6], out[7]
+	default:
+		dim := 1 << uint(len(masks))
+		k := len(masks)
+		for v := 0; v < dim; v++ {
+			i := base
+			for j := 0; j < k; j++ {
+				if v>>uint(j)&1 == 1 {
+					i |= masks[j]
+				}
+			}
+			idx[v] = i
+			in[v] = amps[i]
+		}
+		for r := 0; r < dim; r++ {
+			var acc complex128
+			row := m[r*dim : (r+1)*dim]
+			for cI := 0; cI < dim; cI++ {
+				acc += row[cI] * in[cI]
+			}
+			out[r] = acc
+		}
+		for v := 0; v < dim; v++ {
+			amps[idx[v]] = out[v]
+		}
+	}
 }
 
 // ApplyGate dispatches a gate type with qubit operands and params to
@@ -201,9 +295,7 @@ func (s *State) ApplyGate(g gate.Type, qubits []int, params []float64) {
 	case g == gate.CX:
 		s.ApplyCX(qubits[0], qubits[1])
 	case g == gate.SWAP:
-		s.ApplyCX(qubits[0], qubits[1])
-		s.ApplyCX(qubits[1], qubits[0])
-		s.ApplyCX(qubits[0], qubits[1])
+		s.ApplySwap(qubits[0], qubits[1])
 	case g.Arity() == 2:
 		// Remaining controlled gates: CZ, CP, CRY.
 		var tgt gate.Mat2

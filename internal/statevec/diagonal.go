@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"qgear/internal/gate"
+	"qgear/internal/qmath"
 )
 
 // Diagonal-gate fast paths. Z-axis rotations (rz, p, z, s, t) and
@@ -15,16 +16,18 @@ import (
 // it.
 
 // ApplyPhase1 multiplies amplitudes whose target bit is 1 by phase —
-// the diag(1, e^{iλ}) family.
+// the diag(1, e^{iλ}) family. Stride iteration enumerates exactly the
+// 2^(n-1) affected indices; the untouched half is never read, halving
+// the memory traffic of the old branchy full-2^n scan.
 func (s *State) ApplyPhase1(target int, phase complex128) {
+	s.ensureCanonical()
 	s.checkQubit(target)
-	mask := uint64(1) << uint(target)
+	t := uint(target)
+	half := len(s.amps) >> 1
 	amps := s.amps
-	s.parallelRange(len(amps), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if uint64(i)&mask != 0 {
-				amps[i] *= phase
-			}
+	s.parallelRange(half, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			amps[insertBit(uint64(p), t, 1)] *= phase
 		}
 	})
 }
@@ -32,6 +35,7 @@ func (s *State) ApplyPhase1(target int, phase complex128) {
 // ApplyGlobalAndRelativePhase applies diag(a, b) on the target qubit —
 // the general single-qubit diagonal (rz has a ≠ 1).
 func (s *State) ApplyGlobalAndRelativePhase(target int, a, b complex128) {
+	s.ensureCanonical()
 	s.checkQubit(target)
 	mask := uint64(1) << uint(target)
 	amps := s.amps
@@ -48,19 +52,21 @@ func (s *State) ApplyGlobalAndRelativePhase(target int, a, b complex128) {
 
 // ApplyControlledPhase multiplies amplitudes with both control and
 // target bits set by phase — cz (phase = -1) and cr1(λ) (Eq. 9).
+// Stride iteration touches only the affected quarter of the indices
+// instead of scanning and branch-testing all 2^n.
 func (s *State) ApplyControlledPhase(control, target int, phase complex128) {
+	s.ensureCanonical()
 	s.checkQubit(control)
 	s.checkQubit(target)
 	if control == target {
 		panic("statevec: control equals target")
 	}
-	both := uint64(1)<<uint(control) | uint64(1)<<uint(target)
+	c, t := uint(control), uint(target)
+	quarter := len(s.amps) >> 2
 	amps := s.amps
-	s.parallelRange(len(amps), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if uint64(i)&both == both {
-				amps[i] *= phase
-			}
+	s.parallelRange(quarter, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			amps[qmath.InsertTwoBits(uint64(p), c, 1, t, 1)] *= phase
 		}
 	})
 }

@@ -27,6 +27,9 @@ func (s *State) MeasureQubit(q int, rng *qmath.RNG) int {
 // is an error; here the reset keeps the invariant Norm()==1 testable).
 func (s *State) CollapseQubit(q int, outcome int) {
 	s.checkQubit(q)
+	if s.perm != nil {
+		q = s.perm[q] // project on the physical home of the logical qubit
+	}
 	mask := uint64(1) << uint(q)
 	want := uint64(0)
 	if outcome != 0 {

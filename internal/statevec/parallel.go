@@ -60,6 +60,25 @@ func (s *State) parallelRangeIndexed(n int, fn func(worker, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
+	s.fanOut(n, fn)
+}
+
+// parallelTiles splits [0, tiles) across workers, where each unit of
+// the index space covers 2^tileBits amplitudes. The fan-out threshold
+// is judged on amplitudes, not tiles: a 2^24 state split into 2^10
+// tiles is far past the point where dispatch pays for itself even
+// though the tile count alone sits below minParallelWork.
+func (s *State) parallelTiles(tiles, tileBits int, fn func(worker, lo, hi int)) {
+	if s.workers <= 1 || tiles < 2 || tiles<<uint(tileBits) < minParallelWork {
+		fn(0, 0, tiles)
+		return
+	}
+	s.fanOut(tiles, fn)
+}
+
+// fanOut dispatches [0, n) to the shared pool in at most s.workers
+// contiguous chunks.
+func (s *State) fanOut(n int, fn func(worker, lo, hi int)) {
 	poolInit()
 	w := s.workers
 	if w > n {

@@ -28,11 +28,22 @@ import (
 const MaxQubits = 28
 
 // State is a dense 2^n-amplitude state vector.
+//
+// The amplitude array may be held in a *permuted* qubit layout: perm
+// (when non-nil) maps each logical qubit to the physical bit position
+// its amplitude index actually uses. The tiled executor exploits this
+// to relabel qubits without moving data — a logical SWAP is a table
+// update — and readout entry points materialize the permutation back
+// to the identity layout lazily, on first access.
 type State struct {
 	n       int
 	amps    []complex128
 	workers int
 	scratch [][]complex128 // per-worker gather buffers for fused gates
+	idxBuf  [][]uint64     // per-worker scatter-index buffers for fused gates
+	sortBuf []int          // reusable sorted-qubit buffer for ApplyFused
+	maskBuf []uint64       // reusable bit-mask buffer for ApplyFused
+	perm    []int          // logical→physical qubit map; nil = identity
 }
 
 // New allocates the n-qubit |0...0> state with the given worker count
@@ -54,6 +65,7 @@ func New(n, workers int) (*State, error) {
 	}
 	s.amps[0] = 1
 	s.scratch = make([][]complex128, workers)
+	s.idxBuf = make([][]uint64, workers)
 	return s, nil
 }
 
@@ -75,19 +87,37 @@ func (s *State) Workers() int { return s.workers }
 // Len returns the number of amplitudes, 2^n.
 func (s *State) Len() int { return len(s.amps) }
 
-// Amp returns amplitude i.
-func (s *State) Amp(i uint64) complex128 { return s.amps[i] }
+// Amp returns amplitude i (in logical qubit order; a pending
+// permutation is materialized first).
+func (s *State) Amp(i uint64) complex128 {
+	if s.perm != nil {
+		s.MaterializePerm()
+	}
+	return s.amps[i]
+}
 
 // SetAmp overwrites amplitude i; used by tests and the distributed
 // engine's exchange step.
-func (s *State) SetAmp(i uint64, v complex128) { s.amps[i] = v }
+func (s *State) SetAmp(i uint64, v complex128) {
+	if s.perm != nil {
+		s.MaterializePerm()
+	}
+	s.amps[i] = v
+}
 
 // Amplitudes exposes the raw amplitude slice (shared, not copied); the
-// mgpu engine and samplers iterate it directly.
-func (s *State) Amplitudes() []complex128 { return s.amps }
+// mgpu engine and samplers iterate it directly. A pending qubit
+// permutation is materialized first so indices read in logical order.
+func (s *State) Amplitudes() []complex128 {
+	if s.perm != nil {
+		s.MaterializePerm()
+	}
+	return s.amps
+}
 
 // Reset returns the state to |0...0>.
 func (s *State) Reset() {
+	s.perm = nil
 	for i := range s.amps {
 		s.amps[i] = 0
 	}
@@ -99,6 +129,7 @@ func (s *State) PrepareBasis(idx uint64) error {
 	if idx >= uint64(len(s.amps)) {
 		return fmt.Errorf("statevec: basis index %d out of range", idx)
 	}
+	s.perm = nil
 	for i := range s.amps {
 		s.amps[i] = 0
 	}
@@ -121,6 +152,12 @@ func (s *State) InnerProduct(o *State) (complex128, error) {
 	if s.n != o.n {
 		return 0, fmt.Errorf("statevec: size mismatch %d vs %d qubits", s.n, o.n)
 	}
+	if s.perm != nil {
+		s.MaterializePerm()
+	}
+	if o.perm != nil {
+		o.MaterializePerm()
+	}
 	var acc complex128
 	for i, a := range s.amps {
 		acc += cmplx.Conj(a) * o.amps[i]
@@ -142,26 +179,79 @@ func (s *State) Fidelity(o *State) (float64, error) {
 func (s *State) Clone() *State {
 	c := MustNew(s.n, s.workers)
 	copy(c.amps, s.amps)
+	if s.perm != nil {
+		c.perm = append([]int(nil), s.perm...)
+	}
 	return c
 }
 
-// Probabilities returns |αi|² for every basis state (allocates 2^n
-// float64).
+// Probabilities returns |αi|² for every basis state in logical qubit
+// order (allocates 2^n float64). A pending qubit permutation is read
+// *through*, not materialized: scattering |amps[i]|² to its logical
+// slot costs two table lookups per index — far cheaper than the up to
+// n-1 bit-swap sweeps a physical rearrangement would pay — and the
+// amplitude layout is left untouched for further tiled execution.
 func (s *State) Probabilities() []float64 {
 	p := make([]float64, len(s.amps))
+	if s.perm == nil {
+		s.parallelRange(len(s.amps), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a := s.amps[i]
+				p[i] = real(a)*real(a) + imag(a)*imag(a)
+			}
+		})
+		return p
+	}
+	tabLo, tabHi, loBits := s.permTables()
+	loMask := uint64(1)<<loBits - 1
 	s.parallelRange(len(s.amps), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a := s.amps[i]
-			p[i] = real(a)*real(a) + imag(a)*imag(a)
+			l := tabLo[uint64(i)&loMask] | tabHi[uint64(i)>>loBits]
+			p[l] = real(a)*real(a) + imag(a)*imag(a)
 		}
 	})
 	return p
 }
 
-// ProbOne returns the probability that qubit q measures 1.
+// permTables builds physical→logical index-chunk lookup tables: a bit
+// permutation maps each index chunk independently, so logical(i) =
+// tabLo[low chunk] | tabHi[high chunk].
+func (s *State) permTables() (tabLo, tabHi []uint64, loBits uint) {
+	loBits = uint(s.n) / 2
+	hiBits := uint(s.n) - loBits
+	inv := make([]int, s.n) // physical→logical
+	for q, pos := range s.perm {
+		inv[pos] = q
+	}
+	tabLo = make([]uint64, 1<<loBits)
+	for v := range tabLo {
+		var l uint64
+		for b := uint(0); b < loBits; b++ {
+			l |= (uint64(v) >> b & 1) << uint(inv[b])
+		}
+		tabLo[v] = l
+	}
+	tabHi = make([]uint64, 1<<hiBits)
+	for v := range tabHi {
+		var l uint64
+		for b := uint(0); b < hiBits; b++ {
+			l |= (uint64(v) >> b & 1) << uint(inv[loBits+b])
+		}
+		tabHi[v] = l
+	}
+	return tabLo, tabHi, loBits
+}
+
+// ProbOne returns the probability that logical qubit q measures 1. A
+// pending permutation is consulted, not materialized: only the bit
+// position changes.
 func (s *State) ProbOne(q int) float64 {
 	if q < 0 || q >= s.n {
 		panic(fmt.Sprintf("statevec: qubit %d out of range", q))
+	}
+	if s.perm != nil {
+		q = s.perm[q]
 	}
 	mask := uint64(1) << uint(q)
 	var acc float64
@@ -188,3 +278,118 @@ func (s *State) checkQubit(q int) {
 
 // qmathBit is re-exported for the hot loops below.
 func insertBit(x uint64, pos uint, val uint64) uint64 { return qmath.InsertBit(x, pos, val) }
+
+// --- Lazy qubit-permutation table ---
+//
+// The tiled executor relabels qubits instead of moving amplitudes: a
+// SWAP gate, or a planned relabeling that brings a hot high qubit into
+// a tile-resident position, is recorded here and only turned into data
+// movement when (a) the executor itself pays one bit-swap sweep to
+// relocate a qubit, or (b) readout needs the canonical logical layout.
+
+// ensureCanonical materializes any pending qubit permutation so that
+// gate kernels can address raw bit positions; a nil check keeps it
+// free on the common path.
+func (s *State) ensureCanonical() {
+	if s.perm != nil {
+		s.MaterializePerm()
+	}
+}
+
+// PermIsIdentity reports whether the amplitude layout is the canonical
+// logical order.
+func (s *State) PermIsIdentity() bool {
+	if s.perm == nil {
+		return true
+	}
+	for q, p := range s.perm {
+		if q != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Permutation returns a copy of the logical→physical qubit map, or nil
+// when the layout is canonical.
+func (s *State) Permutation() []int {
+	if s.perm == nil {
+		return nil
+	}
+	return append([]int(nil), s.perm...)
+}
+
+// SetPermutation declares that the amplitude data is currently laid
+// out with logical qubit q at physical bit position perm[q]. Any
+// previously pending permutation is materialized first, so the new
+// table describes the raw layout. perm must be a permutation of
+// [0, n).
+func (s *State) SetPermutation(perm []int) error {
+	if len(perm) != s.n {
+		return fmt.Errorf("statevec: permutation has %d entries, want %d", len(perm), s.n)
+	}
+	seen := make([]bool, s.n)
+	identity := true
+	for q, p := range perm {
+		if p < 0 || p >= s.n || seen[p] {
+			return fmt.Errorf("statevec: invalid permutation %v", perm)
+		}
+		seen[p] = true
+		if p != q {
+			identity = false
+		}
+	}
+	if s.perm != nil {
+		s.MaterializePerm()
+	}
+	if identity {
+		s.perm = nil
+		return nil
+	}
+	s.perm = append([]int(nil), perm...)
+	return nil
+}
+
+// SwapLogical exchanges the physical homes of logical qubits a and b —
+// the free realization of a SWAP gate: a table update, no data
+// movement.
+func (s *State) SwapLogical(a, b int) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	if a == b {
+		return
+	}
+	if s.perm == nil {
+		s.perm = make([]int, s.n)
+		for q := range s.perm {
+			s.perm[q] = q
+		}
+	}
+	s.perm[a], s.perm[b] = s.perm[b], s.perm[a]
+}
+
+// MaterializePerm rearranges the amplitude data back to the canonical
+// layout (logical qubit q at bit position q) and clears the table. It
+// decomposes the bit permutation into at most n-1 physical bit-swap
+// sweeps, placing one qubit per sweep.
+func (s *State) MaterializePerm() {
+	if s.perm == nil {
+		return
+	}
+	perm := s.perm
+	s.perm = nil // swapBits below must operate on the raw layout
+	inv := make([]int, s.n)
+	for q, p := range perm {
+		inv[p] = q
+	}
+	for pos := 0; pos < s.n; pos++ {
+		q := inv[pos] // logical qubit currently living at position pos
+		if q == pos {
+			continue
+		}
+		src := perm[pos] // where logical qubit pos currently lives
+		s.swapBits(uint(pos), uint(src))
+		perm[pos], perm[q] = pos, src
+		inv[pos], inv[src] = pos, q
+	}
+}

@@ -1,0 +1,355 @@
+package statevec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"qgear/internal/gate"
+)
+
+// Tiled execution: the state vector is partitioned into cache-resident
+// tiles of 2^tileBits amplitudes, and a *run* of gates whose mixing
+// operands all lie below the tile boundary is applied gate-after-gate
+// to each tile while it is hot in L2 — one memory pass for the whole
+// run instead of one per gate. Within a tile, every micro-op performs
+// exactly the arithmetic of the corresponding full-sweep kernel on the
+// same amplitude pairs, so tiled execution is bit-identical to the
+// per-gate path; only the order in which disjoint tiles are visited
+// changes, and tiles never interact inside a run.
+//
+// Operand placement rules (what the scheduler in internal/kernel may
+// compile into a run):
+//   - diagonal factors may sit anywhere: a bit at or above the tile
+//     boundary is constant within a tile, so it costs one predicate on
+//     the tile base index (HighMask), not data movement;
+//   - controls may sit anywhere, for the same reason;
+//   - only non-diagonal *targets* must sit below the boundary — a high
+//     target mixes amplitudes across tiles and forces either a planned
+//     relabeling bit-swap or a full-sweep fallback.
+
+// TileOpKind discriminates the tile micro-ops.
+type TileOpKind uint8
+
+const (
+	// TileMat1 applies a 2×2 unitary to a low target, optionally
+	// conditioned on a low control (HasCtrl) and/or high controls
+	// (HighMask).
+	TileMat1 TileOpKind = iota
+	// TileCX is the swap-only controlled-X special case of TileMat1.
+	TileCX
+	// TileDiag multiplies by Phase every amplitude whose LowMask bits
+	// (in-tile) are all 1, in tiles whose HighMask bits are all 1 —
+	// z/s/t/p/cz/cr1 at any operand placement.
+	TileDiag
+	// TileRelPhase applies diag(A, B) on a target qubit: pairwise when
+	// the target is low (T), tile-constant when it is high (HighMask
+	// holds the target bit) — rz at any placement.
+	TileRelPhase
+	// TileFused applies a dense 2^k×2^k unitary to k low qubits,
+	// sharing the unrolled k=1..3 fast paths with ApplyFused.
+	TileFused
+)
+
+// TileOp is one compiled tile-local micro-op. Qubit positions are
+// physical bit positions (the scheduler resolves its permutation table
+// before compiling). Ops are immutable once built: a plan may be
+// executed concurrently against many states.
+type TileOp struct {
+	Kind     TileOpKind
+	T, C     uint   // low physical positions: target, control (HasCtrl)
+	HasCtrl  bool   // low control present (TileMat1 / TileCX)
+	HighMask uint64 // absolute bit positions ≥ tile width that must be 1
+	LowMask  uint64 // TileDiag: in-tile bits that must be 1
+	Phase    complex128
+	A, B     complex128   // TileRelPhase factors diag(A, B)
+	M        gate.Mat2    // TileMat1 matrix
+	Qubits   []uint       // TileFused: low positions; bit j of the index
+	Mat      []complex128 // TileFused: row-major 2^k × 2^k
+}
+
+// tileFusedPre caches the per-op expansion tables a fused micro-op
+// needs inside the tile loop (sorted insertion positions and masks).
+type tileFusedPre struct {
+	sorted []uint
+	masks  []uint64
+	dim    int
+}
+
+// ApplyTileRun applies a compiled run of tile-local micro-ops, one
+// cache-resident tile at a time. Tiles are independent by
+// construction, so they shard across the worker pool like any other
+// sweep — but the whole run costs a single pass over the state.
+func (s *State) ApplyTileRun(tileBits int, ops []TileOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if tileBits < 1 || tileBits >= s.n {
+		return fmt.Errorf("statevec: tile width %d outside [1,%d)", tileBits, s.n)
+	}
+	if s.perm != nil {
+		// Tile runs address physical positions; a pending logical
+		// permutation means the caller and the plan disagree on layout.
+		return fmt.Errorf("statevec: tile run on a state with a pending qubit permutation")
+	}
+	tileSize := 1 << uint(tileBits)
+	tiles := len(s.amps) >> uint(tileBits)
+
+	// Validate every op's in-tile positions up front — a bad position
+	// must surface as an error here, not as an index panic inside a
+	// pool goroutine — and pre-resolve fused expansion tables.
+	for i := range ops {
+		op := &ops[i]
+		if op.HighMask&(1<<uint(tileBits)-1) != 0 {
+			// A predicate bit below the boundary can never be set in a
+			// tile base: the op would be silently dropped everywhere.
+			return fmt.Errorf("statevec: tile op %d high mask %#x has bits below tile width %d", i, op.HighMask, tileBits)
+		}
+		switch op.Kind {
+		case TileMat1, TileCX:
+			if int(op.T) >= tileBits {
+				return fmt.Errorf("statevec: tile op %d target %d at or above tile width %d", i, op.T, tileBits)
+			}
+			if op.HasCtrl && (int(op.C) >= tileBits || op.C == op.T) {
+				return fmt.Errorf("statevec: tile op %d control %d invalid for tile width %d", i, op.C, tileBits)
+			}
+		case TileRelPhase:
+			if op.HighMask == 0 && int(op.T) >= tileBits {
+				return fmt.Errorf("statevec: tile op %d target %d at or above tile width %d", i, op.T, tileBits)
+			}
+		case TileDiag:
+			if op.LowMask>>uint(tileBits) != 0 {
+				return fmt.Errorf("statevec: tile op %d low mask %#x exceeds tile width %d", i, op.LowMask, tileBits)
+			}
+		case TileFused:
+			kw := len(op.Qubits)
+			if kw == 0 || kw > tileBits {
+				return fmt.Errorf("statevec: tile op %d fused width %d outside [1,%d]", i, kw, tileBits)
+			}
+			if len(op.Mat) != 1<<uint(2*kw) {
+				return fmt.Errorf("statevec: tile op %d fused matrix has %d entries, want %d", i, len(op.Mat), 1<<uint(2*kw))
+			}
+			for a, q := range op.Qubits {
+				for b := 0; b < a; b++ {
+					if op.Qubits[b] == q {
+						return fmt.Errorf("statevec: tile op %d duplicate fused qubit %d", i, q)
+					}
+				}
+			}
+		}
+	}
+	var pres []*tileFusedPre
+	maxDim := 0
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind != TileFused {
+			continue
+		}
+		if pres == nil {
+			pres = make([]*tileFusedPre, len(ops))
+		}
+		k := len(op.Qubits)
+		pre := &tileFusedPre{sorted: make([]uint, k), masks: make([]uint64, k), dim: 1 << uint(k)}
+		copy(pre.sorted, op.Qubits)
+		for a := 1; a < k; a++ {
+			for b := a; b > 0 && pre.sorted[b] < pre.sorted[b-1]; b-- {
+				pre.sorted[b], pre.sorted[b-1] = pre.sorted[b-1], pre.sorted[b]
+			}
+		}
+		for j, q := range op.Qubits {
+			if int(q) >= tileBits {
+				return fmt.Errorf("statevec: fused tile op qubit %d at or above tile width %d", q, tileBits)
+			}
+			pre.masks[j] = 1 << q
+		}
+		if pre.dim > maxDim {
+			maxDim = pre.dim
+		}
+		pres[i] = pre
+	}
+
+	amps := s.amps
+	s.parallelTiles(tiles, tileBits, func(w, lo, hi int) {
+		var in, out []complex128
+		var idx []uint64
+		if maxDim > 0 {
+			in, out, idx = s.fusedBuffers(w, maxDim)
+		}
+		for t := lo; t < hi; t++ {
+			base := uint64(t) << uint(tileBits)
+			tile := amps[base : base+uint64(tileSize)]
+			for i := range ops {
+				op := &ops[i]
+				if base&op.HighMask != op.HighMask && op.Kind != TileRelPhase {
+					continue
+				}
+				switch op.Kind {
+				case TileMat1:
+					applyTileMat1(tile, op)
+				case TileCX:
+					applyTileCX(tile, op)
+				case TileDiag:
+					applyTileDiag(tile, op)
+				case TileRelPhase:
+					applyTileRelPhase(tile, base, op)
+				case TileFused:
+					pre := pres[i]
+					outer := len(tile) >> uint(len(pre.sorted))
+					for p := 0; p < outer; p++ {
+						b := uint64(p)
+						for _, q := range pre.sorted {
+							b = insertBit(b, q, 0)
+						}
+						fusedApplyAt(tile, b, pre.masks, op.Mat, in, out, idx)
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// The in-tile loops below enumerate index subspaces with nested block
+// iteration — pure increments over contiguous runs — instead of
+// per-index bit insertion. Visit order over the disjoint pairs changes
+// relative to the full-sweep kernels, but the per-amplitude arithmetic
+// is identical, so results stay bit-identical; the sequential access
+// pattern is what lets a hot tile stream through the core at L2 speed.
+
+// applyTileMat1 mirrors ApplyMat1 / ApplyControlled1 within one tile.
+// The controlled case walks the (c=1, t=0) subspace with three nested
+// block loops, manually inlined: a per-pair closure call here costs
+// more than the complex arithmetic it wraps.
+func applyTileMat1(tile []complex128, op *TileOp) {
+	m0, m1, m2, m3 := op.M[0], op.M[1], op.M[2], op.M[3]
+	step := 1 << op.T
+	if op.HasCtrl {
+		cstep := 1 << op.C
+		if int(op.C) > int(op.T) {
+			for cb := cstep; cb < len(tile); cb += 2 * cstep {
+				for blk := cb; blk < cb+cstep; blk += 2 * step {
+					for i0 := blk; i0 < blk+step; i0++ {
+						i1 := i0 + step
+						a0, a1 := tile[i0], tile[i1]
+						tile[i0] = m0*a0 + m1*a1
+						tile[i1] = m2*a0 + m3*a1
+					}
+				}
+			}
+			return
+		}
+		for blk := 0; blk < len(tile); blk += 2 * step {
+			for cb := blk + cstep; cb < blk+step; cb += 2 * cstep {
+				for i0 := cb; i0 < cb+cstep; i0++ {
+					i1 := i0 + step
+					a0, a1 := tile[i0], tile[i1]
+					tile[i0] = m0*a0 + m1*a1
+					tile[i1] = m2*a0 + m3*a1
+				}
+			}
+		}
+		return
+	}
+	for blk := 0; blk < len(tile); blk += 2 * step {
+		for i0 := blk; i0 < blk+step; i0++ {
+			i1 := i0 + step
+			a0, a1 := tile[i0], tile[i1]
+			tile[i0] = m0*a0 + m1*a1
+			tile[i1] = m2*a0 + m3*a1
+		}
+	}
+}
+
+// applyTileCX mirrors ApplyCX (and the uncontrolled X pair-swap)
+// within one tile, with the same manually inlined subspace loops.
+func applyTileCX(tile []complex128, op *TileOp) {
+	step := 1 << op.T
+	if op.HasCtrl {
+		cstep := 1 << op.C
+		if int(op.C) > int(op.T) {
+			for cb := cstep; cb < len(tile); cb += 2 * cstep {
+				for blk := cb; blk < cb+cstep; blk += 2 * step {
+					for i0 := blk; i0 < blk+step; i0++ {
+						i1 := i0 + step
+						tile[i0], tile[i1] = tile[i1], tile[i0]
+					}
+				}
+			}
+			return
+		}
+		for blk := 0; blk < len(tile); blk += 2 * step {
+			for cb := blk + cstep; cb < blk+step; cb += 2 * cstep {
+				for i0 := cb; i0 < cb+cstep; i0++ {
+					i1 := i0 + step
+					tile[i0], tile[i1] = tile[i1], tile[i0]
+				}
+			}
+		}
+		return
+	}
+	for blk := 0; blk < len(tile); blk += 2 * step {
+		for i0 := blk; i0 < blk+step; i0++ {
+			i1 := i0 + step
+			tile[i0], tile[i1] = tile[i1], tile[i0]
+		}
+	}
+}
+
+// applyTileDiag multiplies by op.Phase every tile amplitude whose
+// LowMask bits are all set, enumerating only the affected subspace.
+func applyTileDiag(tile []complex128, op *TileOp) {
+	phase := op.Phase
+	switch bits.OnesCount64(op.LowMask) {
+	case 0: // all diagonal factors live in the tile base: whole tile
+		for i := range tile {
+			tile[i] *= phase
+		}
+	case 1:
+		step := 1 << uint(bits.TrailingZeros64(op.LowMask))
+		for blk := step; blk < len(tile); blk += 2 * step {
+			for i := blk; i < blk+step; i++ {
+				tile[i] *= phase
+			}
+		}
+	case 2:
+		lo := bits.TrailingZeros64(op.LowMask)
+		hi := 63 - bits.LeadingZeros64(op.LowMask)
+		lstep, hstep := 1<<uint(lo), 1<<uint(hi)
+		for hb := hstep; hb < len(tile); hb += 2 * hstep {
+			for lb := hb + lstep; lb < hb+hstep; lb += 2 * lstep {
+				for i := lb; i < lb+lstep; i++ {
+					tile[i] *= phase
+				}
+			}
+		}
+	default: // not produced by the current gate set; kept for safety
+		for i := range tile {
+			if uint64(i)&op.LowMask == op.LowMask {
+				tile[i] *= phase
+			}
+		}
+	}
+}
+
+// applyTileRelPhase mirrors ApplyGlobalAndRelativePhase: diag(A, B) on
+// a low target multiplies pairs in-tile; on a high target the whole
+// tile shares one factor chosen by the tile base bit.
+func applyTileRelPhase(tile []complex128, base uint64, op *TileOp) {
+	if op.HighMask != 0 {
+		f := op.A
+		if base&op.HighMask != 0 {
+			f = op.B
+		}
+		for i := range tile {
+			tile[i] *= f
+		}
+		return
+	}
+	a, b := op.A, op.B
+	step := 1 << op.T
+	for blk := 0; blk < len(tile); blk += 2 * step {
+		for i0 := blk; i0 < blk+step; i0++ {
+			tile[i0] *= a
+			tile[i0+step] *= b
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package statevec
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+)
+
+// randomize drives the state to a generic entangled superposition.
+func randomize(s *State, rng *qmath.RNG) {
+	n := s.NumQubits()
+	for q := 0; q < n; q++ {
+		s.ApplyMat1(q, gate.Matrix1(gate.RY, []float64{rng.Angle()}))
+		s.ApplyMat1(q, gate.Matrix1(gate.RZ, []float64{rng.Angle()}))
+	}
+	for q := 0; q+1 < n; q++ {
+		s.ApplyCX(q, q+1)
+	}
+}
+
+func statesEqual(t *testing.T, a, b *State, tol float64, what string) {
+	t.Helper()
+	for i := 0; i < a.Len(); i++ {
+		if d := cmplx.Abs(a.Amp(uint64(i)) - b.Amp(uint64(i))); d > tol {
+			t.Fatalf("%s: amplitude %d differs by %g", what, i, d)
+		}
+	}
+}
+
+// TestApplySwapMatchesCXDecomposition: the single-sweep SWAP kernel
+// must be value-exact against the three-CX decomposition it replaced.
+func TestApplySwapMatchesCXDecomposition(t *testing.T) {
+	rng := qmath.NewRNG(31)
+	for _, pair := range [][2]int{{0, 1}, {0, 7}, {3, 5}, {7, 2}} {
+		a := MustNew(8, 1)
+		randomize(a, qmath.NewRNG(5))
+		b := a.Clone()
+		a.ApplySwap(pair[0], pair[1])
+		b.ApplyCX(pair[0], pair[1])
+		b.ApplyCX(pair[1], pair[0])
+		b.ApplyCX(pair[0], pair[1])
+		for i := 0; i < a.Len(); i++ {
+			if a.Amp(uint64(i)) != b.Amp(uint64(i)) {
+				t.Fatalf("swap %v: amplitude %d not bit-identical", pair, i)
+			}
+		}
+	}
+	_ = rng
+}
+
+// TestDiagonalStrideEquivalence: the stride-iterating diagonal kernels
+// must touch exactly the amplitudes the old full-scan loops touched.
+func TestDiagonalStrideEquivalence(t *testing.T) {
+	const n = 9
+	phase := cmplx.Exp(complex(0, 0.37))
+	ref := func(s *State, mask uint64) { // the old branchy reference
+		for i := 0; i < s.Len(); i++ {
+			if uint64(i)&mask == mask {
+				s.SetAmp(uint64(i), s.Amp(uint64(i))*phase)
+			}
+		}
+	}
+
+	s1 := MustNew(n, 4)
+	randomize(s1, qmath.NewRNG(11))
+	s2 := s1.Clone()
+	s1.ApplyPhase1(6, phase)
+	ref(s2, 1<<6)
+	statesEqual(t, s1, s2, 0, "ApplyPhase1")
+
+	s3 := MustNew(n, 4)
+	randomize(s3, qmath.NewRNG(12))
+	s4 := s3.Clone()
+	s3.ApplyControlledPhase(2, 8, phase)
+	ref(s4, 1<<2|1<<8)
+	statesEqual(t, s3, s4, 0, "ApplyControlledPhase")
+}
+
+// TestPermutationLifecycle exercises the lazy table: logical swaps are
+// free, readout sees logical order, and materialization round-trips.
+func TestPermutationLifecycle(t *testing.T) {
+	const n = 6
+	a := MustNew(n, 1)
+	randomize(a, qmath.NewRNG(21))
+	b := a.Clone()
+
+	// Logical swap versus physical swap must agree on readout.
+	a.SwapLogical(1, 4)
+	if a.PermIsIdentity() {
+		t.Fatal("perm should be pending after SwapLogical")
+	}
+	b.ApplySwap(1, 4)
+	if got, want := a.ProbOne(1), b.ProbOne(1); qmathAbs(got-want) > 1e-14 {
+		t.Fatalf("ProbOne through perm: %g vs %g", got, want)
+	}
+	statesEqual(t, a, b, 0, "SwapLogical vs ApplySwap") // Amp materializes a
+	if !a.PermIsIdentity() {
+		t.Fatal("readout should have materialized the permutation")
+	}
+
+	// A longer cycle: three chained swaps equal their physical version.
+	c := MustNew(n, 2)
+	randomize(c, qmath.NewRNG(22))
+	d := c.Clone()
+	c.SwapLogical(0, 5)
+	c.SwapLogical(5, 3)
+	c.SwapLogical(2, 0)
+	d.ApplySwap(0, 5)
+	d.ApplySwap(5, 3)
+	d.ApplySwap(2, 0)
+	statesEqual(t, c, d, 0, "swap chain")
+}
+
+// TestProbabilitiesReadThroughPerm: the probability pass must resolve
+// a pending permutation via index translation — identical values to a
+// materialized readout — while leaving the table pending (no hidden
+// bit-swap sweeps).
+func TestProbabilitiesReadThroughPerm(t *testing.T) {
+	const n = 7
+	a := MustNew(n, 3)
+	randomize(a, qmath.NewRNG(61))
+	b := a.Clone()
+	a.SwapLogical(0, 6)
+	a.SwapLogical(2, 5)
+	b.ApplySwap(0, 6)
+	b.ApplySwap(2, 5)
+	pa, pb := a.Probabilities(), b.Probabilities()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("probability %d: %g vs %g", i, pa[i], pb[i])
+		}
+	}
+	if a.PermIsIdentity() {
+		t.Fatal("Probabilities should not have materialized the permutation")
+	}
+}
+
+// TestApplyTileRunValidatesOps: malformed micro-ops must be rejected
+// up front, not panic inside a worker.
+func TestApplyTileRunValidatesOps(t *testing.T) {
+	s := MustNew(8, 1)
+	for _, ops := range [][]TileOp{
+		{{Kind: TileMat1, T: 5}},                                               // target above tile width
+		{{Kind: TileCX, T: 1, C: 4, HasCtrl: true}},                            // control above tile width
+		{{Kind: TileCX, T: 1, C: 1, HasCtrl: true}},                            // control == target
+		{{Kind: TileRelPhase, T: 6, A: 1, B: 1}},                               // low relphase out of range
+		{{Kind: TileDiag, LowMask: 1 << 4, Phase: 1}},                          // low mask out of range
+		{{Kind: TileFused, Qubits: []uint{4}, Mat: nil}},                       // fused qubit out of range
+		{{Kind: TileFused, Qubits: []uint{0, 0}, Mat: make([]complex128, 16)}}, // duplicate fused qubit
+		{{Kind: TileMat1, T: 0, M: gate.Identity2(), HighMask: 1 << 2}},        // predicate bit below tile width
+		{{Kind: TileDiag, LowMask: 1, HighMask: 1<<6 | 1<<3, Phase: 1}},        // mixed-high mask dips low
+		{{Kind: TileFused, Qubits: []uint{0, 1}, Mat: make([]complex128, 8)}},  // short matrix
+	} {
+		if err := s.ApplyTileRun(4, ops); err == nil {
+			t.Errorf("ops %+v accepted at tile width 4", ops)
+		}
+	}
+}
+
+// TestSetPermutationValidates rejects malformed tables.
+func TestSetPermutationValidates(t *testing.T) {
+	s := MustNew(4, 1)
+	if err := s.SetPermutation([]int{0, 1, 2}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if err := s.SetPermutation([]int{0, 1, 1, 3}); err == nil {
+		t.Fatal("duplicate permutation accepted")
+	}
+	if err := s.SetPermutation([]int{0, 1, 2, 4}); err == nil {
+		t.Fatal("out-of-range permutation accepted")
+	}
+	if err := s.SetPermutation([]int{0, 1, 2, 3}); err != nil {
+		t.Fatalf("identity rejected: %v", err)
+	}
+	if !s.PermIsIdentity() {
+		t.Fatal("identity table should normalize to nil")
+	}
+}
+
+// TestApplyTileRunDirect drives the tile micro-ops directly against
+// their full-sweep counterparts on a mid-sized state.
+func TestApplyTileRunDirect(t *testing.T) {
+	const n, tileBits = 10, 4
+	h := gate.Matrix1(gate.H, nil)
+	ry := gate.Matrix1(gate.RY, []float64{1.1})
+	phase := cmplx.Exp(complex(0, 0.61))
+
+	tiled := MustNew(n, 4)
+	randomize(tiled, qmath.NewRNG(33))
+	naive := tiled.Clone()
+
+	ops := []TileOp{
+		{Kind: TileMat1, T: 2, M: h},                                      // plain low 1q
+		{Kind: TileMat1, T: 1, M: ry, HighMask: 1 << 8},                   // high-controlled 1q
+		{Kind: TileCX, T: 0, C: 3, HasCtrl: true},                         // low-low cx
+		{Kind: TileCX, T: 2, HighMask: 1 << 9},                            // high-controlled cx
+		{Kind: TileDiag, LowMask: 1 << 1, HighMask: 1 << 7, Phase: phase}, // split cr1
+		{Kind: TileDiag, HighMask: 1<<6 | 1<<9, Phase: phase},             // both high
+		{Kind: TileRelPhase, T: 3, A: phase, B: cmplx.Conj(phase)},        // low rz
+		{Kind: TileRelPhase, HighMask: 1 << 5, A: phase, B: -phase},       // high rz
+	}
+	if err := tiled.ApplyTileRun(tileBits, ops); err != nil {
+		t.Fatal(err)
+	}
+
+	naive.ApplyMat1(2, h)
+	naive.ApplyControlled1(8, 1, ry)
+	naive.ApplyCX(3, 0)
+	naive.ApplyCX(9, 2)
+	naive.ApplyControlledPhase(7, 1, phase)
+	naive.ApplyControlledPhase(6, 9, phase)
+	naive.ApplyGlobalAndRelativePhase(3, phase, cmplx.Conj(phase))
+	naive.ApplyGlobalAndRelativePhase(5, phase, -phase)
+
+	statesEqual(t, tiled, naive, 0, "tile micro-ops")
+}
+
+// TestApplyTileRunFused checks the in-tile fused path against the
+// global ApplyFused for k = 1..3 (the unrolled widths) and k = 4.
+func TestApplyTileRunFused(t *testing.T) {
+	const n, tileBits = 9, 5
+	rng := qmath.NewRNG(44)
+	for _, qubits := range [][]int{{3}, {4, 1}, {0, 2, 4}, {3, 1, 4, 0}} {
+		dim := 1 << uint(len(qubits))
+		// A random unitary-ish matrix is unnecessary: equivalence holds
+		// for any matrix, so use random complex entries.
+		m := make([]complex128, dim*dim)
+		for i := range m {
+			m[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+		tiled := MustNew(n, 3)
+		randomize(tiled, qmath.NewRNG(55))
+		naive := tiled.Clone()
+
+		uq := make([]uint, len(qubits))
+		for i, q := range qubits {
+			uq[i] = uint(q)
+		}
+		if err := tiled.ApplyTileRun(tileBits, []TileOp{{Kind: TileFused, Qubits: uq, Mat: m}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := naive.ApplyFused(qubits, m); err != nil {
+			t.Fatal(err)
+		}
+		statesEqual(t, tiled, naive, 0, "tiled fused")
+	}
+}
+
+func qmathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

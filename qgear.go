@@ -72,6 +72,12 @@ type Counts = sampling.Counts
 // RunOptions configures transformation and execution.
 type RunOptions = core.Options
 
+// DefaultTileBits is the cache-blocked executor's default tile width:
+// runs of gates whose mixing operands fit under 2^DefaultTileBits
+// amplitudes execute in one memory pass per run instead of one per
+// gate (see RunOptions.TileBits to tune or disable).
+const DefaultTileBits = kernel.DefaultTileBits
+
 // NewCircuit returns an empty circuit with nq qubits and nc classical
 // bits.
 func NewCircuit(nq, nc int) *Circuit { return circuit.New(nq, nc) }
