@@ -76,10 +76,12 @@ func serviceFlags(fs *flag.FlagSet) *service.Config {
 	fs.IntVar(&cfg.Workers, "workers", 0, "goroutine parallelism per device (0 = NumCPU)")
 	fs.IntVar(&cfg.FusionWindow, "fusion", 0, "gate-fusion window (0 = off)")
 	fs.Float64Var(&cfg.PruneAngle, "prune", 0, "small-angle prune threshold")
-	fs.IntVar(&cfg.TileBits, "tile", 0, "tiled-executor tile width in qubits (0 = auto, negative = per-gate sweeps)")
+	fs.IntVar(&cfg.TileBits, "tile", 0, "tiled-executor tile width in qubits (0 = auto from cache geometry, negative = per-gate sweeps)")
+	fs.BoolVar(&cfg.PlanFusion, "plan-fusion", false, "pre-multiply adjacent same-target 1q gates in the plan compiler")
 	fs.IntVar(&cfg.QueueSize, "queue", 256, "job queue bound")
 	fs.IntVar(&cfg.WorkerPool, "pool", 2, "executor worker pool size")
 	fs.IntVar(&cfg.CacheSize, "cache", 1024, "LRU result-cache entries (-1 disables)")
+	fs.IntVar(&cfg.PlanCacheSize, "plan-cache", 512, "compiled-plan LRU entries (-1 disables)")
 	fs.IntVar(&cfg.MaxBatch, "batch", 8, "max jobs coalesced into one run")
 	fs.DurationVar(&cfg.BatchWindow, "window", 2*time.Millisecond, "batch coalescing wait window")
 	return cfg
@@ -190,9 +192,10 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("overall: hit rate %.1f%% (%d/%d), server lifetime hit rate %.1f%%, cache %d/%d entries, %d evictions, mean batch %.1f\n",
+	fmt.Printf("overall: hit rate %.1f%% (%d/%d), server lifetime hit rate %.1f%%, cache %d/%d entries, %d evictions, mean batch %.1f, plan cache %d hits / %d misses\n",
 		pct(overallHits, overallSubmitted), overallHits, overallSubmitted,
-		final.HitRate*100, final.CacheLen, final.CacheCapacity, final.CacheEvictions, final.MeanBatchLen)
+		final.HitRate*100, final.CacheLen, final.CacheCapacity, final.CacheEvictions, final.MeanBatchLen,
+		final.PlanCacheHits, final.PlanCacheMisses)
 	return nil
 }
 

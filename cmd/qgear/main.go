@@ -184,7 +184,8 @@ func cmdRun(args []string) error {
 	shots := fs.Int("shots", 0, "measurement shots (0 = probabilities only)")
 	seed := fs.Uint64("seed", 42, "sampling seed")
 	fusion := fs.Int("fusion", 0, "gate fusion window")
-	tile := fs.Int("tile", 0, "tiled-executor tile width in qubits (0 = auto, negative = per-gate sweeps)")
+	tile := fs.Int("tile", 0, "tiled-executor tile width in qubits (0 = auto from cache geometry, negative = per-gate sweeps)")
+	planFusion := fs.Bool("plan-fusion", false, "pre-multiply adjacent same-target 1q gates in the plan compiler")
 	top := fs.Int("top", 8, "top outcomes to print")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -198,7 +199,8 @@ func cmdRun(args []string) error {
 	}
 	results, err := core.Run(cs, core.Options{
 		Target: backend.Target(*target), Devices: *devices,
-		Shots: *shots, Seed: *seed, FusionWindow: *fusion, TileBits: *tile,
+		Shots: *shots, Seed: *seed, FusionWindow: *fusion,
+		TileBits: *tile, PlanFusion: *planFusion,
 	})
 	if err != nil {
 		return err
@@ -208,7 +210,18 @@ func cmdRun(args []string) error {
 		if res.Exchanges > 0 {
 			fmt.Printf("  exchanges=%d bytes=%d", res.Exchanges, res.BytesSent)
 		}
+		if res.AvoidedExchanges > 0 {
+			fmt.Printf("  avoided=%d", res.AvoidedExchanges)
+		}
 		fmt.Println()
+		if st := res.PlanStats; st != nil {
+			fmt.Printf("    plan: tile=%d runs=%d local=%d global=%d fused=%d relabels=%d free-swaps=%d",
+				res.TileBits, st.Runs, st.TileLocal, st.Global, st.FusedOps, st.BitSwaps, st.PermSwaps)
+			if st.ExchangeSegs > 0 || st.RankLocal > 0 {
+				fmt.Printf(" exch-segs=%d/%dg rank-local=%d", st.ExchangeSegs, st.ExchangeGates, st.RankLocal)
+			}
+			fmt.Println()
+		}
 		if res.Counts != nil {
 			for _, key := range res.Counts.TopK(*top) {
 				fmt.Printf("    %0*b  %d\n", cs[i].NumQubits, key, res.Counts[key])

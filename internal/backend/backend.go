@@ -16,6 +16,7 @@
 package backend
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -80,10 +81,17 @@ type Config struct {
 	// L2-resident tiles in one memory pass per run instead of one per
 	// gate, with SWAPs absorbed into a qubit relabeling table. The
 	// tiled path is bit-identical to the per-gate path. 0 selects
-	// kernel.DefaultTileBits on GPU-class targets and leaves aer on the
-	// per-gate baseline; negative disables tiling everywhere; positive
-	// forces that tile width on any target.
+	// kernel.AutoTileBits (cache-geometry detected at startup, env
+	// QGEAR_TILE_BITS override) on GPU-class targets and leaves aer on
+	// the per-gate baseline; negative disables tiling everywhere;
+	// positive forces that tile width on any target.
 	TileBits int
+	// PlanFusion enables within-run fusion in the plan compiler:
+	// adjacent same-target single-qubit gates pre-multiply into one
+	// micro-op. Off (the default) keeps planned execution
+	// arithmetic-identical to the per-gate path; on trades exactness
+	// at the ~1e-15 rounding level for fewer in-tile multiplies.
+	PlanFusion bool
 }
 
 // pennylaneTranspileReps models the per-gate latency of Pennylane's
@@ -100,11 +108,22 @@ type Result struct {
 	Probabilities []float64
 	Counts        sampling.Counts
 	Duration      time.Duration
-	KernelStats   kernel.Stats
-	// Exchanges/BytesSent are the mgpu communication counters (zero
-	// for single-device targets).
-	Exchanges int
-	BytesSent int64
+	// KernelStats reports the circuit→kernel transformation.
+	KernelStats kernel.Stats
+	// PlanStats reports what the plan compiler did (tile runs, global
+	// fallbacks, fused micro-ops, exchange segments); nil when the run
+	// took the per-gate path.
+	PlanStats *kernel.PlanStats
+	// TileBits is the effective tile width the run executed with; 0 on
+	// the per-gate path.
+	TileBits int
+	// Exchanges/BytesSent/AvoidedExchanges are the mgpu communication
+	// counters (zero for single-device targets): exchanges paid, bytes
+	// shipped, and exchanges the per-gate baseline would have paid
+	// that this run resolved locally or batched away.
+	Exchanges        int
+	BytesSent        int64
+	AvoidedExchanges int
 }
 
 func (c Config) workers() int {
@@ -127,7 +146,8 @@ func (c Config) devices() int {
 // tileBits resolves the tiled-executor policy: explicit widths win,
 // negative disables, and the zero default enables tiling on GPU-class
 // targets while keeping aer on the per-gate sweep baseline (the same
-// way aer keeps fusion off).
+// way aer keeps fusion off). The auto width comes from the cache
+// geometry detected at startup.
 func (c Config) tileBits() int {
 	switch {
 	case c.TileBits > 0:
@@ -137,66 +157,154 @@ func (c Config) tileBits() int {
 	case c.Target == TargetAer:
 		return 0
 	default:
-		return kernel.DefaultTileBits
+		return kernel.AutoTileBits()
 	}
 }
 
-// Run transforms the circuit for the configured target and executes it.
-func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
-	if !cfg.Target.Valid() {
-		return nil, fmt.Errorf("backend: unknown target %q", cfg.Target)
+// globalBits is the rank-index bit count of the distributed target (0
+// on single-device targets).
+func (c Config) globalBits() int {
+	if c.Target != TargetNvidiaMGPU {
+		return 0
 	}
-	opts := kernel.Options{PruneAngle: cfg.PruneAngle}
-	switch cfg.Target {
+	return int(qmath.Log2Ceil(uint64(c.devices())))
+}
+
+// transformOptions lowers the config to circuit→kernel transform
+// options for a circuit of n qubits.
+func (c Config) transformOptions(n int) kernel.Options {
+	opts := kernel.Options{PruneAngle: c.PruneAngle}
+	switch c.Target {
 	case TargetAer:
 		// Aer baseline: no fusion, serial; the kernel transformation
 		// still runs (Q-GEAR converts regardless; the target decides
 		// execution).
 	case TargetNvidiaMGPU:
-		opts.FusionWindow = cfg.FusionWindow
-		nloc := c.NumQubits - int(qmath.Log2Ceil(uint64(cfg.devices())))
-		opts.FusionLocalQubits = nloc
+		opts.FusionWindow = c.FusionWindow
+		opts.FusionLocalQubits = n - c.globalBits()
 	default:
-		opts.FusionWindow = cfg.FusionWindow
+		opts.FusionWindow = c.FusionWindow
 	}
-	k, stats, err := kernel.FromCircuit(c, opts)
-	if err != nil {
-		return nil, err
-	}
-	res, err := RunKernel(k, cfg)
-	if err != nil {
-		return nil, err
-	}
-	res.KernelStats = stats
-	return res, nil
+	return opts
 }
 
-// RunKernel executes an already-transformed kernel.
+// Compiled is a circuit lowered all the way to the execution IR: the
+// transformed kernel plus its compiled TilePlan (nil when the target
+// runs per-gate). A Compiled is immutable and safe to execute
+// concurrently — the service layer caches them across submissions so
+// repeat work skips transformation and planning entirely.
+type Compiled struct {
+	Kernel *kernel.Kernel
+	// Plan is the compiled execution schedule; nil selects the
+	// per-gate executor (aer, disabled tiling, or a state too small to
+	// tile).
+	Plan *kernel.TilePlan
+	// TransformStats reports the circuit→kernel conversion.
+	TransformStats kernel.Stats
+	// TileBits is the plan's effective tile width (0 when Plan is nil).
+	TileBits int
+}
+
+// Compile transforms a circuit for the configured target and compiles
+// its execution plan, without running anything.
+func Compile(c *circuit.Circuit, cfg Config) (*Compiled, error) {
+	if !cfg.Target.Valid() {
+		return nil, fmt.Errorf("backend: unknown target %q", cfg.Target)
+	}
+	k, stats, err := kernel.FromCircuit(c, cfg.transformOptions(c.NumQubits))
+	if err != nil {
+		return nil, err
+	}
+	comp, err := compileKernel(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	comp.TransformStats = stats
+	return comp, nil
+}
+
+// compileKernel plans an already-transformed kernel. States too small
+// to tile fall back to the per-gate executor (nil plan); real planning
+// failures surface as errors.
+func compileKernel(k *kernel.Kernel, cfg Config) (*Compiled, error) {
+	comp := &Compiled{Kernel: k}
+	tb := cfg.tileBits()
+	if tb <= 0 {
+		return comp, nil
+	}
+	plan, err := kernel.Plan(k, kernel.PlanConfig{
+		TileBits:   tb,
+		GlobalBits: cfg.globalBits(),
+		FuseRuns:   cfg.PlanFusion,
+	})
+	if err != nil {
+		if errors.Is(err, kernel.ErrNoTiling) {
+			return comp, nil
+		}
+		return nil, err
+	}
+	comp.Plan = plan
+	comp.TileBits = plan.TileBits
+	return comp, nil
+}
+
+// Run transforms the circuit for the configured target and executes it
+// — Compile followed by RunCompiled.
+func Run(c *circuit.Circuit, cfg Config) (*Result, error) {
+	comp, err := Compile(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiled(comp, cfg)
+}
+
+// RunKernel executes an already-transformed kernel, planning it on the
+// fly.
 func RunKernel(k *kernel.Kernel, cfg Config) (*Result, error) {
 	if !cfg.Target.Valid() {
 		return nil, fmt.Errorf("backend: unknown target %q", cfg.Target)
 	}
+	comp, err := compileKernel(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiled(comp, cfg)
+}
+
+// RunCompiled executes a compiled circuit. Every engine consumes the
+// same plan: the single-process statevec executor runs it directly,
+// the distributed engine runs it against each rank shard, and a nil
+// plan selects the per-gate baseline on either.
+func RunCompiled(comp *Compiled, cfg Config) (*Result, error) {
+	if !cfg.Target.Valid() {
+		return nil, fmt.Errorf("backend: unknown target %q", cfg.Target)
+	}
 	start := time.Now()
-	res := &Result{Target: cfg.Target}
+	res := &Result{Target: cfg.Target, KernelStats: comp.TransformStats, TileBits: comp.TileBits}
+	if comp.Plan != nil {
+		stats := comp.Plan.Stats
+		res.PlanStats = &stats
+	}
 
 	switch cfg.Target {
 	case TargetNvidiaMGPU:
-		out, err := mgpu.SimulateKernel(k, cfg.devices(), cfg.workers())
+		out, err := mgpu.SimulateCompiled(comp.Kernel, comp.Plan, cfg.devices(), cfg.workers())
 		if err != nil {
 			return nil, err
 		}
 		res.Probabilities = out.Probabilities
 		res.Exchanges = out.Exchanges
 		res.BytesSent = out.BytesSent
+		res.AvoidedExchanges = out.AvoidedExchanges
 	case TargetPennylane:
-		pennylaneTranspile(k)
-		probs, err := runSingle(k, cfg.workers(), cfg.tileBits())
+		pennylaneTranspile(comp.Kernel)
+		probs, err := runSingle(comp, cfg.workers())
 		if err != nil {
 			return nil, err
 		}
 		res.Probabilities = probs
 	default: // aer, nvidia, and mqpu-with-one-circuit all run the local engine
-		probs, err := runSingle(k, cfg.workers(), cfg.tileBits())
+		probs, err := runSingle(comp, cfg.workers())
 		if err != nil {
 			return nil, err
 		}
@@ -262,17 +370,18 @@ func sampleShots(probs []float64, cfg Config) (sampling.Counts, error) {
 	return merged, nil
 }
 
-// runSingle executes on one in-memory device, through the tiled
-// executor when tileBits > 0 (bit-identical output either way).
-func runSingle(k *kernel.Kernel, workers, tileBits int) ([]float64, error) {
-	s, err := statevec.New(k.NumQubits, workers)
+// runSingle executes a compiled circuit on one in-memory device,
+// through the plan when one was compiled (bit-identical output either
+// way).
+func runSingle(comp *Compiled, workers int) ([]float64, error) {
+	s, err := statevec.New(comp.Kernel.NumQubits, workers)
 	if err != nil {
 		return nil, err
 	}
-	if tileBits > 0 {
-		err = kernel.ExecuteTiled(k, s, tileBits)
+	if comp.Plan != nil {
+		err = comp.Plan.Execute(s)
 	} else {
-		err = kernel.Execute(k, s)
+		err = kernel.Execute(comp.Kernel, s)
 	}
 	if err != nil {
 		return nil, err
@@ -303,14 +412,30 @@ func pennylaneTranspile(k *kernel.Kernel) {
 	_ = sink
 }
 
-// RunBatch executes a batch of circuits. On the mqpu target the batch
-// is spread across cfg.Devices simulated QPUs running concurrently
-// (the §3 four-QPU mode); every other target runs sequentially.
+// RunBatch executes a batch of circuits: compile each, then execute
+// the compiled batch.
 func RunBatch(circuits []*circuit.Circuit, cfg Config) ([]*Result, error) {
+	comps := make([]*Compiled, len(circuits))
+	for i, c := range circuits {
+		comp, err := Compile(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("backend: circuit %d: %w", i, err)
+		}
+		comps[i] = comp
+	}
+	return RunBatchCompiled(comps, cfg)
+}
+
+// RunBatchCompiled executes a batch of compiled circuits. On the mqpu
+// target the batch is spread across cfg.Devices simulated QPUs running
+// concurrently (the §3 four-QPU mode); every other target runs
+// sequentially. Plans compiled under the mqpu target are valid on the
+// per-device engine — both are single-process plan consumers.
+func RunBatchCompiled(comps []*Compiled, cfg Config) ([]*Result, error) {
 	if cfg.Target != TargetNvidiaMQPU {
-		out := make([]*Result, len(circuits))
-		for i, c := range circuits {
-			r, err := Run(c, cfg)
+		out := make([]*Result, len(comps))
+		for i, comp := range comps {
+			r, err := RunCompiled(comp, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("backend: circuit %d: %w", i, err)
 			}
@@ -328,24 +453,24 @@ func RunBatch(circuits []*circuit.Circuit, cfg Config) ([]*Result, error) {
 	} else {
 		perDev.Workers = 1
 	}
-	out := make([]*Result, len(circuits))
-	errs := make([]error, len(circuits))
+	out := make([]*Result, len(comps))
+	errs := make([]error, len(comps))
 	sem := make(chan struct{}, devices)
 	var wg sync.WaitGroup
-	for i, c := range circuits {
+	for i, comp := range comps {
 		wg.Add(1)
-		go func(i int, c *circuit.Circuit) {
+		go func(i int, comp *Compiled) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cfgi := perDev
 			cfgi.Seed = cfg.Seed + uint64(i)
-			r, err := Run(c, cfgi)
+			r, err := RunCompiled(comp, cfgi)
 			out[i], errs[i] = r, err
 			if r != nil {
 				r.Target = TargetNvidiaMQPU
 			}
-		}(i, c)
+		}(i, comp)
 	}
 	wg.Wait()
 	for i, err := range errs {

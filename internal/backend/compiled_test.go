@@ -1,0 +1,96 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+
+	"qgear/internal/qft"
+)
+
+// TestCompiledMGPUPlannedMatchesPerGate is the backend-level check of
+// the shared-IR pipeline on the distributed target: the planned mgpu
+// path must produce bit-identical fixed-seed shot counts to the
+// per-gate path, while reporting its plan stats and exchanging no more
+// than the baseline.
+func TestCompiledMGPUPlannedMatchesPerGate(t *testing.T) {
+	c, err := qft.Circuit(9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Target: TargetNvidiaMGPU, Devices: 4, Workers: 2, Shots: 1500, Seed: 99}
+
+	perGateCfg := base
+	perGateCfg.TileBits = -1
+	perGate, err := Run(c, perGateCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perGate.PlanStats != nil || perGate.TileBits != 0 {
+		t.Fatalf("per-gate run reported a plan: tile=%d", perGate.TileBits)
+	}
+
+	plannedCfg := base
+	plannedCfg.TileBits = 4
+	planned, err := Run(c, plannedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.PlanStats == nil || planned.TileBits != 4 {
+		t.Fatalf("planned run missing plan stats (tile=%d)", planned.TileBits)
+	}
+	if planned.Exchanges > perGate.Exchanges {
+		t.Errorf("planned exchanges %d exceed per-gate %d", planned.Exchanges, perGate.Exchanges)
+	}
+	if len(planned.Counts) != len(perGate.Counts) {
+		t.Fatalf("distinct outcomes differ: %d vs %d", len(planned.Counts), len(perGate.Counts))
+	}
+	for key, n := range perGate.Counts {
+		if planned.Counts[key] != n {
+			t.Fatalf("outcome %b: %d vs %d — not bit-identical", key, n, planned.Counts[key])
+		}
+	}
+}
+
+// TestCompiledReplaysConcurrently checks the Compiled contract the
+// service's plan cache depends on: one compiled artifact executed many
+// times, concurrently, always yields the identical distribution.
+func TestCompiledReplaysConcurrently(t *testing.T) {
+	c, err := qft.Circuit(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Target: TargetNvidia, Workers: 2, TileBits: 4}
+	comp, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Plan == nil {
+		t.Fatal("expected a compiled plan")
+	}
+	ref, err := RunCompiled(comp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replays = 8
+	results := make([]*Result, replays)
+	errs := make([]error, replays)
+	var wg sync.WaitGroup
+	for i := 0; i < replays; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunCompiled(comp, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < replays; i++ {
+		if errs[i] != nil {
+			t.Fatalf("replay %d: %v", i, errs[i])
+		}
+		for j := range ref.Probabilities {
+			if results[i].Probabilities[j] != ref.Probabilities[j] {
+				t.Fatalf("replay %d diverged at index %d", i, j)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"qgear/internal/circuit"
 	"qgear/internal/kernel"
+	"qgear/internal/mgpu"
 	"qgear/internal/qcrank"
 	"qgear/internal/qft"
 	"qgear/internal/qimage"
@@ -28,10 +29,17 @@ import (
 // AblationRow is one workload's tiled-vs-per-gate measurement, in the
 // shape BENCH_*.json records.
 type AblationRow struct {
-	Workload        string  `json:"workload"`
-	Qubits          int     `json:"qubits"`
-	Instrs          int     `json:"kernel_instrs"`
-	TileBits        int     `json:"tile_bits"`
+	Workload string `json:"workload"`
+	Qubits   int    `json:"qubits"`
+	Instrs   int    `json:"kernel_instrs"`
+	TileBits int    `json:"tile_bits"`
+	// TileBitsSource/TileCacheBytes record where the startup-detected
+	// default tile width came from ("env", "l2", "l3", "default") and
+	// the cache capacity the detection saw, so a BENCH json is
+	// interpretable on the machine that produced it.
+	TileBitsSource  string  `json:"tile_bits_source"`
+	AutoTileBits    int     `json:"auto_tile_bits"`
+	TileCacheBytes  int64   `json:"tile_cache_bytes,omitempty"`
 	Workers         int     `json:"workers"`
 	PerGateSeconds  float64 `json:"per_gate_seconds"`
 	TiledSeconds    float64 `json:"tiled_seconds"`
@@ -44,11 +52,73 @@ type AblationRow struct {
 	Shots           int     `json:"shots"`
 	MaxProbDiff     float64 `json:"max_prob_diff"`
 	CountsIdentical bool    `json:"counts_identical"`
+	// MGPU is the distributed ablation on the same kernel: the
+	// per-gate DistState path vs planned execution of the shared
+	// TilePlan IR.
+	MGPU *MGPUAblationRow `json:"mgpu,omitempty"`
+}
+
+// MGPUAblationRow is the planned-mgpu ablation column: the same kernel
+// on the distributed engine, gate-by-gate vs through the compiled
+// plan, with the communication counters that explain the difference.
+type MGPUAblationRow struct {
+	Devices          int     `json:"devices"`
+	WorkersPerRank   int     `json:"workers_per_rank"`
+	TileBits         int     `json:"tile_bits"`
+	PerGateSeconds   float64 `json:"per_gate_seconds"`
+	PlannedSeconds   float64 `json:"planned_seconds"`
+	Speedup          float64 `json:"speedup"`
+	PerGateExchanges int     `json:"per_gate_exchanges"`
+	PlannedExchanges int     `json:"planned_exchanges"`
+	AvoidedExchanges int     `json:"avoided_exchanges"`
+	ExchangeSegments int     `json:"exchange_segments"`
+	ExchangeGates    int     `json:"exchange_gates"`
+	RankLocalGlobals int     `json:"rank_local_globals"`
+	PerGateBytesSent int64   `json:"per_gate_bytes_sent"`
+	PlannedBytesSent int64   `json:"planned_bytes_sent"`
+	MaxProbDiff      float64 `json:"max_prob_diff"`
+	CountsIdentical  bool    `json:"counts_identical"`
+}
+
+// crossCheck compares two probability vectors elementwise and draws
+// fixed-seed shots from both, reporting the max deviation and whether
+// the counts agree exactly — the equivalence verdict both ablation
+// columns record.
+func crossCheck(pA, pB []float64, shots int, seed uint64) (maxProbDiff float64, countsIdentical bool, err error) {
+	for i := range pA {
+		d := pA[i] - pB[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxProbDiff {
+			maxProbDiff = d
+		}
+	}
+	cA, err := sampling.Sample(pA, shots, qmath.NewRNG(seed))
+	if err != nil {
+		return 0, false, err
+	}
+	cB, err := sampling.Sample(pB, shots, qmath.NewRNG(seed))
+	if err != nil {
+		return 0, false, err
+	}
+	countsIdentical = len(cA) == len(cB)
+	if countsIdentical {
+		for key, n := range cA {
+			if cB[key] != n {
+				countsIdentical = false
+				break
+			}
+		}
+	}
+	return maxProbDiff, countsIdentical, nil
 }
 
 // ablate measures one kernel both ways and cross-checks the outputs.
 func (r *Runner) ablate(name string, k *kernel.Kernel, tileBits, shots int) (AblationRow, error) {
 	row := AblationRow{Workload: name, Qubits: k.NumQubits, Instrs: len(k.Instrs), TileBits: tileBits, Workers: maxWorkers(r), Shots: shots}
+	autoBits, src, cacheBytes := kernel.TileBitsOrigin()
+	row.AutoTileBits, row.TileBitsSource, row.TileCacheBytes = autoBits, src, cacheBytes
 
 	plan, err := kernel.PlanTiled(k, tileBits)
 	if err != nil {
@@ -99,45 +169,77 @@ func (r *Runner) ablate(name string, k *kernel.Kernel, tileBits, shots int) (Abl
 	}
 	// Equivalence: probabilities elementwise, and fixed-seed shot
 	// counts drawn from both vectors must agree exactly.
-	for i := range pNaive {
-		d := pNaive[i] - pTiled[i]
-		if d < 0 {
-			d = -d
-		}
-		if d > row.MaxProbDiff {
-			row.MaxProbDiff = d
-		}
-	}
-	cNaive, err := sampling.Sample(pNaive, shots, qmath.NewRNG(r.Seed))
+	row.MaxProbDiff, row.CountsIdentical, err = crossCheck(pNaive, pTiled, shots, r.Seed)
 	if err != nil {
 		return row, err
-	}
-	cTiled, err := sampling.Sample(pTiled, shots, qmath.NewRNG(r.Seed))
-	if err != nil {
-		return row, err
-	}
-	row.CountsIdentical = len(cNaive) == len(cTiled)
-	if row.CountsIdentical {
-		for key, n := range cNaive {
-			if cTiled[key] != n {
-				row.CountsIdentical = false
-				break
-			}
-		}
 	}
 	return row, nil
 }
 
+// mgpuAblate measures the same kernel on the distributed engine both
+// ways — gate-by-gate DistState vs planned execution of the shared
+// TilePlan — and cross-checks the gathered distributions.
+func (r *Runner) mgpuAblate(k *kernel.Kernel, tileBits, devices, shots int) (*MGPUAblationRow, error) {
+	workersPerRank := maxWorkers(r) / devices
+	if workersPerRank < 1 {
+		workersPerRank = 1
+	}
+	m := &MGPUAblationRow{Devices: devices, WorkersPerRank: workersPerRank}
+
+	gbits := int(qmath.Log2Ceil(uint64(devices)))
+	plan, err := kernel.Plan(k, kernel.PlanConfig{TileBits: tileBits, GlobalBits: gbits})
+	if err != nil {
+		return nil, err
+	}
+	m.TileBits = plan.TileBits
+	m.ExchangeSegments = plan.Stats.ExchangeSegs
+	m.ExchangeGates = plan.Stats.ExchangeGates
+	m.RankLocalGlobals = plan.Stats.RankLocal
+
+	var perGate, planned *mgpu.Result
+	m.PerGateSeconds, err = measure(func() error {
+		perGate, err = mgpu.SimulateKernel(k, devices, workersPerRank)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.PlannedSeconds, err = measure(func() error {
+		planned, err = mgpu.SimulateCompiled(k, plan, devices, workersPerRank)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m.PlannedSeconds > 0 {
+		m.Speedup = m.PerGateSeconds / m.PlannedSeconds
+	}
+	m.PerGateExchanges = perGate.Exchanges
+	m.PlannedExchanges = planned.Exchanges
+	m.AvoidedExchanges = planned.AvoidedExchanges
+	m.PerGateBytesSent = perGate.BytesSent
+	m.PlannedBytesSent = planned.BytesSent
+	m.MaxProbDiff, m.CountsIdentical, err = crossCheck(perGate.Probabilities, planned.Probabilities, shots, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // tilingWorkloads sizes the ablation. The Large sweep runs the
 // acceptance sizes (QFT-24, a 20-qubit QCrank image encoding) with the
-// production tile width; the default sweep shrinks both the states and
-// the tile so tests exercise the same machinery in seconds.
+// startup-detected tile width; the default sweep shrinks both the
+// states and the tile so tests exercise the same machinery in seconds.
 func (r *Runner) tilingWorkloads() (qftQubits, qftTile, addrQubits, imgW, imgH, qcrankTile int) {
 	if r.Large {
-		return 24, kernel.DefaultTileBits, 10, 128, 80, kernel.DefaultTileBits
+		return 24, kernel.AutoTileBits(), 10, 128, 80, kernel.AutoTileBits()
 	}
 	return 16, 10, 6, 32, 20, 10
 }
+
+// mgpuAblationDevices is the simulated device count of the
+// planned-mgpu ablation column.
+const mgpuAblationDevices = 4
 
 // Tiling regenerates the tiled-executor ablation: per-gate sweeps vs
 // cache-blocked tile runs on the two gate-run-dominated workloads of
@@ -159,6 +261,17 @@ func (r *Runner) Tiling() (Experiment, error) {
 		exp.Notes = append(exp.Notes, fmt.Sprintf(
 			"%s: %.1fx speedup (%d instrs -> %d tile runs + %d global sweeps + %d relabel swaps; %d swaps free); max |Δp| %.2g, counts identical: %v",
 			row.Workload, row.Speedup, row.Instrs, row.Runs, row.GlobalGates, row.BitSwaps, row.PermSwaps, row.MaxProbDiff, row.CountsIdentical))
+		if m := row.MGPU; m != nil {
+			exp.Series = append(exp.Series, Series{
+				Label: "measured mgpu: " + row.Workload, XLabel: "mode (1=per-gate, 2=planned)", YLabel: "seconds",
+				Points: []Point{{X: 1, Y: m.PerGateSeconds}, {X: 2, Y: m.PlannedSeconds}},
+			})
+			exp.Notes = append(exp.Notes, fmt.Sprintf(
+				"%s mgpu x%d: %.1fx speedup; exchanges %d -> %d (%d avoided, %d segments over %d gates, %d rank-local); max |Δp| %.2g, counts identical: %v",
+				row.Workload, m.Devices, m.Speedup, m.PerGateExchanges, m.PlannedExchanges,
+				m.AvoidedExchanges, m.ExchangeSegments, m.ExchangeGates, m.RankLocalGlobals,
+				m.MaxProbDiff, m.CountsIdentical))
+		}
 	}
 
 	if r.JSONDir != "" {
@@ -197,6 +310,9 @@ func (r *Runner) TilingRows() (qftRow, qcrankRow AblationRow, err error) {
 	if qftRow, err = r.ablate(fmt.Sprintf("qft_%dq_reversed", qftN), qftK, qftTile, 4096); err != nil {
 		return
 	}
+	if qftRow.MGPU, err = r.mgpuAblate(qftK, qftTile, mgpuAblationDevices, 4096); err != nil {
+		return
+	}
 	var img *qimage.Image
 	if img, err = qimage.Synthetic("zebra", imgW, imgH, r.Seed); err != nil {
 		return
@@ -213,6 +329,9 @@ func (r *Runner) TilingRows() (qftRow, qcrankRow AblationRow, err error) {
 	if qcK, _, err = kernel.FromCircuit(qc, kernel.Options{}); err != nil {
 		return
 	}
-	qcrankRow, err = r.ablate(fmt.Sprintf("qcrank_a%d_d%d", plan.AddrQubits, plan.DataQubits), qcK, qcTile, plan.Shots)
+	if qcrankRow, err = r.ablate(fmt.Sprintf("qcrank_a%d_d%d", plan.AddrQubits, plan.DataQubits), qcK, qcTile, plan.Shots); err != nil {
+		return
+	}
+	qcrankRow.MGPU, err = r.mgpuAblate(qcK, qcTile, mgpuAblationDevices, plan.Shots)
 	return
 }

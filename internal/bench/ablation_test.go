@@ -35,6 +35,34 @@ func TestTilingAblation(t *testing.T) {
 				row.Workload, passes, row.Instrs)
 		}
 	}
+	// The planned-mgpu column: bit-identical to the per-gate
+	// distributed path, with strictly less communication.
+	for _, row := range []AblationRow{qftRow, qcRow} {
+		m := row.MGPU
+		if m == nil {
+			t.Fatalf("%s: missing mgpu ablation column", row.Workload)
+		}
+		if m.MaxProbDiff > 1e-12 {
+			t.Errorf("%s mgpu: max prob diff %g > 1e-12", row.Workload, m.MaxProbDiff)
+		}
+		if !m.CountsIdentical {
+			t.Errorf("%s mgpu: fixed-seed shot counts differ between executors", row.Workload)
+		}
+		if m.PlannedExchanges > m.PerGateExchanges {
+			t.Errorf("%s mgpu: planned exchanges %d exceed per-gate %d",
+				row.Workload, m.PlannedExchanges, m.PerGateExchanges)
+		}
+		// Every workload must show some communication win: rank-local
+		// resolution (QFT's cr1 mass) or exchange batching (QCrank's
+		// ladders).
+		if m.RankLocalGlobals == 0 && m.AvoidedExchanges == 0 {
+			t.Errorf("%s mgpu: neither rank-local ops nor avoided exchanges", row.Workload)
+		}
+		// Tile-bits provenance metadata must be present.
+		if row.TileBitsSource == "" || row.AutoTileBits == 0 {
+			t.Errorf("%s: missing tile-bits provenance (%q/%d)", row.Workload, row.TileBitsSource, row.AutoTileBits)
+		}
+	}
 	// QFT reversal swaps must ride the permutation table.
 	if qftRow.PermSwaps == 0 {
 		t.Error("qft: no swaps absorbed into the permutation table")
@@ -42,6 +70,15 @@ func TestTilingAblation(t *testing.T) {
 	// QCrank's high data qubits must be relabeled, not swept.
 	if qcRow.BitSwaps == 0 {
 		t.Error("qcrank: no relabeling bit-swaps planned")
+	}
+	// QCrank's Ry/CX ladders on rank-bit data qubits must batch into
+	// exchange segments, cutting real communication.
+	if m := qcRow.MGPU; m.ExchangeSegments == 0 || m.AvoidedExchanges == 0 {
+		t.Errorf("qcrank mgpu: expected batched exchange segments (segs=%d avoided=%d)",
+			m.ExchangeSegments, m.AvoidedExchanges)
+	} else if m.PlannedExchanges >= m.PerGateExchanges {
+		t.Errorf("qcrank mgpu: batching did not reduce exchanges (%d vs %d)",
+			m.PlannedExchanges, m.PerGateExchanges)
 	}
 	if qcRow.GlobalGates > qcRow.Qubits {
 		t.Errorf("qcrank: %d global sweeps, want at most ~%d", qcRow.GlobalGates, qcRow.Qubits)
@@ -64,7 +101,8 @@ func TestTilingJSONEmission(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s not written: %v", f, err)
 		}
-		for _, key := range []string{`"speedup"`, `"tile_bits"`, `"counts_identical": true`} {
+		for _, key := range []string{`"speedup"`, `"tile_bits"`, `"counts_identical": true`,
+			`"tile_bits_source"`, `"mgpu"`, `"exchange_segments"`, `"avoided_exchanges"`} {
 			if !strings.Contains(string(data), key) {
 				t.Errorf("%s missing %s", f, key)
 			}

@@ -26,10 +26,13 @@ type Options struct {
 	FusionWindow int
 	PruneAngle   float64
 	// TileBits tunes the cache-blocked tiled sweep executor (see
-	// backend.Config.TileBits): 0 = auto (tiled on GPU-class targets,
-	// per-gate on aer), negative = per-gate everywhere, positive =
-	// force that tile width.
+	// backend.Config.TileBits): 0 = auto (tiled on GPU-class targets
+	// at the cache-geometry-detected width, per-gate on aer), negative
+	// = per-gate everywhere, positive = force that tile width.
 	TileBits int
+	// PlanFusion enables within-run single-qubit fusion in the plan
+	// compiler (see backend.Config.PlanFusion).
+	PlanFusion bool
 	// Execution target and sizing.
 	Target  backend.Target
 	Devices int
@@ -49,6 +52,7 @@ func (o Options) backendConfig() backend.Config {
 		FusionWindow: o.FusionWindow,
 		PruneAngle:   o.PruneAngle,
 		TileBits:     o.TileBits,
+		PlanFusion:   o.PlanFusion,
 	}
 }
 
@@ -60,13 +64,15 @@ func (o Options) backendConfig() backend.Config {
 // results, so a result cache may serve one from the other. TileBits
 // is folded in conservatively: the tiled executor is bit-identical to
 // the per-gate path by construction, but the key must stay sound even
-// if a future tile compiler relaxes that.
+// if a future tile compiler relaxes that — and PlanFusion already
+// does relax it (pre-multiplied rotations differ at rounding level),
+// so it is part of the key too.
 func CacheKey(c *circuit.Circuit, opts Options) string {
 	h := sha256.New()
 	h.Write([]byte(c.Fingerprint()))
-	fmt.Fprintf(h, "|f%d|p%x|t%s|d%d|w%d|s%d|r%d|b%d",
+	fmt.Fprintf(h, "|f%d|p%x|t%s|d%d|w%d|s%d|r%d|b%d|pf%t",
 		opts.FusionWindow, math.Float64bits(opts.PruneAngle), opts.Target,
-		opts.Devices, opts.Workers, opts.Shots, opts.Seed, opts.TileBits)
+		opts.Devices, opts.Workers, opts.Shots, opts.Seed, opts.TileBits, opts.PlanFusion)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -96,6 +102,25 @@ func Run(circuits []*circuit.Circuit, opts Options) ([]*backend.Result, error) {
 // RunOne is Run for a single circuit.
 func RunOne(c *circuit.Circuit, opts Options) (*backend.Result, error) {
 	return backend.Run(c, opts.backendConfig())
+}
+
+// Compile lowers one circuit to the execution IR (transformed kernel +
+// compiled TilePlan) without running it. Compiled artifacts are
+// immutable and reusable across executions — the service layer caches
+// them by circuit fingerprint so repeat submissions skip planning.
+func Compile(c *circuit.Circuit, opts Options) (*backend.Compiled, error) {
+	return backend.Compile(c, opts.backendConfig())
+}
+
+// RunCompiled executes one precompiled circuit.
+func RunCompiled(comp *backend.Compiled, opts Options) (*backend.Result, error) {
+	return backend.RunCompiled(comp, opts.backendConfig())
+}
+
+// RunCompiledBatch executes a batch of precompiled circuits — the
+// device-parallel mqpu path when so configured, exactly like Run.
+func RunCompiledBatch(comps []*backend.Compiled, opts Options) ([]*backend.Result, error) {
+	return backend.RunBatchCompiled(comps, opts.backendConfig())
 }
 
 // SaveQPY persists a circuit list in the QPY-like format ("Save QPY"

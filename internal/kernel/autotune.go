@@ -1,0 +1,149 @@
+package kernel
+
+import (
+	"math/bits"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Tile-width auto-tuning: the tiled executor wants tiles that stay
+// resident in the fastest private cache while a run streams over them,
+// so the right width is a function of the machine, not a constant.
+// AutoTileBits reads the CPU cache geometry once at startup (Linux
+// sysfs; other platforms keep the compile-time default) and sizes
+// tiles to half the per-core L2 — half, because the run's source
+// operands, the permutation tables, and the prefetcher all share the
+// set space. Machines exposing only a shared L3 divide it across
+// cores first. The QGEAR_TILE_BITS environment variable and the
+// explicit TileBits knobs on every config surface override detection.
+
+// autoTileMin/Max clamp detection: below 2^10 amplitudes the per-tile
+// dispatch overhead dominates, above 2^18 (4 MiB) no current L2 holds
+// a tile and the blocking would quietly degrade to plain sweeps.
+const (
+	autoTileMin = 10
+	autoTileMax = 18
+)
+
+var (
+	autoTileOnce   sync.Once
+	autoTileBits   int
+	autoTileSource string
+	autoTileBytes  int64
+)
+
+// AutoTileBits returns the startup-detected default tile width.
+func AutoTileBits() int {
+	autoTileOnce.Do(detectTileBits)
+	return autoTileBits
+}
+
+// TileBitsOrigin reports the detected default tile width, where it
+// came from ("env", "l2", "l3", "default"), and the cache capacity in
+// bytes the detection was based on (0 for env/default). Bench metadata
+// records all three.
+func TileBitsOrigin() (bitsVal int, source string, cacheBytes int64) {
+	autoTileOnce.Do(detectTileBits)
+	return autoTileBits, autoTileSource, autoTileBytes
+}
+
+func detectTileBits() {
+	autoTileBits, autoTileSource, autoTileBytes = DefaultTileBits, "default", 0
+	if v := os.Getenv("QGEAR_TILE_BITS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			autoTileBits, autoTileSource = n, "env"
+			return
+		}
+	}
+	l2, l3 := readCacheGeometry("/sys/devices/system/cpu/cpu0/cache")
+	var budget int64
+	switch {
+	case l2 > 0:
+		budget = l2 / 2
+		autoTileSource, autoTileBytes = "l2", l2
+	case l3 > 0:
+		per := l3 / int64(runtime.NumCPU())
+		budget = per / 2
+		autoTileSource, autoTileBytes = "l3", l3
+	default:
+		return
+	}
+	amps := budget / 16 // complex128
+	if amps < 2 {
+		autoTileSource, autoTileBytes = "default", 0
+		return
+	}
+	b := bits.Len64(uint64(amps)) - 1 // floor(log2)
+	if b < autoTileMin {
+		b = autoTileMin
+	}
+	if b > autoTileMax {
+		b = autoTileMax
+	}
+	autoTileBits = b
+}
+
+// readCacheGeometry scans a sysfs cpu cache directory for the data (or
+// unified) L2 and L3 capacities in bytes; zero when absent.
+func readCacheGeometry(dir string) (l2, l3 int64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	read := func(idx, name string) string {
+		b, err := os.ReadFile(dir + "/" + idx + "/" + name)
+		if err != nil {
+			return ""
+		}
+		return strings.TrimSpace(string(b))
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		typ := read(e.Name(), "type")
+		if typ != "Unified" && typ != "Data" {
+			continue
+		}
+		level := read(e.Name(), "level")
+		size := parseCacheSize(read(e.Name(), "size"))
+		if size <= 0 {
+			continue
+		}
+		switch level {
+		case "2":
+			if size > l2 {
+				l2 = size
+			}
+		case "3":
+			if size > l3 {
+				l3 = size
+			}
+		}
+	}
+	return l2, l3
+}
+
+// parseCacheSize decodes sysfs size strings like "512K" or "32M".
+func parseCacheSize(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'M', 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'G', 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n * mult
+}

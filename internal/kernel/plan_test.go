@@ -1,0 +1,222 @@
+package kernel
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qgear/internal/circuit"
+	"qgear/internal/qmath"
+	"qgear/internal/statevec"
+)
+
+// TestRunFusionFoldsAdjacentMat1 checks within-run fusion: adjacent
+// same-target single-qubit gates pre-multiply into one micro-op, the
+// stats record it, and the fused plan matches the exact plan to
+// rounding.
+func TestRunFusionFoldsAdjacentMat1(t *testing.T) {
+	const n, tileBits = 9, 4
+	c := circuit.New(n, 0)
+	rng := qmath.NewRNG(31)
+	// Dense 1q chains on a few targets, interleaved with structure.
+	for i := 0; i < 40; i++ {
+		q := rng.Intn(tileBits)
+		c.RY(rng.Angle(), q).RX(rng.Angle(), q).H(q)
+		if i%5 == 0 {
+			c.CX(q, (q+1)%tileBits)
+		}
+	}
+	k, _, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Plan(k, PlanConfig{TileBits: tileBits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Plan(k, PlanConfig{TileBits: tileBits, FuseRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Stats.FusedOps == 0 {
+		t.Fatal("no micro-ops fused in a 1q-chain-heavy stream")
+	}
+	if got, want := fused.Stats.TileLocal, exact.Stats.TileLocal; got != want {
+		t.Errorf("TileLocal changed under fusion: %d vs %d (source gates must still be counted)", got, want)
+	}
+	// Fewer executed micro-ops, same distribution to rounding.
+	opCount := func(p *TilePlan) int {
+		total := 0
+		for _, seg := range p.Segments {
+			total += len(seg.Ops)
+		}
+		return total
+	}
+	if opCount(fused) >= opCount(exact) {
+		t.Errorf("fusion did not shrink the op stream: %d vs %d", opCount(fused), opCount(exact))
+	}
+	a := statevec.MustNew(n, 1)
+	if err := exact.Execute(a); err != nil {
+		t.Fatal(err)
+	}
+	b := statevec.MustNew(n, 1)
+	if err := fused.Execute(b); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAmpDiff(t, a, b); d > 1e-12 {
+		t.Errorf("fused plan diverged: %g", d)
+	}
+}
+
+// TestDistributedPlanRejectedBySingleExecutor pins the engine
+// boundary: plans compiled with rank bits only run on the distributed
+// engine.
+func TestDistributedPlanRejectedBySingleExecutor(t *testing.T) {
+	k := New("k", 6).H(0).H(5)
+	plan, err := Plan(k, PlanConfig{TileBits: 2, GlobalBits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.GlobalBits != 1 {
+		t.Fatalf("GlobalBits = %d, want 1", plan.GlobalBits)
+	}
+	s := statevec.MustNew(6, 1)
+	if err := plan.Execute(s); err == nil {
+		t.Fatal("single-process executor accepted a distributed plan")
+	}
+}
+
+// TestPlanNoTilingSentinel checks that too-small states fail with
+// ErrNoTiling (the signal for the per-gate fallback), distinguishable
+// from real planning errors.
+func TestPlanNoTilingSentinel(t *testing.T) {
+	k := New("small", 3).H(0)
+	if _, err := Plan(k, PlanConfig{TileBits: 5}); !errors.Is(err, ErrNoTiling) {
+		t.Errorf("small single-process state: err = %v, want ErrNoTiling", err)
+	}
+	// A distributed shard of one qubit cannot tile either.
+	k2 := New("shard", 4).H(0)
+	if _, err := Plan(k2, PlanConfig{TileBits: 2, GlobalBits: 3}); !errors.Is(err, ErrNoTiling) {
+		t.Errorf("1-qubit shard: err = %v, want ErrNoTiling", err)
+	}
+	// Invalid configuration is a hard error, not a fallback.
+	if _, err := Plan(k2, PlanConfig{TileBits: 2, GlobalBits: 4}); err == nil || errors.Is(err, ErrNoTiling) {
+		t.Errorf("GlobalBits == NumQubits: err = %v, want hard error", err)
+	}
+}
+
+// TestDistributedPlanClampsTileToShard: tiles must fit strictly inside
+// the rank shard, whatever width was requested.
+func TestDistributedPlanClampsTileToShard(t *testing.T) {
+	k := New("k", 8).H(0).H(7)
+	plan, err := Plan(k, PlanConfig{TileBits: 14, GlobalBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local := 8 - 2; plan.TileBits != local-1 {
+		t.Errorf("TileBits = %d, want %d (clamped below the shard width)", plan.TileBits, local-1)
+	}
+}
+
+// TestAutoTileBitsSane: whatever the detection found, the startup
+// default must be a usable tile width and consistent with its origin
+// report.
+func TestAutoTileBitsSane(t *testing.T) {
+	got := AutoTileBits()
+	bitsVal, source, cacheBytes := TileBitsOrigin()
+	if got != bitsVal {
+		t.Fatalf("AutoTileBits %d != TileBitsOrigin %d", got, bitsVal)
+	}
+	switch source {
+	case "l2", "l3":
+		if got < autoTileMin || got > autoTileMax {
+			t.Errorf("detected tile bits %d outside [%d,%d]", got, autoTileMin, autoTileMax)
+		}
+		if cacheBytes <= 0 {
+			t.Errorf("source %q with no cache size", source)
+		}
+	case "default":
+		if got != DefaultTileBits {
+			t.Errorf("default source but %d != DefaultTileBits", got)
+		}
+	case "env":
+		if got <= 0 {
+			t.Errorf("env source with non-positive width %d", got)
+		}
+	default:
+		t.Errorf("unknown tile-bits source %q", source)
+	}
+}
+
+// TestReadCacheGeometry exercises the sysfs parser against a synthetic
+// cache directory.
+func TestReadCacheGeometry(t *testing.T) {
+	dir := t.TempDir()
+	write := func(idx, name, val string) {
+		if err := os.MkdirAll(filepath.Join(dir, idx), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, idx, name), []byte(val+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("index0", "level", "1")
+	write("index0", "type", "Data")
+	write("index0", "size", "48K")
+	write("index1", "level", "1")
+	write("index1", "type", "Instruction")
+	write("index1", "size", "32K")
+	write("index2", "level", "2")
+	write("index2", "type", "Unified")
+	write("index2", "size", "1M")
+	write("index3", "level", "3")
+	write("index3", "type", "Unified")
+	write("index3", "size", "32M")
+	l2, l3 := readCacheGeometry(dir)
+	if l2 != 1<<20 {
+		t.Errorf("l2 = %d, want %d", l2, 1<<20)
+	}
+	if l3 != 32<<20 {
+		t.Errorf("l3 = %d, want %d", l3, 32<<20)
+	}
+	if got, want := parseCacheSize("512K"), int64(512<<10); got != want {
+		t.Errorf("parseCacheSize(512K) = %d, want %d", got, want)
+	}
+	if parseCacheSize("junk") != 0 {
+		t.Error("junk size accepted")
+	}
+}
+
+// TestDistributedPlanStatsShape pins the classification on a mixed
+// stream: rank-bit diagonals stay in runs (RankLocal), rank-bit
+// targets batch into exchange segments, shard-local work tiles.
+func TestDistributedPlanStatsShape(t *testing.T) {
+	const n, gbits, tileBits = 6, 2, 2
+	c := circuit.New(n, 0)
+	c.H(0).H(1).CX(0, 1)       // tile-local
+	c.RZ(0.4, 5).CP(0.2, 0, 4) // rank-bit diagonals: rank-local, zero comm
+	c.H(4).RY(0.3, 4)          // rank-bit targets, same bit: one exchange segment
+	c.H(5)                     // different rank bit: second segment
+	k, _, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(k, PlanConfig{TileBits: tileBits, GlobalBits: gbits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan.Stats
+	if st.RankLocal != 2 {
+		t.Errorf("RankLocal = %d, want 2 (rz and cp)", st.RankLocal)
+	}
+	if st.ExchangeSegs != 2 {
+		t.Errorf("ExchangeSegs = %d, want 2", st.ExchangeSegs)
+	}
+	if st.ExchangeGates != 3 {
+		t.Errorf("ExchangeGates = %d, want 3 (h, ry on q4; h on q5)", st.ExchangeGates)
+	}
+	if st.Global != 0 {
+		t.Errorf("Global = %d, want 0", st.Global)
+	}
+}

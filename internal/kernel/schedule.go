@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,15 +9,16 @@ import (
 	"qgear/internal/statevec"
 )
 
-// The tiled scheduler: a linear pass that partitions a kernel's
-// instruction stream into *runs* of tile-local micro-ops — gates whose
-// mixing operands all sit below the tile boundary once the lazy qubit
-// permutation is applied — separated by the few genuinely global
-// operations that still need a full sweep. Executing a run costs one
-// memory pass over the state for the whole run (internal/statevec's
-// ApplyTileRun), instead of one pass per gate; for gate-run-dominated
-// workloads (QFT's cr1 mass, QCrank's Ry/CX ladders) this removes
-// almost all DRAM traffic.
+// The tiled scheduler: a linear pass that compiles a kernel's
+// instruction stream into a TilePlan — the execution IR every engine
+// consumes. A plan partitions the stream into *runs* of tile-local
+// micro-ops — gates whose mixing operands all sit below the tile
+// boundary once the lazy qubit permutation is applied — separated by
+// the few genuinely global operations that still need a full sweep.
+// Executing a run costs one memory pass over the state for the whole
+// run (internal/statevec's ApplyTileRun), instead of one pass per gate;
+// for gate-run-dominated workloads (QFT's cr1 mass, QCrank's Ry/CX
+// ladders) this removes almost all DRAM traffic.
 //
 // Placement is managed with a logical→physical permutation table:
 //   - SWAP gates never move data — they swap two table entries;
@@ -31,10 +33,23 @@ import (
 // Diagonal gates and controls are tile-local at *any* position (a high
 // bit is constant within a tile), so only high non-diagonal targets
 // ever force data movement.
+//
+// Distributed plans (PlanConfig.GlobalBits > 0) extend the same
+// classification across the rank boundary of the mgpu engine: the top
+// GlobalBits qubit positions are rank-index bits. Diagonal factors and
+// controls at those positions compile into the same HighMask
+// predicates — each rank resolves them against its own rank bits with
+// zero communication — while non-diagonal targets at rank positions
+// compile into *exchange segments*: consecutive gates mixing the same
+// rank bit share one pairwise buffer exchange instead of paying one
+// per gate. SWAPs with a rank-bit operand decompose into three CX
+// (data must really move between ranks); all-shard-local SWAPs stay
+// free table updates.
 
 // DefaultTileBits sizes tiles at 2^14 amplitudes × 16 B = 256 KiB —
 // resident in any modern L2 — matching the cache blocking of
-// hardware-accelerated simulators (Qibo, qibojit).
+// hardware-accelerated simulators (Qibo, qibojit). AutoTileBits
+// refines it from the detected cache geometry at startup.
 const DefaultTileBits = 14
 
 // minResidencyUses is how many remaining mixing uses a high qubit
@@ -42,6 +57,12 @@ const DefaultTileBits = 14
 // one sweep, the same as a single global fallback, so it takes two
 // uses to come out ahead.
 const minResidencyUses = 2
+
+// ErrNoTiling reports that a kernel is too small to tile (the whole
+// state — or the whole rank shard — already fits in one tile); callers
+// fall back to the plain per-gate executor, which is both correct and
+// cache-resident at those sizes.
+var ErrNoTiling = errors.New("kernel: state too small to tile")
 
 // SegmentKind discriminates plan segments.
 type SegmentKind uint8
@@ -55,7 +76,23 @@ const (
 	// SegBitSwap physically exchanges two bit positions to relabel a
 	// hot high qubit into the tile-resident range.
 	SegBitSwap
+	// SegExchange is a batched distributed segment: every op mixes the
+	// same rank-bit target, so one pairwise buffer exchange with the
+	// partner rank serves the whole batch (the partner's half is
+	// co-updated locally between ops).
+	SegExchange
 )
+
+// ExchOp is one compiled gate of an exchange segment: a 2×2 unitary on
+// the segment's rank-bit target, optionally conditioned on shard-local
+// index bits (LowCtrl) and/or other rank bits (RankCtrl). Predicates
+// are conjunctions of must-be-1 bits, exactly the control semantics of
+// the per-gate distributed path.
+type ExchOp struct {
+	M        gate.Mat2
+	LowCtrl  uint64 // shard-local index bits that must all be 1
+	RankCtrl uint64 // absolute rank-bit positions (≥ local) that must all be 1
+}
 
 // Segment is one step of a tiled execution plan.
 type Segment struct {
@@ -63,28 +100,55 @@ type Segment struct {
 	Ops   []statevec.TileOp // SegRun
 	Instr Instr             // SegGlobal, with physical qubit operands
 	A, B  int               // SegBitSwap: physical bit positions
+	TBit  int               // SegExchange: rank-bit target position
+	XOps  []ExchOp          // SegExchange
 }
 
-// PlanStats summarizes what the scheduler did.
+// PlanStats summarizes what the scheduler did. It travels with the
+// plan into backend.Result.PlanStats, so the same counters show up in
+// CLI output, the serving API, and the bench JSONs.
 type PlanStats struct {
-	TileLocal int // gate instructions compiled into tile runs
-	Global    int // full-sweep fallbacks
-	Runs      int // tile runs emitted (≈ memory passes for local gates)
-	BitSwaps  int // relabeling sweeps inserted
-	PermSwaps int // SWAP gates absorbed into the permutation table
+	TileLocal     int `json:"tile_local_gates"`   // gate instructions compiled into tile runs
+	Global        int `json:"global_sweeps"`      // full-sweep fallbacks
+	Runs          int `json:"runs"`               // tile runs emitted (≈ memory passes for local gates)
+	BitSwaps      int `json:"bit_swaps"`          // relabeling sweeps inserted
+	PermSwaps     int `json:"perm_swaps"`         // SWAP gates absorbed into the permutation table
+	FusedOps      int `json:"fused_ops"`          // micro-ops removed by within-run 1q fusion
+	ExchangeSegs  int `json:"exchange_segments"`  // batched rank-exchange segments (distributed plans)
+	ExchangeGates int `json:"exchange_gates"`     // gates compiled into exchange segments
+	RankLocal     int `json:"rank_local_globals"` // rank-bit diagonal/control ops resolved with zero communication
 }
 
-// TilePlan is a compiled tiled execution schedule for one kernel. It
-// is immutable after planning and safe to execute against many states
-// concurrently.
+// PlanConfig tunes plan compilation.
+type PlanConfig struct {
+	// TileBits is the tile width in qubits; <= 0 selects AutoTileBits.
+	TileBits int
+	// GlobalBits marks the top GlobalBits qubit positions as
+	// distributed rank-index bits (the mgpu engine's device boundary);
+	// 0 compiles a single-process plan.
+	GlobalBits int
+	// FuseRuns pre-multiplies adjacent same-target single-qubit gates
+	// into one mat1 micro-op at compile time. Off, plans are
+	// arithmetic-identical to the per-gate path; on, amplitudes agree
+	// to rounding (~1e-15) with fewer in-tile multiplies.
+	FuseRuns bool
+}
+
+// TilePlan is a compiled tiled execution schedule for one kernel — the
+// IR shared by the single-process statevec engine (Execute) and the
+// distributed mgpu engine (DistState.ExecutePlan). It is immutable
+// after planning and safe to execute against many states concurrently,
+// which is what lets the service layer cache plans across submissions.
 type TilePlan struct {
-	TileBits  int
-	NumQubits int
-	Segments  []Segment
+	TileBits   int
+	NumQubits  int
+	GlobalBits int // rank-index bits of a distributed plan; 0 = single-process
+	Segments   []Segment
 	// FinalPerm is the logical→physical layout the state data is left
 	// in after all segments run (nil when it ends at the identity);
 	// Execute hands it to the state, which materializes lazily on
-	// readout.
+	// readout. Rank-bit positions are never permuted, so a distributed
+	// executor applies FinalPerm[:local] to its shard.
 	FinalPerm []int
 	Stats     PlanStats
 }
@@ -114,21 +178,44 @@ func mixingTargets(in Instr, dst []int) []int {
 	return dst
 }
 
-// PlanTiled compiles the kernel into a tiled execution plan for the
-// given tile width. It fails when the kernel does not validate or the
-// tile width leaves fewer than two tiles (callers should run the plain
-// executor instead — the whole state is already cache-resident).
+// PlanTiled compiles a single-process plan — Plan with only the tile
+// width configured (no rank boundary, no run fusion), the bit-exact
+// default every engine had before plans became the shared IR.
 func PlanTiled(k *Kernel, tileBits int) (*TilePlan, error) {
+	return Plan(k, PlanConfig{TileBits: tileBits})
+}
+
+// Plan compiles the kernel into a tiled execution plan. It fails with
+// ErrNoTiling when the state (or the per-rank shard) is too small to
+// tile — callers should run the plain per-gate executor instead, the
+// whole state being already cache-resident — and with a hard error
+// when the kernel does not validate or the configuration is
+// inconsistent.
+func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
+	tileBits := cfg.TileBits
 	if tileBits <= 0 {
-		tileBits = DefaultTileBits
+		tileBits = AutoTileBits()
 	}
-	if k.NumQubits <= tileBits {
-		return nil, fmt.Errorf("kernel: %d qubits need no tiling at tile width %d", k.NumQubits, tileBits)
+	g := cfg.GlobalBits
+	if g < 0 || g >= k.NumQubits {
+		return nil, fmt.Errorf("kernel: %d global bits out of range for %d qubits", g, k.NumQubits)
+	}
+	local := k.NumQubits - g
+	if g > 0 {
+		if local < 2 {
+			return nil, fmt.Errorf("kernel: %d-qubit rank shard: %w", local, ErrNoTiling)
+		}
+		// Tiles must sit strictly inside the shard.
+		if tileBits >= local {
+			tileBits = local - 1
+		}
+	} else if k.NumQubits <= tileBits {
+		return nil, fmt.Errorf("kernel: %d qubits at tile width %d: %w", k.NumQubits, tileBits, ErrNoTiling)
 	}
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("kernel: cannot plan invalid kernel: %w", err)
 	}
-	p := &TilePlan{TileBits: tileBits, NumQubits: k.NumQubits}
+	p := &TilePlan{TileBits: tileBits, NumQubits: k.NumQubits, GlobalBits: g}
 	n := k.NumQubits
 
 	// Per-qubit mixing-use positions, for residency decisions: uses[q]
@@ -173,6 +260,18 @@ func PlanTiled(k *Kernel, tileBits int) (*TilePlan, error) {
 		run = run[:0]
 	}
 
+	var xOps []ExchOp
+	xTBit := -1
+	flushX := func() {
+		if len(xOps) == 0 {
+			return
+		}
+		p.Segments = append(p.Segments, Segment{Kind: SegExchange, TBit: xTBit, XOps: append([]ExchOp(nil), xOps...)})
+		p.Stats.ExchangeSegs++
+		p.Stats.ExchangeGates += len(xOps)
+		xOps = xOps[:0]
+	}
+
 	isOperand := func(in Instr, q int) bool {
 		for _, o := range in.Qubits {
 			if o == q {
@@ -182,10 +281,11 @@ func PlanTiled(k *Kernel, tileBits int) (*TilePlan, error) {
 		return false
 	}
 
-	// relabel brings logical qubit q (currently high) below the tile
-	// boundary with one physical bit-swap, evicting the resident qubit
-	// whose next mixing use is farthest away (never an operand of the
-	// current instruction). Returns false when no slot qualifies.
+	// relabel brings logical qubit q (currently high but shard-local)
+	// below the tile boundary with one physical bit-swap, evicting the
+	// resident qubit whose next mixing use is farthest away (never an
+	// operand of the current instruction). Returns false when no slot
+	// qualifies.
 	relabel := func(in Instr, q, i int) bool {
 		victim, victimNext := -1, -1
 		for v := 0; v < tileBits; v++ {
@@ -215,51 +315,143 @@ func PlanTiled(k *Kernel, tileBits int) (*TilePlan, error) {
 		return true
 	}
 
-	for i, in := range k.Instrs {
+	// appendRunOp adds a compiled micro-op to the open run, folding it
+	// into the previous op when within-run fusion applies: adjacent
+	// uncontrolled, unpredicated mat1 ops on the same target
+	// pre-multiply while the plan is compiled, so every engine executes
+	// one multiply instead of two.
+	appendRunOp := func(op statevec.TileOp) {
+		if cfg.FuseRuns && op.Kind == statevec.TileMat1 && !op.HasCtrl && op.HighMask == 0 && len(run) > 0 {
+			last := &run[len(run)-1]
+			if last.Kind == statevec.TileMat1 && !last.HasCtrl && last.HighMask == 0 && last.T == op.T {
+				last.M = op.M.Mul(last.M)
+				p.Stats.FusedOps++
+				return
+			}
+		}
+		run = append(run, op)
+	}
+
+	// add processes one instruction; SWAPs crossing the rank boundary
+	// recurse through it as their three-CX decomposition.
+	var add func(in Instr, i int) error
+	add = func(in Instr, i int) error {
 		switch in.Kind {
 		case KBarrier, KMeasure:
-			continue
+			return nil
 		case KGate:
 			if in.Gate == gate.Barrier || in.Gate == gate.Measure || in.Gate == gate.I {
-				continue
+				return nil
 			}
 			if in.Gate == gate.SWAP {
 				a, b := in.Qubits[0], in.Qubits[1]
 				pa, pb := perm[a], perm[b]
-				perm[a], perm[b] = pb, pa
-				inv[pa], inv[pb] = b, a
-				p.Stats.PermSwaps++
-				continue
+				if pa < local && pb < local {
+					perm[a], perm[b] = pb, pa
+					inv[pa], inv[pb] = b, a
+					p.Stats.PermSwaps++
+					return nil
+				}
+				// A rank-bit operand: the data really moves between
+				// ranks, so decompose into the textbook three CX.
+				for _, pair := range [3][2]int{{a, b}, {b, a}, {a, b}} {
+					if err := add(Instr{Kind: KGate, Gate: gate.CX, Qubits: []int{pair[0], pair[1]}}, i); err != nil {
+						return err
+					}
+				}
+				return nil
 			}
 		}
 
-		// Relabel any high mixing target that will be mixed again.
 		scratch = mixingTargets(in, scratch[:0])
+
+		// A mixing target at a rank-bit position compiles into the open
+		// exchange segment (one buffer exchange per segment, not per
+		// gate). Controls and diagonal factors never land here — they
+		// stay HighMask predicates.
+		xq := -1
+		for _, q := range scratch {
+			if perm[q] >= local {
+				xq = q
+				break
+			}
+		}
+		if xq >= 0 {
+			if in.Kind == KFused {
+				return fmt.Errorf("kernel: fused op touches rank-global qubit %d; restrict fusion to local qubits", xq)
+			}
+			var op ExchOp
+			switch {
+			case in.Gate.Arity() == 1:
+				op.M = gate.Matrix1(in.Gate, in.Params)
+			case in.Gate == gate.CX:
+				op.M = gate.Matrix1(gate.X, nil)
+			case in.Gate == gate.CRY:
+				op.M = gate.Matrix1(gate.RY, in.Params)
+			default:
+				return fmt.Errorf("kernel: unhandled rank-global gate %v", in.Gate)
+			}
+			if in.Gate.Arity() == 2 {
+				if cpos := perm[in.Qubits[0]]; cpos < local {
+					op.LowCtrl = 1 << uint(cpos)
+				} else {
+					op.RankCtrl = 1 << uint(cpos)
+				}
+			}
+			t := perm[xq]
+			if len(xOps) > 0 && xTBit != t {
+				flushX()
+			}
+			if len(xOps) == 0 {
+				flush()
+				xTBit = t
+			}
+			xOps = append(xOps, op)
+			return nil
+		}
+		// Anything else closes the exchange segment (ops must stay in
+		// program order across segment kinds).
+		flushX()
+
+		// Relabel any high shard-local mixing target that will be mixed
+		// again; rank bits never relabel — moving them is communication.
 		if len(scratch) <= tileBits {
 			for _, q := range scratch {
-				if perm[q] >= tileBits && remainingUses(q, i) >= minResidencyUses {
+				if pq := perm[q]; pq >= tileBits && pq < local && remainingUses(q, i) >= minResidencyUses {
 					relabel(in, q, i)
 				}
 			}
 		}
 
-		local := true
+		tileLocal := true
 		for _, q := range scratch {
 			if perm[q] >= tileBits {
-				local = false
+				tileLocal = false
 				break
 			}
 		}
-		if !local {
+		if !tileLocal {
 			flush()
 			p.Segments = append(p.Segments, Segment{Kind: SegGlobal, Instr: physInstr(in, perm)})
 			p.Stats.Global++
-			continue
+			return nil
 		}
-		run = append(run, compileTileOp(in, perm, tileBits))
+		op := compileTileOp(in, perm, tileBits)
+		if g > 0 && op.HighMask>>uint(local) != 0 {
+			p.Stats.RankLocal++
+		}
+		appendRunOp(op)
 		p.Stats.TileLocal++
+		return nil
+	}
+
+	for i, in := range k.Instrs {
+		if err := add(in, i); err != nil {
+			return nil, err
+		}
 	}
 	flush()
+	flushX()
 
 	identity := true
 	for q, pos := range perm {
@@ -287,7 +479,10 @@ func physInstr(in Instr, perm []int) Instr {
 // compileTileOp lowers one tile-local instruction to a micro-op. The
 // matrices and phases are derived exactly as the per-gate path derives
 // them (statevec.ApplyGate / ApplyDiagonalGate), keeping the two
-// executors arithmetic-identical.
+// executors arithmetic-identical. Positions at or above the tile width
+// land in HighMask — including rank-bit positions of distributed
+// plans, which each rank resolves against its own rank index before
+// running the op.
 func compileTileOp(in Instr, perm []int, tileBits int) statevec.TileOp {
 	split := func(pos int) (low uint64, high uint64) {
 		if pos < tileBits {
@@ -361,11 +556,15 @@ func compileTileOp(in Instr, perm []int, tileBits int) statevec.TileOp {
 	}
 }
 
-// Execute runs the plan against a state. The state must be in the
-// canonical layout (any pending permutation is materialized first);
-// afterwards the state carries the plan's final permutation, which
-// readout materializes lazily.
+// Execute runs a single-process plan against a state. The state must
+// be in the canonical layout (any pending permutation is materialized
+// first); afterwards the state carries the plan's final permutation,
+// which readout materializes lazily. Distributed plans (GlobalBits >
+// 0) belong to mgpu.DistState.ExecutePlan and are rejected here.
 func (p *TilePlan) Execute(s *statevec.State) error {
+	if p.GlobalBits != 0 {
+		return fmt.Errorf("kernel: distributed plan (%d rank bits) cannot run on a single state", p.GlobalBits)
+	}
 	if s.NumQubits() != p.NumQubits {
 		return fmt.Errorf("kernel: state has %d qubits, plan wants %d", s.NumQubits(), p.NumQubits)
 	}
@@ -387,6 +586,8 @@ func (p *TilePlan) Execute(s *statevec.State) error {
 					return fmt.Errorf("kernel: global segment %d: %w", i, err)
 				}
 			}
+		default:
+			return fmt.Errorf("kernel: segment %d has kind %d, which no single-process executor handles", i, seg.Kind)
 		}
 	}
 	if p.FinalPerm != nil {
@@ -401,7 +602,7 @@ func (p *TilePlan) Execute(s *statevec.State) error {
 // already cache-resident and run the plain per-gate executor.
 func ExecuteTiled(k *Kernel, s *statevec.State, tileBits int) error {
 	if tileBits <= 0 {
-		tileBits = DefaultTileBits
+		tileBits = AutoTileBits()
 	}
 	if s.NumQubits() != k.NumQubits {
 		return fmt.Errorf("kernel: state has %d qubits, kernel %q wants %d", s.NumQubits(), k.Name, k.NumQubits)

@@ -33,8 +33,10 @@ type DistState struct {
 	sendBuf []complex128
 
 	// Stats
-	exchanges int
-	bytesSent int64
+	exchanges   int
+	bytesSent   int64
+	avoidedExch int // exchanges the per-gate baseline would have paid
+	opBuf       []statevec.TileOp
 }
 
 // NewDist allocates the shard for this rank. The world size must be a
@@ -73,6 +75,12 @@ func (d *DistState) Exchanges() int { return d.exchanges }
 // BytesSent returns the total bytes this rank shipped to partners.
 func (d *DistState) BytesSent() int64 { return d.bytesSent }
 
+// AvoidedExchanges returns how many pairwise exchanges this rank did
+// *not* perform relative to the naive per-gate baseline: diagonal and
+// phase gates on rank-index qubits resolved locally, plus the extra
+// exchanges a batched exchange segment absorbs into its first.
+func (d *DistState) AvoidedExchanges() int { return d.avoidedExch }
+
 // isGlobal reports whether qubit q lives in the rank-index bits.
 func (d *DistState) isGlobal(q int) bool { return q >= d.local }
 
@@ -110,6 +118,8 @@ func (d *DistState) ApplyGate(g gate.Type, qubits []int, params []float64) error
 	switch {
 	case g == gate.Barrier || g == gate.Measure || g == gate.I:
 		return nil
+	case statevec.IsDiagonalGate(g):
+		return d.applyDiagonal(g, qubits, params)
 	case g == gate.SWAP:
 		if err := d.ApplyGate(gate.CX, []int{qubits[0], qubits[1]}, nil); err != nil {
 			return err
@@ -121,14 +131,12 @@ func (d *DistState) ApplyGate(g gate.Type, qubits []int, params []float64) error
 	case g.Arity() == 1:
 		return d.apply1(qubits[0], gate.Matrix1(g, params))
 	case g.Arity() == 2:
+		// cz/cp are diagonal and already routed above; only the
+		// non-diagonal controlled gates reach here.
 		var u gate.Mat2
 		switch g {
 		case gate.CX:
 			u = gate.Matrix1(gate.X, nil)
-		case gate.CZ:
-			u = gate.Matrix1(gate.Z, nil)
-		case gate.CP:
-			u = gate.Matrix1(gate.P, params)
 		case gate.CRY:
 			u = gate.Matrix1(gate.RY, params)
 		default:
@@ -224,6 +232,80 @@ func (d *DistState) applyControlled(c, t int, m gate.Mat2) error {
 	}
 }
 
+// applyDiagonal applies a diagonal/phase gate with zero communication
+// at any operand placement: a rank-index bit is constant across the
+// whole shard, so a diagonal factor on it collapses to one scalar
+// (chosen by this rank's bit) multiplied into the resident amplitudes
+// — where the naive path would pay a full pairwise buffer exchange.
+// Each skipped exchange is counted in AvoidedExchanges. The arithmetic
+// is exactly the per-gate path's (multiplying by the same factors the
+// dense 2×2 would, whose off-diagonal terms are exact zeros), so this
+// is bit-identical to exchanging.
+func (d *DistState) applyDiagonal(g gate.Type, qubits []int, params []float64) error {
+	if g.Arity() == 1 {
+		q := qubits[0]
+		if !d.isGlobal(q) {
+			d.st.ApplyDiagonalGate(g, qubits, params)
+			return nil
+		}
+		m := gate.Matrix1(g, params)
+		f := m[0]
+		if d.rankBit(q) == 1 {
+			f = m[3]
+		}
+		d.scale(f)
+		d.avoidedExch++
+		return nil
+	}
+	// cz / cp: phase on the |c=1,t=1> subspace.
+	c, t := qubits[0], qubits[1]
+	if c == t {
+		return fmt.Errorf("mgpu: control equals target %d", c)
+	}
+	phase := complex128(-1)
+	if g == gate.CP {
+		phase = gate.Matrix1(gate.P, params)[3]
+	}
+	cGlobal, tGlobal := d.isGlobal(c), d.isGlobal(t)
+	switch {
+	case !cGlobal && !tGlobal:
+		d.st.ApplyControlledPhase(c, t, phase)
+	case cGlobal && !tGlobal:
+		// Control on a rank bit was already communication-free.
+		if d.rankBit(c) == 1 {
+			d.st.ApplyPhase1(t, phase)
+		}
+	case !cGlobal && tGlobal:
+		// The naive path exchanges here; the rank-bit phase does not.
+		if d.rankBit(t) == 1 {
+			d.st.ApplyPhase1(c, phase)
+		}
+		d.avoidedExch++
+	default:
+		// Both on rank bits: at most one scalar multiply per rank. The
+		// naive path exchanged on the |c=1> ranks only.
+		if d.rankBit(c) == 1 {
+			d.avoidedExch++
+			if d.rankBit(t) == 1 {
+				d.scale(phase)
+			}
+		}
+	}
+	return nil
+}
+
+// scale multiplies every resident amplitude by f (a rank-constant
+// diagonal factor). Multiplying by an exact 1 is skipped.
+func (d *DistState) scale(f complex128) {
+	if f == 1 {
+		return
+	}
+	amps := d.st.Amplitudes()
+	for i := range amps {
+		amps[i] *= f
+	}
+}
+
 // ApplyFused applies a fused unitary if all its qubits are local;
 // distributed executors transform kernels with fusion restricted to
 // local qubits (or disabled) before running.
@@ -276,36 +358,41 @@ func (d *DistState) ExecuteKernel(k *kernel.Kernel) error {
 	return nil
 }
 
-// Result is what SimulateKernel returns at root.
+// Result is what SimulateKernel/SimulateCompiled return at root.
 type Result struct {
 	Probabilities []float64
 	Exchanges     int   // total pairwise exchanges across all ranks
 	BytesSent     int64 // total bytes shipped between ranks
-	Norm          float64
+	// AvoidedExchanges counts exchanges the naive per-gate baseline
+	// would have performed but this run resolved locally (rank-bit
+	// diagonal phases) or absorbed into a batched exchange segment.
+	AvoidedExchanges int
+	Norm             float64
 }
 
-// SimulateKernel runs the kernel on nRanks simulated devices and
-// returns the gathered result. It wraps mpi.Run, so it is the
-// single-call entry point the 'nvidia-mgpu' backend target uses.
-func SimulateKernel(k *kernel.Kernel, nRanks, workersPerRank int) (*Result, error) {
+// simulate spawns nRanks device ranks, runs exec on each shard, and
+// gathers probabilities plus communication counters at root.
+func simulate(numQubits, nRanks, workersPerRank int, exec func(*DistState) error) (*Result, error) {
 	res := &Result{}
 	err := mpi.Run(nRanks, func(c *mpi.Comm) error {
-		d, err := NewDist(c, k.NumQubits, workersPerRank)
+		d, err := NewDist(c, numQubits, workersPerRank)
 		if err != nil {
 			return err
 		}
-		if err := d.ExecuteKernel(k); err != nil {
+		if err := exec(d); err != nil {
 			return err
 		}
 		norm := d.Norm()
 		probs := d.Probabilities()
 		ex := c.Reduce(0, float64(d.Exchanges()), mpi.OpSum)
 		by := c.Reduce(0, float64(d.BytesSent()), mpi.OpSum)
+		av := c.Reduce(0, float64(d.AvoidedExchanges()), mpi.OpSum)
 		if c.Rank() == 0 {
 			res.Probabilities = probs
 			res.Norm = norm
 			res.Exchanges = int(ex)
 			res.BytesSent = int64(by)
+			res.AvoidedExchanges = int(av)
 		}
 		return nil
 	})
@@ -313,4 +400,15 @@ func SimulateKernel(k *kernel.Kernel, nRanks, workersPerRank int) (*Result, erro
 		return nil, err
 	}
 	return res, nil
+}
+
+// SimulateKernel runs the kernel gate-by-gate on nRanks simulated
+// devices and returns the gathered result. It wraps mpi.Run, so it is
+// a single-call entry point; the 'nvidia-mgpu' backend target routes
+// through SimulateCompiled, which executes a compiled TilePlan when
+// one exists and falls back to this per-gate path otherwise.
+func SimulateKernel(k *kernel.Kernel, nRanks, workersPerRank int) (*Result, error) {
+	return simulate(k.NumQubits, nRanks, workersPerRank, func(d *DistState) error {
+		return d.ExecuteKernel(k)
+	})
 }

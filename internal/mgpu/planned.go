@@ -1,0 +1,171 @@
+package mgpu
+
+import (
+	"fmt"
+
+	"qgear/internal/kernel"
+	"qgear/internal/statevec"
+)
+
+// Planned execution: the distributed engine consumes the same compiled
+// TilePlan IR as the single-process engine. A distributed plan
+// (kernel.PlanConfig.GlobalBits = log2(ranks)) classifies every
+// instruction exactly once, at compile time:
+//
+//   - tile-local micro-ops run against the rank shard through
+//     statevec.ApplyTileRun — one memory pass per run, as on a single
+//     device;
+//   - diagonal factors and controls on rank-index bits arrive as
+//     HighMask predicates; each rank resolves them against its own
+//     rank index below, with zero communication;
+//   - non-diagonal targets on rank bits arrive as exchange segments:
+//     one pairwise buffer exchange serves every gate in the segment,
+//     because after the exchange a rank holds both halves of the pair
+//     subspace and can co-update them locally.
+//
+// Every step performs the same arithmetic on the same amplitudes as
+// the per-gate path (DistState.ApplyGate), so planned execution is
+// bit-identical to it — the randomized suite in planned_test.go pins
+// that across rank counts, shard shapes, and fusion settings.
+
+// ExecutePlan runs a compiled distributed plan against this rank's
+// shard. The plan must have been compiled with GlobalBits matching the
+// world size. Every rank must call it (SPMD, like ExecuteKernel).
+func (d *DistState) ExecutePlan(p *kernel.TilePlan) error {
+	if p.NumQubits != d.n {
+		return fmt.Errorf("mgpu: plan wants %d qubits, state has %d", p.NumQubits, d.n)
+	}
+	if gbits := d.n - d.local; p.GlobalBits != gbits {
+		return fmt.Errorf("mgpu: plan compiled for %d rank bits, world has %d", p.GlobalBits, gbits)
+	}
+	if p.TileBits < 1 || p.TileBits >= d.local {
+		return fmt.Errorf("mgpu: plan tile width %d outside [1,%d)", p.TileBits, d.local)
+	}
+	d.st.MaterializePerm()
+	localMask := uint64(1)<<uint(d.local) - 1
+	rankAbs := uint64(d.comm.Rank()) << uint(d.local)
+	for i, seg := range p.Segments {
+		var err error
+		switch seg.Kind {
+		case kernel.SegRun:
+			buf := d.opBuf[:0]
+			for _, op := range seg.Ops {
+				if rop, keep := resolveRankOp(op, rankAbs, localMask); keep {
+					buf = append(buf, rop)
+				}
+			}
+			d.opBuf = buf
+			if len(buf) > 0 {
+				err = d.st.ApplyTileRun(p.TileBits, buf)
+			}
+		case kernel.SegBitSwap:
+			d.st.ApplySwap(seg.A, seg.B)
+		case kernel.SegGlobal:
+			// Operands are physical positions; positions at or above
+			// d.local are rank bits, which is exactly the numbering
+			// ApplyGate's locality cases dispatch on.
+			switch seg.Instr.Kind {
+			case kernel.KGate:
+				err = d.ApplyGate(seg.Instr.Gate, seg.Instr.Qubits, seg.Instr.Params)
+			case kernel.KFused:
+				err = d.ApplyFused(seg.Instr.Qubits, seg.Instr.Mat)
+			}
+		case kernel.SegExchange:
+			d.execExchange(seg, rankAbs)
+		default:
+			err = fmt.Errorf("unknown segment kind %d", seg.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("mgpu: plan segment %d: %w", i, err)
+		}
+	}
+	if p.FinalPerm != nil {
+		// Rank bits never permute, so the shard applies the local slice.
+		return d.st.SetPermutation(p.FinalPerm[:d.local])
+	}
+	return nil
+}
+
+// resolveRankOp specializes one tile micro-op to this rank: HighMask
+// bits at or above the shard width are rank-index predicates — strip
+// them when this rank's bits satisfy them, drop the op when they do
+// not. A relative-phase op *targeting* a rank bit degenerates to the
+// one factor this rank's bit selects, multiplied across the shard.
+func resolveRankOp(op statevec.TileOp, rankAbs, localMask uint64) (statevec.TileOp, bool) {
+	rankMask := op.HighMask &^ localMask
+	if rankMask == 0 {
+		return op, true
+	}
+	if op.Kind == statevec.TileRelPhase {
+		// HighMask holds the target bit, selecting between the two
+		// diagonal factors rather than gating the op.
+		f := op.A
+		if rankAbs&rankMask != 0 {
+			f = op.B
+		}
+		return statevec.TileOp{Kind: statevec.TileDiag, Phase: f}, true
+	}
+	if rankAbs&rankMask != rankMask {
+		return op, false
+	}
+	op.HighMask &= localMask
+	return op, true
+}
+
+// execExchange runs one batched exchange segment: filter the ops to
+// those whose rank-bit controls this rank satisfies (the partner rank
+// differs only in the target bit, so it filters identically), perform
+// a single buffer exchange if anything survived, then co-update both
+// halves of the pair subspace gate by gate. The two-buffer update
+// computes, per gate, exactly the expressions the per-gate path
+// computes on each side of the exchange, so the retained half is
+// bit-identical to executing the gates with one exchange each.
+func (d *DistState) execExchange(seg kernel.Segment, rankAbs uint64) {
+	active := seg.XOps[:0:0]
+	for _, op := range seg.XOps {
+		if rankAbs&op.RankCtrl == op.RankCtrl {
+			active = append(active, op)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	partner := d.comm.Rank() ^ 1<<uint(seg.TBit-d.local)
+	theirs := d.exchange(partner)
+	d.avoidedExch += len(active) - 1
+	amps := d.st.Amplitudes()
+	bit1 := d.rankBit(seg.TBit) == 1
+	for _, op := range active {
+		m0, m1, m2, m3 := op.M[0], op.M[1], op.M[2], op.M[3]
+		ctrl := op.LowCtrl
+		for i := range amps {
+			if uint64(i)&ctrl != ctrl {
+				continue
+			}
+			var a0, a1 complex128
+			if bit1 {
+				a0, a1 = theirs[i], amps[i]
+				theirs[i] = m0*a0 + m1*a1
+				amps[i] = m2*a0 + m3*a1
+			} else {
+				a0, a1 = amps[i], theirs[i]
+				amps[i] = m0*a0 + m1*a1
+				theirs[i] = m2*a0 + m3*a1
+			}
+		}
+	}
+}
+
+// SimulateCompiled runs an already-compiled plan (or, when plan is
+// nil, the per-gate baseline) on nRanks simulated devices and returns
+// the gathered result — the distributed half of the shared-IR
+// pipeline: transform once, plan once, execute anywhere.
+func SimulateCompiled(k *kernel.Kernel, plan *kernel.TilePlan, nRanks, workersPerRank int) (*Result, error) {
+	exec := func(d *DistState) error {
+		if plan != nil {
+			return d.ExecutePlan(plan)
+		}
+		return d.ExecuteKernel(k)
+	}
+	return simulate(k.NumQubits, nRanks, workersPerRank, exec)
+}

@@ -6,68 +6,78 @@ import (
 	"qgear/internal/backend"
 )
 
-// lruCache is a content-addressed result cache: cache keys are the
-// canonical (circuit fingerprint, options) hashes from core.CacheKey,
-// values are completed simulation results. Least-recently-used entries
-// are evicted once the capacity is exceeded. It is not safe for
-// concurrent use; the Server serializes access under its mutex.
-type lruCache struct {
+// lruCache is a small generic LRU keyed by content-address strings.
+// The server uses two instances: the result cache (canonical
+// (fingerprint, options) hashes from core.CacheKey → completed
+// simulation results) and the compiled-plan cache ((fingerprint,
+// tile width) → backend.Compiled execution IR). Least-recently-used
+// entries are evicted once the capacity is exceeded. It is not safe
+// for concurrent use; the Server serializes access under its mutex.
+type lruCache[V any] struct {
 	cap       int
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
 	evictions uint64
 }
 
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key string
-	res *backend.Result
+	val V
 }
 
 // newLRUCache returns a cache holding up to capacity entries;
 // capacity <= 0 disables caching (every Get misses, Add is a no-op).
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached result for key and refreshes its recency.
-func (c *lruCache) Get(key string) (*backend.Result, bool) {
+// resultCache and planCache are the two instantiations the server
+// holds; named so the Server struct reads clearly.
+type (
+	resultCache = lruCache[*backend.Result]
+	planCache   = lruCache[*backend.Compiled]
+)
+
+// Get returns the cached value for key and refreshes its recency.
+func (c *lruCache[V]) Get(key string) (V, bool) {
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*cacheEntry[V]).val, true
 }
 
-// Add inserts (or refreshes) key's result, evicting the LRU entry when
+// Add inserts (or refreshes) key's value, evicting the LRU entry when
 // over capacity.
-func (c *lruCache) Add(key string, res *backend.Result) {
+func (c *lruCache[V]) Add(key string, val V) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry[V]).val = val
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, oldest.Value.(*cacheEntry[V]).key)
 		c.evictions++
 	}
 }
 
-// Len returns the number of cached results.
-func (c *lruCache) Len() int { return c.ll.Len() }
+// Len returns the number of cached entries.
+func (c *lruCache[V]) Len() int { return c.ll.Len() }
 
 // Keys returns cache keys from most to least recently used (test hook
 // for eviction-order assertions).
-func (c *lruCache) Keys() []string {
+func (c *lruCache[V]) Keys() []string {
 	keys := make([]string, 0, c.ll.Len())
 	for el := c.ll.Front(); el != nil; el = el.Next() {
-		keys = append(keys, el.Value.(*cacheEntry).key)
+		keys = append(keys, el.Value.(*cacheEntry[V]).key)
 	}
 	return keys
 }

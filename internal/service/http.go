@@ -12,6 +12,7 @@ import (
 	"qgear/internal/backend"
 	"qgear/internal/circuit"
 	"qgear/internal/gate"
+	"qgear/internal/kernel"
 	"qgear/internal/qasm"
 	"qgear/internal/sampling"
 )
@@ -114,6 +115,10 @@ type ResultResponse struct {
 	Counts        map[string]int `json:"counts,omitempty"`
 	GateCount     int            `json:"gate_count"`
 	FusedOps      int            `json:"fused_ops"`
+	// TileBits and PlanStats describe the compiled execution plan the
+	// run used (absent on the per-gate path).
+	TileBits  int               `json:"tile_bits,omitempty"`
+	PlanStats *kernel.PlanStats `json:"plan_stats,omitempty"`
 }
 
 // Handler returns the HTTP API bound to this server.
@@ -256,6 +261,8 @@ func buildResultResponse(info JobInfo, res *backend.Result) ResultResponse {
 		NumQubits:  numQubits(res),
 		GateCount:  res.KernelStats.SourceOps,
 		FusedOps:   res.KernelStats.EmittedOps,
+		TileBits:   res.TileBits,
+		PlanStats:  res.PlanStats,
 	}
 	if len(res.Counts) > 0 {
 		resp.Counts = make(map[string]int, len(res.Counts))

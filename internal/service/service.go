@@ -42,6 +42,7 @@ type Config struct {
 	FusionWindow int            // forwarded to the kernel transform
 	PruneAngle   float64        // forwarded to the kernel transform
 	TileBits     int            // tiled-executor tile width (see core.Options.TileBits)
+	PlanFusion   bool           // within-run 1q fusion in the plan compiler
 
 	// QueueSize bounds the job queue; Submit fails with ErrQueueFull
 	// beyond it. Default 256.
@@ -55,6 +56,12 @@ type Config struct {
 	// item. Retained finished jobs (MaxRetainedJobs) share the cached
 	// result pointers, so they do not duplicate that memory.
 	CacheSize int
+	// PlanCacheSize is the compiled-plan LRU capacity in entries,
+	// keyed by (circuit fingerprint, tile width): repeat submissions
+	// of a known circuit — even with different shots or seeds — skip
+	// transformation and plan compilation entirely. Plans are shared
+	// read-only across workers. Default 512; < 0 disables.
+	PlanCacheSize int
 	// MaxBatch caps how many queued jobs one worker coalesces into a
 	// single core.Run call. Default 8; 1 disables coalescing.
 	MaxBatch int
@@ -86,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 512
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 8
@@ -189,19 +199,22 @@ type Server struct {
 	cfg   Config
 	start time.Time
 
-	mu        sync.Mutex
-	closed    bool
-	nextID    uint64
-	jobs      map[string]*job
-	doneOrder []string // finished job ids, oldest first (retention)
-	inflight  map[string]*flight
-	cache     *lruCache
-	queue     chan *job
-	wg        sync.WaitGroup
+	mu          sync.Mutex
+	closed      bool
+	nextID      uint64
+	jobs        map[string]*job
+	doneOrder   []string // finished job ids, oldest first (retention)
+	inflight    map[string]*flight
+	cache       *resultCache
+	plans       *planCache
+	planFlights map[string]chan struct{} // plan keys being compiled right now
+	queue       chan *job
+	wg          sync.WaitGroup
 
 	// counters (under mu)
 	submitted, completed, failed uint64
 	cacheHits, sfHits, executed  uint64
+	planHits, planMisses         uint64
 	batches, batchedJobs         uint64
 	latency                      map[string]*histogram
 }
@@ -218,13 +231,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("service: nvidia-mgpu needs a power-of-two device count, got %d", cfg.Devices)
 	}
 	s := &Server{
-		cfg:      cfg,
-		start:    time.Now(),
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*flight),
-		cache:    newLRUCache(cfg.CacheSize),
-		queue:    make(chan *job, cfg.QueueSize),
-		latency:  make(map[string]*histogram),
+		cfg:         cfg,
+		start:       time.Now(),
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*flight),
+		cache:       newLRUCache[*backend.Result](cfg.CacheSize),
+		plans:       newLRUCache[*backend.Compiled](cfg.PlanCacheSize),
+		planFlights: make(map[string]chan struct{}),
+		queue:       make(chan *job, cfg.QueueSize),
+		latency:     make(map[string]*histogram),
 	}
 	for i := 0; i < cfg.WorkerPool; i++ {
 		s.wg.Add(1)
@@ -243,10 +258,62 @@ func (s *Server) execOptions() core.Options {
 		FusionWindow: s.cfg.FusionWindow,
 		PruneAngle:   s.cfg.PruneAngle,
 		TileBits:     s.cfg.TileBits,
+		PlanFusion:   s.cfg.PlanFusion,
 		Target:       s.cfg.Target,
 		Devices:      s.cfg.Devices,
 		Workers:      s.cfg.Workers,
 	}
+}
+
+// planKey addresses the compiled-plan cache. Everything else that
+// shapes a plan (target, devices, fusion, prune, plan fusion) is
+// server-constant, so the circuit fingerprint plus the configured tile
+// width identifies the artifact.
+func (s *Server) planKey(fp string) string {
+	return fmt.Sprintf("%s|b%d", fp, s.cfg.TileBits)
+}
+
+// compiled returns the circuit's execution IR, serving repeat
+// fingerprints from the plan cache so resubmissions — including ones
+// with different shots or seeds, which miss the result cache — skip
+// transformation and plan compilation entirely. Compiled plans are
+// immutable and safe to execute concurrently. Concurrent misses for
+// one key single-flight: workers that lose the race wait for the
+// winner's plan instead of compiling the same circuit again.
+func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, error) {
+	key := s.planKey(fp)
+	s.mu.Lock()
+	for {
+		if comp, ok := s.plans.Get(key); ok {
+			s.planHits++
+			s.mu.Unlock()
+			return comp, nil
+		}
+		ch, compiling := s.planFlights[key]
+		if !compiling {
+			break
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+		// Re-check: the winner cached the plan (or failed, in which
+		// case this worker becomes the next compiler).
+	}
+	s.planMisses++
+	ch := make(chan struct{})
+	s.planFlights[key] = ch
+	s.mu.Unlock()
+
+	comp, err := core.Compile(c, s.execOptions())
+
+	s.mu.Lock()
+	if err == nil {
+		s.plans.Add(key, comp)
+	}
+	delete(s.planFlights, key)
+	close(ch)
+	s.mu.Unlock()
+	return comp, err
 }
 
 // key returns the content address of (circuit, per-job options) under
@@ -468,7 +535,20 @@ func (s *Server) runBatch(batch []*job) {
 		byFP[j.fp] = append(byFP[j.fp], j)
 	}
 
-	results, err := core.Run(circs, s.execOptions())
+	// Resolve each unique circuit's execution IR through the plan
+	// cache, then execute the precompiled batch — repeat fingerprints
+	// pay zero transform/planning cost.
+	var err error
+	comps := make([]*backend.Compiled, len(circs))
+	for i, c := range circs {
+		if comps[i], err = s.compiled(c, order[i]); err != nil {
+			break
+		}
+	}
+	var results []*backend.Result
+	if err == nil {
+		results, err = core.RunCompiledBatch(comps, s.execOptions())
+	}
 	var indivErrs []error
 	if err != nil && len(circs) > 1 {
 		// One poisonous circuit must not fail its batch-mates: fall
@@ -518,12 +598,15 @@ func (s *Server) runBatch(batch []*job) {
 			// Duration is this circuit's own simulation time (from
 			// backend.Run), not the whole batch's wall-clock.
 			jr := &backend.Result{
-				Target:        s.cfg.Target,
-				Probabilities: results[i].Probabilities,
-				KernelStats:   results[i].KernelStats,
-				Exchanges:     results[i].Exchanges,
-				BytesSent:     results[i].BytesSent,
-				Duration:      results[i].Duration,
+				Target:           s.cfg.Target,
+				Probabilities:    results[i].Probabilities,
+				KernelStats:      results[i].KernelStats,
+				PlanStats:        results[i].PlanStats,
+				TileBits:         results[i].TileBits,
+				Exchanges:        results[i].Exchanges,
+				BytesSent:        results[i].BytesSent,
+				AvoidedExchanges: results[i].AvoidedExchanges,
+				Duration:         results[i].Duration,
 			}
 			var serr error
 			if j.opts.Shots > 0 {
@@ -650,6 +733,9 @@ func (s *Server) Stats() Stats {
 		CacheLen:         s.cache.Len(),
 		CacheCapacity:    s.cfg.CacheSize,
 		CacheEvictions:   s.cache.evictions,
+		PlanCacheHits:    s.planHits,
+		PlanCacheMisses:  s.planMisses,
+		PlanCacheLen:     s.plans.Len(),
 		Batches:          s.batches,
 		BatchedJobs:      s.batchedJobs,
 		Latency:          make(map[string]HistogramSnapshot, len(s.latency)),

@@ -87,6 +87,13 @@ type Stats struct {
 	CacheCapacity  int    `json:"cache_capacity"`
 	CacheEvictions uint64 `json:"cache_evictions"`
 
+	// Compiled-plan cache: executions that reused a cached TilePlan
+	// (skipping circuit→kernel transformation and plan compilation)
+	// versus ones that had to compile.
+	PlanCacheHits   uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+	PlanCacheLen    int    `json:"plan_cache_len"`
+
 	// Batch coalescing.
 	Batches      uint64  `json:"batches"`
 	BatchedJobs  uint64  `json:"batched_jobs"`

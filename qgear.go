@@ -72,11 +72,40 @@ type Counts = sampling.Counts
 // RunOptions configures transformation and execution.
 type RunOptions = core.Options
 
-// DefaultTileBits is the cache-blocked executor's default tile width:
-// runs of gates whose mixing operands fit under 2^DefaultTileBits
-// amplitudes execute in one memory pass per run instead of one per
-// gate (see RunOptions.TileBits to tune or disable).
+// PlanStats reports what the plan compiler did (tile runs, full-sweep
+// fallbacks, fused micro-ops, exchange segments) — carried on
+// Result.PlanStats for every planned execution.
+type PlanStats = kernel.PlanStats
+
+// TilePlan is the compiled execution IR every engine consumes: tile
+// runs, relabeling bit-swaps, full-sweep fallbacks, and (on the
+// distributed target) batched exchange segments.
+type TilePlan = kernel.TilePlan
+
+// Compiled is a circuit lowered to the execution IR (kernel + plan),
+// reusable across executions.
+type Compiled = backend.Compiled
+
+// DefaultTileBits is the cache-blocked executor's compile-time default
+// tile width: runs of gates whose mixing operands fit under
+// 2^DefaultTileBits amplitudes execute in one memory pass per run
+// instead of one per gate (see RunOptions.TileBits to tune or
+// disable).
 const DefaultTileBits = kernel.DefaultTileBits
+
+// AutoTileBits is the startup-detected default tile width: sized from
+// the machine's cache geometry (QGEAR_TILE_BITS overrides), falling
+// back to DefaultTileBits when detection is unavailable.
+func AutoTileBits() int { return kernel.AutoTileBits() }
+
+// Compile lowers a circuit to its execution IR without running it;
+// the Compiled artifact is immutable and safe for concurrent reuse.
+func Compile(c *Circuit, opts RunOptions) (*Compiled, error) { return core.Compile(c, opts) }
+
+// RunCompiled executes a precompiled circuit.
+func RunCompiled(comp *Compiled, opts RunOptions) (*Result, error) {
+	return core.RunCompiled(comp, opts)
+}
 
 // NewCircuit returns an empty circuit with nq qubits and nc classical
 // bits.
