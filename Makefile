@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test vet check serve bench bench-serve clean
+# Where CI-run bench artifacts land (uploaded as workflow artifacts).
+BENCH_OUT ?= /tmp/qgear-bench
+# Scratch store directory for the warm-restart acceptance check.
+WARMSTART_DIR ?= /tmp/qgear-warmstart
+
+.PHONY: build vet fmt-check test test-fresh check serve bench bench-serve \
+	bench-baseline bench-gate ci-load ci-warmstart clean
 
 build:
 	$(GO) build ./...
@@ -8,10 +14,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# gofmt cleanliness: fail listing the offending files.
+fmt-check:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
 test: vet
 	$(GO) test -race ./...
 
-# The tier-1 gate: plain build + test, as CI runs it.
+# Fresh (uncached) race pass over the concurrency-heavy suites.
+test-fresh:
+	$(GO) test -race -count=1 ./internal/mgpu/... ./internal/service/... \
+		./internal/kernel/... ./internal/store/...
+
+# The tier-1 gate: plain build + test, as CI runs it. CI calls this
+# target (not raw go commands), so the gate is defined exactly once.
 check:
 	$(GO) build ./... && $(GO) test ./...
 
@@ -24,8 +41,37 @@ serve: build
 bench: build
 	$(GO) run ./cmd/qgear-bench -exp tiling -large -json-dir .
 
+# Re-record the committed small-size baselines the CI bench gate
+# compares against (run after an intentional perf-affecting change).
+bench-baseline: build
+	$(GO) run ./cmd/qgear-bench -exp tiling -json-dir bench/baseline
+
+# The CI bench-regression gate: rerun the small-size ablation and fail
+# if speedup regresses >20% vs bench/baseline, or if bit-identity
+# (max |Δp| = 0, identical fixed-seed counts) is ever violated.
+bench-gate: build
+	$(GO) run ./cmd/qgear-bench -exp tiling -json-dir $(BENCH_OUT) \
+		-gate-baseline bench/baseline -gate-tol 0.20
+
 bench-serve: build
 	$(GO) run ./cmd/qgear-serve bench -clients 100 -waves 2 -qubits 16
+
+# CI service load check: 50 clients through an embedded server with a
+# deliberately tight byte budget and a live store, so eviction, spill,
+# and store-hit paths all run under real concurrency. The bench fails
+# if resident cache bytes ever exceed the budget.
+ci-load: build
+	rm -rf $(WARMSTART_DIR)-load
+	$(GO) run ./cmd/qgear-serve bench -clients 50 -waves 2 -qubits 14 \
+		-max-cache-bytes 2097152 -store-dir $(WARMSTART_DIR)-load
+
+# Warm-restart acceptance: seed a store in one process, kill it, and
+# verify from a second process that repeat submissions are store hits
+# with bit-identical probabilities and exact shot counts.
+ci-warmstart: build
+	rm -rf $(WARMSTART_DIR)
+	$(GO) run ./cmd/qgear-serve warmstart -phase seed -store-dir $(WARMSTART_DIR)
+	$(GO) run ./cmd/qgear-serve warmstart -phase verify -store-dir $(WARMSTART_DIR)
 
 clean:
 	$(GO) clean ./...

@@ -27,6 +27,8 @@ func main() {
 	large := flag.Bool("large", os.Getenv("QGEAR_LARGE") == "1", "widen the measured local sweeps")
 	workers := flag.Int("workers", 0, "GPU-stand-in worker goroutines (0 = all cores)")
 	jsonDir := flag.String("json-dir", "", "directory for BENCH_*.json artifacts (empty = don't write)")
+	gateBaseline := flag.String("gate-baseline", "", "baseline directory with committed BENCH_*.json; after the run, fail if the fresh -json-dir artifacts regress (bench-regression gate)")
+	gateTol := flag.Float64("gate-tol", bench.DefaultGateTolerance, "fraction of baseline speedup a fresh run may lose before the gate fails")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -39,11 +41,24 @@ func main() {
 		fmt.Println(strings.Join(r.IDs(), "\n"))
 		return
 	}
+	if *gateBaseline != "" && *jsonDir == "" {
+		fmt.Fprintln(os.Stderr, "qgear-bench: -gate-baseline needs -json-dir for the fresh artifacts")
+		os.Exit(2)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "qgear-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	var err error
 	if *exp == "all" {
 		err = r.RunAll(os.Stdout)
 	} else {
 		err = r.Run(*exp, os.Stdout)
+	}
+	if err == nil && *gateBaseline != "" {
+		err = bench.Gate(*jsonDir, *gateBaseline, *gateTol)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qgear-bench: %v\n", err)

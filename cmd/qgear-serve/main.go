@@ -47,6 +47,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "warmstart":
+		err = cmdWarmstart(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -63,8 +65,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `qgear-serve <command> [flags]
 commands:
-  serve   run the simulation HTTP service (/v1/jobs, /v1/results, /v1/stats)
-  bench   load-generate against a running server (or an embedded one)
+  serve      run the simulation HTTP service (/v1/jobs, /v1/results, /v1/stats)
+  bench      load-generate against a running server (or an embedded one)
+  warmstart  warm-restart acceptance check for the -store-dir persistence path
 run "qgear-serve <command> -h" for flags`)
 }
 
@@ -80,8 +83,11 @@ func serviceFlags(fs *flag.FlagSet) *service.Config {
 	fs.BoolVar(&cfg.PlanFusion, "plan-fusion", false, "pre-multiply adjacent same-target 1q gates in the plan compiler")
 	fs.IntVar(&cfg.QueueSize, "queue", 256, "job queue bound")
 	fs.IntVar(&cfg.WorkerPool, "pool", 2, "executor worker pool size")
-	fs.IntVar(&cfg.CacheSize, "cache", 1024, "LRU result-cache entries (-1 disables)")
-	fs.IntVar(&cfg.PlanCacheSize, "plan-cache", 512, "compiled-plan LRU entries (-1 disables)")
+	fs.IntVar(&cfg.CacheSize, "cache", 1024, "result-cache entry bound (-1 disables)")
+	fs.Int64Var(&cfg.MaxCacheBytes, "max-cache-bytes", 0, "result-cache resident byte budget (0 = 1 GiB default, -1 = unbounded)")
+	fs.IntVar(&cfg.PlanCacheSize, "plan-cache", 512, "compiled-plan cache entry bound (-1 disables)")
+	fs.Int64Var(&cfg.MaxPlanCacheBytes, "max-plan-cache-bytes", 0, "plan-cache resident byte budget (0 = 256 MiB default, -1 = unbounded)")
+	fs.StringVar(&cfg.StoreDir, "store-dir", "", "persistent artifact store directory: evicted/shutdown cache entries spill there and a restarted server answers repeat fingerprints from disk (empty = no persistence)")
 	fs.IntVar(&cfg.MaxBatch, "batch", 8, "max jobs coalesced into one run")
 	fs.DurationVar(&cfg.BatchWindow, "window", 2*time.Millisecond, "batch coalescing wait window")
 	return cfg
@@ -182,7 +188,8 @@ func cmdBench(args []string) error {
 		if err != nil {
 			return fmt.Errorf("wave %d: reading stats: %w", w, err)
 		}
-		res.hits = (after.CacheHits + after.SingleFlightHits) - (before.CacheHits + before.SingleFlightHits)
+		res.hits = (after.CacheHits + after.SingleFlightHits + after.StoreHits) -
+			(before.CacheHits + before.SingleFlightHits + before.StoreHits)
 		res.submitted = after.Submitted - before.Submitted
 		overallHits += res.hits
 		overallSubmitted += res.submitted
@@ -196,6 +203,16 @@ func cmdBench(args []string) error {
 		pct(overallHits, overallSubmitted), overallHits, overallSubmitted,
 		final.HitRate*100, final.CacheLen, final.CacheCapacity, final.CacheEvictions, final.MeanBatchLen,
 		final.PlanCacheHits, final.PlanCacheMisses)
+	fmt.Printf("cache bytes: %d resident / %d budget (plan cache %d / %d)\n",
+		final.CacheBytes, final.CacheMaxBytes, final.PlanCacheBytes, final.PlanCacheMaxBytes)
+	if final.CacheMaxBytes > 0 && final.CacheBytes > final.CacheMaxBytes {
+		return fmt.Errorf("bench: resident cache %d bytes exceeds -max-cache-bytes %d", final.CacheBytes, final.CacheMaxBytes)
+	}
+	if final.StoreDir != "" {
+		fmt.Printf("store: %d result hits, %d plan hits, %d spills (%d dropped), %d errors, %d+%d entries / %d bytes at %s\n",
+			final.StoreHits, final.StorePlanHits, final.StoreSpills, final.StoreSpillDrops, final.StoreErrors,
+			final.StoreResultEntries, final.StorePlanEntries, final.StoreBytes, final.StoreDir)
+	}
 	return nil
 }
 

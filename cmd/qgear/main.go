@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"qgear/internal/qasm"
 	"qgear/internal/qft"
 	"qgear/internal/randcirc"
+	"qgear/internal/store"
 )
 
 func main() {
@@ -186,6 +188,7 @@ func cmdRun(args []string) error {
 	fusion := fs.Int("fusion", 0, "gate fusion window")
 	tile := fs.Int("tile", 0, "tiled-executor tile width in qubits (0 = auto from cache geometry, negative = per-gate sweeps)")
 	planFusion := fs.Bool("plan-fusion", false, "pre-multiply adjacent same-target 1q gates in the plan compiler")
+	storeDir := fs.String("store-dir", "", "persistent result store: reuse bit-identical results across invocations (same content address = no re-simulation)")
 	top := fs.Int("top", 8, "top outcomes to print")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -197,16 +200,21 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	results, err := core.Run(cs, core.Options{
+	opts := core.Options{
 		Target: backend.Target(*target), Devices: *devices,
 		Shots: *shots, Seed: *seed, FusionWindow: *fusion,
 		TileBits: *tile, PlanFusion: *planFusion,
-	})
+	}
+	results, stored, err := runWithStore(cs, opts, *storeDir)
 	if err != nil {
 		return err
 	}
 	for i, res := range results {
-		fmt.Printf("%-28s target=%-12s %v", cs[i].Name, res.Target, res.Duration.Round(1e3))
+		fromStore := ""
+		if stored[i] {
+			fromStore = "  (store hit)"
+		}
+		fmt.Printf("%-28s target=%-12s %v%s", cs[i].Name, res.Target, res.Duration.Round(1e3), fromStore)
 		if res.Exchanges > 0 {
 			fmt.Printf("  exchanges=%d bytes=%d", res.Exchanges, res.BytesSent)
 		}
@@ -235,6 +243,63 @@ func cmdRun(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runWithStore executes circuits, serving any whose content address is
+// already in the persistent store from disk (bit-identical by the
+// store's integrity checks) and writing fresh results back, so repeat
+// CLI invocations — like repeat service submissions — never re-simulate
+// known work. With no store directory it is a plain core.Run.
+func runWithStore(cs []*circuit.Circuit, opts core.Options, storeDir string) ([]*backend.Result, []bool, error) {
+	stored := make([]bool, len(cs))
+	if storeDir == "" {
+		results, err := core.Run(cs, opts)
+		return results, stored, err
+	}
+	if opts.Shots == 0 {
+		// The seed only drives shot sampling; normalize it out of the
+		// content address (as the service does) so probabilities-only
+		// runs share a key regardless of -seed.
+		opts.Seed = 0
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	sig := opts.StoreSignature()
+	results := make([]*backend.Result, len(cs))
+	var fresh []*circuit.Circuit
+	var freshIdx []int
+	for i, c := range cs {
+		key := core.CacheKey(c, opts)
+		if st.HasResult(key) {
+			res, err := st.LoadResult(key, sig)
+			if err == nil {
+				results[i], stored[i] = res, true
+				continue
+			}
+			if errors.Is(err, store.ErrIntegrity) {
+				// Corrupt or mismatched artifact: quarantine and re-simulate.
+				st.DropResult(key)
+			}
+		}
+		fresh = append(fresh, c)
+		freshIdx = append(freshIdx, i)
+	}
+	if len(fresh) > 0 {
+		ran, err := core.Run(fresh, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j, res := range ran {
+			i := freshIdx[j]
+			results[i] = res
+			if err := st.SaveResult(core.CacheKey(cs[i], opts), sig, res); err != nil {
+				fmt.Fprintf(os.Stderr, "qgear: warning: persisting %s: %v\n", cs[i].Name, err)
+			}
+		}
+	}
+	return results, stored, nil
 }
 
 func cmdInfo(args []string) error {

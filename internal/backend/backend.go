@@ -161,6 +161,15 @@ func (c Config) tileBits() int {
 	}
 }
 
+// EffectiveTileBits is the tile width this configuration actually
+// executes with once the auto policy is resolved (0 = per-gate path).
+// Persistence layers sign artifacts with this, not the raw TileBits
+// knob: a "0 = auto" setting resolves differently across machines and
+// QGEAR_TILE_BITS environments, and with PlanFusion enabled a
+// different effective width changes run boundaries and therefore
+// rounding — so artifacts must not be trusted across that divide.
+func (c Config) EffectiveTileBits() int { return c.tileBits() }
+
 // globalBits is the rank-index bit count of the distributed target (0
 // on single-device targets).
 func (c Config) globalBits() int {

@@ -1,0 +1,171 @@
+package backend
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"unsafe"
+
+	"qgear/internal/kernel"
+)
+
+// Compiled artifacts round-trip through a versioned, CRC-protected
+// container so the persistence layer can keep execution IR across
+// process restarts: a warm-started server decodes the plan it compiled
+// last run instead of re-transforming and re-planning the circuit.
+// The payload is the exact kernel + TilePlan encoding from
+// internal/kernel, so a decoded Compiled executes amplitude-
+// identically to the original.
+
+var compiledMagic = []byte("QGCMP1\n")
+
+// compiledVersion tags the Compiled container layout.
+const compiledVersion uint16 = 1
+
+// maxCompiledBytes bounds one encoded Compiled (a plan is a few MB at
+// the sizes this repo serves; 1 GiB is a corruption guard, not a real
+// ceiling).
+const maxCompiledBytes = 1 << 30
+
+// Encode writes the compiled circuit to w: magic, version, payload
+// length, payload (kernel, optional plan, stats, tile width), CRC-32
+// of the payload.
+func (c *Compiled) Encode(w io.Writer) error {
+	var payload bytes.Buffer
+	if err := kernel.EncodeKernel(&payload, c.Kernel); err != nil {
+		return fmt.Errorf("backend: encoding kernel: %w", err)
+	}
+	if c.Plan != nil {
+		payload.WriteByte(1)
+		if err := kernel.EncodePlan(&payload, c.Plan); err != nil {
+			return fmt.Errorf("backend: encoding plan: %w", err)
+		}
+	} else {
+		payload.WriteByte(0)
+	}
+	var stats [8]byte
+	for _, v := range [...]int{
+		c.TransformStats.SourceOps, c.TransformStats.EmittedOps,
+		c.TransformStats.FusedGroups, c.TransformStats.FusedGates,
+		c.TransformStats.PrunedGates, c.TransformStats.Measurements,
+		c.TileBits,
+	} {
+		binary.LittleEndian.PutUint64(stats[:], uint64(int64(v)))
+		payload.Write(stats[:])
+	}
+
+	if _, err := w.Write(compiledMagic); err != nil {
+		return fmt.Errorf("backend: %w", err)
+	}
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], compiledVersion)
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[6:10], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("backend: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("backend: %w", err)
+	}
+	return nil
+}
+
+// DecodeCompiled reads a compiled circuit written by Encode, verifying
+// magic, version and payload checksum before parsing a single field —
+// a truncated or bit-flipped file is rejected, never half-decoded.
+func DecodeCompiled(r io.Reader) (*Compiled, error) {
+	got := make([]byte, len(compiledMagic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return nil, fmt.Errorf("backend: reading compiled magic: %w", err)
+	}
+	if !bytes.Equal(got, compiledMagic) {
+		return nil, fmt.Errorf("backend: bad compiled-artifact magic %q", got)
+	}
+	var hdr [10]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("backend: reading compiled header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != compiledVersion {
+		return nil, fmt.Errorf("backend: unsupported compiled-artifact version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(hdr[2:6])
+	if n > maxCompiledBytes {
+		return nil, fmt.Errorf("backend: implausible compiled payload of %d bytes", n)
+	}
+	want := binary.LittleEndian.Uint32(hdr[6:10])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("backend: reading compiled payload: %w", err)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != want {
+		return nil, fmt.Errorf("backend: compiled payload checksum mismatch (file %08x, payload %08x)", want, sum)
+	}
+
+	pr := bytes.NewReader(payload)
+	k, err := kernel.DecodeKernel(pr)
+	if err != nil {
+		return nil, err
+	}
+	comp := &Compiled{Kernel: k}
+	var hasPlan [1]byte
+	if _, err := io.ReadFull(pr, hasPlan[:]); err != nil {
+		return nil, fmt.Errorf("backend: %w", err)
+	}
+	if hasPlan[0] != 0 {
+		plan, err := kernel.DecodePlan(pr)
+		if err != nil {
+			return nil, err
+		}
+		if plan.NumQubits != k.NumQubits {
+			return nil, fmt.Errorf("backend: compiled plan spans %d qubits, kernel %d", plan.NumQubits, k.NumQubits)
+		}
+		comp.Plan = plan
+	}
+	var buf [8]byte
+	for _, dst := range [...]*int{
+		&comp.TransformStats.SourceOps, &comp.TransformStats.EmittedOps,
+		&comp.TransformStats.FusedGroups, &comp.TransformStats.FusedGates,
+		&comp.TransformStats.PrunedGates, &comp.TransformStats.Measurements,
+		&comp.TileBits,
+	} {
+		if _, err := io.ReadFull(pr, buf[:]); err != nil {
+			return nil, fmt.Errorf("backend: %w", err)
+		}
+		*dst = int(int64(binary.LittleEndian.Uint64(buf[:])))
+	}
+	if pr.Len() != 0 {
+		return nil, fmt.Errorf("backend: %d trailing bytes after compiled payload", pr.Len())
+	}
+	return comp, nil
+}
+
+// SizeBytes returns the compiled circuit's resident memory footprint
+// (kernel instruction stream plus the plan's segment arrays) — what a
+// byte-accounted plan cache charges per entry.
+func (c *Compiled) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(Compiled{}))
+	if c.Kernel != nil {
+		n += c.Kernel.SizeBytes()
+	}
+	if c.Plan != nil {
+		n += c.Plan.SizeBytes()
+	}
+	return n
+}
+
+// countsEntryBytes approximates one Counts map entry's resident
+// footprint: 8 B key + 8 B value plus bucket/overflow overhead.
+const countsEntryBytes = 48
+
+// SizeBytes returns the result's resident memory footprint. The 2^n
+// probability vector dominates (8 bytes per amplitude); sampled counts
+// and the plan-stats pointer ride along.
+func (r *Result) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(Result{})) + 8*int64(len(r.Probabilities)) + countsEntryBytes*int64(len(r.Counts))
+	if r.PlanStats != nil {
+		n += int64(unsafe.Sizeof(*r.PlanStats))
+	}
+	return n
+}

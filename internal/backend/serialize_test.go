@@ -1,0 +1,112 @@
+package backend
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"qgear/internal/randcirc"
+)
+
+func compileTestCircuit(t *testing.T, cfg Config) *Compiled {
+	t.Helper()
+	c, err := randcirc.Generate(randcirc.Spec{Qubits: 8, Blocks: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+// TestCompiledRoundTrip: a Compiled encodes and decodes DeepEqual,
+// with and without a plan.
+func TestCompiledRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		{Target: TargetNvidia, TileBits: 4},
+		{Target: TargetNvidia, TileBits: -1}, // per-gate: nil plan
+		{Target: TargetNvidia, TileBits: 4, FusionWindow: 3},
+		{Target: TargetNvidia, TileBits: 4, PlanFusion: true},
+	} {
+		comp := compileTestCircuit(t, cfg)
+		var buf bytes.Buffer
+		if err := comp.Encode(&buf); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		got, err := DecodeCompiled(&buf)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if !reflect.DeepEqual(got, comp) {
+			t.Fatalf("cfg %+v: compiled artifact drifted through encoding", cfg)
+		}
+	}
+}
+
+// TestDecodedCompiledRunsIdentically: executing the decoded artifact
+// must reproduce the original's probabilities bit for bit, and its
+// fixed-seed shot counts exactly.
+func TestDecodedCompiledRunsIdentically(t *testing.T) {
+	cfg := Config{Target: TargetNvidia, TileBits: 4, Workers: 1, Shots: 500, Seed: 13}
+	comp := compileTestCircuit(t, cfg)
+	var buf bytes.Buffer
+	if err := comp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCompiled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunCompiled(comp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCompiled(decoded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Probabilities {
+		if a.Probabilities[i] != b.Probabilities[i] {
+			t.Fatalf("probability[%d]: %v vs %v (max |Δp| must be 0)", i, a.Probabilities[i], b.Probabilities[i])
+		}
+	}
+	if !reflect.DeepEqual(a.Counts, b.Counts) {
+		t.Fatalf("fixed-seed counts differ: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+// TestDecodeCompiledRejectsCorruption: bit flips anywhere in the
+// container fail the checksum (or the magic/header checks) cleanly.
+func TestDecodeCompiledRejectsCorruption(t *testing.T) {
+	comp := compileTestCircuit(t, Config{Target: TargetNvidia, TileBits: 4})
+	var buf bytes.Buffer
+	if err := comp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, off := range []int{0, len(raw) / 4, len(raw) / 2, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if _, err := DecodeCompiled(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", off)
+		}
+	}
+	if _, err := DecodeCompiled(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+}
+
+// TestSizeBytesAccounting: results are charged their probability
+// vector; compiled artifacts their kernel + plan.
+func TestSizeBytesAccounting(t *testing.T) {
+	res := &Result{Probabilities: make([]float64, 1<<10)}
+	if got := res.SizeBytes(); got < 8<<10 {
+		t.Fatalf("1024-amplitude result accounted at %d B, want >= %d", got, 8<<10)
+	}
+	comp := compileTestCircuit(t, Config{Target: TargetNvidia, TileBits: 4})
+	if comp.SizeBytes() <= comp.Kernel.SizeBytes() {
+		t.Fatalf("compiled size %d should exceed its kernel alone (%d)", comp.SizeBytes(), comp.Kernel.SizeBytes())
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The bench-regression gate: CI reruns the tiling ablation and
+// compares the fresh BENCH_*.json rows against the committed baseline
+// under bench/baseline/. The perf story the repo's PRs have built —
+// tiled speedup over per-gate sweeps, planned-mgpu speedup over
+// per-gate exchanges — must not silently erode, and the equivalence
+// invariants (max |Δp| = 0, identical fixed-seed shot counts) must
+// hold on every run, not just the one that recorded the baseline.
+
+// GateFiles are the ablation artifacts the gate compares.
+var GateFiles = []string{"BENCH_qft.json", "BENCH_qcrank.json"}
+
+// DefaultGateTolerance is the fraction of baseline speedup a fresh
+// run may lose before the gate fails: wall-clock ratios on shared CI
+// runners are noisy, so the gate triggers only on a >20% regression.
+const DefaultGateTolerance = 0.20
+
+// minTimedSeconds is the shortest per-gate arm whose speedup ratio is
+// worth gating: below ~50 ms, scheduler jitter dominates the ratio and
+// a timing verdict would be noise, so only the bit-identity and
+// exchange-count checks (which are deterministic) apply.
+const minTimedSeconds = 0.05
+
+// mgpuToleranceFactor widens the band for the distributed column: its
+// small-size runs are several times shorter than the single-process
+// ablation, so the same absolute jitter moves its ratio further.
+const mgpuToleranceFactor = 2
+
+// LoadAblationRow reads one BENCH_*.json artifact.
+func LoadAblationRow(path string) (AblationRow, error) {
+	var row AblationRow
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return row, err
+	}
+	if err := json.Unmarshal(buf, &row); err != nil {
+		return row, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return row, nil
+}
+
+// CompareAblation checks a fresh ablation row against its committed
+// baseline and returns human-readable failure messages (empty = pass).
+// It is tolerance-aware on the timing ratio and strict on everything
+// that should never vary: workload shape and the bit-identity verdict.
+func CompareAblation(fresh, base AblationRow, tol float64) []string {
+	var fails []string
+	if fresh.Workload != base.Workload || fresh.Qubits != base.Qubits {
+		fails = append(fails, fmt.Sprintf(
+			"workload mismatch: fresh %s/%dq vs baseline %s/%dq — regenerate the baseline at the gate's sizes",
+			fresh.Workload, fresh.Qubits, base.Workload, base.Qubits))
+		return fails // speedups across different sizes are not comparable
+	}
+	// Cross-machine guard: wall-clock ratios recorded on one box do not
+	// transfer exactly to another. When the execution environment
+	// differs from the baseline's (worker count or effective tile
+	// width), the timing bands widen 2x; the deterministic checks below
+	// are unaffected. For the strict band, re-record bench/baseline on
+	// the hardware class that runs the gate (make bench-baseline).
+	if fresh.Workers != base.Workers || fresh.TileBits != base.TileBits {
+		tol *= 2
+		if tol > 0.9 {
+			tol = 0.9
+		}
+	}
+	if !fresh.CountsIdentical {
+		fails = append(fails, fmt.Sprintf("%s: fixed-seed shot counts differ between per-gate and tiled runs", fresh.Workload))
+	}
+	if fresh.MaxProbDiff != 0 {
+		fails = append(fails, fmt.Sprintf("%s: max |Δp| = %g, want exactly 0", fresh.Workload, fresh.MaxProbDiff))
+	}
+	if floor := base.Speedup * (1 - tol); fresh.PerGateSeconds >= minTimedSeconds && fresh.Speedup < floor {
+		fails = append(fails, fmt.Sprintf(
+			"%s: tiled speedup %.2fx regressed more than %.0f%% below baseline %.2fx (floor %.2fx)",
+			fresh.Workload, fresh.Speedup, tol*100, base.Speedup, floor))
+	}
+	if fresh.MGPU != nil && base.MGPU != nil {
+		if !fresh.MGPU.CountsIdentical {
+			fails = append(fails, fmt.Sprintf("%s mgpu: fixed-seed shot counts differ between per-gate and planned runs", fresh.Workload))
+		}
+		if fresh.MGPU.MaxProbDiff != 0 {
+			fails = append(fails, fmt.Sprintf("%s mgpu: max |Δp| = %g, want exactly 0", fresh.Workload, fresh.MGPU.MaxProbDiff))
+		}
+		mtol := tol * mgpuToleranceFactor
+		if mtol > 0.9 {
+			mtol = 0.9
+		}
+		if floor := base.MGPU.Speedup * (1 - mtol); fresh.MGPU.PerGateSeconds >= minTimedSeconds && fresh.MGPU.Speedup < floor {
+			fails = append(fails, fmt.Sprintf(
+				"%s mgpu: planned speedup %.2fx regressed more than %.0f%% below baseline %.2fx (floor %.2fx)",
+				fresh.Workload, fresh.MGPU.Speedup, mtol*100, base.MGPU.Speedup, floor))
+		}
+		if fresh.MGPU.PlannedExchanges > base.MGPU.PlannedExchanges {
+			// Exchange counts are deterministic compiler output, not
+			// timing: any growth is a real plan regression.
+			fails = append(fails, fmt.Sprintf("%s mgpu: planned exchanges grew %d -> %d",
+				fresh.Workload, base.MGPU.PlannedExchanges, fresh.MGPU.PlannedExchanges))
+		}
+	} else if base.MGPU != nil {
+		fails = append(fails, fmt.Sprintf("%s: baseline has an mgpu column but the fresh run does not", fresh.Workload))
+	}
+	return fails
+}
+
+// Gate compares every fresh BENCH artifact in freshDir against its
+// baseline in baseDir, printing one verdict line per workload, and
+// errors if any check fails — the exit status CI keys on.
+func Gate(freshDir, baseDir string, tol float64) error {
+	if tol <= 0 {
+		tol = DefaultGateTolerance
+	}
+	var all []string
+	for _, name := range GateFiles {
+		fresh, err := LoadAblationRow(filepath.Join(freshDir, name))
+		if err != nil {
+			return fmt.Errorf("bench gate: fresh artifact: %w", err)
+		}
+		base, err := LoadAblationRow(filepath.Join(baseDir, name))
+		if err != nil {
+			return fmt.Errorf("bench gate: baseline: %w", err)
+		}
+		fails := CompareAblation(fresh, base, tol)
+		if len(fails) == 0 {
+			mgpu := ""
+			if fresh.MGPU != nil && base.MGPU != nil {
+				mgpu = fmt.Sprintf(", mgpu %.2fx vs %.2fx", fresh.MGPU.Speedup, base.MGPU.Speedup)
+			}
+			fmt.Printf("bench gate: %-20s OK   speedup %.2fx vs baseline %.2fx (tolerance %.0f%%)%s\n",
+				fresh.Workload, fresh.Speedup, base.Speedup, tol*100, mgpu)
+			continue
+		}
+		for _, f := range fails {
+			fmt.Printf("bench gate: %-20s FAIL %s\n", fresh.Workload, f)
+		}
+		all = append(all, fails...)
+	}
+	if len(all) > 0 {
+		return fmt.Errorf("bench gate: %d check(s) failed", len(all))
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateRow(speedup float64) AblationRow {
+	return AblationRow{
+		Workload: "qft_16q_reversed", Qubits: 16, Speedup: speedup,
+		PerGateSeconds: 1.0, MaxProbDiff: 0, CountsIdentical: true,
+		MGPU: &MGPUAblationRow{Devices: 4, Speedup: speedup, PerGateSeconds: 1.0,
+			MaxProbDiff: 0, CountsIdentical: true, PlannedExchanges: 8},
+	}
+}
+
+// TestCompareAblationTolerance: the gate passes inside the tolerance
+// band and fails beyond it.
+func TestCompareAblationTolerance(t *testing.T) {
+	base := gateRow(2.0)
+	if fails := CompareAblation(gateRow(1.7), base, 0.20); len(fails) != 0 {
+		t.Fatalf("15%% regression inside a 20%% tolerance failed: %v", fails)
+	}
+	fresh := gateRow(1.5) // 25% down: tiled fails, mgpu rides its 2x band
+	fails := CompareAblation(fresh, base, 0.20)
+	if len(fails) != 1 {
+		t.Fatalf("25%% regression not caught exactly once (mgpu has a doubled band): %v", fails)
+	}
+	fresh = gateRow(1.0) // 50% down: both columns regress
+	if fails := CompareAblation(fresh, base, 0.20); len(fails) != 2 {
+		t.Fatalf("50%% regression not caught on both columns: %v", fails)
+	}
+	fresh = gateRow(1.5)
+	for _, f := range fails {
+		if !strings.Contains(f, "regressed") {
+			t.Fatalf("unexpected failure message %q", f)
+		}
+	}
+	// Improvement is never a failure.
+	if fails := CompareAblation(gateRow(3.0), base, 0.20); len(fails) != 0 {
+		t.Fatalf("speedup improvement flagged: %v", fails)
+	}
+}
+
+// TestCompareAblationNoiseFloor: sub-50ms arms are too jittery to gate
+// on timing — only the deterministic checks apply.
+func TestCompareAblationNoiseFloor(t *testing.T) {
+	base := gateRow(2.0)
+	fresh := gateRow(0.5) // terrible ratio...
+	fresh.PerGateSeconds = 0.01
+	fresh.MGPU.PerGateSeconds = 0.01 // ...but both arms ran for ~10ms
+	if fails := CompareAblation(fresh, base, 0.20); len(fails) != 0 {
+		t.Fatalf("noise-floor runs were gated on timing: %v", fails)
+	}
+	fresh.MaxProbDiff = 1 // bit-identity still applies below the floor
+	if fails := CompareAblation(fresh, base, 0.20); len(fails) == 0 {
+		t.Fatal("bit-identity skipped below the noise floor")
+	}
+}
+
+// TestCompareAblationEquivalenceStrict: bit-identity failures are
+// never tolerated, whatever the timing looks like.
+func TestCompareAblationEquivalenceStrict(t *testing.T) {
+	base := gateRow(2.0)
+	fresh := gateRow(2.5)
+	fresh.MaxProbDiff = 1e-16
+	if fails := CompareAblation(fresh, base, 0.20); len(fails) == 0 {
+		t.Fatal("nonzero max |Δp| passed the gate")
+	}
+	fresh = gateRow(2.5)
+	fresh.CountsIdentical = false
+	if fails := CompareAblation(fresh, base, 0.20); len(fails) == 0 {
+		t.Fatal("differing shot counts passed the gate")
+	}
+	fresh = gateRow(2.5)
+	fresh.MGPU.PlannedExchanges = 100
+	if fails := CompareAblation(fresh, base, 0.20); len(fails) == 0 {
+		t.Fatal("exchange-count growth passed the gate")
+	}
+}
+
+// TestCompareAblationSizeMismatch: comparing different workload sizes
+// is refused — speedups across sizes are meaningless.
+func TestCompareAblationSizeMismatch(t *testing.T) {
+	base := gateRow(2.0)
+	fresh := gateRow(2.0)
+	fresh.Qubits = 24
+	fails := CompareAblation(fresh, base, 0.20)
+	if len(fails) != 1 || !strings.Contains(fails[0], "mismatch") {
+		t.Fatalf("size mismatch not refused: %v", fails)
+	}
+}
+
+// TestGateEndToEnd drives the file-level comparator both ways.
+func TestGateEndToEnd(t *testing.T) {
+	freshDir, baseDir := t.TempDir(), t.TempDir()
+	write := func(dir string, qft, qcrank AblationRow) {
+		for _, f := range []struct {
+			name string
+			row  AblationRow
+		}{{"BENCH_qft.json", qft}, {"BENCH_qcrank.json", qcrank}} {
+			buf, err := json.Marshal(f.row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, f.name), buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	qc := gateRow(2.4)
+	qc.Workload, qc.Qubits = "qcrank_a6_d10", 16
+	write(baseDir, gateRow(2.0), qc)
+	write(freshDir, gateRow(1.9), qc)
+	if err := Gate(freshDir, baseDir, 0.20); err != nil {
+		t.Fatalf("healthy run failed the gate: %v", err)
+	}
+	write(freshDir, gateRow(1.0), qc)
+	if err := Gate(freshDir, baseDir, 0.20); err == nil {
+		t.Fatal("halved speedup passed the gate")
+	}
+	if err := Gate(t.TempDir(), baseDir, 0.20); err == nil {
+		t.Fatal("missing fresh artifacts passed the gate")
+	}
+}

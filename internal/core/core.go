@@ -56,23 +56,47 @@ func (o Options) backendConfig() backend.Config {
 	}
 }
 
+// Signature returns the output-affecting option encoding CacheKey
+// folds into the content address: transform knobs (fusion window,
+// prune angle), target, device/worker sizing, the shot budget and
+// seed, and the plan-shaping knobs (tile width, plan fusion).
+func (o Options) Signature() string {
+	return fmt.Sprintf("f%d|p%x|t%s|d%d|w%d|s%d|r%d|b%d|pf%t",
+		o.FusionWindow, math.Float64bits(o.PruneAngle), o.Target,
+		o.Devices, o.Workers, o.Shots, o.Seed, o.TileBits, o.PlanFusion)
+}
+
+// StoreSignature is the per-job-normalized signature a persistent
+// artifact store records with each entry: Workers changes wall-clock
+// only and Shots/Seed are already part of the entry's cache key, so
+// all three are zeroed. TileBits is resolved to the *effective* width
+// (the "0 = auto" policy lands on different widths across machines and
+// QGEAR_TILE_BITS environments, and with PlanFusion on, a different
+// width changes rounding), so artifacts written under one effective
+// tiling are rejected by a server running another. A warm-starting
+// server compares this against its own configuration before trusting
+// an on-disk artifact.
+func (o Options) StoreSignature() string {
+	o.Workers, o.Shots, o.Seed = 0, 0, 0
+	o.TileBits = o.backendConfig().EffectiveTileBits()
+	return o.Signature()
+}
+
 // CacheKey returns the content address of (circuit, options): the
 // circuit fingerprint extended with every option that changes the
-// simulation output — transform knobs (fusion window, prune angle),
-// target, device/worker sizing, and the shot budget and seed. Two
-// submissions with equal keys are guaranteed to produce identical
-// results, so a result cache may serve one from the other. TileBits
-// is folded in conservatively: the tiled executor is bit-identical to
-// the per-gate path by construction, but the key must stay sound even
-// if a future tile compiler relaxes that — and PlanFusion already
-// does relax it (pre-multiplied rotations differ at rounding level),
-// so it is part of the key too.
+// simulation output (Options.Signature). Two submissions with equal
+// keys are guaranteed to produce identical results, so a result cache
+// may serve one from the other. TileBits is folded in conservatively:
+// the tiled executor is bit-identical to the per-gate path by
+// construction, but the key must stay sound even if a future tile
+// compiler relaxes that — and PlanFusion already does relax it
+// (pre-multiplied rotations differ at rounding level), so it is part
+// of the key too.
 func CacheKey(c *circuit.Circuit, opts Options) string {
 	h := sha256.New()
 	h.Write([]byte(c.Fingerprint()))
-	fmt.Fprintf(h, "|f%d|p%x|t%s|d%d|w%d|s%d|r%d|b%d|pf%t",
-		opts.FusionWindow, math.Float64bits(opts.PruneAngle), opts.Target,
-		opts.Devices, opts.Workers, opts.Shots, opts.Seed, opts.TileBits, opts.PlanFusion)
+	h.Write([]byte{'|'})
+	h.Write([]byte(opts.Signature()))
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -1,0 +1,474 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"qgear/internal/gate"
+	"qgear/internal/statevec"
+)
+
+// Binary serialization for the execution IR: kernels and compiled
+// TilePlans round-trip through a compact little-endian encoding so the
+// persistence layer can keep compiled artifacts across process
+// restarts (the backend wraps these raw streams in a versioned,
+// CRC-protected container). Encodings are exact — float64 parameters
+// and complex matrix entries are written bit-for-bit — so a decoded
+// plan executes amplitude-identically to the one that was saved.
+
+// Serialization limits: decode rejects implausible counts up front so
+// a corrupt length field cannot demand a giant allocation.
+const (
+	maxSerialInstrs = 1 << 26
+	maxSerialOps    = 1 << 26
+	maxSerialQubits = 1 << 20
+	maxSerialName   = 1 << 16
+)
+
+// wire wraps a writer with sticky-error little-endian primitives.
+type wire struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *wire) u8(v uint8) {
+	if e.err != nil {
+		return
+	}
+	e.buf[0] = v
+	_, e.err = e.w.Write(e.buf[:1])
+}
+
+func (e *wire) u32(v uint32) {
+	if e.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	_, e.err = e.w.Write(e.buf[:4])
+}
+
+func (e *wire) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	_, e.err = e.w.Write(e.buf[:8])
+}
+
+func (e *wire) i64(v int64)       { e.u64(uint64(v)) }
+func (e *wire) f64(v float64)     { e.u64(math.Float64bits(v)) }
+func (e *wire) c128(v complex128) { e.f64(real(v)); e.f64(imag(v)) }
+func (e *wire) str(s string) {
+	if e.err == nil && len(s) > maxSerialName {
+		e.err = fmt.Errorf("kernel: string of %d bytes exceeds serialization limit", len(s))
+		return
+	}
+	e.u32(uint32(len(s)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+// unwire wraps a reader with sticky-error little-endian primitives.
+type unwire struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+func (d *unwire) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	_, d.err = io.ReadFull(d.r, d.buf[:1])
+	return d.buf[0]
+}
+
+func (d *unwire) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	_, d.err = io.ReadFull(d.r, d.buf[:4])
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *unwire) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	_, d.err = io.ReadFull(d.r, d.buf[:8])
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+func (d *unwire) i64() int64       { return int64(d.u64()) }
+func (d *unwire) f64() float64     { return math.Float64frombits(d.u64()) }
+func (d *unwire) c128() complex128 { re := d.f64(); return complex(re, d.f64()) }
+func (d *unwire) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxSerialName {
+		d.err = fmt.Errorf("kernel: implausible string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	_, d.err = io.ReadFull(d.r, buf)
+	return string(buf)
+}
+
+// count reads a length field bounded by limit.
+func (d *unwire) count(limit int, what string) int {
+	n := d.u32()
+	if d.err == nil && int(n) > limit {
+		d.err = fmt.Errorf("kernel: implausible %s count %d", what, n)
+	}
+	return int(n)
+}
+
+// EncodeKernel writes k's exact binary encoding to w.
+func EncodeKernel(w io.Writer, k *Kernel) error {
+	e := &wire{w: w}
+	e.str(k.Name)
+	e.u32(uint32(k.NumQubits))
+	e.u32(uint32(k.NumClbits))
+	e.u32(uint32(len(k.Instrs)))
+	for _, in := range k.Instrs {
+		e.u8(uint8(in.Kind))
+		e.u8(uint8(in.Gate))
+		e.u32(uint32(len(in.Qubits)))
+		for _, q := range in.Qubits {
+			e.u32(uint32(q))
+		}
+		e.u32(uint32(len(in.Params)))
+		for _, p := range in.Params {
+			e.f64(p)
+		}
+		e.u32(uint32(len(in.Mat)))
+		for _, m := range in.Mat {
+			e.c128(m)
+		}
+		e.i64(int64(in.Clbit))
+	}
+	return e.err
+}
+
+// DecodeKernel reads a kernel written by EncodeKernel and validates
+// its structural invariants.
+func DecodeKernel(r io.Reader) (*Kernel, error) {
+	d := &unwire{r: r}
+	k := &Kernel{Name: d.str()}
+	k.NumQubits = int(d.u32())
+	k.NumClbits = int(d.u32())
+	n := d.count(maxSerialInstrs, "instruction")
+	if d.err != nil {
+		return nil, d.err
+	}
+	k.Instrs = make([]Instr, n)
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		in.Kind = InstrKind(d.u8())
+		in.Gate = gate.Type(d.u8())
+		if nq := d.count(maxSerialQubits, "qubit"); d.err == nil && nq > 0 {
+			in.Qubits = make([]int, nq)
+			for j := range in.Qubits {
+				in.Qubits[j] = int(d.u32())
+			}
+		}
+		if np := d.count(maxSerialQubits, "param"); d.err == nil && np > 0 {
+			in.Params = make([]float64, np)
+			for j := range in.Params {
+				in.Params[j] = d.f64()
+			}
+		}
+		if nm := d.count(maxSerialOps, "matrix entry"); d.err == nil && nm > 0 {
+			in.Mat = make([]complex128, nm)
+			for j := range in.Mat {
+				in.Mat[j] = d.c128()
+			}
+		}
+		in.Clbit = int(d.i64())
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("kernel: decoded kernel invalid: %w", err)
+	}
+	return k, nil
+}
+
+// EncodePlan writes p's exact binary encoding to w.
+func EncodePlan(w io.Writer, p *TilePlan) error {
+	e := &wire{w: w}
+	e.u32(uint32(p.TileBits))
+	e.u32(uint32(p.NumQubits))
+	e.u32(uint32(p.GlobalBits))
+	e.u32(uint32(len(p.Segments)))
+	for _, seg := range p.Segments {
+		e.u8(uint8(seg.Kind))
+		switch seg.Kind {
+		case SegRun:
+			e.u32(uint32(len(seg.Ops)))
+			for _, op := range seg.Ops {
+				encodeTileOp(e, op)
+			}
+		case SegGlobal:
+			encodeInstr(e, seg.Instr)
+		case SegBitSwap:
+			e.u32(uint32(seg.A))
+			e.u32(uint32(seg.B))
+		case SegExchange:
+			e.u32(uint32(seg.TBit))
+			e.u32(uint32(len(seg.XOps)))
+			for _, x := range seg.XOps {
+				for _, m := range x.M {
+					e.c128(m)
+				}
+				e.u64(x.LowCtrl)
+				e.u64(x.RankCtrl)
+			}
+		default:
+			return fmt.Errorf("kernel: cannot encode segment kind %d", seg.Kind)
+		}
+	}
+	e.u32(uint32(len(p.FinalPerm)))
+	for _, q := range p.FinalPerm {
+		e.u32(uint32(q))
+	}
+	for _, v := range [...]int{
+		p.Stats.TileLocal, p.Stats.Global, p.Stats.Runs, p.Stats.BitSwaps,
+		p.Stats.PermSwaps, p.Stats.FusedOps, p.Stats.ExchangeSegs,
+		p.Stats.ExchangeGates, p.Stats.RankLocal,
+	} {
+		e.i64(int64(v))
+	}
+	return e.err
+}
+
+func encodeInstr(e *wire, in Instr) {
+	e.u8(uint8(in.Kind))
+	e.u8(uint8(in.Gate))
+	e.u32(uint32(len(in.Qubits)))
+	for _, q := range in.Qubits {
+		e.u32(uint32(q))
+	}
+	e.u32(uint32(len(in.Params)))
+	for _, p := range in.Params {
+		e.f64(p)
+	}
+	e.u32(uint32(len(in.Mat)))
+	for _, m := range in.Mat {
+		e.c128(m)
+	}
+	e.i64(int64(in.Clbit))
+}
+
+func decodeInstr(d *unwire) Instr {
+	var in Instr
+	in.Kind = InstrKind(d.u8())
+	in.Gate = gate.Type(d.u8())
+	if nq := d.count(maxSerialQubits, "qubit"); d.err == nil && nq > 0 {
+		in.Qubits = make([]int, nq)
+		for j := range in.Qubits {
+			in.Qubits[j] = int(d.u32())
+		}
+	}
+	if np := d.count(maxSerialQubits, "param"); d.err == nil && np > 0 {
+		in.Params = make([]float64, np)
+		for j := range in.Params {
+			in.Params[j] = d.f64()
+		}
+	}
+	if nm := d.count(maxSerialOps, "matrix entry"); d.err == nil && nm > 0 {
+		in.Mat = make([]complex128, nm)
+		for j := range in.Mat {
+			in.Mat[j] = d.c128()
+		}
+	}
+	in.Clbit = int(d.i64())
+	return in
+}
+
+func encodeTileOp(e *wire, op statevec.TileOp) {
+	e.u8(uint8(op.Kind))
+	e.u32(uint32(op.T))
+	e.u32(uint32(op.C))
+	var ctrl uint8
+	if op.HasCtrl {
+		ctrl = 1
+	}
+	e.u8(ctrl)
+	e.u64(op.HighMask)
+	e.u64(op.LowMask)
+	e.c128(op.Phase)
+	e.c128(op.A)
+	e.c128(op.B)
+	for _, m := range op.M {
+		e.c128(m)
+	}
+	e.u32(uint32(len(op.Qubits)))
+	for _, q := range op.Qubits {
+		e.u32(uint32(q))
+	}
+	e.u32(uint32(len(op.Mat)))
+	for _, m := range op.Mat {
+		e.c128(m)
+	}
+}
+
+func decodeTileOp(d *unwire) statevec.TileOp {
+	var op statevec.TileOp
+	op.Kind = statevec.TileOpKind(d.u8())
+	op.T = uint(d.u32())
+	op.C = uint(d.u32())
+	op.HasCtrl = d.u8() != 0
+	op.HighMask = d.u64()
+	op.LowMask = d.u64()
+	op.Phase = d.c128()
+	op.A = d.c128()
+	op.B = d.c128()
+	for i := range op.M {
+		op.M[i] = d.c128()
+	}
+	if nq := d.count(maxSerialQubits, "fused qubit"); d.err == nil && nq > 0 {
+		op.Qubits = make([]uint, nq)
+		for j := range op.Qubits {
+			op.Qubits[j] = uint(d.u32())
+		}
+	}
+	if nm := d.count(maxSerialOps, "fused matrix entry"); d.err == nil && nm > 0 {
+		op.Mat = make([]complex128, nm)
+		for j := range op.Mat {
+			op.Mat[j] = d.c128()
+		}
+	}
+	return op
+}
+
+// DecodePlan reads a plan written by EncodePlan.
+func DecodePlan(r io.Reader) (*TilePlan, error) {
+	d := &unwire{r: r}
+	p := &TilePlan{}
+	p.TileBits = int(d.u32())
+	p.NumQubits = int(d.u32())
+	p.GlobalBits = int(d.u32())
+	nseg := d.count(maxSerialInstrs, "segment")
+	if d.err != nil {
+		return nil, d.err
+	}
+	p.Segments = make([]Segment, nseg)
+	for i := range p.Segments {
+		seg := &p.Segments[i]
+		seg.Kind = SegmentKind(d.u8())
+		switch seg.Kind {
+		case SegRun:
+			nops := d.count(maxSerialOps, "tile op")
+			if d.err != nil {
+				return nil, d.err
+			}
+			seg.Ops = make([]statevec.TileOp, nops)
+			for j := range seg.Ops {
+				seg.Ops[j] = decodeTileOp(d)
+			}
+		case SegGlobal:
+			seg.Instr = decodeInstr(d)
+		case SegBitSwap:
+			seg.A = int(d.u32())
+			seg.B = int(d.u32())
+		case SegExchange:
+			seg.TBit = int(d.u32())
+			nx := d.count(maxSerialOps, "exchange op")
+			if d.err != nil {
+				return nil, d.err
+			}
+			seg.XOps = make([]ExchOp, nx)
+			for j := range seg.XOps {
+				x := &seg.XOps[j]
+				for mi := range x.M {
+					x.M[mi] = d.c128()
+				}
+				x.LowCtrl = d.u64()
+				x.RankCtrl = d.u64()
+			}
+		default:
+			if d.err != nil {
+				return nil, d.err
+			}
+			return nil, fmt.Errorf("kernel: unknown segment kind %d in encoded plan", seg.Kind)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if np := d.count(maxSerialQubits, "permutation entry"); d.err == nil && np > 0 {
+		p.FinalPerm = make([]int, np)
+		for j := range p.FinalPerm {
+			p.FinalPerm[j] = int(d.u32())
+		}
+	}
+	for _, dst := range [...]*int{
+		&p.Stats.TileLocal, &p.Stats.Global, &p.Stats.Runs, &p.Stats.BitSwaps,
+		&p.Stats.PermSwaps, &p.Stats.FusedOps, &p.Stats.ExchangeSegs,
+		&p.Stats.ExchangeGates, &p.Stats.RankLocal,
+	} {
+		*dst = int(d.i64())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if p.NumQubits <= 0 || p.TileBits <= 0 || p.GlobalBits < 0 || p.GlobalBits >= p.NumQubits {
+		return nil, fmt.Errorf("kernel: decoded plan has inconsistent geometry (%d qubits, tile %d, %d global bits)",
+			p.NumQubits, p.TileBits, p.GlobalBits)
+	}
+	return p, nil
+}
+
+// Static struct sizes for byte accounting (unsafe.Sizeof is the exact
+// resident footprint of the fixed parts; dynamic slices are added per
+// element below).
+const (
+	instrBase  = int64(unsafe.Sizeof(Instr{}))
+	segBase    = int64(unsafe.Sizeof(Segment{}))
+	tileOpBase = int64(unsafe.Sizeof(statevec.TileOp{}))
+	exchOpBase = int64(unsafe.Sizeof(ExchOp{}))
+	planBase   = int64(unsafe.Sizeof(TilePlan{}))
+	kernelBase = int64(unsafe.Sizeof(Kernel{}))
+)
+
+func instrBytes(in Instr) int64 {
+	return instrBase + 8*int64(len(in.Qubits)) + 8*int64(len(in.Params)) + 16*int64(len(in.Mat))
+}
+
+// SizeBytes returns the kernel's resident memory footprint — the
+// figure byte-accounted caches charge for holding it.
+func (k *Kernel) SizeBytes() int64 {
+	n := kernelBase + int64(len(k.Name))
+	for _, in := range k.Instrs {
+		n += instrBytes(in)
+	}
+	return n
+}
+
+// SizeBytes returns the plan's resident memory footprint: the segment
+// array with every tile micro-op, exchange op, global instruction and
+// the final permutation. Byte-accounted plan caches charge this figure
+// per entry.
+func (p *TilePlan) SizeBytes() int64 {
+	n := planBase + 8*int64(len(p.FinalPerm)) + segBase*int64(len(p.Segments))
+	for _, seg := range p.Segments {
+		for _, op := range seg.Ops {
+			n += tileOpBase + 8*int64(len(op.Qubits)) + 16*int64(len(op.Mat))
+		}
+		n += exchOpBase * int64(len(seg.XOps))
+		if seg.Kind == SegGlobal {
+			n += instrBytes(seg.Instr) - instrBase // Instr base already inside segBase
+		}
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package kernel
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"qgear/internal/gate"
+	"qgear/internal/qmath"
+	"qgear/internal/statevec"
+)
+
+// soupKernel builds a kernel that exercises every plan feature:
+// tile-local runs, diagonal/control predicates, SWAP absorption,
+// relabeling bit-swaps, global fallbacks, and fused blocks.
+func soupKernel(t *testing.T, n int) *Kernel {
+	t.Helper()
+	k := New("soup", n)
+	rng := qmath.NewRNG(7)
+	for i := 0; i < 120; i++ {
+		q := int(rng.Uint64() % uint64(n))
+		p := int(rng.Uint64() % uint64(n))
+		if p == q {
+			p = (p + 1) % n
+		}
+		switch i % 8 {
+		case 0:
+			k.H(q)
+		case 1:
+			k.Rz(0.1*float64(i+1), q)
+		case 2:
+			k.XCtrl(q, p)
+		case 3:
+			k.CR1(0.2*float64(i+1), q, p)
+		case 4:
+			k.Swap(q, p)
+		case 5:
+			k.Ry(0.3*float64(i+1), q)
+		case 6:
+			k.RyCtrl(0.05*float64(i+1), q, p)
+		case 7:
+			k.ZCtrl(q, p)
+		}
+	}
+	// A dense fused block (identity on two qubits keeps Validate and
+	// execution happy while exercising the KFused wire format).
+	fused := make([]complex128, 16)
+	for i := 0; i < 4; i++ {
+		fused[i*4+i] = 1
+	}
+	k.Instrs = append(k.Instrs, Instr{Kind: KFused, Qubits: []int{0, 1}, Mat: fused})
+	k.Mz()
+	return k
+}
+
+// TestKernelRoundTrip: encode/decode reproduces the kernel exactly.
+func TestKernelRoundTrip(t *testing.T) {
+	k := soupKernel(t, 8)
+	var buf bytes.Buffer
+	if err := EncodeKernel(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeKernel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, k) {
+		t.Fatalf("kernel drifted through encoding:\n got %+v\nwant %+v", got, k)
+	}
+}
+
+// TestPlanRoundTripConfigs: plans compiled under every configuration
+// axis (distributed rank bits, run fusion) round-trip DeepEqual.
+func TestPlanRoundTripConfigs(t *testing.T) {
+	for _, cfg := range []PlanConfig{
+		{TileBits: 4},
+		{TileBits: 4, FuseRuns: true},
+		{TileBits: 3, GlobalBits: 2},
+		{TileBits: 3, GlobalBits: 2, FuseRuns: true},
+	} {
+		k := soupKernel(t, 8)
+		p, err := Plan(k, cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		var buf bytes.Buffer
+		if err := EncodePlan(&buf, p); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		got, err := DecodePlan(&buf)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("cfg %+v: plan drifted through encoding", cfg)
+		}
+	}
+}
+
+// TestDecodedPlanExecutesIdentically: the decoded plan must produce
+// bit-identical amplitudes to the original plan on the same kernel.
+func TestDecodedPlanExecutesIdentically(t *testing.T) {
+	k := soupKernel(t, 8)
+	p, err := Plan(k, PlanConfig{TileBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodePlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := statevec.MustNew(8, 1)
+	b := statevec.MustNew(8, 1)
+	if err := p.Execute(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Execute(b); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Probabilities(), b.Probabilities()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("probability[%d]: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+// TestDecodeKernelRejectsGarbage: corrupt streams fail cleanly.
+func TestDecodeKernelRejectsGarbage(t *testing.T) {
+	k := soupKernel(t, 6)
+	var buf bytes.Buffer
+	if err := EncodeKernel(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Truncations at many offsets must all error, never panic.
+	for cut := 0; cut < len(raw); cut += 13 {
+		if _, err := DecodeKernel(bytes.NewReader(raw[:cut])); err == nil && cut < len(raw)-1 {
+			// A prefix that happens to parse fully would be a miracle;
+			// only the full stream may succeed.
+			t.Fatalf("truncated kernel stream (cut %d/%d) decoded without error", cut, len(raw))
+		}
+	}
+	// An implausible instruction count is rejected before allocating.
+	bad := append([]byte(nil), raw...)
+	// name is "soup": 4-byte len + 4 bytes, then nq, nclbits, then count.
+	countOff := 4 + 4 + 4 + 4
+	bad[countOff] = 0xff
+	bad[countOff+1] = 0xff
+	bad[countOff+2] = 0xff
+	bad[countOff+3] = 0x7f
+	if _, err := DecodeKernel(bytes.NewReader(bad)); err == nil {
+		t.Fatal("implausible instruction count accepted")
+	}
+}
+
+// TestSizeBytes: sizes are positive, grow with content, and the plan
+// size reflects its segment arrays.
+func TestSizeBytes(t *testing.T) {
+	small := soupKernel(t, 6)
+	if small.SizeBytes() <= 0 {
+		t.Fatal("kernel SizeBytes not positive")
+	}
+	big := New("big", 6)
+	for i := 0; i < 1000; i++ {
+		big.H(i % 6)
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatalf("1000-instr kernel (%d B) not larger than 120-instr kernel (%d B)",
+			big.SizeBytes(), small.SizeBytes())
+	}
+	p, err := Plan(small, PlanConfig{TileBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes() <= 0 {
+		t.Fatal("plan SizeBytes not positive")
+	}
+	perOp := float64(p.SizeBytes()) / math.Max(1, float64(p.Stats.TileLocal))
+	if perOp < 8 {
+		t.Fatalf("plan byte accounting implausibly small: %d B for %d tile-local ops", p.SizeBytes(), p.Stats.TileLocal)
+	}
+	_ = gate.H // keep the import honest for soupKernel's builder calls
+}

@@ -1,83 +1,45 @@
 package service
 
 import (
-	"container/list"
-
 	"qgear/internal/backend"
+	"qgear/internal/store"
 )
 
-// lruCache is a small generic LRU keyed by content-address strings.
-// The server uses two instances: the result cache (canonical
-// (fingerprint, options) hashes from core.CacheKey → completed
-// simulation results) and the compiled-plan cache ((fingerprint,
-// tile width) → backend.Compiled execution IR). Least-recently-used
-// entries are evicted once the capacity is exceeded. It is not safe
-// for concurrent use; the Server serializes access under its mutex.
-type lruCache[V any] struct {
-	cap       int
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	evictions uint64
-}
-
-type cacheEntry[V any] struct {
-	key string
-	val V
-}
-
-// newLRUCache returns a cache holding up to capacity entries;
-// capacity <= 0 disables caching (every Get misses, Add is a no-op).
-func newLRUCache[V any](capacity int) *lruCache[V] {
-	return &lruCache[V]{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
-}
-
-// resultCache and planCache are the two instantiations the server
-// holds; named so the Server struct reads clearly.
+// The server's two in-memory caches are byte-accounted, cost-aware
+// instances of store.Cache: the result cache (canonical (fingerprint,
+// options) hashes from core.CacheKey → completed simulation results)
+// and the compiled-plan cache ((fingerprint, tile width) →
+// backend.Compiled execution IR). Every entry is charged its real
+// resident size — a 2^n probability vector is 8·2^n bytes, a plan its
+// segment arrays — and eviction weighs recompute cost per byte
+// (Greedy-Dual-Size), so a cheap giant entry leaves before an
+// expensive small one. Evicted and shutdown-time entries flow to the
+// persistent store when one is configured. Neither cache is safe for
+// concurrent use on its own; the Server serializes access under its
+// mutex.
 type (
-	resultCache = lruCache[*backend.Result]
-	planCache   = lruCache[*backend.Compiled]
+	resultCache = store.Cache[*backend.Result]
+	planCache   = store.Cache[*backend.Compiled]
 )
 
-// Get returns the cached value for key and refreshes its recency.
-func (c *lruCache[V]) Get(key string) (V, bool) {
-	el, ok := c.items[key]
-	if !ok {
-		var zero V
-		return zero, false
-	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry[V]).val, true
+// Accounting note: seed-variant entries of one fingerprint produced by
+// a coalesced batch share one underlying probability slice but are
+// each charged its full size. The overstatement is deliberate — it is
+// the safe side (resident memory can only be below the budget, never
+// above it), it disappears as soon as any variant is evicted, and
+// per-entry accounting stays O(1) with no slice-identity refcounting.
+
+// resultCost models a result's recompute cost: simulation work is
+// proportional to gate count × state size. A deterministic model (not
+// the measured wall-clock, which is noisy at millisecond scale) keeps
+// eviction decisions reproducible across runs and machines; entries
+// with equal shape tie exactly and fall back to LRU.
+func resultCost(res *backend.Result) float64 {
+	return float64(1+res.KernelStats.EmittedOps) * float64(len(res.Probabilities))
 }
 
-// Add inserts (or refreshes) key's value, evicting the LRU entry when
-// over capacity.
-func (c *lruCache[V]) Add(key string, val V) {
-	if c.cap <= 0 {
-		return
-	}
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry[V]).val = val
-		return
-	}
-	c.items[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry[V]).key)
-		c.evictions++
-	}
-}
-
-// Len returns the number of cached entries.
-func (c *lruCache[V]) Len() int { return c.ll.Len() }
-
-// Keys returns cache keys from most to least recently used (test hook
-// for eviction-order assertions).
-func (c *lruCache[V]) Keys() []string {
-	keys := make([]string, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		keys = append(keys, el.Value.(*cacheEntry[V]).key)
-	}
-	return keys
+// planCost models a compiled plan's recompute cost: transformation and
+// planning are linear passes over the instruction stream.
+func planCost(comp *backend.Compiled) float64 {
+	return float64(1 + len(comp.Kernel.Instrs))
 }

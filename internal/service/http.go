@@ -128,6 +128,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	mux.HandleFunc("/v1/results/", s.handleResult)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/store", s.handleStore)
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -329,4 +330,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// StoreResponse is the GET /v1/store payload: what the persistent
+// artifact store holds on disk.
+type StoreResponse struct {
+	Enabled       bool   `json:"enabled"`
+	Dir           string `json:"dir,omitempty"`
+	ResultEntries int    `json:"result_entries"`
+	PlanEntries   int    `json:"plan_entries"`
+	Bytes         int64  `json:"bytes"`
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	resp := StoreResponse{}
+	if s.store != nil {
+		ss := s.store.Stats()
+		resp = StoreResponse{Enabled: true, Dir: ss.Dir, ResultEntries: ss.ResultEntries, PlanEntries: ss.PlanEntries, Bytes: ss.Bytes}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -30,6 +30,7 @@ import (
 	"qgear/internal/backend"
 	"qgear/internal/circuit"
 	"qgear/internal/core"
+	"qgear/internal/store"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -49,19 +50,35 @@ type Config struct {
 	QueueSize int
 	// WorkerPool is the number of executor goroutines. Default 2.
 	WorkerPool int
-	// CacheSize is the LRU result-cache capacity in entries; < 0
-	// disables caching. Default 1024. Each entry pins a full 2^n-entry
-	// probability vector (8 MB at 20 qubits), so size it to the
-	// circuit widths you serve; byte-bounded admission is a roadmap
-	// item. Retained finished jobs (MaxRetainedJobs) share the cached
-	// result pointers, so they do not duplicate that memory.
+	// CacheSize bounds the result cache's entry count; < 0 disables
+	// caching. Default 1024. Resident memory is governed by
+	// MaxCacheBytes — every entry is byte-accounted (a 2^n probability
+	// vector is 8·2^n bytes) and evicted cost-per-byte-aware, so the
+	// entry bound is a secondary limit. Retained finished jobs
+	// (MaxRetainedJobs) share the cached result pointers, so they do
+	// not duplicate that memory.
 	CacheSize int
-	// PlanCacheSize is the compiled-plan LRU capacity in entries,
+	// MaxCacheBytes bounds the result cache's resident bytes. Default
+	// 1 GiB; < 0 removes the byte bound (entry bound only). Evicted
+	// entries spill to the persistent store when StoreDir is set.
+	MaxCacheBytes int64
+	// PlanCacheSize bounds the compiled-plan cache's entry count,
 	// keyed by (circuit fingerprint, tile width): repeat submissions
 	// of a known circuit — even with different shots or seeds — skip
 	// transformation and plan compilation entirely. Plans are shared
 	// read-only across workers. Default 512; < 0 disables.
 	PlanCacheSize int
+	// MaxPlanCacheBytes bounds the plan cache's resident bytes
+	// (TilePlan segment arrays are byte-accounted like results).
+	// Default 256 MiB; < 0 removes the byte bound.
+	MaxPlanCacheBytes int64
+	// StoreDir enables the persistent artifact store: evicted and
+	// shutdown-time cache entries are written there (results as HDF5
+	// datasets keyed by core.CacheKey, compiled plans as binary
+	// sidecars), and a restarting server warm-starts from it — repeat
+	// fingerprints are answered from disk, bit-identically, without
+	// re-simulating. Empty disables persistence.
+	StoreDir string
 	// MaxBatch caps how many queued jobs one worker coalesces into a
 	// single core.Run call. Default 8; 1 disables coalescing.
 	MaxBatch int
@@ -96,6 +113,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PlanCacheSize == 0 {
 		c.PlanCacheSize = 512
+	}
+	if c.MaxCacheBytes == 0 {
+		c.MaxCacheBytes = 1 << 30 // 1 GiB
+	} else if c.MaxCacheBytes < 0 {
+		c.MaxCacheBytes = 0 // unbounded
+	}
+	if c.MaxPlanCacheBytes == 0 {
+		c.MaxPlanCacheBytes = 256 << 20 // 256 MiB
+	} else if c.MaxPlanCacheBytes < 0 {
+		c.MaxPlanCacheBytes = 0
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 8
@@ -194,10 +221,15 @@ type flight struct {
 }
 
 // Server is the simulation service. Create with New, submit with
-// Submit, stop with Close (which drains in-flight work).
+// Submit, stop with Close (which drains in-flight work and spills
+// resident cache entries to the persistent store when one is
+// configured).
 type Server struct {
-	cfg   Config
-	start time.Time
+	cfg    Config
+	start  time.Time
+	store  *store.Store // nil without StoreDir
+	cfgSig string       // normalized option signature stamped on store artifacts
+	spill  chan spillItem
 
 	mu          sync.Mutex
 	closed      bool
@@ -208,15 +240,57 @@ type Server struct {
 	cache       *resultCache
 	plans       *planCache
 	planFlights map[string]chan struct{} // plan keys being compiled right now
-	queue       chan *job
-	wg          sync.WaitGroup
+	// pendingSpills is the spill lookaside window: entries evicted from
+	// a cache stay answerable here until the spiller has them durably
+	// on disk, so an eviction immediately followed by a repeat
+	// submission never re-simulates.
+	pendingSpills map[string]spillItem
+	queue         chan *job
+	wg            sync.WaitGroup
+	loadWG        sync.WaitGroup // in-flight store loads
+	spillWG       sync.WaitGroup // the spiller goroutine
+	spillBytes    int64          // bytes pinned by the eviction-spill backlog
 
 	// counters (under mu)
 	submitted, completed, failed uint64
 	cacheHits, sfHits, executed  uint64
 	planHits, planMisses         uint64
+	storeHits, planStoreHits     uint64
+	storeMisses, storeErrors     uint64
+	storeSpills, storeSpillDrops uint64
 	batches, batchedJobs         uint64
 	latency                      map[string]*histogram
+}
+
+// spillItem is one artifact bound for the persistent store: exactly
+// one of result and plan is set. bytes is the entry's accounted size
+// while it waits in the backlog (0 for shutdown-time items, which
+// bypass the budget).
+type spillItem struct {
+	key    string
+	result *backend.Result
+	plan   *backend.Compiled
+	cost   float64
+	bytes  int64
+}
+
+// spillQueueDepth bounds the eviction-spill backlog's entry count; the
+// backlog is additionally byte-bounded (spillByteBudget) because the
+// entries it pins live entirely outside the cache's byte budget. When
+// either bound is hit, eviction spills are dropped (and counted)
+// rather than stalling the serving path — the shutdown spill still
+// persists whatever is resident.
+const spillQueueDepth = 256
+
+// spillBudget sizes the backlog's byte bound from the result cache's
+// budget: a quarter of it, floored so small test configurations can
+// still spill at all, and defaulted when the cache is unbounded.
+func spillBudget(maxCacheBytes int64) int64 {
+	b := maxCacheBytes / 4
+	if b < 16<<20 {
+		b = 16 << 20 // 16 MiB floor (also the unbounded-cache default)
+	}
+	return b
 }
 
 // New starts a server with cfg's worker pool running.
@@ -235,17 +309,80 @@ func New(cfg Config) (*Server, error) {
 		start:       time.Now(),
 		jobs:        make(map[string]*job),
 		inflight:    make(map[string]*flight),
-		cache:       newLRUCache[*backend.Result](cfg.CacheSize),
-		plans:       newLRUCache[*backend.Compiled](cfg.PlanCacheSize),
+		cache:       store.NewCache[*backend.Result](cfg.CacheSize, cfg.MaxCacheBytes),
+		plans:       store.NewCache[*backend.Compiled](cfg.PlanCacheSize, cfg.MaxPlanCacheBytes),
 		planFlights: make(map[string]chan struct{}),
 		queue:       make(chan *job, cfg.QueueSize),
 		latency:     make(map[string]*histogram),
+	}
+	opts := s.execOptions()
+	s.cfgSig = opts.StoreSignature()
+	if cfg.StoreDir != "" {
+		ast, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = ast
+		s.spill = make(chan spillItem, spillQueueDepth)
+		s.pendingSpills = make(map[string]spillItem)
+		s.spillWG.Add(1)
+		go s.spiller()
 	}
 	for i := 0; i < cfg.WorkerPool; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// spiller drains eviction- and shutdown-time artifacts to the
+// persistent store off the serving path. Saves are idempotent, so
+// spilling an entry that warm-started from disk is a no-op.
+func (s *Server) spiller() {
+	defer s.spillWG.Done()
+	for it := range s.spill {
+		var err error
+		if it.result != nil {
+			err = s.store.SaveResult(it.key, s.cfgSig, it.result)
+		} else {
+			err = s.store.SavePlan(it.key, s.cfgSig, it.plan, it.cost)
+		}
+		s.mu.Lock()
+		if err != nil {
+			s.storeErrors++
+		} else {
+			s.storeSpills++
+		}
+		s.spillBytes -= it.bytes
+		if cur, ok := s.pendingSpills[it.key]; ok && cur.result == it.result && cur.plan == it.plan {
+			delete(s.pendingSpills, it.key)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// enqueueSpillLocked hands an artifact to the spiller without ever
+// blocking the serving path. Callers hold s.mu.
+func (s *Server) enqueueSpillLocked(it spillItem) {
+	if s.spill == nil {
+		return
+	}
+	if s.spillBytes > 0 && s.spillBytes+it.bytes > spillBudget(s.cfg.MaxCacheBytes) {
+		// The backlog already pins its byte budget of unaccounted
+		// memory; shedding keeps -max-cache-bytes an honest bound on
+		// the process, at the cost of re-simulating this key if it is
+		// asked for after a restart. An empty backlog always admits one
+		// entry, so even over-budget artifacts eventually persist.
+		s.storeSpillDrops++
+		return
+	}
+	select {
+	case s.spill <- it:
+		s.spillBytes += it.bytes
+		s.pendingSpills[it.key] = it
+	default:
+		s.storeSpillDrops++
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -289,6 +426,18 @@ func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, err
 			s.mu.Unlock()
 			return comp, nil
 		}
+		if it, ok := s.pendingSpills[key]; ok && it.plan != nil {
+			// Spill lookaside: an evicted plan still bound for disk is
+			// an ordinary cache hit (it never touched the store) —
+			// serve it and re-admit.
+			comp := it.plan
+			s.planHits++
+			for _, ev := range s.plans.Add(key, comp, comp.SizeBytes(), planCost(comp)) {
+				s.enqueueSpillLocked(spillItem{key: ev.Key, plan: ev.Val, cost: ev.Cost, bytes: ev.Bytes})
+			}
+			s.mu.Unlock()
+			return comp, nil
+		}
 		ch, compiling := s.planFlights[key]
 		if !compiling {
 			break
@@ -304,11 +453,43 @@ func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, err
 	s.planFlights[key] = ch
 	s.mu.Unlock()
 
-	comp, err := core.Compile(c, s.execOptions())
+	// Warm start: a plan compiled by an earlier process may be on disk.
+	// Checksum or signature failures quarantine the file and fall
+	// through to a fresh compile.
+	var comp *backend.Compiled
+	var err error
+	var cost float64
+	fromStore := false
+	if s.store != nil && s.store.HasPlan(key) {
+		if comp, cost, err = s.store.LoadPlan(key, s.cfgSig); err == nil {
+			fromStore = true
+		} else {
+			if errors.Is(err, store.ErrIntegrity) {
+				s.store.DropPlan(key)
+			}
+			s.mu.Lock()
+			s.storeErrors++
+			s.mu.Unlock()
+			comp = nil
+		}
+	}
+	if comp == nil {
+		comp, err = core.Compile(c, s.execOptions())
+	}
 
 	s.mu.Lock()
 	if err == nil {
-		s.plans.Add(key, comp)
+		if fromStore {
+			s.planStoreHits++
+		}
+		// Admit at the cost the sidecar recorded when warm-started (the
+		// same units planCost produces), else the fresh model value.
+		if !fromStore || cost <= 0 {
+			cost = planCost(comp)
+		}
+		for _, ev := range s.plans.Add(key, comp, comp.SizeBytes(), cost) {
+			s.enqueueSpillLocked(spillItem{key: ev.Key, plan: ev.Val, cost: ev.Cost, bytes: ev.Bytes})
+		}
 	}
 	delete(s.planFlights, key)
 	close(ch)
@@ -403,6 +584,34 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 		s.jobs[j.id] = j
 		return j, nil
 	}
+	// Spill lookaside: an entry evicted moments ago may still be in
+	// flight to disk — serve it from the spill window instead of
+	// re-simulating (or racing the spiller on the file).
+	if it, ok := s.pendingSpills[key]; ok && it.result != nil {
+		s.submitted++
+		s.cacheHits++
+		j.cached = true
+		s.finishLocked(j, it.result, nil, "cache")
+		s.jobs[j.id] = j
+		s.retainLocked(j)
+		return j, nil
+	}
+	// Persistent store: a previously computed key is answered from
+	// disk — no simulation, no queue capacity. This job leads a flight
+	// while the load runs, so identical concurrent submissions attach
+	// via the single-flight path above instead of reading the file
+	// again.
+	if s.store != nil && s.store.HasResult(key) {
+		s.submitted++
+		s.inflight[key] = &flight{jobs: []*job{j}}
+		s.jobs[j.id] = j
+		s.loadWG.Add(1)
+		go s.serveFromStore(key)
+		return j, nil
+	}
+	if s.store != nil {
+		s.storeMisses++
+	}
 	// Leader: consume queue capacity.
 	select {
 	case s.queue <- j:
@@ -446,20 +655,62 @@ func (s *Server) retainLocked(j *job) {
 	}
 }
 
-// completeKeyLocked finishes every job attached to key's flight.
-func (s *Server) completeKeyLocked(key string, res *backend.Result, err error) {
+// completeKeyLocked finishes every job attached to key's flight,
+// admitting the result to the byte-accounted cache and routing any
+// evicted entries to the spiller.
+func (s *Server) completeKeyLocked(key string, res *backend.Result, err error, latencyKey string) {
 	f := s.inflight[key]
 	if f == nil {
 		return
 	}
 	delete(s.inflight, key)
 	if err == nil && res != nil {
-		s.cache.Add(key, res)
+		for _, ev := range s.cache.Add(key, res, res.SizeBytes(), resultCost(res)) {
+			s.enqueueSpillLocked(spillItem{key: ev.Key, result: ev.Val, bytes: ev.Bytes})
+		}
 	}
-	lat := string(s.cfg.Target)
 	for _, j := range f.jobs {
-		s.finishLocked(j, res, err, lat)
+		s.finishLocked(j, res, err, latencyKey)
 		s.retainLocked(j)
+	}
+}
+
+// serveFromStore completes one flight from the persistent store. A
+// file that fails its checksum or integrity checks is quarantined and
+// the flight leader falls back to a real simulation through the queue.
+func (s *Server) serveFromStore(key string) {
+	defer s.loadWG.Done()
+	res, err := s.store.LoadResult(key, s.cfgSig)
+	s.mu.Lock()
+	if err == nil {
+		s.storeHits++
+		if f := s.inflight[key]; f != nil {
+			for _, j := range f.jobs {
+				j.cached = true
+			}
+		}
+		s.completeKeyLocked(key, res, nil, "store")
+		s.mu.Unlock()
+		return
+	}
+	s.storeErrors++
+	// Capture the leader under the mutex: concurrent identical
+	// submissions keep appending to f.jobs through the single-flight
+	// path, so the slice must not be read unlocked.
+	var leader *job
+	if f := s.inflight[key]; f != nil {
+		leader = f.jobs[0]
+	}
+	s.mu.Unlock()
+	if errors.Is(err, store.ErrIntegrity) {
+		// Quarantine only provably bad files; a transient I/O failure
+		// leaves the artifact for the next attempt.
+		s.store.DropResult(key)
+	}
+	if leader != nil {
+		// Blocking send is safe: Close waits for in-flight loads before
+		// closing the queue, and workers keep draining until then.
+		s.queue <- leader
 	}
 }
 
@@ -629,9 +880,10 @@ func (s *Server) runBatch(batch []*job) {
 	defer s.mu.Unlock()
 	s.batches++
 	s.batchedJobs += uint64(len(batch))
+	lat := string(s.cfg.Target)
 	for _, o := range outs {
 		s.executed++
-		s.completeKeyLocked(o.j.key, o.res, o.err)
+		s.completeKeyLocked(o.j.key, o.res, o.err, lat)
 	}
 }
 
@@ -721,28 +973,45 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		QueueDepth:       len(s.queue),
-		QueueCapacity:    s.cfg.QueueSize,
-		Workers:          s.cfg.WorkerPool,
-		Submitted:        s.submitted,
-		Completed:        s.completed,
-		Failed:           s.failed,
-		CacheHits:        s.cacheHits,
-		SingleFlightHits: s.sfHits,
-		Executed:         s.executed,
-		CacheLen:         s.cache.Len(),
-		CacheCapacity:    s.cfg.CacheSize,
-		CacheEvictions:   s.cache.evictions,
-		PlanCacheHits:    s.planHits,
-		PlanCacheMisses:  s.planMisses,
-		PlanCacheLen:     s.plans.Len(),
-		Batches:          s.batches,
-		BatchedJobs:      s.batchedJobs,
-		Latency:          make(map[string]HistogramSnapshot, len(s.latency)),
-		UptimeSeconds:    time.Since(s.start).Seconds(),
+		QueueDepth:        len(s.queue),
+		QueueCapacity:     s.cfg.QueueSize,
+		Workers:           s.cfg.WorkerPool,
+		Submitted:         s.submitted,
+		Completed:         s.completed,
+		Failed:            s.failed,
+		CacheHits:         s.cacheHits,
+		SingleFlightHits:  s.sfHits,
+		Executed:          s.executed,
+		CacheLen:          s.cache.Len(),
+		CacheCapacity:     s.cfg.CacheSize,
+		CacheBytes:        s.cache.Bytes(),
+		CacheMaxBytes:     s.cfg.MaxCacheBytes,
+		CacheEvictions:    s.cache.Evictions(),
+		PlanCacheHits:     s.planHits,
+		PlanCacheMisses:   s.planMisses,
+		PlanCacheLen:      s.plans.Len(),
+		PlanCacheBytes:    s.plans.Bytes(),
+		PlanCacheMaxBytes: s.cfg.MaxPlanCacheBytes,
+		StoreHits:         s.storeHits,
+		StorePlanHits:     s.planStoreHits,
+		StoreMisses:       s.storeMisses,
+		StoreSpills:       s.storeSpills,
+		StoreSpillDrops:   s.storeSpillDrops,
+		StoreErrors:       s.storeErrors,
+		Batches:           s.batches,
+		BatchedJobs:       s.batchedJobs,
+		Latency:           make(map[string]HistogramSnapshot, len(s.latency)),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.StoreDir = ss.Dir
+		st.StoreResultEntries = ss.ResultEntries
+		st.StorePlanEntries = ss.PlanEntries
+		st.StoreBytes = ss.Bytes
 	}
 	if st.Submitted > 0 {
-		st.HitRate = float64(st.CacheHits+st.SingleFlightHits) / float64(st.Submitted)
+		st.HitRate = float64(st.CacheHits+st.SingleFlightHits+st.StoreHits) / float64(st.Submitted)
 	}
 	if st.Batches > 0 {
 		st.MeanBatchLen = float64(st.BatchedJobs) / float64(st.Batches)
@@ -761,17 +1030,38 @@ func (s *Server) cacheKeys() []string {
 }
 
 // Close stops accepting submissions, drains every queued and in-flight
-// job to completion, and stops the worker pool. Safe to call twice.
+// job to completion, stops the worker pool, and — when a persistent
+// store is configured — spills every resident cache entry to disk so
+// the next process warm-starts with this one's working set. Safe to
+// call twice.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.spillWG.Wait()
 		return nil
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.loadWG.Wait() // store loads finish (and their fallbacks enqueue) first
 	close(s.queue)
 	s.wg.Wait()
+	if s.store != nil {
+		s.mu.Lock()
+		items := make([]spillItem, 0, s.cache.Len()+s.plans.Len())
+		for _, e := range s.cache.Entries() {
+			items = append(items, spillItem{key: e.Key, result: e.Val})
+		}
+		for _, e := range s.plans.Entries() {
+			items = append(items, spillItem{key: e.Key, plan: e.Val, cost: e.Cost})
+		}
+		s.mu.Unlock()
+		for _, it := range items {
+			s.spill <- it // blocking: shutdown durability beats latency
+		}
+		close(s.spill)
+		s.spillWG.Wait()
+	}
 	return nil
 }

@@ -75,24 +75,50 @@ type Stats struct {
 	Failed    uint64 `json:"failed"`
 
 	// Content-address counters. A submission is served without
-	// re-simulation when it hits the result cache or joins an
-	// identical in-flight job (single-flight).
+	// re-simulation when it hits the result cache, joins an identical
+	// in-flight job (single-flight), or loads from the persistent
+	// store; HitRate counts all three.
 	CacheHits        uint64  `json:"cache_hits"`
 	SingleFlightHits uint64  `json:"single_flight_hits"`
 	Executed         uint64  `json:"executed"`
 	HitRate          float64 `json:"hit_rate"`
 
-	// Cache occupancy.
+	// Cache occupancy. Entries are byte-accounted: CacheBytes is the
+	// resident size charged against CacheMaxBytes (0 = unbounded), and
+	// evictions are cost-per-byte-aware, not pure recency.
 	CacheLen       int    `json:"cache_len"`
 	CacheCapacity  int    `json:"cache_capacity"`
+	CacheBytes     int64  `json:"cache_bytes"`
+	CacheMaxBytes  int64  `json:"cache_max_bytes"`
 	CacheEvictions uint64 `json:"cache_evictions"`
 
 	// Compiled-plan cache: executions that reused a cached TilePlan
 	// (skipping circuit→kernel transformation and plan compilation)
 	// versus ones that had to compile.
-	PlanCacheHits   uint64 `json:"plan_cache_hits"`
-	PlanCacheMisses uint64 `json:"plan_cache_misses"`
-	PlanCacheLen    int    `json:"plan_cache_len"`
+	PlanCacheHits     uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses   uint64 `json:"plan_cache_misses"`
+	PlanCacheLen      int    `json:"plan_cache_len"`
+	PlanCacheBytes    int64  `json:"plan_cache_bytes"`
+	PlanCacheMaxBytes int64  `json:"plan_cache_max_bytes"`
+
+	// Persistent store (zero-valued unless StoreDir is configured).
+	// StoreHits are submissions answered from disk without simulating;
+	// StorePlanHits are compilations answered from a persisted plan;
+	// StoreMisses are result-cache misses the store could not answer
+	// either. StoreSpills counts artifacts written (evictions and
+	// shutdown), StoreSpillDrops eviction-spills shed under backlog,
+	// and StoreErrors files rejected by integrity checks or failed
+	// writes.
+	StoreDir           string `json:"store_dir,omitempty"`
+	StoreHits          uint64 `json:"store_hits"`
+	StorePlanHits      uint64 `json:"store_plan_hits"`
+	StoreMisses        uint64 `json:"store_misses"`
+	StoreSpills        uint64 `json:"store_spills"`
+	StoreSpillDrops    uint64 `json:"store_spill_drops"`
+	StoreErrors        uint64 `json:"store_errors"`
+	StoreResultEntries int    `json:"store_result_entries"`
+	StorePlanEntries   int    `json:"store_plan_entries"`
+	StoreBytes         int64  `json:"store_bytes"`
 
 	// Batch coalescing.
 	Batches      uint64  `json:"batches"`

@@ -1,0 +1,255 @@
+package service
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+)
+
+// storeTestCircuits builds n deterministic, distinct circuits.
+func storeTestCircuits(n, qubits int) []*circuit.Circuit {
+	cs := make([]*circuit.Circuit, n)
+	for i := range cs {
+		c := circuit.GHZ(qubits, false)
+		c.RZ(1e-6*float64(i+1), 0)
+		cs[i] = c
+	}
+	return cs
+}
+
+// TestWarmRestartServesFromStore is the acceptance test: a server is
+// filled, closed (spilling to disk), and a second server on the same
+// directory answers every repeat submission from the store — marked
+// cached, zero simulations — with bit-identical probabilities and
+// exact shot counts.
+func TestWarmRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StoreDir: dir, WorkerPool: 1, MaxBatch: 1, TileBits: 4}
+	circs := storeTestCircuits(5, 8)
+	ctx := context.Background()
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*backend.Result, len(circs))
+	for i, c := range circs {
+		res, _, err := s1.Run(ctx, c, SubmitOptions{Shots: 300, Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, cfg)
+	for i, c := range circs {
+		res, info, err := s2.Run(ctx, c, SubmitOptions{Shots: 300, Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Cached {
+			t.Fatalf("circuit %d was re-simulated after restart", i)
+		}
+		for k := range want[i].Probabilities {
+			if res.Probabilities[k] != want[i].Probabilities[k] {
+				t.Fatalf("circuit %d probability[%d]: %v vs %v (bit-identity across restart)",
+					i, k, res.Probabilities[k], want[i].Probabilities[k])
+			}
+		}
+		if !reflect.DeepEqual(res.Counts, want[i].Counts) {
+			t.Fatalf("circuit %d counts differ across restart", i)
+		}
+	}
+	st := s2.Stats()
+	if st.StoreHits != uint64(len(circs)) {
+		t.Fatalf("store hits %d, want %d", st.StoreHits, len(circs))
+	}
+	if st.Executed != 0 {
+		t.Fatalf("%d simulations ran on the warm-started server", st.Executed)
+	}
+	if st.HitRate != 1 {
+		t.Fatalf("hit rate %v, want 1 (store hits count)", st.HitRate)
+	}
+}
+
+// TestWarmRestartPlansFromStore: the compiled-plan cache warm-starts
+// too — a new shots/seed submission of a known circuit (result-cache
+// miss) reuses the persisted plan instead of recompiling.
+func TestWarmRestartPlansFromStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StoreDir: dir, WorkerPool: 1, MaxBatch: 1, TileBits: 4}
+	c := storeTestCircuits(1, 8)[0]
+	ctx := context.Background()
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.Run(ctx, c, SubmitOptions{Shots: 100, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, cfg)
+	// Different shots: misses the result store, must still simulate —
+	// but through the persisted plan.
+	if _, _, err := s2.Run(ctx, c, SubmitOptions{Shots: 200, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.StorePlanHits != 1 {
+		t.Fatalf("plan store hits %d, want 1", st.StorePlanHits)
+	}
+	if st.Executed != 1 {
+		t.Fatalf("executed %d, want 1", st.Executed)
+	}
+}
+
+// TestCorruptStoreFallsBack: a bit-flipped spill file is rejected,
+// quarantined, and the submission transparently falls back to a real
+// simulation with a correct result.
+func TestCorruptStoreFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StoreDir: dir, WorkerPool: 1, MaxBatch: 1, TileBits: 4}
+	c := storeTestCircuits(1, 8)[0]
+	ctx := context.Background()
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := s1.Run(ctx, c, SubmitOptions{Shots: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in every result file.
+	matches, err := filepath.Glob(filepath.Join(dir, "results", "*.h5"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no spill files found: %v", err)
+	}
+	for _, path := range matches {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := newTestServer(t, cfg)
+	res, info, err := s2.Run(ctx, c, SubmitOptions{Shots: 100, Seed: 9})
+	if err != nil {
+		t.Fatalf("corrupt store must fall back to simulation, got %v", err)
+	}
+	if info.State != StateDone {
+		t.Fatalf("job state %s", info.State)
+	}
+	for k := range want.Probabilities {
+		if res.Probabilities[k] != want.Probabilities[k] {
+			t.Fatalf("fallback result differs at %d", k)
+		}
+	}
+	st := s2.Stats()
+	if st.StoreErrors == 0 {
+		t.Fatal("corruption was not counted")
+	}
+	if st.StoreHits != 0 {
+		t.Fatalf("store hits %d from a corrupt file", st.StoreHits)
+	}
+	if st.Executed != 1 {
+		t.Fatalf("executed %d, want 1 fallback simulation", st.Executed)
+	}
+	// The corrupt file was quarantined: a second restart re-simulates
+	// without error noise.
+	if got, _ := filepath.Glob(filepath.Join(dir, "results", "*.h5")); len(got) >= len(matches) {
+		t.Fatalf("corrupt file not dropped: %d files, had %d", len(got), len(matches))
+	}
+}
+
+// TestCacheByteBoundUnderLoad: with a budget sized for a fraction of
+// the working set, resident bytes never exceed MaxCacheBytes while
+// evicted entries spill and remain answerable from disk.
+func TestCacheByteBoundUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	// A GHZ-10 result is 8 KiB of probabilities (+overhead); budget ~3
+	// entries, then push 12 distinct circuits through.
+	cfg := Config{StoreDir: dir, WorkerPool: 2, MaxCacheBytes: 30 << 10, TileBits: 4}
+	circs := storeTestCircuits(12, 10)
+	ctx := context.Background()
+	s := newTestServer(t, cfg)
+	for i, c := range circs {
+		if _, _, err := s.Run(ctx, c, SubmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if st := s.Stats(); st.CacheBytes > st.CacheMaxBytes {
+			t.Fatalf("after job %d: resident %d bytes exceed budget %d", i, st.CacheBytes, st.CacheMaxBytes)
+		}
+	}
+	st := s.Stats()
+	if st.CacheEvictions == 0 {
+		t.Fatal("no evictions under a 30 KiB budget and 12 x 8 KiB results")
+	}
+
+	// Eviction spills are asynchronous; wait for the spiller to land
+	// every evicted entry on disk before resubmitting.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = s.Stats()
+		if st.StoreSpills+st.StoreSpillDrops >= st.CacheEvictions {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spiller never caught up: %d spills + %d drops vs %d evictions",
+				st.StoreSpills, st.StoreSpillDrops, st.CacheEvictions)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.StoreSpillDrops > 0 {
+		t.Skipf("spill backlog shed %d entries; store completeness not guaranteed", st.StoreSpillDrops)
+	}
+
+	// Every circuit — including evicted ones — is still answered
+	// without re-simulation: resident hits or store loads.
+	execBefore := s.Stats().Executed
+	for i, c := range circs {
+		if _, info, err := s.Run(ctx, c, SubmitOptions{}); err != nil || !info.Cached {
+			t.Fatalf("resubmission %d: err=%v cached=%v", i, err, info.Cached)
+		}
+	}
+	if after := s.Stats(); after.Executed != execBefore {
+		t.Fatalf("resubmissions re-simulated: %d -> %d", execBefore, after.Executed)
+	}
+}
+
+// TestStoreEndpoint: /v1/store reports the on-disk contents.
+func TestStoreEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{StoreDir: dir, WorkerPool: 1, TileBits: 4})
+	if _, _, err := s.Run(context.Background(), storeTestCircuits(1, 8)[0], SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Force a spill by closing; then inspect a fresh server's endpoint.
+	s.Close()
+	s2 := newTestServer(t, Config{StoreDir: dir, WorkerPool: 1, TileBits: 4})
+	st := s2.Stats()
+	if st.StoreResultEntries == 0 || st.StoreBytes == 0 || st.StoreDir != dir {
+		t.Fatalf("store stats %+v, want indexed artifacts under %s", st, dir)
+	}
+}

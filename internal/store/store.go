@@ -1,0 +1,534 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qgear/internal/backend"
+	"qgear/internal/hdf5"
+	"qgear/internal/kernel"
+	"qgear/internal/sampling"
+)
+
+// FormatVersion tags the on-disk artifact layout; it bumps if the
+// result or plan encoding ever changes so stale spill directories are
+// rejected instead of misread.
+const FormatVersion = 1
+
+const (
+	resultsSubdir = "results"
+	plansSubdir   = "plans"
+	resultExt     = ".h5"
+	planExt       = ".plan"
+)
+
+var planMagic = []byte("QGPLN1\n")
+
+// staleTempAge is how old a .tmp file must be before the boot-time
+// scan treats it as a crashed writer's orphan and reaps it.
+const staleTempAge = time.Hour
+
+// ErrIntegrity marks load failures where the artifact itself is bad —
+// corrupt bytes, checksum mismatch, wrong recorded key or config
+// signature, unsupported format. Callers quarantine (delete) the file
+// only for these; any other load error (a transient I/O failure) must
+// leave the artifact on disk for the next attempt.
+var ErrIntegrity = errors.New("store: artifact failed integrity check")
+
+// integrityErr builds an ErrIntegrity-classed failure.
+func integrityErr(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrIntegrity)...)
+}
+
+// Store is the on-disk artifact store: simulation results as HDF5-lite
+// files keyed by their core.CacheKey content address, compiled plans
+// as compact binary sidecars. Open scans the directory into an index
+// (no file is parsed until it is asked for); loads verify checksums
+// and the recorded key/config signature before anything is trusted.
+// Store is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	results map[string]int64 // sanitized key -> file bytes
+	plans   map[string]int64
+	bytes   int64
+}
+
+// Stats is a point-in-time view of the store's contents.
+type Stats struct {
+	Dir           string `json:"dir"`
+	ResultEntries int    `json:"result_entries"`
+	PlanEntries   int    `json:"plan_entries"`
+	Bytes         int64  `json:"bytes"`
+}
+
+// Open creates (if needed) and indexes the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	st := &Store{dir: dir, results: make(map[string]int64), plans: make(map[string]int64)}
+	for _, sub := range []string{resultsSubdir, plansSubdir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := st.scan(resultsSubdir, resultExt, st.results); err != nil {
+		return nil, err
+	}
+	if err := st.scan(plansSubdir, planExt, st.plans); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *Store) scan(sub, ext string, index map[string]int64) error {
+	entries, err := os.ReadDir(filepath.Join(st.dir, sub))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.Contains(e.Name(), ".tmp") {
+			// Temp file: never an artifact. Only reap ones old enough to
+			// be orphans of a crashed writer — a live writer (a CLI
+			// sharing the store with a booting server) may be mid-write.
+			if info, err := e.Info(); err == nil && time.Since(info.ModTime()) > staleTempAge {
+				os.Remove(filepath.Join(st.dir, sub, e.Name()))
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ext) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with deletion; skip
+		}
+		index[strings.TrimSuffix(e.Name(), ext)] = info.Size()
+		st.bytes += info.Size()
+	}
+	return nil
+}
+
+// writeAtomic lands data at path via a uniquely named temp file in the
+// same directory plus rename, so concurrent writers of one key (two
+// CLI invocations sharing a store, or a CLI beside a server) can never
+// interleave into a corrupt artifact — last rename wins, each rename
+// installs a complete file.
+func writeAtomic(path string, write func(tmp string) error) error {
+	tf, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := tf.Name()
+	tf.Close()
+	if err := write(tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Stats snapshots the index.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Stats{Dir: st.dir, ResultEntries: len(st.results), PlanEntries: len(st.plans), Bytes: st.bytes}
+}
+
+// sanitizeKey maps a cache key to a portable file stem. Result keys
+// are already hex; plan keys carry a '|' separator that some
+// filesystems dislike.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			return r
+		default:
+			return '+'
+		}
+	}, key)
+}
+
+func (st *Store) resultPath(key string) string {
+	return filepath.Join(st.dir, resultsSubdir, sanitizeKey(key)+resultExt)
+}
+
+func (st *Store) planPath(key string) string {
+	return filepath.Join(st.dir, plansSubdir, sanitizeKey(key)+planExt)
+}
+
+// HasResult reports whether a result for key is on disk.
+func (st *Store) HasResult(key string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.results[sanitizeKey(key)]
+	return ok
+}
+
+// HasPlan reports whether a compiled plan for key is on disk.
+func (st *Store) HasPlan(key string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.plans[sanitizeKey(key)]
+	return ok
+}
+
+// resultMeta is the JSON metadata blob persisted with each result —
+// everything a backend.Result carries besides the probability vector
+// and counts, plus the qubit count for shape validation.
+type resultMeta struct {
+	Target           backend.Target    `json:"target"`
+	NumQubits        int               `json:"num_qubits"`
+	DurationNS       int64             `json:"duration_ns"`
+	KernelStats      kernel.Stats      `json:"kernel_stats"`
+	PlanStats        *kernel.PlanStats `json:"plan_stats,omitempty"`
+	TileBits         int               `json:"tile_bits"`
+	Exchanges        int               `json:"exchanges"`
+	BytesSent        int64             `json:"bytes_sent"`
+	AvoidedExchanges int               `json:"avoided_exchanges"`
+}
+
+// numQubits infers n from the probability-vector length.
+func numQubits(probs []float64) int {
+	n := 0
+	for 1<<uint(n) < len(probs) {
+		n++
+	}
+	return n
+}
+
+// SaveResult persists a completed result under its cache key, tagged
+// with the server's configuration signature. Writes are atomic
+// (temp file + rename) and idempotent: a key already on disk is left
+// untouched, so eviction-time spills of warm-started entries cost a
+// stat, not a rewrite.
+func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
+	sk := sanitizeKey(key)
+	st.mu.Lock()
+	_, exists := st.results[sk]
+	st.mu.Unlock()
+	if exists {
+		return nil
+	}
+
+	meta := resultMeta{
+		Target:           res.Target,
+		NumQubits:        numQubits(res.Probabilities),
+		DurationNS:       res.Duration.Nanoseconds(),
+		KernelStats:      res.KernelStats,
+		PlanStats:        res.PlanStats,
+		TileBits:         res.TileBits,
+		Exchanges:        res.Exchanges,
+		BytesSent:        res.BytesSent,
+		AvoidedExchanges: res.AvoidedExchanges,
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	f := hdf5.NewFile()
+	if err := f.PutFloat64s("result/probabilities", res.Probabilities); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(res.Counts) > 0 {
+		keys := make([]uint64, 0, len(res.Counts))
+		for k := range res.Counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		ck := make([]int64, len(keys))
+		cv := make([]int64, len(keys))
+		for i, k := range keys {
+			ck[i] = int64(k)
+			cv[i] = int64(res.Counts[k])
+		}
+		if err := f.PutInt64s("result/count_keys", ck); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := f.PutInt64s("result/count_vals", cv); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	for k, a := range map[string]hdf5.Attr{
+		"format_version": hdf5.IntAttr(FormatVersion),
+		"cache_key":      hdf5.StringAttr(key),
+		"config_sig":     hdf5.StringAttr(sig),
+		"meta":           hdf5.StringAttr(string(metaJSON)),
+	} {
+		if err := f.SetAttr("result", k, a); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+
+	path := st.resultPath(key)
+	var size int64
+	if err := writeAtomic(path, func(tmp string) error {
+		if err := f.SaveFile(tmp, hdf5.SaveOptions{Compression: hdf5.CompressionFlate}); err != nil {
+			return err
+		}
+		info, err := os.Stat(tmp)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		size = info.Size()
+		return nil
+	}); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	if old, ok := st.results[sk]; ok {
+		st.bytes -= old
+	}
+	st.results[sk] = size
+	st.bytes += size
+	st.mu.Unlock()
+	return nil
+}
+
+// LoadResult reads the result stored under key, rejecting it unless
+// the file's checksum verifies (hdf5.Load), its recorded cache key
+// matches the one requested, and its configuration signature matches
+// sig. The returned probabilities and counts are bit-identical to
+// what was saved.
+func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
+	// Read and parse in two steps so a transient I/O failure stays
+	// distinguishable from a corrupt file: only the latter is
+	// ErrIntegrity and only it justifies quarantining the artifact.
+	raw, err := os.ReadFile(st.resultPath(key))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := hdf5.Load(bytes.NewReader(raw))
+	if err != nil {
+		return nil, integrityErr("store: result %s: %v", key, err)
+	}
+	if err := st.verifyAttrs(f, "result", key, sig); err != nil {
+		return nil, err
+	}
+	metaAttr, err := f.Attr("result", "meta")
+	if err != nil {
+		return nil, integrityErr("store: result %s: %v", key, err)
+	}
+	var meta resultMeta
+	if err := json.Unmarshal([]byte(metaAttr.S), &meta); err != nil {
+		return nil, integrityErr("store: result %s: bad meta: %v", key, err)
+	}
+	probs, _, err := f.Float64s("result/probabilities")
+	if err != nil {
+		return nil, integrityErr("store: result %s: %v", key, err)
+	}
+	if meta.NumQubits < 0 || meta.NumQubits > 62 || len(probs) != 1<<uint(meta.NumQubits) {
+		return nil, integrityErr("store: result %s: %d probabilities for %d qubits", key, len(probs), meta.NumQubits)
+	}
+	res := &backend.Result{
+		Target:           meta.Target,
+		Probabilities:    probs,
+		Duration:         time.Duration(meta.DurationNS),
+		KernelStats:      meta.KernelStats,
+		PlanStats:        meta.PlanStats,
+		TileBits:         meta.TileBits,
+		Exchanges:        meta.Exchanges,
+		BytesSent:        meta.BytesSent,
+		AvoidedExchanges: meta.AvoidedExchanges,
+	}
+	if _, err := f.Dataset("result/count_keys"); err == nil {
+		ck, _, err := f.Int64s("result/count_keys")
+		if err != nil {
+			return nil, integrityErr("store: result %s: %v", key, err)
+		}
+		cv, _, err := f.Int64s("result/count_vals")
+		if err != nil {
+			return nil, integrityErr("store: result %s: %v", key, err)
+		}
+		if len(ck) != len(cv) {
+			return nil, integrityErr("store: result %s: %d count keys, %d values", key, len(ck), len(cv))
+		}
+		res.Counts = make(sampling.Counts, len(ck))
+		for i := range ck {
+			res.Counts[uint64(ck[i])] = int(cv[i])
+		}
+	}
+	return res, nil
+}
+
+func (st *Store) verifyAttrs(f *hdf5.File, group, key, sig string) error {
+	v, err := f.Attr(group, "format_version")
+	if err != nil || v.I != FormatVersion {
+		return integrityErr("store: %s %s: wrong or missing format version", group, key)
+	}
+	k, err := f.Attr(group, "cache_key")
+	if err != nil || k.S != key {
+		return integrityErr("store: %s file for key %s records key %q", group, key, k.S)
+	}
+	s, err := f.Attr(group, "config_sig")
+	if err != nil || s.S != sig {
+		return integrityErr("store: %s %s: config signature %q does not match %q", group, key, s.S, sig)
+	}
+	return nil
+}
+
+// SavePlan persists a compiled execution IR under its plan-cache key
+// with its recompute cost — the same abstract cost units the eviction
+// policy weighs (instruction count for plans), not wall-clock. Same
+// atomicity and idempotence as SaveResult.
+func (st *Store) SavePlan(key, sig string, comp *backend.Compiled, cost float64) error {
+	sk := sanitizeKey(key)
+	st.mu.Lock()
+	_, exists := st.plans[sk]
+	st.mu.Unlock()
+	if exists {
+		return nil
+	}
+
+	var payload bytes.Buffer
+	writeStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		payload.Write(n[:])
+		payload.WriteString(s)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[:2], FormatVersion)
+	payload.Write(hdr[:2])
+	writeStr(key)
+	writeStr(sig)
+	binary.LittleEndian.PutUint64(hdr[:8], math.Float64bits(cost))
+	payload.Write(hdr[:8])
+	if err := comp.Encode(&payload); err != nil {
+		return err
+	}
+
+	path := st.planPath(key)
+	var out bytes.Buffer
+	out.Write(planMagic)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	out.Write(crc[:])
+	out.Write(payload.Bytes())
+	if err := writeAtomic(path, func(tmp string) error {
+		if err := os.WriteFile(tmp, out.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	if old, ok := st.plans[sk]; ok {
+		st.bytes -= old
+	}
+	st.plans[sk] = int64(out.Len())
+	st.bytes += int64(out.Len())
+	st.mu.Unlock()
+	return nil
+}
+
+// LoadPlan reads the compiled plan stored under key, with the same
+// integrity discipline as LoadResult: checksum first, then the
+// recorded key and config signature must match. Returns the artifact
+// and the recompute cost recorded when it was built (the abstract
+// units SavePlan was given).
+func (st *Store) LoadPlan(key, sig string) (*backend.Compiled, float64, error) {
+	raw, err := os.ReadFile(st.planPath(key))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	if len(raw) < len(planMagic)+4 || !bytes.Equal(raw[:len(planMagic)], planMagic) {
+		return nil, 0, integrityErr("store: plan %s: bad magic", key)
+	}
+	want := binary.LittleEndian.Uint32(raw[len(planMagic):])
+	payload := raw[len(planMagic)+4:]
+	if sum := crc32.ChecksumIEEE(payload); sum != want {
+		return nil, 0, integrityErr("store: plan %s: checksum mismatch (file %08x, payload %08x)", key, want, sum)
+	}
+	r := bytes.NewReader(payload)
+	var two [2]byte
+	if _, err := io.ReadFull(r, two[:]); err != nil {
+		return nil, 0, integrityErr("store: plan %s: %v", key, err)
+	}
+	if v := binary.LittleEndian.Uint16(two[:]); v != FormatVersion {
+		return nil, 0, integrityErr("store: plan %s: unsupported format version %d", key, v)
+	}
+	readStr := func() (string, error) {
+		var n [4]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return "", err
+		}
+		ln := binary.LittleEndian.Uint32(n[:])
+		if int(ln) > r.Len() {
+			return "", fmt.Errorf("implausible string length %d", ln)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	gotKey, err := readStr()
+	if err != nil {
+		return nil, 0, integrityErr("store: plan %s: %v", key, err)
+	}
+	if gotKey != key {
+		return nil, 0, integrityErr("store: plan file for key %s records key %q", key, gotKey)
+	}
+	gotSig, err := readStr()
+	if err != nil {
+		return nil, 0, integrityErr("store: plan %s: %v", key, err)
+	}
+	if gotSig != sig {
+		return nil, 0, integrityErr("store: plan %s: config signature %q does not match %q", key, gotSig, sig)
+	}
+	var cost [8]byte
+	if _, err := io.ReadFull(r, cost[:]); err != nil {
+		return nil, 0, integrityErr("store: plan %s: %v", key, err)
+	}
+	costVal := math.Float64frombits(binary.LittleEndian.Uint64(cost[:]))
+	comp, err := backend.DecodeCompiled(r)
+	if err != nil {
+		return nil, 0, integrityErr("store: plan %s: %v", key, err)
+	}
+	return comp, costVal, nil
+}
+
+// DropResult removes a (corrupt or mismatched) result file from disk
+// and the index so it is never consulted again.
+func (st *Store) DropResult(key string) {
+	st.drop(st.results, sanitizeKey(key), st.resultPath(key))
+}
+
+// DropPlan removes a plan file from disk and the index.
+func (st *Store) DropPlan(key string) {
+	st.drop(st.plans, sanitizeKey(key), st.planPath(key))
+}
+
+func (st *Store) drop(index map[string]int64, sk, path string) {
+	st.mu.Lock()
+	if sz, ok := index[sk]; ok {
+		st.bytes -= sz
+		delete(index, sk)
+	}
+	st.mu.Unlock()
+	os.Remove(path)
+}

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/sampling"
+)
+
+const testSig = "f0|p0|tnvidia|d1|w0|s0|r0|b0|pffalse"
+
+// testResult simulates a small circuit for round-trip material.
+func testResult(t *testing.T) *backend.Result {
+	t.Helper()
+	c := circuit.GHZ(6, false)
+	res, err := backend.Run(c, backend.Config{Target: backend.TargetNvidia, Workers: 1, Shots: 200, Seed: 11, TileBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestResultRoundTripBitIdentity: a spilled and reloaded result must
+// be bit-identical — max |Δp| exactly 0 and every shot-count bucket
+// equal — with all metadata intact.
+func TestResultRoundTripBitIdentity(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testResult(t)
+	res.Duration = 123456 * time.Microsecond
+	if err := st.SaveResult("deadbeef", testSig, res); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasResult("deadbeef") {
+		t.Fatal("saved result not indexed")
+	}
+	got, err := st.LoadResult("deadbeef", testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Probabilities) != len(res.Probabilities) {
+		t.Fatalf("%d probabilities, want %d", len(got.Probabilities), len(res.Probabilities))
+	}
+	for i := range res.Probabilities {
+		if got.Probabilities[i] != res.Probabilities[i] {
+			t.Fatalf("probability[%d] = %v, want %v (bit-identity)", i, got.Probabilities[i], res.Probabilities[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Counts, res.Counts) {
+		t.Fatalf("counts %v, want %v", got.Counts, res.Counts)
+	}
+	if got.Target != res.Target || got.Duration != res.Duration || got.TileBits != res.TileBits {
+		t.Fatalf("metadata drifted: %+v vs %+v", got, res)
+	}
+	if !reflect.DeepEqual(got.KernelStats, res.KernelStats) || !reflect.DeepEqual(got.PlanStats, res.PlanStats) {
+		t.Fatalf("stats drifted: %+v/%+v vs %+v/%+v", got.KernelStats, got.PlanStats, res.KernelStats, res.PlanStats)
+	}
+}
+
+// TestResultCountsEmpty: probabilities-only results (no counts) round
+// trip too.
+func TestResultCountsEmpty(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &backend.Result{Target: backend.TargetNvidia, Probabilities: []float64{0.5, 0, 0, 0.5}}
+	if err := st.SaveResult("k", testSig, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadResult("k", testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counts != nil {
+		t.Fatalf("counts %v, want nil", got.Counts)
+	}
+}
+
+// TestPlanRoundTrip: a compiled plan survives the sidecar byte-for-
+// byte — same segments, same stats, same cost tag.
+func TestPlanRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.GHZ(8, false)
+	comp, err := backend.Compile(c, backend.Config{Target: backend.TargetNvidia, TileBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Plan == nil {
+		t.Fatal("test needs a planned compile")
+	}
+	if err := st.SavePlan("fp|b4", testSig, comp, 42.5); err != nil {
+		t.Fatal(err)
+	}
+	got, cost, err := st.LoadPlan("fp|b4", testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 42.5 {
+		t.Fatalf("cost %v, want 42.5", cost)
+	}
+	if !reflect.DeepEqual(got, comp) {
+		t.Fatalf("plan drifted through the sidecar:\n got %+v\nwant %+v", got, comp)
+	}
+}
+
+// TestWrongKeyRejected: a file whose recorded key does not match the
+// requested one (e.g. renamed on disk) is rejected.
+func TestWrongKeyRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveResult("aaaa", testSig, testResult(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(st.resultPath("aaaa"), st.resultPath("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir) // re-index
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.HasResult("bbbb") {
+		t.Fatal("renamed file not indexed")
+	}
+	if _, err := st2.LoadResult("bbbb", testSig); err == nil {
+		t.Fatal("moved file accepted under the wrong key")
+	}
+}
+
+// TestWrongSignatureRejected: an artifact recorded under a different
+// execution configuration is rejected (fingerprint/TileBits/plan-
+// config integrity).
+func TestWrongSignatureRejected(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveResult("k", testSig, testResult(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadResult("k", "f0|p0|tnvidia|d1|w0|s0|r0|b9|pffalse"); err == nil {
+		t.Fatal("result accepted under a different config signature")
+	}
+	c := circuit.GHZ(8, false)
+	comp, err := backend.Compile(c, backend.Config{Target: backend.TargetNvidia, TileBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SavePlan("p", testSig, comp, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.LoadPlan("p", "other-sig"); err == nil {
+		t.Fatal("plan accepted under a different config signature")
+	}
+}
+
+// TestCorruptedFilesRejected flips one byte in each artifact kind and
+// checks the checksum catches it; Drop then clears the index.
+func TestCorruptedFilesRejected(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveResult("r", testSig, testResult(t)); err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.GHZ(8, false)
+	comp, err := backend.Compile(c, backend.Config{Target: backend.TargetNvidia, TileBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SavePlan("p", testSig, comp, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{st.resultPath("r"), st.planPath("p")} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.LoadResult("r", testSig); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("corrupted result: err = %v, want ErrIntegrity", err)
+	}
+	if _, _, err := st.LoadPlan("p", testSig); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("corrupted plan: err = %v, want ErrIntegrity", err)
+	}
+	st.DropResult("r")
+	st.DropPlan("p")
+	if st.HasResult("r") || st.HasPlan("p") {
+		t.Fatal("dropped artifacts still indexed")
+	}
+	if got := st.Stats(); got.ResultEntries != 0 || got.PlanEntries != 0 || got.Bytes != 0 {
+		t.Fatalf("stats after drop: %+v", got)
+	}
+}
+
+// TestTruncatedFileRejected: a partial write (short file) must fail
+// cleanly, not panic or half-parse.
+func TestTruncatedFileRejected(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveResult("r", testSig, testResult(t)); err != nil {
+		t.Fatal(err)
+	}
+	path := st.resultPath("r")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadResult("r", testSig); err == nil {
+		t.Fatal("truncated result accepted")
+	}
+}
+
+// TestReopenIndexes: a fresh Open over an existing directory sees the
+// artifacts a previous Store instance wrote — the warm-restart scan.
+func TestReopenIndexes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testResult(t)
+	if err := st.SaveResult("k1", testSig, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveResult("k2", testSig, res); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st2.Stats()
+	if got.ResultEntries != 2 || got.Bytes == 0 {
+		t.Fatalf("reopened stats %+v, want 2 results", got)
+	}
+	if _, err := st2.LoadResult("k1", testSig); err != nil {
+		t.Fatal(err)
+	}
+	// Stray files that are not artifacts are ignored by the scan.
+	if err := os.WriteFile(filepath.Join(dir, "results", "junk.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Stats().ResultEntries != 2 {
+		t.Fatalf("stray file counted as artifact: %+v", st3.Stats())
+	}
+}
+
+// TestSaveIdempotent: re-saving an existing key is a no-op (eviction
+// spills of warm-started entries must not rewrite files).
+func TestSaveIdempotent(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testResult(t)
+	if err := st.SaveResult("k", testSig, res); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(st.resultPath("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := &backend.Result{Target: backend.TargetAer, Probabilities: []float64{1, 0}, Counts: sampling.Counts{0: 1}}
+	if err := st.SaveResult("k", testSig, other); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(st.resultPath("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Size() != after.Size() || !before.ModTime().Equal(after.ModTime()) {
+		t.Fatal("idempotent save rewrote the file")
+	}
+}
+
+// TestPlanKeySanitized: plan keys carry a '|' which must not leak into
+// filenames; the artifact still round-trips under the original key.
+func TestPlanKeySanitized(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.GHZ(8, false)
+	comp, err := backend.Compile(c, backend.Config{Target: backend.TargetNvidia, TileBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "abc|b14"
+	if err := st.SavePlan(key, testSig, comp, 1); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(st.Dir(), plansSubdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		for _, r := range e.Name() {
+			if r == '|' {
+				t.Fatalf("unsanitized filename %q", e.Name())
+			}
+		}
+	}
+	if _, _, err := st.LoadPlan(key, testSig); err != nil {
+		t.Fatal(err)
+	}
+}
