@@ -4,9 +4,13 @@ GO ?= go
 BENCH_OUT ?= /tmp/qgear-bench
 # Scratch store directory for the warm-restart acceptance check.
 WARMSTART_DIR ?= /tmp/qgear-warmstart
+# Coverage profile and floor for internal/observable (near-dead code
+# until PR 5; the floor keeps the expectation pathway exercised).
+COVER_OUT ?= /tmp/qgear-observable-cover.out
+OBSERVABLE_COVER_FLOOR ?= 85
 
-.PHONY: build vet fmt-check test test-fresh check serve bench bench-serve \
-	bench-baseline bench-gate ci-load ci-warmstart clean
+.PHONY: build vet fmt-check test test-fresh check cover-observable serve bench \
+	bench-serve bench-baseline bench-gate ci-load ci-warmstart clean
 
 build:
 	$(GO) build ./...
@@ -22,15 +26,31 @@ fmt-check:
 test: vet
 	$(GO) test -race ./...
 
-# Fresh (uncached) race pass over the concurrency-heavy suites.
+# Fresh (uncached) race pass over the concurrency-heavy suites
+# (observable/backend joined in PR 5: term-parallel and chunk-parallel
+# expectation evaluation share one read-only state across goroutines).
 test-fresh:
 	$(GO) test -race -count=1 ./internal/mgpu/... ./internal/service/... \
-		./internal/kernel/... ./internal/store/...
+		./internal/kernel/... ./internal/store/... ./internal/observable/... \
+		./internal/backend/...
 
 # The tier-1 gate: plain build + test, as CI runs it. CI calls this
 # target (not raw go commands), so the gate is defined exactly once.
-check:
+# The observable coverage floor rides along: the expectation pathway's
+# core package must stay exercised, not decay back into dead code.
+check: cover-observable
 	$(GO) build ./... && $(GO) test ./...
+
+# Coverage floor for internal/observable (fails below
+# OBSERVABLE_COVER_FLOOR percent). The package's ~1s suite runs once
+# more inside the plain `go test ./...` (coverage builds don't share
+# the test cache) — accepted so the tier-1 gate stays one target.
+cover-observable:
+	@$(GO) test -coverprofile=$(COVER_OUT) ./internal/observable > /dev/null
+	@total=$$($(GO) tool cover -func=$(COVER_OUT) | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	awk -v t="$$total" -v floor=$(OBSERVABLE_COVER_FLOOR) 'BEGIN { \
+		if (t + 0 < floor) { printf "internal/observable coverage %.1f%% is below the %d%% floor\n", t, floor; exit 1 } \
+		printf "internal/observable coverage %.1f%% (floor %d%%)\n", t, floor }'
 
 serve: build
 	$(GO) run ./cmd/qgear-serve serve -addr :8042 -fusion 2

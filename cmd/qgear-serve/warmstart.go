@@ -11,6 +11,7 @@ import (
 
 	"qgear/internal/circuit"
 	"qgear/internal/core"
+	"qgear/internal/observable"
 	"qgear/internal/service"
 )
 
@@ -63,6 +64,12 @@ func warmstartCircuit(n, i int) *circuit.Circuit {
 	return c
 }
 
+// warmstartHamiltonian is the deterministic observable of the
+// expectation-job leg of the check.
+func warmstartHamiltonian(n int) *observable.Hamiltonian {
+	return observable.TransverseFieldIsing(n, 1.0, 0.7)
+}
+
 // startServer boots the service plus a real HTTP listener on it.
 func startServer(cfg *service.Config) (*service.Server, *httptest.Server, error) {
 	srv, err := service.New(*cfg)
@@ -78,7 +85,7 @@ func warmstartSeed(cfg *service.Config, jobs, qubits, shots int) error {
 		return err
 	}
 	client := &http.Client{Timeout: 60 * time.Second}
-	fmt.Printf("warmstart seed: %d jobs, GHZ-%d, shots=%d -> store %s\n", jobs, qubits, shots, cfg.StoreDir)
+	fmt.Printf("warmstart seed: %d jobs + 1 expectation, GHZ-%d, shots=%d -> store %s\n", jobs, qubits, shots, cfg.StoreDir)
 	for i := 0; i < jobs; i++ {
 		if _, err := pushJob(client, ts.URL, warmstartCircuit(qubits, i), shots, uint64(i)); err != nil {
 			ts.Close()
@@ -86,13 +93,20 @@ func warmstartSeed(cfg *service.Config, jobs, qubits, shots int) error {
 			return fmt.Errorf("warmstart seed: job %d: %w", i, err)
 		}
 	}
+	// One expectation job rides along: its ⟨H⟩ artifact must survive the
+	// restart exactly like the probability results.
+	if _, err := pushExpJob(client, ts.URL, warmstartCircuit(qubits, 0), warmstartHamiltonian(qubits)); err != nil {
+		ts.Close()
+		srv.Close()
+		return fmt.Errorf("warmstart seed: expectation job: %w", err)
+	}
 	st := srv.Stats()
 	ts.Close()
 	if err := srv.Close(); err != nil { // spills resident entries to the store
 		return err
 	}
-	if st.Executed < uint64(jobs) {
-		return fmt.Errorf("warmstart seed: executed %d of %d jobs", st.Executed, jobs)
+	if st.Executed < uint64(jobs)+1 {
+		return fmt.Errorf("warmstart seed: executed %d of %d jobs", st.Executed, jobs+1)
 	}
 	fmt.Printf("warmstart seed: done (%d executed); artifacts spilled on shutdown\n", st.Executed)
 	return nil
@@ -156,15 +170,40 @@ func warmstartVerify(cfg *service.Config, jobs, qubits, shots int) error {
 			}
 		}
 	}
+	// The expectation artifact must also answer from disk, bit-identical
+	// to an independent fresh evaluation.
+	expC := warmstartCircuit(qubits, 0)
+	expH := warmstartHamiltonian(qubits)
+	expRes, err := pushExpJob(client, ts.URL, expC, expH)
+	if err != nil {
+		return fmt.Errorf("warmstart verify: expectation job: %w", err)
+	}
+	if !expRes.Cached {
+		return fmt.Errorf("warmstart verify: expectation job was simulated, not served from the store")
+	}
+	if expRes.ExpValue == nil {
+		return fmt.Errorf("warmstart verify: expectation job returned no expval")
+	}
+	refopts := opts
+	refopts.Shots = 0
+	expRef, err := core.RunExpectation(expC, expH, refopts)
+	if err != nil {
+		return fmt.Errorf("warmstart verify: expectation reference: %w", err)
+	}
+	if *expRes.ExpValue != *expRef.ExpValue {
+		return fmt.Errorf("warmstart verify: stored ⟨H⟩ = %.17g, reference %.17g (must be bit-identical)",
+			*expRes.ExpValue, *expRef.ExpValue)
+	}
+
 	st := srv.Stats()
-	if st.StoreHits != uint64(jobs) {
-		return fmt.Errorf("warmstart verify: %d store hits, want %d", st.StoreHits, jobs)
+	if st.StoreHits != uint64(jobs)+1 {
+		return fmt.Errorf("warmstart verify: %d store hits, want %d", st.StoreHits, jobs+1)
 	}
 	if st.Executed != 0 {
 		return fmt.Errorf("warmstart verify: %d simulations ran; repeats must be store hits", st.Executed)
 	}
-	fmt.Printf("warmstart verify: PASS — %d/%d store hits, 0 simulations, probabilities and counts bit-identical\n",
-		st.StoreHits, jobs)
+	fmt.Printf("warmstart verify: PASS — %d/%d store hits, 0 simulations, probabilities, counts and ⟨H⟩ bit-identical\n",
+		st.StoreHits, jobs+1)
 	return nil
 }
 
@@ -172,9 +211,19 @@ func bitstring(idx uint64, n int) string {
 	return fmt.Sprintf("%0*b", n, idx)
 }
 
+// pushExpJob submits one expectation job and polls the result back.
+func pushExpJob(client *http.Client, base string, c *circuit.Circuit, h *observable.Hamiltonian) (*service.ResultResponse, error) {
+	return push(client, base, service.SubmitRequest{
+		Kind: "expectation", Circuit: service.FromCircuit(c), Hamiltonian: service.FromHamiltonian(h),
+	})
+}
+
 // pushJob submits one circuit and polls the full result back.
 func pushJob(client *http.Client, base string, c *circuit.Circuit, shots int, seed uint64) (*service.ResultResponse, error) {
-	req := service.SubmitRequest{Circuit: service.FromCircuit(c), Shots: shots, Seed: seed}
+	return push(client, base, service.SubmitRequest{Circuit: service.FromCircuit(c), Shots: shots, Seed: seed})
+}
+
+func push(client *http.Client, base string, req service.SubmitRequest) (*service.ResultResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err

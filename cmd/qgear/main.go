@@ -9,10 +9,12 @@
 //	qgear generate -kind qft -qubits 12 -out qft.qpy
 //	qgear transform -in circuits.qpy -fusion 5 -prune 1e-6
 //	qgear run -in circuits.qpy -target nvidia -shots 1000
+//	qgear expect -in qft.qpy -tfim-j 1 -tfim-g 0.7 -store-dir /tmp/qgear-store
 //	qgear info -in circuits.qpy
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,9 +24,11 @@ import (
 	"qgear/internal/backend"
 	"qgear/internal/circuit"
 	"qgear/internal/core"
+	"qgear/internal/observable"
 	"qgear/internal/qasm"
 	"qgear/internal/qft"
 	"qgear/internal/randcirc"
+	"qgear/internal/service"
 	"qgear/internal/store"
 )
 
@@ -41,6 +45,8 @@ func main() {
 		err = cmdTransform(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "expect":
+		err = cmdExpect(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "-h", "--help", "help":
@@ -62,6 +68,7 @@ commands:
   generate   build workload circuits (random | qft | ghz) and save them
   transform  convert saved circuits to kernels, print transformation stats
   run        transform and execute saved circuits on a target
+  expect     evaluate exact Hamiltonian expectation values on saved circuits
   info       describe a saved circuit file`)
 }
 
@@ -300,6 +307,140 @@ func runWithStore(cs []*circuit.Circuit, opts core.Options, storeDir string) ([]
 		}
 	}
 	return results, stored, nil
+}
+
+// cmdExpect is the expectation-value job kind on the CLI: load
+// circuits, build a Hamiltonian (a JSON spec, a ZZ chain, or the
+// built-in transverse-field Ising model), and print the exact ⟨H⟩ per
+// circuit. With -store-dir, repeat invocations answer from the
+// persistent store under the (fingerprint, hamiltonian hash, options)
+// content address — the same artifacts qgear-serve warm-starts from.
+func cmdExpect(args []string) error {
+	fs := flag.NewFlagSet("expect", flag.ExitOnError)
+	in := fs.String("in", "", "input circuits (.qpy, .h5 or .qasm)")
+	target := fs.String("target", "nvidia", "execution target: aer | nvidia | nvidia-mgpu | nvidia-mqpu | pennylane")
+	devices := fs.Int("devices", 1, "simulated devices for mgpu (memory pooling) / mqpu (term-parallel evaluation)")
+	fusion := fs.Int("fusion", 0, "gate fusion window")
+	tile := fs.Int("tile", 0, "tiled-executor tile width in qubits (0 = auto, negative = per-gate sweeps)")
+	hamFile := fs.String("hamiltonian", "", "Hamiltonian JSON file ({\"qubits\":n,\"terms\":[{\"coef\":c,\"paulis\":[{\"q\":0,\"p\":\"Z\"},...]}]})")
+	zz := fs.Float64("zz", 0, "build a ZZ-chain Hamiltonian -J·ΣZiZi+1 with this coupling instead of a file")
+	tfimJ := fs.Float64("tfim-j", 1, "built-in transverse-field Ising coupling J (used when no -hamiltonian/-zz)")
+	tfimG := fs.Float64("tfim-g", 1, "built-in transverse-field Ising field g")
+	storeDir := fs.String("store-dir", "", "persistent store: reuse bit-identical expectation values across invocations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("expect: -in is required")
+	}
+	cs, err := loadAny(*in)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Target: backend.Target(*target), Devices: *devices,
+		FusionWindow: *fusion, TileBits: *tile,
+	}
+
+	// The Hamiltonian spans the widest loaded circuit unless a JSON
+	// spec pins its own width.
+	width := 0
+	for _, c := range cs {
+		if c.NumQubits > width {
+			width = c.NumQubits
+		}
+	}
+	h, hname, err := buildHamiltonian(*hamFile, *zz, *tfimJ, *tfimG, width)
+	if err != nil {
+		return err
+	}
+
+	var st *store.Store
+	var sig string
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+		sig = opts.StoreSignature()
+	}
+	fmt.Printf("hamiltonian: %s (%d terms, hash %.12s…)\n", hname, len(h.Terms), h.Fingerprint())
+	for _, c := range cs {
+		if c.NumQubits < h.NumQubits {
+			return fmt.Errorf("expect: hamiltonian spans %d qubits, circuit %q has %d", h.NumQubits, c.Name, c.NumQubits)
+		}
+		res, hit, err := expectWithStore(c, h, opts, st, sig)
+		if err != nil {
+			return err
+		}
+		fromStore := ""
+		if hit {
+			fromStore = "  (store hit)"
+		}
+		fmt.Printf("%-28s target=%-12s ⟨H⟩ = %+.12f  terms=%d  %v%s\n",
+			c.Name, res.Target, *res.ExpValue, res.ExpTerms, res.Duration.Round(1e3), fromStore)
+	}
+	return nil
+}
+
+// buildHamiltonian resolves the CLI's Hamiltonian source precedence:
+// explicit JSON file, then ZZ chain, then the built-in TFIM.
+func buildHamiltonian(hamFile string, zz, tfimJ, tfimG float64, width int) (*observable.Hamiltonian, string, error) {
+	switch {
+	case hamFile != "":
+		raw, err := os.ReadFile(hamFile)
+		if err != nil {
+			return nil, "", err
+		}
+		var wire service.WireHamiltonian
+		if err := json.Unmarshal(raw, &wire); err != nil {
+			return nil, "", fmt.Errorf("expect: parsing %s: %w", hamFile, err)
+		}
+		if wire.Qubits == 0 {
+			wire.Qubits = width
+		}
+		h, err := wire.ToHamiltonian()
+		if err != nil {
+			return nil, "", fmt.Errorf("expect: %s: %w", hamFile, err)
+		}
+		return h, hamFile, nil
+	case zz != 0:
+		h := &observable.Hamiltonian{NumQubits: width}
+		for i := 0; i+1 < width; i++ {
+			h.Add(observable.NewTerm(-zz, map[int]observable.Pauli{i: observable.Z, i + 1: observable.Z}))
+		}
+		return h, fmt.Sprintf("zz-chain(J=%g)", zz), nil
+	default:
+		return observable.TransverseFieldIsing(width, tfimJ, tfimG),
+			fmt.Sprintf("tfim(J=%g, g=%g)", tfimJ, tfimG), nil
+	}
+}
+
+// expectWithStore answers one expectation job from the persistent
+// store when its content address is known, simulating (and persisting)
+// otherwise — the CLI mirror of the server's warm-start path.
+func expectWithStore(c *circuit.Circuit, h *observable.Hamiltonian, opts core.Options, st *store.Store, sig string) (*backend.Result, bool, error) {
+	if st == nil {
+		res, err := core.RunExpectation(c, h, opts)
+		return res, false, err
+	}
+	key := core.ExpectationCacheKey(c, h, opts)
+	if st.HasResult(key) {
+		res, err := st.LoadResult(key, sig)
+		if err == nil && res.ExpValue != nil {
+			return res, true, nil
+		}
+		if errors.Is(err, store.ErrIntegrity) {
+			st.DropResult(key)
+		}
+	}
+	res, err := core.RunExpectation(c, h, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := st.SaveResult(key, sig, res); err != nil {
+		fmt.Fprintf(os.Stderr, "qgear: warning: persisting %s: %v\n", c.Name, err)
+	}
+	return res, false, nil
 }
 
 func cmdInfo(args []string) error {

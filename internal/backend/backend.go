@@ -108,6 +108,16 @@ type Result struct {
 	Probabilities []float64
 	Counts        sampling.Counts
 	Duration      time.Duration
+	// NumQubits is the simulated register width. Expectation results
+	// carry no probability vector, so the width is recorded explicitly
+	// (probability results record it too; older persisted artifacts may
+	// leave it 0, in which case it is inferred from the vector length).
+	NumQubits int
+	// ExpValue is the exact ⟨H⟩ of an expectation job (RunExpectation);
+	// nil on probability/sampling runs.
+	ExpValue *float64
+	// ExpTerms is the number of Pauli terms the expectation evaluated.
+	ExpTerms int
 	// KernelStats reports the circuit→kernel transformation.
 	KernelStats kernel.Stats
 	// PlanStats reports what the plan compiler did (tile runs, global
@@ -289,7 +299,7 @@ func RunCompiled(comp *Compiled, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("backend: unknown target %q", cfg.Target)
 	}
 	start := time.Now()
-	res := &Result{Target: cfg.Target, KernelStats: comp.TransformStats, TileBits: comp.TileBits}
+	res := &Result{Target: cfg.Target, KernelStats: comp.TransformStats, TileBits: comp.TileBits, NumQubits: comp.Kernel.NumQubits}
 	if comp.Plan != nil {
 		stats := comp.Plan.Stats
 		res.PlanStats = &stats
@@ -383,6 +393,17 @@ func sampleShots(probs []float64, cfg Config) (sampling.Counts, error) {
 // through the plan when one was compiled (bit-identical output either
 // way).
 func runSingle(comp *Compiled, workers int) ([]float64, error) {
+	s, err := runSingleState(comp, workers)
+	if err != nil {
+		return nil, err
+	}
+	return s.Probabilities(), nil
+}
+
+// runSingleState executes a compiled circuit and returns the resident
+// state itself — possibly with a pending qubit permutation, which the
+// expectation evaluator reads through rather than materializing.
+func runSingleState(comp *Compiled, workers int) (*statevec.State, error) {
 	s, err := statevec.New(comp.Kernel.NumQubits, workers)
 	if err != nil {
 		return nil, err
@@ -395,7 +416,7 @@ func runSingle(comp *Compiled, workers int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Probabilities(), nil
+	return s, nil
 }
 
 // pennylaneTranspile burns the per-gate translation cost §4 describes:

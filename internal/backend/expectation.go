@@ -1,0 +1,100 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qgear/internal/circuit"
+	"qgear/internal/mgpu"
+	"qgear/internal/observable"
+)
+
+// Observable estimation as a first-class job kind: the compiled
+// TilePlan executes exactly once and every Pauli term of the
+// Hamiltonian is evaluated against the resident statevector — no
+// probability readout, no permutation materialization, no shot
+// sampling. The single-process engines share the canonical chunked
+// reduction of statevec.PauliEvaluator; the mqpu target partitions
+// terms across its simulated devices; the mgpu target computes
+// rank-local partial sums with one gathered reduction. All engines
+// return bit-identical ⟨H⟩ values (the differential suite pins this).
+
+// RunExpectation transforms and compiles the circuit for the
+// configured target, executes it once, and returns the exact ⟨H⟩ on
+// the final state. Shots and Seed are ignored: expectation jobs are
+// exact by construction.
+func RunExpectation(c *circuit.Circuit, h *observable.Hamiltonian, cfg Config) (*Result, error) {
+	comp, err := Compile(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunExpectationCompiled(comp, h, cfg)
+}
+
+// RunExpectationCompiled is RunExpectation for a precompiled circuit —
+// the serving layer's path: one cached compile serves any number of
+// observables on the same circuit.
+func RunExpectationCompiled(comp *Compiled, h *observable.Hamiltonian, cfg Config) (*Result, error) {
+	if !cfg.Target.Valid() {
+		return nil, fmt.Errorf("backend: unknown target %q", cfg.Target)
+	}
+	if h == nil {
+		return nil, errors.New("backend: nil hamiltonian")
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	n := comp.Kernel.NumQubits
+	if h.NumQubits > n {
+		return nil, fmt.Errorf("backend: hamiltonian spans %d qubits, circuit has %d", h.NumQubits, n)
+	}
+	start := time.Now()
+	res := &Result{
+		Target:      cfg.Target,
+		KernelStats: comp.TransformStats,
+		TileBits:    comp.TileBits,
+		NumQubits:   n,
+		ExpTerms:    len(h.Terms),
+	}
+	if comp.Plan != nil {
+		stats := comp.Plan.Stats
+		res.PlanStats = &stats
+	}
+
+	var val float64
+	switch cfg.Target {
+	case TargetNvidiaMGPU:
+		out, err := mgpu.ExpectationCompiled(comp.Kernel, comp.Plan, h, cfg.devices(), cfg.workers())
+		if err != nil {
+			return nil, err
+		}
+		val = out.Value
+		res.Exchanges = out.Exchanges
+		res.BytesSent = out.BytesSent
+		res.AvoidedExchanges = out.AvoidedExchanges
+	case TargetPennylane:
+		pennylaneTranspile(comp.Kernel)
+		fallthrough
+	default: // aer, nvidia, pennylane, and the mqpu term-parallel mode
+		s, err := runSingleState(comp, cfg.workers())
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Target == TargetNvidiaMQPU && cfg.devices() > 1 {
+			// Term-partitioned parallel evaluation: the simulated QPUs
+			// each sweep a stripe of terms over the shared read-only
+			// state; the term-ordered final sum keeps the value
+			// bit-identical to sequential evaluation.
+			val, err = h.ExpectationParallel(s, cfg.devices())
+		} else {
+			val, err = h.Expectation(s)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.ExpValue = &val
+	res.Duration = time.Since(start)
+	return res, nil
+}

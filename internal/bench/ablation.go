@@ -56,6 +56,10 @@ type AblationRow struct {
 	// per-gate DistState path vs planned execution of the shared
 	// TilePlan IR.
 	MGPU *MGPUAblationRow `json:"mgpu,omitempty"`
+	// Expectation is the observable-estimation column: exact ⟨TFIM⟩
+	// on the resident state vs a shot-sampled two-basis estimate, with
+	// cross-engine bit-identity enforced.
+	Expectation *ExpectationAblationRow `json:"expectation,omitempty"`
 }
 
 // MGPUAblationRow is the planned-mgpu ablation column: the same kernel
@@ -272,6 +276,16 @@ func (r *Runner) Tiling() (Experiment, error) {
 				m.AvoidedExchanges, m.ExchangeSegments, m.ExchangeGates, m.RankLocalGlobals,
 				m.MaxProbDiff, m.CountsIdentical))
 		}
+		if e := row.Expectation; e != nil {
+			exp.Series = append(exp.Series, Series{
+				Label: "measured expectation: " + row.Workload, XLabel: "mode (1=sampled, 2=exact)", YLabel: "seconds",
+				Points: []Point{{X: 1, Y: e.SampledSeconds}, {X: 2, Y: e.ExactSeconds}},
+			})
+			exp.Notes = append(exp.Notes, fmt.Sprintf(
+				"%s expectation %s (%d terms): exact ⟨H⟩ = %.6f in %.3fs vs sampled %.6f in %.3fs at %d shots (%.1fx, |err| %.2g); engine Δ = %g",
+				row.Workload, e.Hamiltonian, e.Terms, e.ExactValue, e.ExactSeconds,
+				e.SampledValue, e.SampledSeconds, e.Shots, e.SpeedupVsSampled, e.SampledAbsErr, e.MaxEngineDelta))
+		}
 	}
 
 	if r.JSONDir != "" {
@@ -313,6 +327,9 @@ func (r *Runner) TilingRows() (qftRow, qcrankRow AblationRow, err error) {
 	if qftRow.MGPU, err = r.mgpuAblate(qftK, qftTile, mgpuAblationDevices, 4096); err != nil {
 		return
 	}
+	if qftRow.Expectation, err = r.expectationAblate(qftK, qftTile, 4096); err != nil {
+		return
+	}
 	var img *qimage.Image
 	if img, err = qimage.Synthetic("zebra", imgW, imgH, r.Seed); err != nil {
 		return
@@ -332,6 +349,9 @@ func (r *Runner) TilingRows() (qftRow, qcrankRow AblationRow, err error) {
 	if qcrankRow, err = r.ablate(fmt.Sprintf("qcrank_a%d_d%d", plan.AddrQubits, plan.DataQubits), qcK, qcTile, plan.Shots); err != nil {
 		return
 	}
-	qcrankRow.MGPU, err = r.mgpuAblate(qcK, qcTile, mgpuAblationDevices, plan.Shots)
+	if qcrankRow.MGPU, err = r.mgpuAblate(qcK, qcTile, mgpuAblationDevices, plan.Shots); err != nil {
+		return
+	}
+	qcrankRow.Expectation, err = r.expectationAblate(qcK, qcTile, plan.Shots)
 	return
 }

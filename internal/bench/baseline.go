@@ -107,6 +107,33 @@ func CompareAblation(fresh, base AblationRow, tol float64) []string {
 	} else if base.MGPU != nil {
 		fails = append(fails, fmt.Sprintf("%s: baseline has an mgpu column but the fresh run does not", fresh.Workload))
 	}
+	if fresh.Expectation != nil {
+		// Bit-identity is enforced unconditionally: the exact ⟨H⟩ must
+		// agree across the per-gate, tiled, and planned-mgpu engines on
+		// every run, noise or not.
+		if fresh.Expectation.MaxEngineDelta != 0 {
+			fails = append(fails, fmt.Sprintf("%s expectation: engine Δ⟨H⟩ = %g, want exactly 0",
+				fresh.Workload, fresh.Expectation.MaxEngineDelta))
+		}
+		if base.Expectation != nil {
+			// Timing at the noise-aware band: the exact arm is several
+			// times shorter than the full ablation arms, so it gets the
+			// widened distributed-column tolerance and the same floor.
+			etol := tol * mgpuToleranceFactor
+			if etol > 0.9 {
+				etol = 0.9
+			}
+			floor := base.Expectation.SpeedupVsSampled * (1 - etol)
+			if fresh.Expectation.ExactSeconds >= minTimedSeconds && fresh.Expectation.SpeedupVsSampled < floor {
+				fails = append(fails, fmt.Sprintf(
+					"%s expectation: exact-vs-sampled speedup %.2fx regressed more than %.0f%% below baseline %.2fx (floor %.2fx)",
+					fresh.Workload, fresh.Expectation.SpeedupVsSampled, etol*100,
+					base.Expectation.SpeedupVsSampled, floor))
+			}
+		}
+	} else if base.Expectation != nil {
+		fails = append(fails, fmt.Sprintf("%s: baseline has an expectation column but the fresh run does not", fresh.Workload))
+	}
 	return fails
 }
 

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"qgear/internal/gate"
+	"qgear/internal/kernel"
+	"qgear/internal/mgpu"
+	"qgear/internal/observable"
+	"qgear/internal/qmath"
+	"qgear/internal/sampling"
+	"qgear/internal/statevec"
+)
+
+// The expectation ablation column: observable estimation as a
+// benchmarked job kind. For each tiling workload the transverse-field
+// Ising Hamiltonian is evaluated two ways on the same final state —
+// exactly (one planned execution, term sweeps over the resident
+// statevector) and by shot sampling (one execution + readout per
+// measurement basis, Z-parity estimators over the counts) — with the
+// exact value cross-checked bit-for-bit across the per-gate, tiled,
+// and planned-mgpu engines.
+
+// ExpectationAblationRow is the "expectation" object of BENCH_*.json.
+type ExpectationAblationRow struct {
+	Hamiltonian string `json:"hamiltonian"`
+	Terms       int    `json:"terms"`
+	// ExactSeconds times plan execution + all term sweeps; the sampled
+	// arm times one execution + readout + sampling + estimation per
+	// measurement basis (two bases for TFIM).
+	ExactSeconds     float64 `json:"exact_seconds"`
+	SampledSeconds   float64 `json:"sampled_seconds"`
+	SpeedupVsSampled float64 `json:"speedup_vs_sampled"`
+	Shots            int     `json:"shots"`
+	ExactValue       float64 `json:"exact_value"`
+	SampledValue     float64 `json:"sampled_value"`
+	SampledAbsErr    float64 `json:"sampled_abs_err"`
+	// MaxEngineDelta is |Δ⟨H⟩| across the per-gate, tiled, and
+	// planned-mgpu exact evaluations — bit-identity demands exactly 0,
+	// and the bench gate enforces it on every run.
+	MaxEngineDelta float64 `json:"max_engine_delta"`
+	MGPUDevices    int     `json:"mgpu_devices"`
+}
+
+// expectationAblate measures the expectation column for one workload
+// kernel at the given tile width.
+func (r *Runner) expectationAblate(k *kernel.Kernel, tileBits, shots int) (*ExpectationAblationRow, error) {
+	n := k.NumQubits
+	h := observable.TransverseFieldIsing(n, 1.0, 0.7)
+	row := &ExpectationAblationRow{
+		Hamiltonian: fmt.Sprintf("tfim(n=%d, J=1, g=0.7)", n),
+		Terms:       len(h.Terms),
+		Shots:       shots,
+		MGPUDevices: mgpuAblationDevices,
+	}
+	workers := maxWorkers(r)
+
+	// Exact arm, tiled engine: the timed column.
+	plan, err := kernel.PlanTiled(k, tileBits)
+	if err != nil {
+		return nil, err
+	}
+	var exact float64
+	row.ExactSeconds, err = measure(func() error {
+		s, err := statevec.New(n, workers)
+		if err != nil {
+			return err
+		}
+		if err := plan.Execute(s); err != nil {
+			return err
+		}
+		exact, err = h.Expectation(s)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.ExactValue = exact
+
+	// Cross-engine bit-identity: per-gate and planned-mgpu must
+	// reproduce the tiled value exactly.
+	sPG, err := statevec.New(n, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := kernel.Execute(k, sPG); err != nil {
+		return nil, err
+	}
+	perGate, err := h.Expectation(sPG)
+	if err != nil {
+		return nil, err
+	}
+	gbits := int(qmath.Log2Ceil(uint64(mgpuAblationDevices)))
+	dplan, err := kernel.Plan(k, kernel.PlanConfig{TileBits: tileBits, GlobalBits: gbits})
+	if err != nil {
+		return nil, err
+	}
+	wpr := workers / mgpuAblationDevices
+	if wpr < 1 {
+		wpr = 1
+	}
+	dist, err := mgpu.ExpectationCompiled(k, dplan, h, mgpuAblationDevices, wpr)
+	if err != nil {
+		return nil, err
+	}
+	row.MaxEngineDelta = math.Max(math.Abs(perGate-exact), math.Abs(dist.Value-exact))
+
+	// Sampled arm: Z-basis counts estimate the diagonal (ZZ) group;
+	// an H-rotated execution estimates the X group as its ZView.
+	var zGroup, xGroup observable.Hamiltonian
+	zGroup.NumQubits, xGroup.NumQubits = n, n
+	for _, term := range h.Terms {
+		if term.Diagonal() {
+			zGroup.Add(term)
+			continue
+		}
+		for _, p := range term.Ops {
+			if p != observable.X {
+				return nil, fmt.Errorf("bench: expectation sampling groups expect Z/X terms, got %s", term)
+			}
+		}
+		xGroup.Add(term.ZView())
+	}
+	rotated := &kernel.Kernel{Name: k.Name + "_xbasis", NumQubits: n}
+	rotated.Instrs = append(rotated.Instrs, k.Instrs...)
+	for q := 0; q < n; q++ {
+		rotated.Instrs = append(rotated.Instrs, kernel.Instr{Kind: kernel.KGate, Gate: gate.H, Qubits: []int{q}})
+	}
+	rotPlan, err := kernel.PlanTiled(rotated, tileBits)
+	if err != nil {
+		return nil, err
+	}
+	var sampled float64
+	row.SampledSeconds, err = measure(func() error {
+		est := func(p *kernel.TilePlan, grp *observable.Hamiltonian, seed uint64) (float64, error) {
+			s, err := statevec.New(n, workers)
+			if err != nil {
+				return 0, err
+			}
+			if err := p.Execute(s); err != nil {
+				return 0, err
+			}
+			counts, err := sampling.Sample(s.Probabilities(), shots, qmath.NewRNG(seed))
+			if err != nil {
+				return 0, err
+			}
+			return grp.EstimateZBasis(counts)
+		}
+		zv, err := est(plan, &zGroup, r.Seed)
+		if err != nil {
+			return err
+		}
+		xv, err := est(rotPlan, &xGroup, r.Seed+1)
+		if err != nil {
+			return err
+		}
+		sampled = zv + xv
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.SampledValue = sampled
+	row.SampledAbsErr = math.Abs(sampled - exact)
+	if row.ExactSeconds > 0 {
+		row.SpeedupVsSampled = row.SampledSeconds / row.ExactSeconds
+	}
+	return row, nil
+}

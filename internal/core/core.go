@@ -16,6 +16,7 @@ import (
 	"qgear/internal/backend"
 	"qgear/internal/circuit"
 	"qgear/internal/kernel"
+	"qgear/internal/observable"
 	"qgear/internal/qpy"
 	"qgear/internal/tensorenc"
 )
@@ -145,6 +146,37 @@ func RunCompiled(comp *backend.Compiled, opts Options) (*backend.Result, error) 
 // device-parallel mqpu path when so configured, exactly like Run.
 func RunCompiledBatch(comps []*backend.Compiled, opts Options) ([]*backend.Result, error) {
 	return backend.RunBatchCompiled(comps, opts.backendConfig())
+}
+
+// RunExpectation executes one circuit and evaluates the exact ⟨H⟩ on
+// its final state — the expectation-value job kind. Shots/Seed in
+// opts are ignored (expectation is exact).
+func RunExpectation(c *circuit.Circuit, h *observable.Hamiltonian, opts Options) (*backend.Result, error) {
+	return backend.RunExpectation(c, h, opts.backendConfig())
+}
+
+// RunExpectationCompiled evaluates ⟨H⟩ on a precompiled circuit: same
+// circuit, many observables = one compile, one execute per call, N
+// cheap term sweeps.
+func RunExpectationCompiled(comp *backend.Compiled, h *observable.Hamiltonian, opts Options) (*backend.Result, error) {
+	return backend.RunExpectationCompiled(comp, h, opts.backendConfig())
+}
+
+// ExpectationCacheKey returns the content address of an expectation
+// job: the circuit fingerprint, the Hamiltonian's canonical hash, and
+// every option that could change the value. Shots, seed, and worker
+// count are normalized away — expectation jobs are exact and
+// deterministic, so neither sampling knob nor parallelism shapes the
+// output.
+func ExpectationCacheKey(c *circuit.Circuit, h *observable.Hamiltonian, opts Options) string {
+	opts.Workers, opts.Shots, opts.Seed = 0, 0, 0
+	hash := sha256.New()
+	hash.Write([]byte(c.Fingerprint()))
+	hash.Write([]byte("|exp|"))
+	hash.Write([]byte(h.Fingerprint()))
+	hash.Write([]byte{'|'})
+	hash.Write([]byte(opts.Signature()))
+	return hex.EncodeToString(hash.Sum(nil))
 }
 
 // SaveQPY persists a circuit list in the QPY-like format ("Save QPY"

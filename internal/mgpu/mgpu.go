@@ -95,7 +95,16 @@ func (d *DistState) rankBit(q int) int {
 // CUDA-aware MPI would DMA the buffer; the copy is also what makes the
 // communication cost physically meaningful.
 func (d *DistState) exchange(partner int) []complex128 {
-	amps := d.st.Amplitudes()
+	d.st.Amplitudes() // materialize any pending permutation first
+	return d.exchangeRaw(partner)
+}
+
+// exchangeRaw ships the shard's amplitudes in their current physical
+// layout, without materializing a pending qubit permutation — the
+// expectation evaluator translates indices through its lookup tables,
+// and both shards of a pair always share one layout (SPMD execution).
+func (d *DistState) exchangeRaw(partner int) []complex128 {
+	amps := d.st.AmplitudesRaw()
 	if d.sendBuf == nil {
 		d.sendBuf = make([]complex128, len(amps))
 	}

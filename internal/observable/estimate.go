@@ -1,0 +1,79 @@
+package observable
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Shot-based estimation: the sampled counterpart of the exact
+// expectation pathway. Z-diagonal terms are estimable straight from
+// Z-basis measurement counts; X/Y factors first rotate into the Z
+// basis on the circuit side (H for X, S†·H for Y), after which the
+// rotated circuit's counts estimate the term's ZView. The bench's
+// exact-vs-sampled ablation and the differential test suite's
+// statistical cross-check both run on these helpers.
+
+// Diagonal reports whether every factor of the term is Z (the term is
+// diagonal in the computational basis).
+func (t Term) Diagonal() bool {
+	for _, p := range t.Ops {
+		if p != Z {
+			return false
+		}
+	}
+	return true
+}
+
+// ZView returns a copy of the term with every X/Y factor replaced by
+// Z — the diagonal observable the term becomes once the measured
+// circuit rotates those qubits into the Z basis.
+func (t Term) ZView() Term {
+	ops := make(map[int]Pauli, len(t.Ops))
+	for q := range t.Ops {
+		ops[q] = Z
+	}
+	return Term{Coef: t.Coef, Ops: ops}
+}
+
+// EstimateZBasis estimates ⟨H⟩ from Z-basis measurement counts
+// (basis-state index → observed shots). Every term must be diagonal;
+// rotate non-diagonal terms on the circuit side and estimate their
+// ZView instead. The estimator is the standard parity average:
+// ⟨Z-string⟩ ≈ Σ_b counts[b]·(−1)^{parity(b & mask)} / shots.
+func (h *Hamiltonian) EstimateZBasis(counts map[uint64]int) (float64, error) {
+	var shots int
+	for _, c := range counts {
+		shots += c
+	}
+	if shots <= 0 {
+		return 0, fmt.Errorf("observable: no shots to estimate from")
+	}
+	n := h.NumQubits
+	if n <= 0 {
+		n = 64
+	}
+	var acc float64
+	for i, t := range h.Terms {
+		if !t.Diagonal() {
+			return 0, fmt.Errorf("observable: term %d (%s) is not Z-diagonal; measure its ZView on a basis-rotated circuit", i, t)
+		}
+		_, _, zm, err := t.Masks(n)
+		if err != nil {
+			return 0, err
+		}
+		if zm == 0 {
+			acc += t.Coef
+			continue
+		}
+		var up int
+		for b, c := range counts {
+			if bits.OnesCount64(b&zm)&1 == 0 {
+				up += c
+			} else {
+				up -= c
+			}
+		}
+		acc += t.Coef * float64(up) / float64(shots)
+	}
+	return acc, nil
+}

@@ -1,0 +1,62 @@
+package observable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Content addressing for Hamiltonians. The serving layer caches
+// expectation results by (circuit fingerprint, hamiltonian hash,
+// option signature), so the hash must identify the *operator*, not
+// one spelling of it: two Hamiltonians built in different term order,
+// with factor maps populated in different iteration order, or via Add
+// versus literal construction, are the same operator and must collide;
+// any change to a coefficient bit pattern or a Pauli assignment is a
+// different operator and must not.
+
+// fingerprintVersion tags the canonical encoding; bump it if the term
+// serialization ever changes so stale cache keys cannot alias.
+const fingerprintVersion = "hamv1"
+
+// canonicalKey renders the term in a spelling-independent form: the
+// exact coefficient bits followed by (qubit, factor) pairs in
+// ascending qubit order. Map iteration order therefore cannot leak
+// into the encoding.
+func (t Term) canonicalKey() string {
+	qs := make([]int, 0, len(t.Ops))
+	for q := range t.Ops {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%016x", math.Float64bits(t.Coef))
+	for _, q := range qs {
+		fmt.Fprintf(&b, "|%d%s", q, t.Ops[q])
+	}
+	return b.String()
+}
+
+// Fingerprint returns the canonical content hash of the Hamiltonian:
+// invariant under term reordering and factor-map iteration order,
+// exact in coefficients (IEEE-754 bit patterns, never a formatted
+// approximation) and in every Pauli assignment. Duplicate terms are
+// preserved, not merged — T + T hashes differently from 2·T, matching
+// what the evaluator actually sums.
+func (h *Hamiltonian) Fingerprint() string {
+	encs := make([]string, len(h.Terms))
+	for i, t := range h.Terms {
+		encs[i] = t.canonicalKey()
+	}
+	sort.Strings(encs)
+	hash := sha256.New()
+	fmt.Fprintf(hash, "%s|n%d|t%d\n", fingerprintVersion, h.NumQubits, len(h.Terms))
+	for _, e := range encs {
+		hash.Write([]byte(e))
+		hash.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(hash.Sum(nil))
+}

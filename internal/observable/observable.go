@@ -5,21 +5,21 @@
 // hardware resources, thereby enabling efficient parallelization".
 //
 // A Hamiltonian is a real-weighted sum of Pauli strings. Expectation
-// values are computed on the state-vector engine by rotating X/Y
-// factors into the Z basis on a cloned state and folding the Z-parity
-// over probabilities; Partition splits the term list into balanced
-// groups, and ExpectationParallel evaluates groups concurrently across
-// simulated devices.
+// values are evaluated directly against the resident state vector
+// (statevec.PauliEvaluator): no clone, no basis-rotation sweeps, no
+// materialization of a pending qubit permutation, and only the
+// affected index half enumerated per term. Partition splits the term
+// list into balanced groups, and ExpectationParallel evaluates terms
+// concurrently across simulated devices with a bit-identical result.
 package observable
 
 import (
 	"fmt"
-	"math/bits"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 
-	"qgear/internal/gate"
 	"qgear/internal/statevec"
 )
 
@@ -78,50 +78,52 @@ func (t Term) String() string {
 	return b.String()
 }
 
-// Expectation computes <ψ|T|ψ> on a clone of s (s is not modified).
-func (t Term) Expectation(s *statevec.State) (float64, error) {
-	for q := range t.Ops {
-		if q < 0 || q >= s.NumQubits() {
-			return 0, fmt.Errorf("observable: qubit %d out of range for %d-qubit state", q, s.NumQubits())
-		}
-	}
-	if len(t.Ops) == 0 {
-		return t.Coef, nil // identity term
-	}
-	work := s
-	var mask uint64
-	needRotation := false
-	for _, p := range t.Ops {
-		if p != Z {
-			needRotation = true
-		}
-	}
-	if needRotation {
-		work = s.Clone()
-	}
+// Masks returns the term's X/Y/Z qubit bit-masks over an n-qubit
+// register — the representation the direct evaluators (statevec,
+// mgpu) consume. The masks are disjoint by construction (one factor
+// per qubit).
+func (t Term) Masks(n int) (xm, ym, zm uint64, err error) {
 	for q, p := range t.Ops {
-		mask |= 1 << uint(q)
+		if q < 0 || q >= n {
+			return 0, 0, 0, fmt.Errorf("observable: qubit %d out of range for %d-qubit register", q, n)
+		}
+		bit := uint64(1) << uint(q)
 		switch p {
 		case X:
-			// X = H Z H: rotate into the Z basis.
-			work.ApplyMat1(q, gate.Matrix1(gate.H, nil))
+			xm |= bit
 		case Y:
-			// Y = (S H)† Z (S H)... rotate with S† then H.
-			work.ApplyMat1(q, gate.Matrix1(gate.Sdg, nil))
-			work.ApplyMat1(q, gate.Matrix1(gate.H, nil))
+			ym |= bit
+		case Z:
+			zm |= bit
+		default:
+			return 0, 0, 0, fmt.Errorf("observable: invalid pauli factor %d on qubit %d", p, q)
 		}
 	}
-	var acc float64
-	amps := work.Amplitudes()
-	for i, a := range amps {
-		p := real(a)*real(a) + imag(a)*imag(a)
-		if bits.OnesCount64(uint64(i)&mask)&1 == 1 {
-			acc -= p
-		} else {
-			acc += p
-		}
+	return xm, ym, zm, nil
+}
+
+// Expectation computes <ψ|T|ψ> directly on the resident state — s is
+// read, never modified (no clone, no rotation sweeps; a pending qubit
+// permutation is translated, not materialized).
+func (t Term) Expectation(s *statevec.State) (float64, error) {
+	v, _, err := t.expectationOn(s.PauliEvaluator(), s.NumQubits())
+	return v, err
+}
+
+// expectationOn evaluates the term through a shared evaluator,
+// returning the coefficient-weighted value and the enumerated index
+// count (the stride-iteration invariant the regression tests pin:
+// non-identity terms visit exactly half the state).
+func (t Term) expectationOn(ev *statevec.PauliEvaluator, n int) (float64, int, error) {
+	xm, ym, zm, err := t.Masks(n)
+	if err != nil {
+		return 0, 0, err
 	}
-	return t.Coef * acc, nil
+	val, visited, err := ev.ExpPauli(xm, ym, zm)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t.Coef * val, visited, nil
 }
 
 // Hamiltonian is a sum of terms over NumQubits qubits.
@@ -133,6 +135,35 @@ type Hamiltonian struct {
 // Add appends a term.
 func (h *Hamiltonian) Add(t Term) { h.Terms = append(h.Terms, t) }
 
+// Clone returns a deep copy sharing no maps with h, so a caller
+// mutating its Hamiltonian after submission cannot poison a server's
+// content-addressed caches.
+func (h *Hamiltonian) Clone() *Hamiltonian {
+	c := &Hamiltonian{NumQubits: h.NumQubits, Terms: make([]Term, len(h.Terms))}
+	for i, t := range h.Terms {
+		c.Terms[i] = NewTerm(t.Coef, t.Ops)
+	}
+	return c
+}
+
+// Validate checks that every term stays inside the declared register,
+// uses only X/Y/Z factors, and carries a finite coefficient (NaN or
+// Inf would poison content hashes and cached sums).
+func (h *Hamiltonian) Validate() error {
+	if h.NumQubits < 0 || h.NumQubits > 64 {
+		return fmt.Errorf("observable: invalid qubit count %d", h.NumQubits)
+	}
+	for i, t := range h.Terms {
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			return fmt.Errorf("observable: term %d has non-finite coefficient %v", i, t.Coef)
+		}
+		if _, _, _, err := t.Masks(h.NumQubits); err != nil {
+			return fmt.Errorf("observable: term %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // String joins the terms.
 func (h *Hamiltonian) String() string {
 	parts := make([]string, len(h.Terms))
@@ -142,11 +173,14 @@ func (h *Hamiltonian) String() string {
 	return strings.Join(parts, " + ")
 }
 
-// Expectation evaluates every term sequentially.
+// Expectation evaluates every term sequentially against one shared
+// evaluator (one index-table build for all terms), accumulating in
+// term order.
 func (h *Hamiltonian) Expectation(s *statevec.State) (float64, error) {
+	ev := s.PauliEvaluator()
 	var acc float64
 	for _, t := range h.Terms {
-		v, err := t.Expectation(s)
+		v, _, err := t.expectationOn(ev, s.NumQubits())
 		if err != nil {
 			return 0, err
 		}
@@ -171,40 +205,40 @@ func (h *Hamiltonian) Partition(k int) [][]Term {
 	return groups
 }
 
-// ExpectationParallel partitions the Hamiltonian over `devices`
-// concurrent evaluators, each working on its own clone of the state —
-// the multi-device Hamiltonian evaluation mode. The result is
-// identical to Expectation up to floating-point summation order, which
-// is kept deterministic by accumulating per-group then in group order.
+// ExpectationParallel partitions the Hamiltonian's terms over
+// `devices` concurrent evaluators — the multi-device Hamiltonian
+// evaluation mode. Direct evaluation is read-only, so every device
+// works against the one resident state (no per-device clones), and
+// per-term values land in a slice that is then summed in term order:
+// the result is bit-identical to Expectation for any device count.
 func (h *Hamiltonian) ExpectationParallel(s *statevec.State, devices int) (float64, error) {
-	groups := h.Partition(devices)
-	partial := make([]float64, len(groups))
-	errs := make([]error, len(groups))
+	if devices < 1 {
+		devices = 1
+	}
+	if devices > len(h.Terms) && len(h.Terms) > 0 {
+		devices = len(h.Terms)
+	}
+	ev := s.PauliEvaluator()
+	n := s.NumQubits()
+	vals := make([]float64, len(h.Terms))
+	errs := make([]error, len(h.Terms))
 	var wg sync.WaitGroup
-	for gi, grp := range groups {
+	for d := 0; d < devices; d++ {
 		wg.Add(1)
-		go func(gi int, grp []Term) {
+		go func(d int) {
 			defer wg.Done()
-			local := s.Clone() // device-private copy
-			var acc float64
-			for _, t := range grp {
-				v, err := t.Expectation(local)
-				if err != nil {
-					errs[gi] = err
-					return
-				}
-				acc += v
+			for i := d; i < len(h.Terms); i += devices {
+				vals[i], _, errs[i] = h.Terms[i].expectationOn(ev, n)
 			}
-			partial[gi] = acc
-		}(gi, grp)
+		}(d)
 	}
 	wg.Wait()
 	var acc float64
-	for gi := range groups {
-		if errs[gi] != nil {
-			return 0, errs[gi]
+	for i := range h.Terms {
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
-		acc += partial[gi]
+		acc += vals[i]
 	}
 	return acc, nil
 }

@@ -171,6 +171,119 @@ func TestStringRendering(t *testing.T) {
 	}
 }
 
+// TestTermExpectationVisitCount is the stride-iteration regression
+// test: an identity-padded few-qubit term must enumerate exactly half
+// the statevector (2^(n-1) indices), never the full 2^n the rotation-
+// based evaluator walked, and the identity term must visit nothing.
+func TestTermExpectationVisitCount(t *testing.T) {
+	n := 10
+	s := ghz(t, n)
+	ev := s.PauliEvaluator()
+	for _, tc := range []struct {
+		term Term
+		want int
+	}{
+		{NewTerm(1, nil), 0},
+		{NewTerm(1, map[int]Pauli{0: Z}), 1 << (n - 1)},
+		{NewTerm(1, map[int]Pauli{3: Z, 7: Z}), 1 << (n - 1)},
+		{NewTerm(1, map[int]Pauli{5: X}), 1 << (n - 1)},
+		{NewTerm(1, map[int]Pauli{1: Y, 8: Z}), 1 << (n - 1)},
+	} {
+		_, visited, err := tc.term.expectationOn(ev, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if visited != tc.want {
+			t.Errorf("<%s>: visited %d, want %d", tc.term, visited, tc.want)
+		}
+	}
+}
+
+func TestExpectationParallelBitIdentical(t *testing.T) {
+	h := TransverseFieldIsing(7, 1.3, 0.9)
+	s := ghz(t, 7)
+	seq, err := h.Expectation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, devices := range []int{1, 2, 3, 5, 100} {
+		par, err := h.ExpectationParallel(s, devices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != seq {
+			t.Fatalf("devices=%d: parallel %.17g != sequential %.17g (must be bit-identical)", devices, par, seq)
+		}
+	}
+}
+
+func TestEstimateZBasis(t *testing.T) {
+	// Deterministic counts: a fake 2-qubit distribution.
+	h := &Hamiltonian{NumQubits: 2}
+	h.Add(NewTerm(1.0, map[int]Pauli{0: Z}))
+	h.Add(NewTerm(0.5, map[int]Pauli{0: Z, 1: Z}))
+	h.Add(NewTerm(2.0, nil)) // identity folds in exactly
+	counts := map[uint64]int{0: 400, 1: 300, 2: 200, 3: 100}
+	// <Z0> = (400+200-300-100)/1000 = 0.2
+	// <Z0Z1> = (400+100-300-200)/1000 = 0.0
+	got, err := h.EstimateZBasis(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0*0.2 + 0.5*0.0 + 2.0
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("estimate %g, want %g", got, want)
+	}
+	bad := &Hamiltonian{NumQubits: 2}
+	bad.Add(NewTerm(1, map[int]Pauli{0: X}))
+	if _, err := bad.EstimateZBasis(counts); err == nil {
+		t.Fatal("non-diagonal term accepted by Z-basis estimator")
+	}
+	if _, err := h.EstimateZBasis(nil); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+}
+
+func TestZViewAndDiagonal(t *testing.T) {
+	term := NewTerm(0.75, map[int]Pauli{0: X, 2: Y, 3: Z})
+	if term.Diagonal() {
+		t.Fatal("XYZ term reported diagonal")
+	}
+	zv := term.ZView()
+	if !zv.Diagonal() || zv.Coef != 0.75 || len(zv.Ops) != 3 {
+		t.Fatalf("ZView wrong: %v", zv)
+	}
+	if !NewTerm(1, map[int]Pauli{1: Z}).Diagonal() {
+		t.Fatal("Z term not diagonal")
+	}
+}
+
+func TestValidateAndClone(t *testing.T) {
+	h := TransverseFieldIsing(4, 1, 1)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Hamiltonian{NumQubits: 2}
+	bad.Add(NewTerm(math.Inf(1), map[int]Pauli{0: Z}))
+	if err := bad.Validate(); err == nil {
+		t.Fatal("infinite coefficient accepted")
+	}
+	oob := &Hamiltonian{NumQubits: 2}
+	oob.Add(NewTerm(1, map[int]Pauli{5: Z}))
+	if err := oob.Validate(); err == nil {
+		t.Fatal("out-of-range qubit accepted")
+	}
+
+	c := h.Clone()
+	if c.Fingerprint() != h.Fingerprint() {
+		t.Fatal("clone hashes differently")
+	}
+	c.Terms[0].Ops[0] = X // mutate the clone's map
+	if c.Fingerprint() == h.Fingerprint() {
+		t.Fatal("clone shares factor maps with the original")
+	}
+}
+
 func TestParallelErrorPropagation(t *testing.T) {
 	h := &Hamiltonian{NumQubits: 2}
 	h.Add(NewTerm(1, map[int]Pauli{5: Z})) // out of range

@@ -33,9 +33,17 @@ type (
 // proportional to gate count × state size. A deterministic model (not
 // the measured wall-clock, which is noisy at millisecond scale) keeps
 // eviction decisions reproducible across runs and machines; entries
-// with equal shape tie exactly and fall back to LRU.
+// with equal shape tie exactly and fall back to LRU. Expectation
+// results carry no probability vector but cost the same simulation to
+// recompute, so their state size comes from the recorded qubit count —
+// a few dozen resident bytes protecting a 2^n-scale recompute makes
+// them close to free to keep, which is exactly right.
 func resultCost(res *backend.Result) float64 {
-	return float64(1+res.KernelStats.EmittedOps) * float64(len(res.Probabilities))
+	size := len(res.Probabilities)
+	if size == 0 && res.NumQubits > 0 && res.NumQubits < 63 {
+		size = 1 << uint(res.NumQubits)
+	}
+	return float64(1+res.KernelStats.EmittedOps) * float64(size)
 }
 
 // planCost models a compiled plan's recompute cost: transformation and

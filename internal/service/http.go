@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -13,6 +14,7 @@ import (
 	"qgear/internal/circuit"
 	"qgear/internal/gate"
 	"qgear/internal/kernel"
+	"qgear/internal/observable"
 	"qgear/internal/qasm"
 	"qgear/internal/sampling"
 )
@@ -47,12 +49,82 @@ type WireCircuit struct {
 }
 
 // SubmitRequest is the POST /v1/jobs payload. Exactly one of Circuit
-// and QASM must be set.
+// and QASM must be set. Kind "expectation" (or simply a non-nil
+// Hamiltonian) selects an expectation-value job: the exact ⟨H⟩ on the
+// circuit's final state, no shots.
 type SubmitRequest struct {
-	Circuit *WireCircuit `json:"circuit,omitempty"`
-	QASM    string       `json:"qasm,omitempty"`
-	Shots   int          `json:"shots,omitempty"`
-	Seed    uint64       `json:"seed,omitempty"`
+	Kind        string           `json:"kind,omitempty"` // "" | "simulate" | "expectation"
+	Circuit     *WireCircuit     `json:"circuit,omitempty"`
+	QASM        string           `json:"qasm,omitempty"`
+	Shots       int              `json:"shots,omitempty"`
+	Seed        uint64           `json:"seed,omitempty"`
+	Hamiltonian *WireHamiltonian `json:"hamiltonian,omitempty"`
+}
+
+// WirePauli is one factor of a wire-form Pauli term.
+type WirePauli struct {
+	Q int    `json:"q"`
+	P string `json:"p"` // "X" | "Y" | "Z" (case-insensitive)
+}
+
+// WireTerm is one weighted Pauli string in wire form.
+type WireTerm struct {
+	Coef   float64     `json:"coef"`
+	Paulis []WirePauli `json:"paulis,omitempty"` // empty = identity term
+}
+
+// WireHamiltonian is the JSON Hamiltonian of an expectation job.
+type WireHamiltonian struct {
+	Qubits int        `json:"qubits"`
+	Terms  []WireTerm `json:"terms"`
+}
+
+// ToHamiltonian materializes and validates the wire form.
+func (w *WireHamiltonian) ToHamiltonian() (*observable.Hamiltonian, error) {
+	h := &observable.Hamiltonian{NumQubits: w.Qubits}
+	for i, term := range w.Terms {
+		ops := make(map[int]observable.Pauli, len(term.Paulis))
+		for _, p := range term.Paulis {
+			var f observable.Pauli
+			switch strings.ToUpper(p.P) {
+			case "X":
+				f = observable.X
+			case "Y":
+				f = observable.Y
+			case "Z":
+				f = observable.Z
+			default:
+				return nil, fmt.Errorf("hamiltonian term %d: unknown pauli %q", i, p.P)
+			}
+			if _, dup := ops[p.Q]; dup {
+				return nil, fmt.Errorf("hamiltonian term %d: duplicate factor on qubit %d", i, p.Q)
+			}
+			ops[p.Q] = f
+		}
+		h.Add(observable.NewTerm(term.Coef, ops))
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// FromHamiltonian renders a Hamiltonian in wire form (clients, bench).
+func FromHamiltonian(h *observable.Hamiltonian) *WireHamiltonian {
+	w := &WireHamiltonian{Qubits: h.NumQubits, Terms: make([]WireTerm, len(h.Terms))}
+	for i, t := range h.Terms {
+		qs := make([]int, 0, len(t.Ops))
+		for q := range t.Ops {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		wt := WireTerm{Coef: t.Coef}
+		for _, q := range qs {
+			wt.Paulis = append(wt.Paulis, WirePauli{Q: q, P: t.Ops[q].String()})
+		}
+		w.Terms[i] = wt
+	}
+	return w
 }
 
 // ToCircuit materializes the wire form into a validated circuit.
@@ -115,6 +187,10 @@ type ResultResponse struct {
 	Counts        map[string]int `json:"counts,omitempty"`
 	GateCount     int            `json:"gate_count"`
 	FusedOps      int            `json:"fused_ops"`
+	// ExpValue/ExpTerms are set on expectation jobs: the exact ⟨H⟩ and
+	// the number of Pauli terms evaluated (no probabilities, no counts).
+	ExpValue *float64 `json:"expval,omitempty"`
+	ExpTerms int      `json:"exp_terms,omitempty"`
 	// TileBits and PlanStats describe the compiled execution plan the
 	// run used (absent on the per-gate path).
 	TileBits  int               `json:"tile_bits,omitempty"`
@@ -180,7 +256,31 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	info, err := s.Submit(c, SubmitOptions{Shots: req.Shots, Seed: req.Seed})
+	opts := SubmitOptions{Shots: req.Shots, Seed: req.Seed}
+	switch req.Kind {
+	case "", "simulate":
+		if req.Hamiltonian != nil && req.Kind == "simulate" {
+			writeError(w, http.StatusBadRequest, errors.New("kind simulate does not take a hamiltonian"))
+			return
+		}
+	case "expectation":
+		if req.Hamiltonian == nil {
+			writeError(w, http.StatusBadRequest, errors.New("kind expectation requires a hamiltonian"))
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown job kind %q", req.Kind))
+		return
+	}
+	if req.Hamiltonian != nil {
+		h, herr := req.Hamiltonian.ToHamiltonian()
+		if herr != nil {
+			writeError(w, http.StatusBadRequest, herr)
+			return
+		}
+		opts.Hamiltonian = h
+	}
+	info, err := s.Submit(c, opts)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err)
@@ -245,6 +345,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func numQubits(res *backend.Result) int {
+	if res.NumQubits > 0 {
+		return res.NumQubits
+	}
 	n := 0
 	for 1<<uint(n) < len(res.Probabilities) {
 		n++
@@ -262,6 +365,8 @@ func buildResultResponse(info JobInfo, res *backend.Result) ResultResponse {
 		NumQubits:  numQubits(res),
 		GateCount:  res.KernelStats.SourceOps,
 		FusedOps:   res.KernelStats.EmittedOps,
+		ExpValue:   res.ExpValue,
+		ExpTerms:   res.ExpTerms,
 		TileBits:   res.TileBits,
 		PlanStats:  res.PlanStats,
 	}

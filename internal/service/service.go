@@ -30,6 +30,7 @@ import (
 	"qgear/internal/backend"
 	"qgear/internal/circuit"
 	"qgear/internal/core"
+	"qgear/internal/observable"
 	"qgear/internal/store"
 )
 
@@ -155,6 +156,12 @@ type SubmitOptions struct {
 	// Seed drives shot sampling (ignored, and normalized to zero in
 	// the cache key, when Shots == 0).
 	Seed uint64
+	// Hamiltonian selects an expectation-value job: the server
+	// evaluates the exact ⟨H⟩ on the circuit's final state instead of
+	// probabilities or counts. Expectation jobs are exact, so Shots
+	// must be 0. Results are cached and persisted under
+	// (circuit fingerprint, hamiltonian hash, option signature).
+	Hamiltonian *observable.Hamiltonian
 }
 
 // JobInfo is a point-in-time snapshot of one job.
@@ -187,6 +194,7 @@ type job struct {
 	key  string
 	fp   string // circuit fingerprint (groups batch members sharing a state)
 	circ *circuit.Circuit
+	ham  *observable.Hamiltonian // non-nil selects an expectation job
 	opts SubmitOptions
 
 	state       JobState
@@ -254,6 +262,7 @@ type Server struct {
 	// counters (under mu)
 	submitted, completed, failed uint64
 	cacheHits, sfHits, executed  uint64
+	expSubmitted, expExecuted    uint64
 	planHits, planMisses         uint64
 	storeHits, planStoreHits     uint64
 	storeMisses, storeErrors     uint64
@@ -507,6 +516,11 @@ func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, err
 func (s *Server) key(c *circuit.Circuit, opts SubmitOptions) string {
 	kopts := s.execOptions() // derive, so key and execution never drift
 	kopts.Workers = 0        // wall-clock only, not output
+	if opts.Hamiltonian != nil {
+		// Expectation jobs: (fingerprint, hamiltonian hash, options);
+		// shots and seed are normalized away inside (exact results).
+		return core.ExpectationCacheKey(c, opts.Hamiltonian, kopts)
+	}
 	kopts.Shots = opts.Shots
 	if opts.Shots > 0 {
 		kopts.Seed = opts.Seed
@@ -540,6 +554,20 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 	if opts.Shots < 0 {
 		return nil, fmt.Errorf("service: negative shots %d", opts.Shots)
 	}
+	if opts.Hamiltonian != nil {
+		if opts.Shots != 0 {
+			return nil, fmt.Errorf("service: expectation jobs are exact; shots (%d) are not supported", opts.Shots)
+		}
+		if err := opts.Hamiltonian.Validate(); err != nil {
+			return nil, fmt.Errorf("service: invalid hamiltonian: %w", err)
+		}
+		if opts.Hamiltonian.NumQubits > c.NumQubits {
+			return nil, fmt.Errorf("service: hamiltonian spans %d qubits, circuit has %d",
+				opts.Hamiltonian.NumQubits, c.NumQubits)
+		}
+		// Deep-copy for the same reason as the circuit below.
+		opts.Hamiltonian = opts.Hamiltonian.Clone()
+	}
 	// Deep-copy: the server owns its jobs' circuits, so a caller
 	// mutating theirs after Submit cannot race the worker or poison
 	// the cache under the pre-mutation fingerprint.
@@ -558,10 +586,14 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 		key:         key,
 		fp:          fp,
 		circ:        c,
+		ham:         opts.Hamiltonian,
 		opts:        opts,
 		state:       StateQueued,
 		submittedAt: time.Now(),
 		done:        make(chan struct{}),
+	}
+	if j.ham != nil {
+		s.expSubmitted++
 	}
 
 	// Content-addressed fast path: cache hit.
@@ -617,6 +649,9 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 	case s.queue <- j:
 	default:
 		s.nextID-- // job never existed
+		if j.ham != nil {
+			s.expSubmitted--
+		}
 		return nil, ErrQueueFull
 	}
 	s.submitted++
@@ -772,8 +807,38 @@ func (s *Server) markRunning(batch []*job) {
 // device-parallel path when so configured — then each job's shots are
 // sampled from its circuit's probability vector with the job's seed,
 // reproducing exactly what a standalone backend.Run would return.
+// Expectation jobs ride the same queue but execute one by one through
+// the compiled-plan cache (their keys are unique within a batch by
+// single-flight), so one cached compile serves any number of
+// observables on the same circuit.
 func (s *Server) runBatch(batch []*job) {
 	s.markRunning(batch)
+
+	type outcome struct {
+		j   *job
+		res *backend.Result
+		err error
+	}
+	var outs []outcome
+
+	var probJobs []*job
+	var expJobs []*job
+	for _, j := range batch {
+		if j.ham != nil {
+			expJobs = append(expJobs, j)
+		} else {
+			probJobs = append(probJobs, j)
+		}
+	}
+	for _, j := range expJobs {
+		comp, err := s.compiled(j.circ, j.fp)
+		var res *backend.Result
+		if err == nil {
+			res, err = core.RunExpectationCompiled(comp, j.ham, s.execOptions())
+		}
+		outs = append(outs, outcome{j: j, res: res, err: err})
+	}
+	batch = probJobs
 
 	var order []string
 	byFP := make(map[string][]*job, len(batch))
@@ -819,12 +884,6 @@ func (s *Server) runBatch(batch []*job) {
 	// Build every job's outcome — including shot sampling, which is
 	// O(2^n + shots) — before touching s.mu, so a big batch never
 	// stalls submissions, polls, or other workers' completions.
-	type outcome struct {
-		j   *job
-		res *backend.Result
-		err error
-	}
-	outs := make([]outcome, 0, len(batch))
 	for i, fp := range order {
 		jobs := byFP[fp]
 		if err != nil {
@@ -879,11 +938,16 @@ func (s *Server) runBatch(batch []*job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.batches++
-	s.batchedJobs += uint64(len(batch))
+	s.batchedJobs += uint64(len(outs))
 	lat := string(s.cfg.Target)
 	for _, o := range outs {
 		s.executed++
-		s.completeKeyLocked(o.j.key, o.res, o.err, lat)
+		key := lat
+		if o.j.ham != nil {
+			s.expExecuted++
+			key = "expectation"
+		}
+		s.completeKeyLocked(o.j.key, o.res, o.err, key)
 	}
 }
 
@@ -973,35 +1037,37 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		QueueDepth:        len(s.queue),
-		QueueCapacity:     s.cfg.QueueSize,
-		Workers:           s.cfg.WorkerPool,
-		Submitted:         s.submitted,
-		Completed:         s.completed,
-		Failed:            s.failed,
-		CacheHits:         s.cacheHits,
-		SingleFlightHits:  s.sfHits,
-		Executed:          s.executed,
-		CacheLen:          s.cache.Len(),
-		CacheCapacity:     s.cfg.CacheSize,
-		CacheBytes:        s.cache.Bytes(),
-		CacheMaxBytes:     s.cfg.MaxCacheBytes,
-		CacheEvictions:    s.cache.Evictions(),
-		PlanCacheHits:     s.planHits,
-		PlanCacheMisses:   s.planMisses,
-		PlanCacheLen:      s.plans.Len(),
-		PlanCacheBytes:    s.plans.Bytes(),
-		PlanCacheMaxBytes: s.cfg.MaxPlanCacheBytes,
-		StoreHits:         s.storeHits,
-		StorePlanHits:     s.planStoreHits,
-		StoreMisses:       s.storeMisses,
-		StoreSpills:       s.storeSpills,
-		StoreSpillDrops:   s.storeSpillDrops,
-		StoreErrors:       s.storeErrors,
-		Batches:           s.batches,
-		BatchedJobs:       s.batchedJobs,
-		Latency:           make(map[string]HistogramSnapshot, len(s.latency)),
-		UptimeSeconds:     time.Since(s.start).Seconds(),
+		QueueDepth:          len(s.queue),
+		QueueCapacity:       s.cfg.QueueSize,
+		Workers:             s.cfg.WorkerPool,
+		Submitted:           s.submitted,
+		Completed:           s.completed,
+		Failed:              s.failed,
+		CacheHits:           s.cacheHits,
+		SingleFlightHits:    s.sfHits,
+		Executed:            s.executed,
+		ExpectationJobs:     s.expSubmitted,
+		ExpectationExecuted: s.expExecuted,
+		CacheLen:            s.cache.Len(),
+		CacheCapacity:       s.cfg.CacheSize,
+		CacheBytes:          s.cache.Bytes(),
+		CacheMaxBytes:       s.cfg.MaxCacheBytes,
+		CacheEvictions:      s.cache.Evictions(),
+		PlanCacheHits:       s.planHits,
+		PlanCacheMisses:     s.planMisses,
+		PlanCacheLen:        s.plans.Len(),
+		PlanCacheBytes:      s.plans.Bytes(),
+		PlanCacheMaxBytes:   s.cfg.MaxPlanCacheBytes,
+		StoreHits:           s.storeHits,
+		StorePlanHits:       s.planStoreHits,
+		StoreMisses:         s.storeMisses,
+		StoreSpills:         s.storeSpills,
+		StoreSpillDrops:     s.storeSpillDrops,
+		StoreErrors:         s.storeErrors,
+		Batches:             s.batches,
+		BatchedJobs:         s.batchedJobs,
+		Latency:             make(map[string]HistogramSnapshot, len(s.latency)),
+		UptimeSeconds:       time.Since(s.start).Seconds(),
 	}
 	if s.store != nil {
 		ss := s.store.Stats()

@@ -83,6 +83,14 @@ type Stats struct {
 	Executed         uint64  `json:"executed"`
 	HitRate          float64 `json:"hit_rate"`
 
+	// Expectation-value jobs (kind "expectation"): submissions carrying
+	// a Hamiltonian, and how many of them reached a fresh evaluation
+	// (the remainder were cache/single-flight/store hits). Their
+	// end-to-end latency is tracked under the "expectation" key of
+	// Latency.
+	ExpectationJobs     uint64 `json:"expectation_jobs"`
+	ExpectationExecuted uint64 `json:"expectation_executed"`
+
 	// Cache occupancy. Entries are byte-accounted: CacheBytes is the
 	// resident size charged against CacheMaxBytes (0 = unbounded), and
 	// evictions are cost-per-byte-aware, not pure recency.

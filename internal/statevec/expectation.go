@@ -1,0 +1,347 @@
+package statevec
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Canonical Pauli-string expectation evaluation.
+//
+// ⟨ψ|P|ψ⟩ for a Pauli string P is computed directly against the
+// resident amplitude array — no clone, no basis-rotation sweeps, and
+// no materialization of a pending qubit permutation (the lazy
+// logical→physical table translates indices instead). P acts on a
+// basis state as P|b⟩ = phase(b)·|b ⊕ flip⟩ with flip = X|Y mask and
+// phase(b) = i^{|Y|}·(−1)^{popcount(b & (Y|Z))}, so
+//
+//	⟨P⟩ = Σ_b conj(a_b)·phase(b⊕flip)·a_{b⊕flip}.
+//
+// Hermiticity pairs b with b⊕flip: iterating only the half with the
+// pivot bit (the lowest flip bit) clear and doubling the real part
+// visits 2^(n−1) index pairs. A pure-Z string (flip = 0) needs only
+// its odd-parity half: ⟨P⟩ = 1 − 2·Σ_{parity(b&Z) odd} |a_b|², using
+// the unit norm every unitary evolution preserves. Identity-padded
+// few-qubit terms therefore enumerate exactly half the state, never
+// 2^n — the same stride discipline as the diagonal gate kernels.
+//
+// Summation order is part of the contract. The compact enumeration
+// index j (b with the pivot bit removed) is split into chunks of
+// 2^ExpChunkBits(n) contributions; each chunk is summed sequentially
+// in ascending j, and chunk partials reduce through a balanced binary
+// tree (TreeSum). Because a rank shard of the distributed engine
+// covers a chunk-aligned, power-of-two, contiguous j-range, its
+// tree-reduced partial is an exact subtree of the global reduction:
+// single-device, tiled (permuted layout), and distributed evaluation
+// produce bit-identical values, for any worker count and — via
+// expReserveBits — up to 2^expReserveBits ranks.
+
+const (
+	// expMaxChunkBits caps one chunk at 2^12 contributions: small
+	// enough to parallelize mid-sized states, large enough that the
+	// chunk-partial array stays negligible (2^15 float64 at n = 28).
+	expMaxChunkBits = 12
+	// expReserveBits keeps chunk boundaries inside every rank shard's
+	// compact range for up to 2^expReserveBits distributed ranks, the
+	// condition for shard partials to compose into the exact global
+	// reduction tree.
+	expReserveBits = 4
+)
+
+// ExpChunkBits returns the canonical chunk width (log2 contributions
+// per chunk) of the n-qubit expectation reduction. Every engine must
+// use this value for the register's total qubit count — it is part of
+// the bit-identity contract, not a tuning knob.
+func ExpChunkBits(n int) int {
+	cb := n - 1 - expReserveBits
+	if cb > expMaxChunkBits {
+		cb = expMaxChunkBits
+	}
+	if cb < 0 {
+		cb = 0
+	}
+	return cb
+}
+
+// TreeSum reduces partial sums through a balanced binary tree:
+// TreeSum(v) = TreeSum(left half) + TreeSum(right half). On the
+// power-of-two lengths the expectation reduction produces, an aligned
+// power-of-two sub-range is an exact subtree, which is what lets a
+// rank shard reduce locally and still compose bit-identically.
+func TreeSum(v []float64) float64 {
+	switch len(v) {
+	case 0:
+		return 0
+	case 1:
+		return v[0]
+	}
+	h := len(v) / 2
+	return TreeSum(v[:h]) + TreeSum(v[h:])
+}
+
+// IPow returns i^k — the evaluator's phase convention for Y factors
+// (phase(b) = i^{|Y|}·(−1)^{popcount(b & (Y|Z))}). Exported so the
+// distributed engine derives its rank-constant Phase0 from the same
+// definition instead of a copy that could drift.
+func IPow(k int) complex128 { return iPow(k) }
+
+// iPow returns i^k.
+func iPow(k int) complex128 {
+	switch k & 3 {
+	case 0:
+		return 1
+	case 1:
+		return complex(0, 1)
+	case 2:
+		return -1
+	default:
+		return complex(0, -1)
+	}
+}
+
+// PauliEvaluator caches the logical→physical index-chunk tables of a
+// state whose amplitude layout may be permuted, so every term of a
+// Hamiltonian indexes physical amplitudes directly: one table build
+// serves N term sweeps, and readout never materializes the layout.
+// The evaluator is read-only over the state and safe for concurrent
+// term evaluation, but it is a snapshot — it must be rebuilt if the
+// state's amplitudes or permutation change.
+type PauliEvaluator struct {
+	s            *State
+	tabLo, tabHi []uint64
+	loBits       uint
+	loMask       uint64
+}
+
+// PauliEvaluator builds the index-translation tables for the state's
+// current layout (identity tables when no permutation is pending).
+func (s *State) PauliEvaluator() *PauliEvaluator {
+	e := &PauliEvaluator{s: s}
+	e.loBits = uint(s.n) / 2
+	hiBits := uint(s.n) - e.loBits
+	e.loMask = uint64(1)<<e.loBits - 1
+	e.tabLo = make([]uint64, 1<<e.loBits)
+	e.tabHi = make([]uint64, 1<<hiBits)
+	if s.perm == nil {
+		for v := range e.tabLo {
+			e.tabLo[v] = uint64(v)
+		}
+		for v := range e.tabHi {
+			e.tabHi[v] = uint64(v) << e.loBits
+		}
+		return e
+	}
+	for v := range e.tabLo {
+		var p uint64
+		for b := uint(0); b < e.loBits; b++ {
+			p |= (uint64(v) >> b & 1) << uint(s.perm[b])
+		}
+		e.tabLo[v] = p
+	}
+	for v := range e.tabHi {
+		var p uint64
+		for b := uint(0); b < hiBits; b++ {
+			p |= (uint64(v) >> b & 1) << uint(s.perm[int(e.loBits)+int(b)])
+		}
+		e.tabHi[v] = p
+	}
+	return e
+}
+
+// phys maps a logical amplitude index to its physical slot.
+func (e *PauliEvaluator) phys(b uint64) uint64 {
+	return e.tabLo[b&e.loMask] | e.tabHi[b>>e.loBits]
+}
+
+// PauliShardArgs describes one shard's slice of the canonical
+// evaluation. A single-device state is the degenerate one-rank shard
+// (zero ParityBase, Phase0 = i^{|Y|}, pivot always local); the
+// distributed engine folds its rank-index bits into Phase0/ParityBase
+// and ships partner amplitudes for terms whose flip mask crosses the
+// rank boundary.
+type PauliShardArgs struct {
+	// XMask/YMask/ZMask are the term's factors on shard-local logical
+	// qubits (bits ≥ the shard width must be stripped by the caller).
+	XMask, YMask, ZMask uint64
+	// Flip selects the pair-product evaluation: it reflects the term's
+	// FULL flip mask (X|Y over every qubit, rank bits included), which
+	// can be nonzero even when the local masks carry no X/Y factor —
+	// the pairs then live entirely across the rank boundary and arrive
+	// via Partner. False selects the pure-Z parity walk.
+	Flip bool
+	// Phase0 is the rank-constant phase of flip terms: i^{|Y|} counted
+	// over the whole term, times (−1) for each set rank bit under the
+	// term's Y|Z mask.
+	Phase0 complex128
+	// Pivot is the pairing/parity pivot's shard-local position, or −1
+	// when the pivot is a rank bit (the shard then enumerates all
+	// resident amplitudes; the caller decides participation).
+	Pivot int
+	// ParityBase seeds the Z-parity with the rank bits' contribution
+	// (pure-Z terms with a local pivot only).
+	ParityBase int
+	// Partner is the partner shard's raw physical-layout amplitudes
+	// for terms whose flip mask has rank bits; nil means both pair
+	// members are resident.
+	Partner []complex128
+	// ChunkBits is ExpChunkBits of the register's TOTAL qubit count
+	// (clamped internally when a shard is smaller than one chunk).
+	ChunkBits int
+}
+
+// Shard computes the tree-reduced partial of this state's
+// contribution stream in canonical chunk order, returning the partial
+// and the number of enumerated indices (the visit count the
+// stride-iteration regression tests pin). For pure-Z terms the caller
+// converts the odd-parity mass S into 1 − 2·S after the final
+// reduction.
+func (e *PauliEvaluator) Shard(a PauliShardArgs) (float64, int) {
+	s := e.s
+	m := s.n // log2 of the enumeration size
+	if a.Pivot >= 0 {
+		m = s.n - 1
+	}
+	cb := a.ChunkBits
+	if cb > m {
+		cb = m
+	}
+	if cb < 0 {
+		cb = 0
+	}
+	nChunks := 1 << uint(m-cb)
+	partials := make([]float64, nChunks)
+
+	var chunk func(c int)
+	if a.Flip {
+		flip := a.XMask | a.YMask // local flip; rank-bit pairs arrive via Partner
+		other := a.Partner
+		if other == nil {
+			other = s.amps
+		}
+		sign := a.YMask | a.ZMask
+		ph0 := a.Phase0
+		pivot := a.Pivot
+		chunk = func(c int) {
+			var acc float64
+			lo, hi := c<<uint(cb), (c+1)<<uint(cb)
+			for j := lo; j < hi; j++ {
+				b := uint64(j)
+				if pivot >= 0 {
+					b = insertBit(b, uint(pivot), 0)
+				}
+				ph := ph0
+				if bits.OnesCount64(b&sign)&1 == 1 {
+					ph = -ph
+				}
+				am := s.amps[e.phys(b)]
+				pm := other[e.phys(b^flip)]
+				t := ph * am * complex(real(pm), -imag(pm))
+				acc += 2 * real(t)
+			}
+			partials[c] = acc
+		}
+	} else {
+		zm := a.ZMask
+		pb := a.ParityBase & 1
+		pivot := a.Pivot
+		chunk = func(c int) {
+			var acc float64
+			lo, hi := c<<uint(cb), (c+1)<<uint(cb)
+			for j := lo; j < hi; j++ {
+				b := uint64(j)
+				if pivot >= 0 {
+					b = insertBit(b, uint(pivot), 0)
+					par := (pb + bits.OnesCount64(b&zm)) & 1
+					b |= uint64(1-par) << uint(pivot)
+				}
+				am := s.amps[e.phys(b)]
+				acc += real(am)*real(am) + imag(am)*imag(am)
+			}
+			partials[c] = acc
+		}
+	}
+	s.forChunks(nChunks, 1<<uint(cb), chunk)
+	return TreeSum(partials), 1 << uint(m)
+}
+
+// ExpPauli computes ⟨ψ|P|ψ⟩ for the Pauli string given as logical
+// qubit masks, returning the value (without any coefficient) and the
+// enumerated index count. The three masks must be disjoint and within
+// the register; all-zero masks denote the identity (value 1, zero
+// visits).
+func (e *PauliEvaluator) ExpPauli(xm, ym, zm uint64) (float64, int, error) {
+	s := e.s
+	all := xm | ym | zm
+	if s.n < 64 && all>>uint(s.n) != 0 {
+		return 0, 0, fmt.Errorf("statevec: pauli masks %x/%x/%x exceed %d qubits", xm, ym, zm, s.n)
+	}
+	if xm&ym|ym&zm|xm&zm != 0 {
+		return 0, 0, fmt.Errorf("statevec: overlapping pauli masks %x/%x/%x", xm, ym, zm)
+	}
+	if all == 0 {
+		return 1, 0, nil
+	}
+	args := PauliShardArgs{XMask: xm, YMask: ym, ZMask: zm, ChunkBits: ExpChunkBits(s.n)}
+	if flip := xm | ym; flip != 0 {
+		args.Flip = true
+		args.Phase0 = iPow(bits.OnesCount64(ym))
+		args.Pivot = bits.TrailingZeros64(flip)
+		v, visited := e.Shard(args)
+		return v, visited, nil
+	}
+	args.Pivot = bits.TrailingZeros64(zm)
+	sOdd, visited := e.Shard(args)
+	return 1 - 2*sOdd, visited, nil
+}
+
+// ExpPauli is the one-shot form of PauliEvaluator().ExpPauli for a
+// single term; Hamiltonian sweeps should build one evaluator and
+// reuse it across terms.
+func (s *State) ExpPauli(xm, ym, zm uint64) (float64, int, error) {
+	return s.PauliEvaluator().ExpPauli(xm, ym, zm)
+}
+
+// forChunks runs work(c) for every chunk index, fanning contiguous
+// chunk ranges across the state's workers when the total element
+// count justifies it. Chunk partials land in disjoint slots, so the
+// reduction order (and hence the result) is independent of the worker
+// count.
+func (s *State) forChunks(nChunks, chunkLen int, work func(c int)) {
+	workers := s.workers
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 || nChunks*chunkLen < minParallelWork {
+		for c := 0; c < nChunks; c++ {
+			work(c)
+		}
+		return
+	}
+	per := (nChunks + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > nChunks {
+			hi = nChunks
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for c := lo; c < hi; c++ {
+				work(c)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// AmplitudesRaw exposes the amplitude slice in its current physical
+// layout WITHOUT materializing a pending qubit permutation — the
+// expectation path's exchange buffers ship raw layouts and translate
+// indices through the evaluator tables instead. Interpret indices via
+// Permutation(); use Amplitudes() for the canonical logical order.
+func (s *State) AmplitudesRaw() []complex128 { return s.amps }

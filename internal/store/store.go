@@ -196,7 +196,10 @@ func (st *Store) HasPlan(key string) bool {
 
 // resultMeta is the JSON metadata blob persisted with each result —
 // everything a backend.Result carries besides the probability vector
-// and counts, plus the qubit count for shape validation.
+// and counts, plus the qubit count for shape validation. Expectation
+// results persist through the same container: ExpValue carries the
+// exact ⟨H⟩ (float bits survive JSON round-trips via the string
+// field), and the probability dataset is simply absent.
 type resultMeta struct {
 	Target           backend.Target    `json:"target"`
 	NumQubits        int               `json:"num_qubits"`
@@ -207,6 +210,14 @@ type resultMeta struct {
 	Exchanges        int               `json:"exchanges"`
 	BytesSent        int64             `json:"bytes_sent"`
 	AvoidedExchanges int               `json:"avoided_exchanges"`
+	// ExpValueBits is the IEEE-754 bit pattern of ExpValue, the field
+	// the loader trusts: a decimal JSON float could lose the last ulp,
+	// and warm restarts must answer bit-identical ⟨H⟩ values.
+	ExpValueBits *uint64 `json:"exp_value_bits,omitempty"`
+	// ExpValue duplicates the value in human-readable form for
+	// debugging spilled artifacts; never parsed back.
+	ExpValue *float64 `json:"exp_value,omitempty"`
+	ExpTerms int      `json:"exp_terms,omitempty"`
 }
 
 // numQubits infers n from the probability-vector length.
@@ -234,7 +245,7 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 
 	meta := resultMeta{
 		Target:           res.Target,
-		NumQubits:        numQubits(res.Probabilities),
+		NumQubits:        res.NumQubits,
 		DurationNS:       res.Duration.Nanoseconds(),
 		KernelStats:      res.KernelStats,
 		PlanStats:        res.PlanStats,
@@ -242,6 +253,17 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 		Exchanges:        res.Exchanges,
 		BytesSent:        res.BytesSent,
 		AvoidedExchanges: res.AvoidedExchanges,
+		ExpTerms:         res.ExpTerms,
+	}
+	if meta.NumQubits == 0 {
+		meta.NumQubits = numQubits(res.Probabilities)
+	}
+	if res.ExpValue != nil {
+		bits := math.Float64bits(*res.ExpValue)
+		v := *res.ExpValue
+		meta.ExpValueBits, meta.ExpValue = &bits, &v
+	} else if len(res.Probabilities) == 0 {
+		return fmt.Errorf("store: result %s carries neither probabilities nor an expectation value", key)
 	}
 	metaJSON, err := json.Marshal(meta)
 	if err != nil {
@@ -249,8 +271,17 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 	}
 
 	f := hdf5.NewFile()
-	if err := f.PutFloat64s("result/probabilities", res.Probabilities); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if len(res.Probabilities) > 0 {
+		if err := f.PutFloat64s("result/probabilities", res.Probabilities); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if res.ExpValue != nil {
+		// The raw-bits dataset both carries the value exactly and
+		// creates the result group for the attribute block below.
+		if err := f.PutFloat64s("result/expval", []float64{*res.ExpValue}); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
 	}
 	if len(res.Counts) > 0 {
 		keys := make([]uint64, 0, len(res.Counts))
@@ -335,16 +366,27 @@ func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
 	if err := json.Unmarshal([]byte(metaAttr.S), &meta); err != nil {
 		return nil, integrityErr("store: result %s: bad meta: %v", key, err)
 	}
-	probs, _, err := f.Float64s("result/probabilities")
-	if err != nil {
-		return nil, integrityErr("store: result %s: %v", key, err)
+	if meta.NumQubits < 0 || meta.NumQubits > 62 {
+		return nil, integrityErr("store: result %s: implausible qubit count %d", key, meta.NumQubits)
 	}
-	if meta.NumQubits < 0 || meta.NumQubits > 62 || len(probs) != 1<<uint(meta.NumQubits) {
-		return nil, integrityErr("store: result %s: %d probabilities for %d qubits", key, len(probs), meta.NumQubits)
+	var probs []float64
+	if _, derr := f.Dataset("result/probabilities"); derr == nil {
+		probs, _, err = f.Float64s("result/probabilities")
+		if err != nil {
+			return nil, integrityErr("store: result %s: %v", key, err)
+		}
+		if len(probs) != 1<<uint(meta.NumQubits) {
+			return nil, integrityErr("store: result %s: %d probabilities for %d qubits", key, len(probs), meta.NumQubits)
+		}
+	} else if meta.ExpValueBits == nil {
+		// Expectation artifacts legitimately omit the vector; anything
+		// else without one is damaged.
+		return nil, integrityErr("store: result %s: no probability dataset and no expectation value", key)
 	}
 	res := &backend.Result{
 		Target:           meta.Target,
 		Probabilities:    probs,
+		NumQubits:        meta.NumQubits,
 		Duration:         time.Duration(meta.DurationNS),
 		KernelStats:      meta.KernelStats,
 		PlanStats:        meta.PlanStats,
@@ -352,6 +394,11 @@ func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
 		Exchanges:        meta.Exchanges,
 		BytesSent:        meta.BytesSent,
 		AvoidedExchanges: meta.AvoidedExchanges,
+		ExpTerms:         meta.ExpTerms,
+	}
+	if meta.ExpValueBits != nil {
+		v := math.Float64frombits(*meta.ExpValueBits)
+		res.ExpValue = &v
 	}
 	if _, err := f.Dataset("result/count_keys"); err == nil {
 		ck, _, err := f.Int64s("result/count_keys")

@@ -300,9 +300,35 @@ func TransverseFieldIsing(n int, j, g float64) *Hamiltonian {
 	return observable.TransverseFieldIsing(n, j, g)
 }
 
+// RunExpectation executes one circuit on the configured target and
+// returns the exact ⟨H⟩ on its final state as a first-class job
+// result: the compiled plan runs once, every Pauli term is evaluated
+// against the resident statevector (no readout materialization), and
+// Result.ExpValue carries the value. All engines — per-gate, tiled,
+// term-parallel mqpu, and distributed mgpu — return bit-identical
+// values. Shots/Seed in opts are ignored (expectation is exact).
+func RunExpectation(c *Circuit, h *Hamiltonian, opts RunOptions) (*Result, error) {
+	return core.RunExpectation(c, h, opts)
+}
+
+// RunExpectationCompiled evaluates ⟨H⟩ on a precompiled circuit: same
+// circuit, many observables = one compile, one execute per call.
+func RunExpectationCompiled(comp *Compiled, h *Hamiltonian, opts RunOptions) (*Result, error) {
+	return core.RunExpectationCompiled(comp, h, opts)
+}
+
+// ExpectationCacheKey returns the content address of an expectation
+// job — (circuit fingerprint, hamiltonian hash, output-affecting
+// options); equal keys are guaranteed to produce bit-identical ⟨H⟩.
+func ExpectationCacheKey(c *Circuit, h *Hamiltonian, opts RunOptions) string {
+	return core.ExpectationCacheKey(c, h, opts)
+}
+
 // Expectation evaluates a Hamiltonian on the final state of a circuit,
 // partitioning its terms across `devices` concurrent evaluators when
-// devices > 1 (the Fig. 2c parallel-Hamiltonian mode).
+// devices > 1 (the Fig. 2c parallel-Hamiltonian mode). RunExpectation
+// is the full-featured path (targets, tiling, caching-friendly
+// Result); this helper remains for quick in-process estimates.
 func Expectation(c *Circuit, h *Hamiltonian, devices int) (float64, error) {
 	k, _, err := kernel.FromCircuit(c, kernel.Options{DropMeasurements: true})
 	if err != nil {
