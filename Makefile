@@ -32,7 +32,7 @@ test: vet
 test-fresh:
 	$(GO) test -race -count=1 ./internal/mgpu/... ./internal/service/... \
 		./internal/kernel/... ./internal/store/... ./internal/observable/... \
-		./internal/backend/...
+		./internal/backend/... ./internal/telemetry/...
 
 # The tier-1 gate: plain build + test, as CI runs it. CI calls this
 # target (not raw go commands), so the gate is defined exactly once.
@@ -76,14 +76,20 @@ bench-gate: build
 bench-serve: build
 	$(GO) run ./cmd/qgear-serve bench -clients 100 -waves 2 -qubits 16
 
-# CI service load check: 50 clients through an embedded server with a
-# deliberately tight byte budget and a live store, so eviction, spill,
-# and store-hit paths all run under real concurrency. The bench fails
-# if resident cache bytes ever exceed the budget.
+# CI service load check: 50 clients of mixed simulate/expectation HTTP
+# load through an embedded server with a deliberately tight byte budget
+# and a live store, so eviction, spill, and store-hit paths all run
+# under real concurrency. -require-metrics makes it the observability
+# gate too: the run fails when /metrics is missing a required family or
+# the scraped counters disagree with /v1/stats. The percentile report
+# lands in $(BENCH_OUT)/BENCH_load.json for artifact upload.
 ci-load: build
 	rm -rf $(WARMSTART_DIR)-load
-	$(GO) run ./cmd/qgear-serve bench -clients 50 -waves 2 -qubits 14 \
-		-max-cache-bytes 2097152 -store-dir $(WARMSTART_DIR)-load
+	mkdir -p $(BENCH_OUT)
+	$(GO) run ./cmd/qgear-bench load -clients 50 -requests 6 -qubits 14 \
+		-shots 64 -expect-every 3 \
+		-max-cache-bytes 2097152 -store-dir $(WARMSTART_DIR)-load \
+		-require-metrics -out $(BENCH_OUT)/BENCH_load.json
 
 # Warm-restart acceptance: seed a store in one process, kill it, and
 # verify from a second process that repeat submissions are store hits

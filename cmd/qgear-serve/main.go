@@ -26,6 +26,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -97,6 +98,7 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	cfg := serviceFlags(fs)
 	addr := fs.String("addr", ":8042", "listen address")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints expose internals)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,7 +106,18 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)

@@ -29,6 +29,7 @@ import (
 	"qgear/internal/qmath"
 	"qgear/internal/sampling"
 	"qgear/internal/statevec"
+	"qgear/internal/telemetry"
 )
 
 // Target names an execution backend.
@@ -134,6 +135,14 @@ type Result struct {
 	Exchanges        int
 	BytesSent        int64
 	AvoidedExchanges int
+	// Trace is the per-stage timing breakdown of the run (execute,
+	// readout, sample, ... — see the telemetry.Stage* constants). The
+	// service layer prepends its own spans (queue wait, plan-cache
+	// resolution) and returns the whole trace in /v1/results; spans are
+	// sequential, so their sum never exceeds Duration plus the serving
+	// overhead. Not persisted: a store-loaded result carries a fresh
+	// store_load span instead.
+	Trace *telemetry.Trace
 }
 
 func (c Config) workers() int {
@@ -304,9 +313,11 @@ func RunCompiled(comp *Compiled, cfg Config) (*Result, error) {
 		stats := comp.Plan.Stats
 		res.PlanStats = &stats
 	}
+	tr := &telemetry.Trace{}
 
 	switch cfg.Target {
 	case TargetNvidiaMGPU:
+		t0 := time.Now()
 		out, err := mgpu.SimulateCompiled(comp.Kernel, comp.Plan, cfg.devices(), cfg.workers())
 		if err != nil {
 			return nil, err
@@ -315,15 +326,18 @@ func RunCompiled(comp *Compiled, cfg Config) (*Result, error) {
 		res.Exchanges = out.Exchanges
 		res.BytesSent = out.BytesSent
 		res.AvoidedExchanges = out.AvoidedExchanges
+		addDistSpans(tr, time.Since(t0), out.ExchangeTime)
 	case TargetPennylane:
+		t0 := time.Now()
 		pennylaneTranspile(comp.Kernel)
-		probs, err := runSingle(comp, cfg.workers())
+		tr.Add(telemetry.StageTranspile, time.Since(t0))
+		probs, err := runSingleTraced(comp, cfg.workers(), tr)
 		if err != nil {
 			return nil, err
 		}
 		res.Probabilities = probs
 	default: // aer, nvidia, and mqpu-with-one-circuit all run the local engine
-		probs, err := runSingle(comp, cfg.workers())
+		probs, err := runSingleTraced(comp, cfg.workers(), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -331,14 +345,29 @@ func RunCompiled(comp *Compiled, cfg Config) (*Result, error) {
 	}
 
 	if cfg.Shots > 0 {
+		t0 := time.Now()
 		counts, err := sampleShots(res.Probabilities, cfg)
 		if err != nil {
 			return nil, err
 		}
 		res.Counts = counts
+		tr.Add(telemetry.StageSample, time.Since(t0))
 	}
 	res.Duration = time.Since(start)
+	res.Trace = tr
 	return res, nil
+}
+
+// addDistSpans splits a distributed execution's wall time into compute
+// and exchange spans. The exchange share is the root rank's measured
+// wait; it is clamped below the whole so the span sum stays an exact
+// partition of the measured wall time.
+func addDistSpans(tr *telemetry.Trace, wall, exchange time.Duration) {
+	if exchange > 0 && exchange < wall {
+		tr.Add(telemetry.StageExchange, exchange)
+		wall -= exchange
+	}
+	tr.Add(telemetry.StageExecute, wall)
 }
 
 // SampleShots draws measurement shots from an already-computed
@@ -389,15 +418,20 @@ func sampleShots(probs []float64, cfg Config) (sampling.Counts, error) {
 	return merged, nil
 }
 
-// runSingle executes a compiled circuit on one in-memory device,
+// runSingleTraced executes a compiled circuit on one in-memory device,
 // through the plan when one was compiled (bit-identical output either
-// way).
-func runSingle(comp *Compiled, workers int) ([]float64, error) {
+// way), recording execute and readout spans into tr.
+func runSingleTraced(comp *Compiled, workers int, tr *telemetry.Trace) ([]float64, error) {
+	t0 := time.Now()
 	s, err := runSingleState(comp, workers)
 	if err != nil {
 		return nil, err
 	}
-	return s.Probabilities(), nil
+	tr.Add(telemetry.StageExecute, time.Since(t0))
+	t1 := time.Now()
+	probs := s.Probabilities()
+	tr.Add(telemetry.StageReadout, time.Since(t1))
+	return probs, nil
 }
 
 // runSingleState executes a compiled circuit and returns the resident

@@ -8,6 +8,7 @@ import (
 	"qgear/internal/circuit"
 	"qgear/internal/mgpu"
 	"qgear/internal/observable"
+	"qgear/internal/telemetry"
 )
 
 // Observable estimation as a first-class job kind: the compiled
@@ -61,10 +62,12 @@ func RunExpectationCompiled(comp *Compiled, h *observable.Hamiltonian, cfg Confi
 		stats := comp.Plan.Stats
 		res.PlanStats = &stats
 	}
+	tr := &telemetry.Trace{}
 
 	var val float64
 	switch cfg.Target {
 	case TargetNvidiaMGPU:
+		t0 := time.Now()
 		out, err := mgpu.ExpectationCompiled(comp.Kernel, comp.Plan, h, cfg.devices(), cfg.workers())
 		if err != nil {
 			return nil, err
@@ -73,14 +76,23 @@ func RunExpectationCompiled(comp *Compiled, h *observable.Hamiltonian, cfg Confi
 		res.Exchanges = out.Exchanges
 		res.BytesSent = out.BytesSent
 		res.AvoidedExchanges = out.AvoidedExchanges
+		// The distributed path executes and reduces inside one mpi.Run;
+		// the whole wall is the expectation stage, with the measured
+		// exchange share split out.
+		addDistSpans(tr, time.Since(t0), out.ExchangeTime)
 	case TargetPennylane:
+		t0 := time.Now()
 		pennylaneTranspile(comp.Kernel)
+		tr.Add(telemetry.StageTranspile, time.Since(t0))
 		fallthrough
 	default: // aer, nvidia, pennylane, and the mqpu term-parallel mode
+		t0 := time.Now()
 		s, err := runSingleState(comp, cfg.workers())
 		if err != nil {
 			return nil, err
 		}
+		tr.Add(telemetry.StageExecute, time.Since(t0))
+		t1 := time.Now()
 		if cfg.Target == TargetNvidiaMQPU && cfg.devices() > 1 {
 			// Term-partitioned parallel evaluation: the simulated QPUs
 			// each sweep a stripe of terms over the shared read-only
@@ -93,8 +105,10 @@ func RunExpectationCompiled(comp *Compiled, h *observable.Hamiltonian, cfg Confi
 		if err != nil {
 			return nil, err
 		}
+		tr.Add(telemetry.StageExpectation, time.Since(t1))
 	}
 	res.ExpValue = &val
 	res.Duration = time.Since(start)
+	res.Trace = tr
 	return res, nil
 }

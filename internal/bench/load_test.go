@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"qgear/internal/service"
+)
+
+func TestParseMetrics(t *testing.T) {
+	body := `# HELP a_total A.
+# TYPE a_total counter
+a_total{x="1"} 3
+a_total{x="2"} 4.5
+# TYPE b gauge
+b 7
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 2
+h_seconds_sum 0.004
+h_seconds_count 2
+`
+	series, families, err := ParseMetrics(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if families["a_total"] != "counter" || families["b"] != "gauge" || families["h_seconds"] != "histogram" {
+		t.Errorf("families = %v", families)
+	}
+	if series[`a_total{x="1"}`] != 3 || series[`a_total{x="2"}`] != 4.5 || series["b"] != 7 {
+		t.Errorf("series = %v", series)
+	}
+	if series[`h_seconds_bucket{le="+Inf"}`] != 2 || series["h_seconds_count"] != 2 {
+		t.Errorf("histogram series = %v", series)
+	}
+	if _, _, err := ParseMetrics(strings.NewReader("garbage line without value\n")); err == nil {
+		t.Error("unparseable line accepted")
+	}
+}
+
+// TestRunLoadEmbedded is the harness's own end-to-end check: a small
+// mixed workload against an embedded server must complete error-free,
+// report both job kinds, find every required metric family, and agree
+// with /v1/stats — the same gate CI runs at larger scale.
+func TestRunLoadEmbedded(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := RunLoad(LoadConfig{
+		Clients:        4,
+		Requests:       6,
+		Qubits:         8,
+		Shots:          16,
+		ExpectEvery:    3,
+		SeedCycle:      2,
+		RequireMetrics: true,
+		Service:        service.Config{WorkerPool: 2, QueueSize: 64},
+	}, &out)
+	if err != nil {
+		t.Fatalf("RunLoad: %v\noutput:\n%s", err, out.String())
+	}
+	if rep.Total != 24 || rep.Errors != 0 {
+		t.Errorf("total=%d errors=%d, want 24 and 0", rep.Total, rep.Errors)
+	}
+	if !rep.Consistent {
+		t.Error("metrics/stats consistency check failed")
+	}
+	kinds := map[string]KindStats{}
+	for _, k := range rep.Kinds {
+		kinds[k.Kind] = k
+	}
+	sim, okSim := kinds["simulate"]
+	exp, okExp := kinds["expectation"]
+	if !okSim || !okExp {
+		t.Fatalf("kinds = %+v, want simulate and expectation", rep.Kinds)
+	}
+	// 6 requests per client, every 3rd an expectation: 4 simulate + 2
+	// expectation each.
+	if sim.Requests != 16 || exp.Requests != 8 {
+		t.Errorf("per-kind requests = %d/%d, want 16/8", sim.Requests, exp.Requests)
+	}
+	if sim.P50MS <= 0 || sim.P95MS < sim.P50MS || sim.MaxMS < sim.P99MS {
+		t.Errorf("simulate percentiles inconsistent: %+v", sim)
+	}
+	// SeedCycle 2 over 4 simulate requests repeats seeds, and each
+	// client's second expectation repeats the first: hits must show up.
+	if rep.MetricDeltas[`qgear_cache_hits_total{cache="result"}`] <= 0 {
+		t.Errorf("no result-cache hits under a repeating workload: %v", rep.MetricDeltas)
+	}
+	if rep.TracedResults != 4 {
+		t.Errorf("traced results = %d, want one per client (4)", rep.TracedResults)
+	}
+	if rep.RPS <= 0 {
+		t.Errorf("rps = %v", rep.RPS)
+	}
+}
+
+// TestRunLoadWritesReport checks the JSON artifact lands on disk and
+// decodes.
+func TestRunLoadWritesReport(t *testing.T) {
+	path := t.TempDir() + "/BENCH_load.json"
+	_, err := RunLoad(LoadConfig{
+		Clients:  2,
+		Requests: 2,
+		Qubits:   6,
+		OutPath:  path,
+		Service:  service.Config{WorkerPool: 1},
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if rep.Total != 4 {
+		t.Errorf("artifact total = %d, want 4", rep.Total)
+	}
+}

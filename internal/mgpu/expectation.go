@@ -3,6 +3,7 @@ package mgpu
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"qgear/internal/kernel"
 	"qgear/internal/mpi"
@@ -38,6 +39,10 @@ type ExpResult struct {
 	Exchanges        int
 	BytesSent        int64
 	AvoidedExchanges int
+	// ExchangeTime is the root rank's cumulative exchange wait (plan
+	// execution plus expectation-term exchanges), wall-clock
+	// representative rather than a cross-rank sum.
+	ExchangeTime time.Duration
 }
 
 // termSpec is one term's SPMD-identical classification: every rank
@@ -225,6 +230,7 @@ func ExpectationCompiled(k *kernel.Kernel, plan *kernel.TilePlan, h *observable.
 			res.Exchanges = int(ex)
 			res.BytesSent = int64(by)
 			res.AvoidedExchanges = int(av)
+			res.ExchangeTime = d.ExchangeTime()
 		}
 		return nil
 	})

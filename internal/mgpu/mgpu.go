@@ -16,6 +16,7 @@ package mgpu
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"qgear/internal/gate"
 	"qgear/internal/kernel"
@@ -35,7 +36,8 @@ type DistState struct {
 	// Stats
 	exchanges   int
 	bytesSent   int64
-	avoidedExch int // exchanges the per-gate baseline would have paid
+	avoidedExch int   // exchanges the per-gate baseline would have paid
+	exchangeNS  int64 // time this rank spent copying + swapping buffers
 	opBuf       []statevec.TileOp
 }
 
@@ -81,6 +83,12 @@ func (d *DistState) BytesSent() int64 { return d.bytesSent }
 // exchanges a batched exchange segment absorbs into its first.
 func (d *DistState) AvoidedExchanges() int { return d.avoidedExch }
 
+// ExchangeTime returns how long this rank spent inside pairwise buffer
+// exchanges (send-copy plus the blocking swap with the partner) — the
+// communication share of its execution wall time, reported as the
+// "exchange" stage of a job trace.
+func (d *DistState) ExchangeTime() time.Duration { return time.Duration(d.exchangeNS) }
+
 // isGlobal reports whether qubit q lives in the rank-index bits.
 func (d *DistState) isGlobal(q int) bool { return q >= d.local }
 
@@ -104,6 +112,7 @@ func (d *DistState) exchange(partner int) []complex128 {
 // expectation evaluator translates indices through its lookup tables,
 // and both shards of a pair always share one layout (SPMD execution).
 func (d *DistState) exchangeRaw(partner int) []complex128 {
+	start := time.Now()
 	amps := d.st.AmplitudesRaw()
 	if d.sendBuf == nil {
 		d.sendBuf = make([]complex128, len(amps))
@@ -118,6 +127,7 @@ func (d *DistState) exchangeRaw(partner int) []complex128 {
 	d.sendBuf = theirs
 	d.exchanges++
 	d.bytesSent += int64(len(amps) * 16)
+	d.exchangeNS += int64(time.Since(start))
 	return theirs
 }
 
@@ -376,7 +386,11 @@ type Result struct {
 	// would have performed but this run resolved locally (rank-bit
 	// diagonal phases) or absorbed into a batched exchange segment.
 	AvoidedExchanges int
-	Norm             float64
+	// ExchangeTime is the root rank's cumulative exchange wait — a
+	// representative (SPMD-symmetric) communication share of the run's
+	// wall clock, not a cross-rank sum (ranks exchange concurrently).
+	ExchangeTime time.Duration
+	Norm         float64
 }
 
 // simulate spawns nRanks device ranks, runs exec on each shard, and
@@ -402,6 +416,7 @@ func simulate(numQubits, nRanks, workersPerRank int, exec func(*DistState) error
 			res.Exchanges = int(ex)
 			res.BytesSent = int64(by)
 			res.AvoidedExchanges = int(av)
+			res.ExchangeTime = d.ExchangeTime()
 		}
 		return nil
 	})

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"qgear/internal/backend"
 	"qgear/internal/circuit"
@@ -17,6 +18,7 @@ import (
 	"qgear/internal/observable"
 	"qgear/internal/qasm"
 	"qgear/internal/sampling"
+	"qgear/internal/telemetry"
 )
 
 // The HTTP JSON API:
@@ -25,7 +27,8 @@ import (
 //	GET  /v1/jobs/{id}     poll a job's state
 //	GET  /v1/results/{id}  fetch a finished job's result
 //	GET  /v1/stats         server counters, hit rate, latency histograms
-//	GET  /v1/healthz       liveness
+//	GET  /v1/healthz       liveness, version, uptime, queue depth
+//	GET  /metrics          Prometheus text exposition
 //
 // Circuits are submitted either as OpenQASM 2.0 text ("qasm") or as a
 // structured op list ("circuit"); shots and seed ride alongside.
@@ -195,6 +198,23 @@ type ResultResponse struct {
 	// run used (absent on the per-gate path).
 	TileBits  int               `json:"tile_bits,omitempty"`
 	PlanStats *kernel.PlanStats `json:"plan_stats,omitempty"`
+	// Trace is the per-stage timing breakdown of how this result was
+	// produced. Results served from the cache or a single-flight join
+	// carry the original execution's trace (Cached marks that case), so
+	// the span sum can exceed the serving job's own wall time.
+	Trace *telemetry.Trace `json:"trace,omitempty"`
+}
+
+// HealthResponse is the GET /v1/healthz payload: enough to tell a
+// probe not just that the process is up, but which build it is and how
+// loaded it is.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Workers       int     `json:"workers"`
 }
 
 // Handler returns the HTTP API bound to this server.
@@ -205,10 +225,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/results/", s.handleResult)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/store", s.handleStore)
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.reg.Handler())
 	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Version:       Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueSize,
+		Workers:       s.cfg.WorkerPool,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -369,6 +399,7 @@ func buildResultResponse(info JobInfo, res *backend.Result) ResultResponse {
 		ExpTerms:   res.ExpTerms,
 		TileBits:   res.TileBits,
 		PlanStats:  res.PlanStats,
+		Trace:      res.Trace,
 	}
 	if len(res.Counts) > 0 {
 		resp.Counts = make(map[string]int, len(res.Counts))

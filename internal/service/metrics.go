@@ -1,0 +1,137 @@
+package service
+
+import (
+	"time"
+
+	"qgear/internal/telemetry"
+)
+
+// registerMetrics publishes every server counter through the telemetry
+// registry. All scalar families are callback instruments reading the
+// same fields that back /v1/stats — the two surfaces are one set of
+// counters viewed two ways, so they can never disagree. Callbacks
+// take s.mu at scrape time; that is safe against the serving path
+// because the exposition renderer never holds the registry lock while
+// invoking them (see telemetry.Registry.WritePrometheus).
+func (s *Server) registerMetrics() {
+	r := s.reg
+	// locked adapts a counter read into a scrape callback.
+	locked := func(read func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return read()
+		}
+	}
+
+	// Job flow.
+	r.CounterFunc("qgear_jobs_submitted_total", "Jobs accepted by Submit.", nil,
+		locked(func() float64 { return float64(s.submitted) }))
+	r.CounterFunc("qgear_jobs_completed_total", "Jobs finished successfully.", nil,
+		locked(func() float64 { return float64(s.completed) }))
+	r.CounterFunc("qgear_jobs_failed_total", "Jobs finished with an error.", nil,
+		locked(func() float64 { return float64(s.failed) }))
+	r.CounterFunc("qgear_jobs_executed_total", "Jobs that reached a fresh execution (not served by cache, single-flight, or store).", nil,
+		locked(func() float64 { return float64(s.executed) }))
+	r.CounterFunc("qgear_expectation_jobs_total", "Expectation-value jobs submitted.", nil,
+		locked(func() float64 { return float64(s.expSubmitted) }))
+	r.CounterFunc("qgear_expectation_executed_total", "Expectation-value jobs freshly evaluated.", nil,
+		locked(func() float64 { return float64(s.expExecuted) }))
+	r.CounterFunc("qgear_singleflight_hits_total", "Submissions attached to an identical in-flight job.", nil,
+		locked(func() float64 { return float64(s.sfHits) }))
+	r.CounterFunc("qgear_batches_total", "Coalesced batches executed.", nil,
+		locked(func() float64 { return float64(s.batches) }))
+	r.CounterFunc("qgear_batched_jobs_total", "Jobs executed through coalesced batches.", nil,
+		locked(func() float64 { return float64(s.batchedJobs) }))
+
+	// Caches, labeled by which cache.
+	result := telemetry.Labels{"cache": "result"}
+	plan := telemetry.Labels{"cache": "plan"}
+	r.CounterFunc("qgear_cache_hits_total", "Cache hits, labeled by cache (result includes spill-lookaside hits).", result,
+		locked(func() float64 { return float64(s.cacheHits) }))
+	r.CounterFunc("qgear_cache_hits_total", "Cache hits, labeled by cache (result includes spill-lookaside hits).", plan,
+		locked(func() float64 { return float64(s.planHits) }))
+	r.CounterFunc("qgear_cache_misses_total", "Plan-cache misses (compilations that could not be served from memory).", plan,
+		locked(func() float64 { return float64(s.planMisses) }))
+	r.CounterFunc("qgear_cache_evictions_total", "Entries evicted, labeled by cache.", result,
+		locked(func() float64 { return float64(s.cache.Evictions()) }))
+	r.CounterFunc("qgear_cache_evictions_total", "Entries evicted, labeled by cache.", plan,
+		locked(func() float64 { return float64(s.plans.Evictions()) }))
+	r.CounterFunc("qgear_cache_evicted_bytes_total", "Accounted bytes of evicted entries, labeled by cache.", result,
+		locked(func() float64 { return float64(s.cacheEvictedBytes) }))
+	r.CounterFunc("qgear_cache_evicted_bytes_total", "Accounted bytes of evicted entries, labeled by cache.", plan,
+		locked(func() float64 { return float64(s.planEvictedBytes) }))
+	r.GaugeFunc("qgear_cache_entries", "Resident entries, labeled by cache.", result,
+		locked(func() float64 { return float64(s.cache.Len()) }))
+	r.GaugeFunc("qgear_cache_entries", "Resident entries, labeled by cache.", plan,
+		locked(func() float64 { return float64(s.plans.Len()) }))
+	r.GaugeFunc("qgear_cache_bytes", "Resident accounted bytes, labeled by cache.", result,
+		locked(func() float64 { return float64(s.cache.Bytes()) }))
+	r.GaugeFunc("qgear_cache_bytes", "Resident accounted bytes, labeled by cache.", plan,
+		locked(func() float64 { return float64(s.plans.Bytes()) }))
+	r.GaugeFunc("qgear_cache_max_bytes", "Configured byte bound (0 = unbounded), labeled by cache.", result,
+		func() float64 { return float64(s.cfg.MaxCacheBytes) })
+	r.GaugeFunc("qgear_cache_max_bytes", "Configured byte bound (0 = unbounded), labeled by cache.", plan,
+		func() float64 { return float64(s.cfg.MaxPlanCacheBytes) })
+
+	// Persistent store.
+	r.CounterFunc("qgear_store_hits_total", "Persistent-store hits, labeled by artifact kind.", telemetry.Labels{"kind": "result"},
+		locked(func() float64 { return float64(s.storeHits) }))
+	r.CounterFunc("qgear_store_hits_total", "Persistent-store hits, labeled by artifact kind.", telemetry.Labels{"kind": "plan"},
+		locked(func() float64 { return float64(s.planStoreHits) }))
+	r.CounterFunc("qgear_store_misses_total", "Result-cache misses the store could not answer either.", nil,
+		locked(func() float64 { return float64(s.storeMisses) }))
+	r.CounterFunc("qgear_store_spills_total", "Artifacts written to the persistent store.", nil,
+		locked(func() float64 { return float64(s.storeSpills) }))
+	r.CounterFunc("qgear_store_spill_drops_total", "Eviction spills shed under backlog pressure.", nil,
+		locked(func() float64 { return float64(s.storeSpillDrops) }))
+	r.CounterFunc("qgear_store_errors_total", "Store loads or writes that failed (I/O or integrity).", nil,
+		locked(func() float64 { return float64(s.storeErrors) }))
+	r.CounterFunc("qgear_store_quarantines_total", "Provably corrupt store files dropped.", nil,
+		locked(func() float64 { return float64(s.storeQuarantines) }))
+	r.GaugeFunc("qgear_store_bytes", "Bytes resident in the persistent store.", nil,
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().Bytes)
+		})
+	r.GaugeFunc("qgear_store_entries", "Persistent-store entries, labeled by artifact kind.", telemetry.Labels{"kind": "result"},
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().ResultEntries)
+		})
+	r.GaugeFunc("qgear_store_entries", "Persistent-store entries, labeled by artifact kind.", telemetry.Labels{"kind": "plan"},
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().PlanEntries)
+		})
+
+	// Distributed-execution communication (nvidia-mgpu).
+	r.CounterFunc("qgear_mgpu_exchanges_total", "Pairwise buffer exchanges across completed distributed executions.", nil,
+		locked(func() float64 { return float64(s.mgpuExchanges) }))
+	r.CounterFunc("qgear_mgpu_avoided_exchanges_total", "Exchanges elided by the avoided-exchange optimization.", nil,
+		locked(func() float64 { return float64(s.mgpuAvoided) }))
+	r.CounterFunc("qgear_mgpu_bytes_sent_total", "Bytes moved by distributed buffer exchanges.", nil,
+		locked(func() float64 { return float64(s.mgpuBytesSent) }))
+
+	// Queue and worker pool.
+	r.GaugeFunc("qgear_queue_depth", "Jobs waiting in the bounded queue.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("qgear_queue_capacity", "Configured queue bound.", nil,
+		func() float64 { return float64(s.cfg.QueueSize) })
+	r.GaugeFunc("qgear_workers", "Configured worker-pool size.", nil,
+		func() float64 { return float64(s.cfg.WorkerPool) })
+	r.GaugeFunc("qgear_workers_busy", "Workers currently executing a batch.", nil,
+		func() float64 { return float64(s.busy.Load()) })
+	r.GaugeFunc("qgear_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("qgear_build_info", "Serving-layer version as a label; value is always 1.", telemetry.Labels{"version": Version},
+		func() float64 { return 1 })
+
+	r.RegisterRuntime()
+}

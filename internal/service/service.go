@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qgear/internal/backend"
@@ -32,7 +33,12 @@ import (
 	"qgear/internal/core"
 	"qgear/internal/observable"
 	"qgear/internal/store"
+	"qgear/internal/telemetry"
 )
+
+// Version identifies the serving layer in /v1/healthz and the
+// qgear_build_info metric.
+const Version = "0.6.0"
 
 // Config sizes the server. Zero values select the documented defaults.
 type Config struct {
@@ -238,6 +244,16 @@ type Server struct {
 	store  *store.Store // nil without StoreDir
 	cfgSig string       // normalized option signature stamped on store artifacts
 	spill  chan spillItem
+	// reg is the server's metric registry: every counter below is
+	// exported through it (as a callback reading the same field, so
+	// /metrics and /v1/stats can never disagree), job and stage
+	// latencies are registry histograms, and Handler mounts its
+	// Prometheus exposition at /metrics.
+	reg *telemetry.Registry
+	// busy counts workers currently executing a batch. Atomic (not
+	// under mu) so the utilization gauge never contends with the
+	// serving path.
+	busy atomic.Int64
 
 	mu          sync.Mutex
 	closed      bool
@@ -267,8 +283,13 @@ type Server struct {
 	storeHits, planStoreHits     uint64
 	storeMisses, storeErrors     uint64
 	storeSpills, storeSpillDrops uint64
+	storeQuarantines             uint64
 	batches, batchedJobs         uint64
-	latency                      map[string]*histogram
+	cacheEvictedBytes            int64
+	planEvictedBytes             int64
+	mgpuExchanges, mgpuAvoided   uint64
+	mgpuBytesSent                int64
+	latency                      map[string]*telemetry.Histogram
 }
 
 // spillItem is one artifact bound for the persistent store: exactly
@@ -322,8 +343,10 @@ func New(cfg Config) (*Server, error) {
 		plans:       store.NewCache[*backend.Compiled](cfg.PlanCacheSize, cfg.MaxPlanCacheBytes),
 		planFlights: make(map[string]chan struct{}),
 		queue:       make(chan *job, cfg.QueueSize),
-		latency:     make(map[string]*histogram),
+		reg:         telemetry.NewRegistry(),
+		latency:     make(map[string]*telemetry.Histogram),
 	}
+	s.registerMetrics()
 	opts := s.execOptions()
 	s.cfgSig = opts.StoreSignature()
 	if cfg.StoreDir != "" {
@@ -351,11 +374,15 @@ func (s *Server) spiller() {
 	defer s.spillWG.Done()
 	for it := range s.spill {
 		var err error
+		t0 := time.Now()
 		if it.result != nil {
 			err = s.store.SaveResult(it.key, s.cfgSig, it.result)
 		} else {
 			err = s.store.SavePlan(it.key, s.cfgSig, it.plan, it.cost)
 		}
+		// Spills run off the serving path, so the stage appears in the
+		// registry histograms but never in a job trace.
+		s.stageHist(telemetry.StageSpill).Observe(time.Since(t0))
 		s.mu.Lock()
 		if err != nil {
 			s.storeErrors++
@@ -426,14 +453,21 @@ func (s *Server) planKey(fp string) string {
 // immutable and safe to execute concurrently. Concurrent misses for
 // one key single-flight: workers that lose the race wait for the
 // winner's plan instead of compiling the same circuit again.
-func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, error) {
+//
+// The returned trace fragment breaks the call's own wall time into a
+// fresh compile span, a persistent-store load span, and a plan_cache
+// span covering everything else (lookup, single-flight waits, spill
+// lookaside) — so a cache hit shows pure plan_cache time while a cold
+// miss shows mostly compile.
+func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, *telemetry.Trace, error) {
+	t0 := time.Now()
 	key := s.planKey(fp)
 	s.mu.Lock()
 	for {
 		if comp, ok := s.plans.Get(key); ok {
 			s.planHits++
 			s.mu.Unlock()
-			return comp, nil
+			return comp, planTrace(t0, 0, 0), nil
 		}
 		if it, ok := s.pendingSpills[key]; ok && it.plan != nil {
 			// Spill lookaside: an evicted plan still bound for disk is
@@ -442,10 +476,11 @@ func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, err
 			comp := it.plan
 			s.planHits++
 			for _, ev := range s.plans.Add(key, comp, comp.SizeBytes(), planCost(comp)) {
+				s.planEvictedBytes += ev.Bytes
 				s.enqueueSpillLocked(spillItem{key: ev.Key, plan: ev.Val, cost: ev.Cost, bytes: ev.Bytes})
 			}
 			s.mu.Unlock()
-			return comp, nil
+			return comp, planTrace(t0, 0, 0), nil
 		}
 		ch, compiling := s.planFlights[key]
 		if !compiling {
@@ -468,22 +503,33 @@ func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, err
 	var comp *backend.Compiled
 	var err error
 	var cost float64
+	var loadDur, compileDur time.Duration
 	fromStore := false
 	if s.store != nil && s.store.HasPlan(key) {
-		if comp, cost, err = s.store.LoadPlan(key, s.cfgSig); err == nil {
+		tl := time.Now()
+		comp, cost, err = s.store.LoadPlan(key, s.cfgSig)
+		loadDur = time.Since(tl)
+		if err == nil {
 			fromStore = true
 		} else {
+			quarantined := false
 			if errors.Is(err, store.ErrIntegrity) {
 				s.store.DropPlan(key)
+				quarantined = true
 			}
 			s.mu.Lock()
 			s.storeErrors++
+			if quarantined {
+				s.storeQuarantines++
+			}
 			s.mu.Unlock()
 			comp = nil
 		}
 	}
 	if comp == nil {
+		tc := time.Now()
 		comp, err = core.Compile(c, s.execOptions())
+		compileDur = time.Since(tc)
 	}
 
 	s.mu.Lock()
@@ -497,13 +543,46 @@ func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, err
 			cost = planCost(comp)
 		}
 		for _, ev := range s.plans.Add(key, comp, comp.SizeBytes(), cost) {
+			s.planEvictedBytes += ev.Bytes
 			s.enqueueSpillLocked(spillItem{key: ev.Key, plan: ev.Val, cost: ev.Cost, bytes: ev.Bytes})
 		}
 	}
 	delete(s.planFlights, key)
 	close(ch)
 	s.mu.Unlock()
-	return comp, err
+	return comp, planTrace(t0, loadDur, compileDur), err
+}
+
+// planTrace assembles compiled()'s trace fragment: store-load and
+// compile get their own spans, and whatever remains of the call's wall
+// time is plan-cache overhead.
+func planTrace(t0 time.Time, loadDur, compileDur time.Duration) *telemetry.Trace {
+	tr := &telemetry.Trace{}
+	tr.Add(telemetry.StagePlanCache, time.Since(t0)-loadDur-compileDur)
+	tr.Add(telemetry.StageStoreLoad, loadDur)
+	tr.Add(telemetry.StageCompile, compileDur)
+	return tr
+}
+
+// stageHist returns the registry histogram for one pipeline stage.
+func (s *Server) stageHist(stage string) *telemetry.Histogram {
+	return s.reg.Histogram("qgear_stage_duration_seconds",
+		"Pipeline stage latency, labeled by stage.",
+		telemetry.Labels{"stage": stage})
+}
+
+// observeStages folds a trace fragment into the per-stage registry
+// histograms. Call it once per execution event for spans shared by
+// batch-mates (compile, execute) and once per job for per-job spans
+// (queue_wait, sample), so aggregates count each measured interval
+// exactly once.
+func (s *Server) observeStages(tr *telemetry.Trace) {
+	if tr == nil {
+		return
+	}
+	for _, sp := range tr.Spans {
+		s.stageHist(sp.Stage).Observe(sp.Duration())
+	}
 }
 
 // key returns the content address of (circuit, per-job options) under
@@ -674,10 +753,15 @@ func (s *Server) finishLocked(j *job, res *backend.Result, err error, latencyKey
 	}
 	h := s.latency[latencyKey]
 	if h == nil {
-		h = &histogram{}
+		// One instrument serves both surfaces: the map backs the
+		// /v1/stats Latency snapshot, the registry the
+		// qgear_job_duration_seconds Prometheus family.
+		h = s.reg.Histogram("qgear_job_duration_seconds",
+			"End-to-end job latency (submit to done), labeled by serving path.",
+			telemetry.Labels{"path": latencyKey})
 		s.latency[latencyKey] = h
 	}
-	h.observe(j.finishedAt.Sub(j.submittedAt))
+	h.Observe(j.finishedAt.Sub(j.submittedAt))
 	close(j.done)
 }
 
@@ -701,6 +785,7 @@ func (s *Server) completeKeyLocked(key string, res *backend.Result, err error, l
 	delete(s.inflight, key)
 	if err == nil && res != nil {
 		for _, ev := range s.cache.Add(key, res, res.SizeBytes(), resultCost(res)) {
+			s.cacheEvictedBytes += ev.Bytes
 			s.enqueueSpillLocked(spillItem{key: ev.Key, result: ev.Val, bytes: ev.Bytes})
 		}
 	}
@@ -715,7 +800,17 @@ func (s *Server) completeKeyLocked(key string, res *backend.Result, err error, l
 // the flight leader falls back to a real simulation through the queue.
 func (s *Server) serveFromStore(key string) {
 	defer s.loadWG.Done()
+	t0 := time.Now()
 	res, err := s.store.LoadResult(key, s.cfgSig)
+	loadDur := time.Since(t0)
+	if err == nil {
+		// The store does not persist traces; a loaded result's trace is
+		// this serving event's own cost — one store_load span.
+		tr := &telemetry.Trace{}
+		tr.Add(telemetry.StageStoreLoad, loadDur)
+		res.Trace = tr
+		s.observeStages(tr)
+	}
 	s.mu.Lock()
 	if err == nil {
 		s.storeHits++
@@ -729,6 +824,9 @@ func (s *Server) serveFromStore(key string) {
 		return
 	}
 	s.storeErrors++
+	if errors.Is(err, store.ErrIntegrity) {
+		s.storeQuarantines++
+	}
 	// Capture the leader under the mutex: concurrent identical
 	// submissions keep appending to f.jobs through the single-flight
 	// path, so the slice must not be read unlocked.
@@ -757,8 +855,10 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
+		s.busy.Add(1)
 		batch := s.collectBatch(j)
 		s.runBatch(batch)
+		s.busy.Add(-1)
 	}
 }
 
@@ -812,6 +912,10 @@ func (s *Server) markRunning(batch []*job) {
 // single-flight), so one cached compile serves any number of
 // observables on the same circuit.
 func (s *Server) runBatch(batch []*job) {
+	// Queue wait ends for every member when the worker picks the batch
+	// up; each job's queue_wait span is measured against its own
+	// submission time.
+	dequeued := time.Now()
 	s.markRunning(batch)
 
 	type outcome struct {
@@ -820,6 +924,12 @@ func (s *Server) runBatch(batch []*job) {
 		err error
 	}
 	var outs []outcome
+
+	// Distributed-communication totals for this batch's fresh
+	// executions, aggregated once per execution event (batch-mates
+	// share one execution, so summing per job would overcount).
+	var mgpuExch, mgpuAvoided uint64
+	var mgpuBytes int64
 
 	var probJobs []*job
 	var expJobs []*job
@@ -831,10 +941,24 @@ func (s *Server) runBatch(batch []*job) {
 		}
 	}
 	for _, j := range expJobs {
-		comp, err := s.compiled(j.circ, j.fp)
+		comp, ctr, err := s.compiled(j.circ, j.fp)
 		var res *backend.Result
 		if err == nil {
 			res, err = core.RunExpectationCompiled(comp, j.ham, s.execOptions())
+		}
+		if res != nil {
+			// Expectation keys are unique within a batch (single-flight
+			// collapses duplicates), so the merged trace is both this
+			// job's breakdown and exactly one execution event.
+			tr := &telemetry.Trace{}
+			tr.Add(telemetry.StageQueueWait, dequeued.Sub(j.submittedAt))
+			tr.Append(ctr)
+			tr.Append(res.Trace)
+			res.Trace = tr
+			s.observeStages(tr)
+			mgpuExch += uint64(res.Exchanges)
+			mgpuAvoided += uint64(res.AvoidedExchanges)
+			mgpuBytes += res.BytesSent
 		}
 		outs = append(outs, outcome{j: j, res: res, err: err})
 	}
@@ -856,8 +980,9 @@ func (s *Server) runBatch(batch []*job) {
 	// pay zero transform/planning cost.
 	var err error
 	comps := make([]*backend.Compiled, len(circs))
+	compTrs := make([]*telemetry.Trace, len(circs))
 	for i, c := range circs {
-		if comps[i], err = s.compiled(c, order[i]); err != nil {
+		if comps[i], compTrs[i], err = s.compiled(c, order[i]); err != nil {
 			break
 		}
 	}
@@ -904,6 +1029,16 @@ func (s *Server) runBatch(batch []*job) {
 			}
 			continue
 		}
+		// The compile/store-load/execute spans are shared by every
+		// batch-mate of this fingerprint: observe them once per
+		// execution event, not once per job.
+		shared := &telemetry.Trace{}
+		shared.Append(compTrs[i])
+		shared.Append(results[i].Trace)
+		s.observeStages(shared)
+		mgpuExch += uint64(results[i].Exchanges)
+		mgpuAvoided += uint64(results[i].AvoidedExchanges)
+		mgpuBytes += results[i].BytesSent
 		for _, j := range jobs {
 			// Duration is this circuit's own simulation time (from
 			// backend.Run), not the whole batch's wall-clock.
@@ -913,24 +1048,41 @@ func (s *Server) runBatch(batch []*job) {
 				KernelStats:      results[i].KernelStats,
 				PlanStats:        results[i].PlanStats,
 				TileBits:         results[i].TileBits,
+				NumQubits:        results[i].NumQubits,
 				Exchanges:        results[i].Exchanges,
 				BytesSent:        results[i].BytesSent,
 				AvoidedExchanges: results[i].AvoidedExchanges,
 				Duration:         results[i].Duration,
 			}
+			// Per-job spans (queue_wait, sample) are observed per job;
+			// the attached trace additionally carries the shared spans
+			// so each result explains its own end-to-end path.
+			queueWait := dequeued.Sub(j.submittedAt)
 			var serr error
+			var sampleDur time.Duration
 			if j.opts.Shots > 0 {
 				// backend.SampleShots applies the target's own
 				// sampling path (incl. the mqpu per-device split), so
 				// a coalesced job's counts match a standalone
 				// backend.Run bit for bit.
+				ts := time.Now()
 				jr.Counts, serr = backend.SampleShots(jr.Probabilities, backend.Config{
 					Target:  s.cfg.Target,
 					Devices: s.cfg.Devices,
 					Shots:   j.opts.Shots,
 					Seed:    j.opts.Seed,
 				})
+				sampleDur = time.Since(ts)
 			}
+			own := &telemetry.Trace{}
+			own.Add(telemetry.StageQueueWait, queueWait)
+			own.Add(telemetry.StageSample, sampleDur)
+			s.observeStages(own)
+			tr := &telemetry.Trace{}
+			tr.Add(telemetry.StageQueueWait, queueWait)
+			tr.Append(shared)
+			tr.Add(telemetry.StageSample, sampleDur)
+			jr.Trace = tr
 			outs = append(outs, outcome{j: j, res: jr, err: serr})
 		}
 	}
@@ -939,6 +1091,9 @@ func (s *Server) runBatch(batch []*job) {
 	defer s.mu.Unlock()
 	s.batches++
 	s.batchedJobs += uint64(len(outs))
+	s.mgpuExchanges += mgpuExch
+	s.mgpuAvoided += mgpuAvoided
+	s.mgpuBytesSent += mgpuBytes
 	lat := string(s.cfg.Target)
 	for _, o := range outs {
 		s.executed++
@@ -1037,37 +1192,45 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		QueueDepth:          len(s.queue),
-		QueueCapacity:       s.cfg.QueueSize,
-		Workers:             s.cfg.WorkerPool,
-		Submitted:           s.submitted,
-		Completed:           s.completed,
-		Failed:              s.failed,
-		CacheHits:           s.cacheHits,
-		SingleFlightHits:    s.sfHits,
-		Executed:            s.executed,
-		ExpectationJobs:     s.expSubmitted,
-		ExpectationExecuted: s.expExecuted,
-		CacheLen:            s.cache.Len(),
-		CacheCapacity:       s.cfg.CacheSize,
-		CacheBytes:          s.cache.Bytes(),
-		CacheMaxBytes:       s.cfg.MaxCacheBytes,
-		CacheEvictions:      s.cache.Evictions(),
-		PlanCacheHits:       s.planHits,
-		PlanCacheMisses:     s.planMisses,
-		PlanCacheLen:        s.plans.Len(),
-		PlanCacheBytes:      s.plans.Bytes(),
-		PlanCacheMaxBytes:   s.cfg.MaxPlanCacheBytes,
-		StoreHits:           s.storeHits,
-		StorePlanHits:       s.planStoreHits,
-		StoreMisses:         s.storeMisses,
-		StoreSpills:         s.storeSpills,
-		StoreSpillDrops:     s.storeSpillDrops,
-		StoreErrors:         s.storeErrors,
-		Batches:             s.batches,
-		BatchedJobs:         s.batchedJobs,
-		Latency:             make(map[string]HistogramSnapshot, len(s.latency)),
-		UptimeSeconds:       time.Since(s.start).Seconds(),
+		QueueDepth:            len(s.queue),
+		QueueCapacity:         s.cfg.QueueSize,
+		Workers:               s.cfg.WorkerPool,
+		WorkersBusy:           int(s.busy.Load()),
+		Submitted:             s.submitted,
+		Completed:             s.completed,
+		Failed:                s.failed,
+		CacheHits:             s.cacheHits,
+		SingleFlightHits:      s.sfHits,
+		Executed:              s.executed,
+		ExpectationJobs:       s.expSubmitted,
+		ExpectationExecuted:   s.expExecuted,
+		CacheLen:              s.cache.Len(),
+		CacheCapacity:         s.cfg.CacheSize,
+		CacheBytes:            s.cache.Bytes(),
+		CacheMaxBytes:         s.cfg.MaxCacheBytes,
+		CacheEvictions:        s.cache.Evictions(),
+		CacheEvictedBytes:     s.cacheEvictedBytes,
+		PlanCacheHits:         s.planHits,
+		PlanCacheMisses:       s.planMisses,
+		PlanCacheLen:          s.plans.Len(),
+		PlanCacheBytes:        s.plans.Bytes(),
+		PlanCacheMaxBytes:     s.cfg.MaxPlanCacheBytes,
+		PlanCacheEvictions:    s.plans.Evictions(),
+		PlanCacheEvictedBytes: s.planEvictedBytes,
+		StoreHits:             s.storeHits,
+		StorePlanHits:         s.planStoreHits,
+		StoreMisses:           s.storeMisses,
+		StoreSpills:           s.storeSpills,
+		StoreSpillDrops:       s.storeSpillDrops,
+		StoreErrors:           s.storeErrors,
+		StoreQuarantines:      s.storeQuarantines,
+		Batches:               s.batches,
+		BatchedJobs:           s.batchedJobs,
+		MgpuExchanges:         s.mgpuExchanges,
+		MgpuAvoidedExchanges:  s.mgpuAvoided,
+		MgpuBytesSent:         s.mgpuBytesSent,
+		Latency:               make(map[string]HistogramSnapshot, len(s.latency)),
+		UptimeSeconds:         time.Since(s.start).Seconds(),
 	}
 	if s.store != nil {
 		ss := s.store.Stats()
@@ -1083,10 +1246,15 @@ func (s *Server) Stats() Stats {
 		st.MeanBatchLen = float64(st.BatchedJobs) / float64(st.Batches)
 	}
 	for k, h := range s.latency {
-		st.Latency[k] = h.snapshot()
+		st.Latency[k] = snapshotHistogram(h)
 	}
 	return st
 }
+
+// Registry returns the server's telemetry registry — the backing for
+// the /metrics exposition, exposed so embedders can mount it
+// themselves or add process-level instruments.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // cacheKeys exposes LRU recency order to tests.
 func (s *Server) cacheKeys() []string {

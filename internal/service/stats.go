@@ -1,62 +1,97 @@
 package service
 
 import (
-	"math/bits"
-	"time"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"qgear/internal/telemetry"
 )
 
-// latencyBuckets is the number of power-of-two microsecond buckets in a
-// latency histogram: bucket i counts observations with ceil(log2(µs))
-// == i, so the span runs 1 µs .. ~2^19 µs (≈ 0.5 s) with a final
-// overflow bucket.
-const latencyBuckets = 20
+// BoundsUS is a latency histogram's bucket upper bounds in
+// microseconds. The final bound is +Inf — the overflow bucket counts
+// everything past the largest finite bound. JSON has no Inf literal,
+// so the infinite bound marshals as the string "+Inf"; unmarshalling
+// accepts that string, plain numbers, and the legacy -1 sentinel that
+// older servers emitted for the overflow bucket.
+type BoundsUS []float64
 
-// histogram is a fixed-shape exponential latency histogram.
-type histogram struct {
-	Counts [latencyBuckets + 1]uint64
-	Sum    time.Duration
-	N      uint64
+// MarshalJSON renders finite bounds as numbers and the +Inf overflow
+// bound as the string "+Inf".
+func (b BoundsUS) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, v := range b {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		if math.IsInf(v, 1) {
+			buf.WriteString(`"+Inf"`)
+		} else {
+			buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	buf.WriteByte(']')
+	return buf.Bytes(), nil
 }
 
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	var b int
-	if us > 0 {
-		b = bits.Len64(uint64(us)) // 1µs -> 1, 1ms -> ~10, 1s -> ~20
+// UnmarshalJSON accepts numbers, the "+Inf" string, and the legacy -1
+// overflow sentinel (normalized to +Inf).
+func (b *BoundsUS) UnmarshalJSON(data []byte) error {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
 	}
-	if b > latencyBuckets {
-		b = latencyBuckets
+	out := make(BoundsUS, len(raw))
+	for i, r := range raw {
+		var s string
+		if err := json.Unmarshal(r, &s); err == nil {
+			if s == "+Inf" || s == "Inf" {
+				out[i] = math.Inf(1)
+				continue
+			}
+			v, perr := strconv.ParseFloat(s, 64)
+			if perr != nil {
+				return fmt.Errorf("service: bad histogram bound %q", s)
+			}
+			out[i] = v
+			continue
+		}
+		var v float64
+		if err := json.Unmarshal(r, &v); err != nil {
+			return err
+		}
+		if v < 0 {
+			v = math.Inf(1) // legacy overflow sentinel
+		}
+		out[i] = v
 	}
-	h.Counts[b]++
-	h.Sum += d
-	h.N++
+	*b = out
+	return nil
 }
 
 // HistogramSnapshot is the JSON-friendly view of one latency histogram:
-// bucket i counts observations with latency < UpperBoundsUS[i]
-// (cumulative-free, Prometheus-style le bounds).
+// bucket i counts observations with latency ≤ UpperBoundsUS[i]
+// (non-cumulative counts with Prometheus-style le bounds; the final
+// bound is +Inf). The same instruments back the Prometheus exposition,
+// so the two surfaces can never disagree.
 type HistogramSnapshot struct {
-	UpperBoundsUS []int64  `json:"upper_bounds_us"`
+	UpperBoundsUS BoundsUS `json:"upper_bounds_us"`
 	Counts        []uint64 `json:"counts"`
 	Count         uint64   `json:"count"`
 	MeanUS        float64  `json:"mean_us"`
 }
 
-func (h *histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		UpperBoundsUS: make([]int64, latencyBuckets+1),
-		Counts:        make([]uint64, latencyBuckets+1),
-		Count:         h.N,
+func snapshotHistogram(h *telemetry.Histogram) HistogramSnapshot {
+	d := h.Snapshot()
+	return HistogramSnapshot{
+		UpperBoundsUS: BoundsUS(telemetry.BucketUpperBoundsUS()),
+		Counts:        append([]uint64(nil), d.Counts[:]...),
+		Count:         d.N,
+		MeanUS:        d.Mean(),
 	}
-	for i := 0; i <= latencyBuckets; i++ {
-		s.UpperBoundsUS[i] = int64(1) << uint(i)
-		s.Counts[i] = h.Counts[i]
-	}
-	s.UpperBoundsUS[latencyBuckets] = -1 // overflow bucket
-	if h.N > 0 {
-		s.MeanUS = float64(h.Sum.Microseconds()) / float64(h.N)
-	}
-	return s
 }
 
 // Stats is a point-in-time snapshot of the server's counters. Counter
@@ -68,6 +103,9 @@ type Stats struct {
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 	Workers       int `json:"workers"`
+	// WorkersBusy is how many pool workers are executing a batch right
+	// now (the utilization numerator for Workers).
+	WorkersBusy int `json:"workers_busy"`
 
 	// Job counters.
 	Submitted uint64 `json:"submitted"`
@@ -94,20 +132,25 @@ type Stats struct {
 	// Cache occupancy. Entries are byte-accounted: CacheBytes is the
 	// resident size charged against CacheMaxBytes (0 = unbounded), and
 	// evictions are cost-per-byte-aware, not pure recency.
-	CacheLen       int    `json:"cache_len"`
-	CacheCapacity  int    `json:"cache_capacity"`
-	CacheBytes     int64  `json:"cache_bytes"`
-	CacheMaxBytes  int64  `json:"cache_max_bytes"`
-	CacheEvictions uint64 `json:"cache_evictions"`
+	// CacheEvictedBytes is the cumulative accounted size of evicted
+	// entries (the churn the byte bound forced).
+	CacheLen          int    `json:"cache_len"`
+	CacheCapacity     int    `json:"cache_capacity"`
+	CacheBytes        int64  `json:"cache_bytes"`
+	CacheMaxBytes     int64  `json:"cache_max_bytes"`
+	CacheEvictions    uint64 `json:"cache_evictions"`
+	CacheEvictedBytes int64  `json:"cache_evicted_bytes"`
 
 	// Compiled-plan cache: executions that reused a cached TilePlan
 	// (skipping circuit→kernel transformation and plan compilation)
 	// versus ones that had to compile.
-	PlanCacheHits     uint64 `json:"plan_cache_hits"`
-	PlanCacheMisses   uint64 `json:"plan_cache_misses"`
-	PlanCacheLen      int    `json:"plan_cache_len"`
-	PlanCacheBytes    int64  `json:"plan_cache_bytes"`
-	PlanCacheMaxBytes int64  `json:"plan_cache_max_bytes"`
+	PlanCacheHits         uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses       uint64 `json:"plan_cache_misses"`
+	PlanCacheLen          int    `json:"plan_cache_len"`
+	PlanCacheBytes        int64  `json:"plan_cache_bytes"`
+	PlanCacheMaxBytes     int64  `json:"plan_cache_max_bytes"`
+	PlanCacheEvictions    uint64 `json:"plan_cache_evictions"`
+	PlanCacheEvictedBytes int64  `json:"plan_cache_evicted_bytes"`
 
 	// Persistent store (zero-valued unless StoreDir is configured).
 	// StoreHits are submissions answered from disk without simulating;
@@ -115,8 +158,9 @@ type Stats struct {
 	// StoreMisses are result-cache misses the store could not answer
 	// either. StoreSpills counts artifacts written (evictions and
 	// shutdown), StoreSpillDrops eviction-spills shed under backlog,
-	// and StoreErrors files rejected by integrity checks or failed
-	// writes.
+	// StoreErrors files rejected by integrity checks or failed writes,
+	// and StoreQuarantines the subset of errors where a provably
+	// corrupt file was dropped from the store.
 	StoreDir           string `json:"store_dir,omitempty"`
 	StoreHits          uint64 `json:"store_hits"`
 	StorePlanHits      uint64 `json:"store_plan_hits"`
@@ -124,6 +168,7 @@ type Stats struct {
 	StoreSpills        uint64 `json:"store_spills"`
 	StoreSpillDrops    uint64 `json:"store_spill_drops"`
 	StoreErrors        uint64 `json:"store_errors"`
+	StoreQuarantines   uint64 `json:"store_quarantines"`
 	StoreResultEntries int    `json:"store_result_entries"`
 	StorePlanEntries   int    `json:"store_plan_entries"`
 	StoreBytes         int64  `json:"store_bytes"`
@@ -133,9 +178,16 @@ type Stats struct {
 	BatchedJobs  uint64  `json:"batched_jobs"`
 	MeanBatchLen float64 `json:"mean_batch_len"`
 
+	// Distributed-execution communication, summed over completed mgpu
+	// executions (zero on other targets).
+	MgpuExchanges        uint64 `json:"mgpu_exchanges"`
+	MgpuAvoidedExchanges uint64 `json:"mgpu_avoided_exchanges"`
+	MgpuBytesSent        int64  `json:"mgpu_bytes_sent"`
+
 	// Per-target end-to-end job latency (submit -> done), keyed by
-	// execution target, plus the synthetic "cache" target for
-	// submissions served straight from the cache.
+	// execution target, plus the synthetic "cache", "store", and
+	// "expectation" paths. The same instruments feed the
+	// qgear_job_duration_seconds Prometheus family.
 	Latency map[string]HistogramSnapshot `json:"latency"`
 
 	UptimeSeconds float64 `json:"uptime_seconds"`

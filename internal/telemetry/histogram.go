@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets is the number of finite power-of-two microsecond
+// buckets in every telemetry histogram: bucket i (i >= 1) counts
+// observations with ceil(log2(µs)) == i, i.e. durations in
+// (2^(i-1), 2^i] µs; bucket 0 counts sub-microsecond observations. The
+// finite span runs 1µs .. 2^19µs (≈ 0.52s); one final overflow bucket
+// with an upper bound of +Inf catches everything slower. This is the
+// same shape the service layer's /v1/stats latency histograms have
+// always used — the two surfaces report through one implementation.
+const HistogramBuckets = 20
+
+// Histogram is a fixed-shape exponential latency histogram, safe for
+// concurrent Observe and Snapshot (all fields are atomics; a snapshot
+// is per-field consistent, not a global atomic cut, which Prometheus
+// scraping tolerates by design).
+type Histogram struct {
+	counts [HistogramBuckets + 1]atomic.Uint64
+	sumNS  atomic.Int64
+	n      atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	var b int
+	if us > 0 {
+		b = bits.Len64(uint64(us)) // 1µs -> 1, 1ms -> ~10, 1s -> ~20
+	}
+	if b > HistogramBuckets {
+		b = HistogramBuckets
+	}
+	h.counts[b].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramData is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); the Prometheus exposition cumulates
+// them at render time.
+type HistogramData struct {
+	Counts [HistogramBuckets + 1]uint64
+	SumNS  int64
+	N      uint64
+}
+
+// Snapshot copies the current histogram state.
+func (h *Histogram) Snapshot() HistogramData {
+	var d HistogramData
+	for i := range h.counts {
+		d.Counts[i] = h.counts[i].Load()
+	}
+	d.SumNS = h.sumNS.Load()
+	d.N = h.n.Load()
+	return d
+}
+
+// Mean returns the mean observation in microseconds (0 when empty).
+func (d HistogramData) Mean() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return float64(d.SumNS) / 1e3 / float64(d.N)
+}
+
+// BucketUpperBoundsUS returns the bucket upper bounds in microseconds:
+// 1, 2, 4, ..., 2^19, +Inf. The final bound is genuinely +Inf — the
+// overflow bucket has no finite upper edge (JSON surfaces encode it as
+// the string "+Inf", Prometheus as le="+Inf").
+func BucketUpperBoundsUS() []float64 {
+	out := make([]float64, HistogramBuckets+1)
+	for i := 0; i < HistogramBuckets; i++ {
+		out[i] = float64(uint64(1) << uint(i))
+	}
+	out[HistogramBuckets] = math.Inf(1)
+	return out
+}
+
+// BucketBoundSeconds returns bucket i's upper bound in seconds (+Inf
+// for the overflow bucket) — the le value of the Prometheus
+// exposition.
+func BucketBoundSeconds(i int) float64 {
+	if i >= HistogramBuckets {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i)) / 1e6
+}

@@ -1,0 +1,389 @@
+// Package telemetry is the zero-dependency metrics substrate of the
+// serving layer: a registry of counters, gauges, and exponential
+// latency histograms with Prometheus text-format exposition, plus the
+// per-job stage Trace that travels with backend results.
+//
+// Three metric flavors cover every signal the server produces:
+//
+//   - direct instruments (Counter, Gauge, Histogram) are lock-free
+//     atomics, cheap enough for per-job hot paths;
+//   - callback instruments (CounterFunc, GaugeFunc) are read at scrape
+//     time, so counters that already live behind the server's mutex
+//     (cache hits, store spills, ...) are exposed without duplicate
+//     bookkeeping — /metrics and /v1/stats can never disagree;
+//   - histograms share the power-of-two microsecond bucket shape of
+//     the service latency histograms, exposed cumulatively in seconds
+//     with a proper +Inf bucket.
+//
+// Exposition never invokes callbacks while holding the registry lock
+// (the structure is snapshotted first), so a callback is free to take
+// the server mutex even though server code registers metrics and
+// observes histograms concurrently with scrapes.
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels name one series within a metric family. A nil or empty map is
+// the unlabeled series.
+type Labels map[string]string
+
+// Kind is the exposition type of a metric family.
+type Kind int
+
+// The metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increases the counter by v (negative deltas are ignored:
+// counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; create with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric name: HELP, TYPE, and every label combination
+// observed under it.
+type family struct {
+	name, help string
+	kind       Kind
+	series     map[string]*series
+}
+
+// series is one label combination of a family. Exactly one of the
+// value fields is populated, matching the family kind (fn may stand in
+// for counter or gauge).
+type series struct {
+	pairs   []string // rendered `name="escaped"` pairs, sorted by label name
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// renderPairs validates and renders labels as sorted, escaped
+// `name="value"` pairs. The joined form keys the series map.
+func renderPairs(labels Labels) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !labelRE.MatchString(k) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]string, len(keys))
+	for i, k := range keys {
+		pairs[i] = k + `="` + escapeLabelValue(labels[k]) + `"`
+	}
+	return pairs
+}
+
+// escapeLabelValue applies the exposition-format label escapes:
+// backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp applies the HELP-line escapes: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// getSeries returns the series for (name, labels), creating family and
+// series as needed. A name reused with a different kind panics — that
+// is a programming error, not a runtime condition.
+func (r *Registry) getSeries(name, help string, kind Kind, labels Labels) *series {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	pairs := renderPairs(labels)
+	key := strings.Join(pairs, ",")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{pairs: pairs}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Repeat calls return the same instance.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.getSeries(name, help, KindCounter, labels)
+	if s.counter == nil && s.fn == nil {
+		s.counter = &Counter{}
+	}
+	if s.counter == nil {
+		panic(fmt.Sprintf("telemetry: metric %q series already bound to a callback", name))
+	}
+	return s.counter
+}
+
+// CounterFunc registers a callback-backed counter series: fn is read
+// at every scrape and must be monotonically non-decreasing.
+// Re-registering the same series replaces the callback.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	s := r.getSeries(name, help, KindCounter, labels)
+	if s.counter != nil {
+		panic(fmt.Sprintf("telemetry: metric %q series already bound to a direct counter", name))
+	}
+	s.fn = fn
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.getSeries(name, help, KindGauge, labels)
+	if s.gauge == nil && s.fn == nil {
+		s.gauge = &Gauge{}
+	}
+	if s.gauge == nil {
+		panic(fmt.Sprintf("telemetry: metric %q series already bound to a callback", name))
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a callback-backed gauge series, read at every
+// scrape. Re-registering the same series replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	s := r.getSeries(name, help, KindGauge, labels)
+	if s.gauge != nil {
+		panic(fmt.Sprintf("telemetry: metric %q series already bound to a direct gauge", name))
+	}
+	s.fn = fn
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use. The bucket shape is fixed: power-of-two microsecond
+// bounds from 1µs to ~0.5s plus +Inf (see HistogramBuckets).
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	s := r.getSeries(name, help, KindHistogram, labels)
+	if s.hist == nil {
+		s.hist = &Histogram{}
+	}
+	return s.hist
+}
+
+// famSnap/serSnap are the scrape-time copies rendered without the
+// registry lock, so callback metrics may take locks of their own.
+type famSnap struct {
+	name, help string
+	kind       Kind
+	series     []serSnap
+}
+
+type serSnap struct {
+	pairs   []string
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// snapshot copies the registry structure under the lock.
+func (r *Registry) snapshot() []famSnap {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]famSnap, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		fs := famSnap{name: f.name, help: f.help, kind: f.kind}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			fs.series = append(fs.series, serSnap{pairs: s.pairs, counter: s.counter, gauge: s.gauge, fn: s.fn, hist: s.hist})
+		}
+		out = append(out, fs)
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelBlock renders pairs (plus an optional extra pair, e.g. le=...)
+// as the {..} block, or the empty string for the unlabeled series.
+func labelBlock(pairs []string, extra string) string {
+	if len(pairs) == 0 && extra == "" {
+		return ""
+	}
+	all := pairs
+	if extra != "" {
+		all = append(append([]string(nil), pairs...), extra)
+	}
+	return "{" + strings.Join(all, ",") + "}"
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): one HELP and one TYPE line per family,
+// families sorted by name, series sorted by label signature,
+// histograms rendered cumulatively with le bounds in seconds and a
+// final +Inf bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var buf bytes.Buffer
+	for _, f := range r.snapshot() {
+		if len(f.series) == 0 {
+			continue
+		}
+		fmt.Fprintf(&buf, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.hist != nil:
+				writeHistogram(&buf, f.name, s.pairs, s.hist.Snapshot())
+			case s.fn != nil:
+				fmt.Fprintf(&buf, "%s%s %s\n", f.name, labelBlock(s.pairs, ""), formatValue(s.fn()))
+			case s.counter != nil:
+				fmt.Fprintf(&buf, "%s%s %s\n", f.name, labelBlock(s.pairs, ""), formatValue(s.counter.Value()))
+			case s.gauge != nil:
+				fmt.Fprintf(&buf, "%s%s %s\n", f.name, labelBlock(s.pairs, ""), formatValue(s.gauge.Value()))
+			}
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// le in seconds, then _sum (seconds) and _count.
+func writeHistogram(buf *bytes.Buffer, name string, pairs []string, d HistogramData) {
+	var cum uint64
+	for i, c := range d.Counts {
+		cum += c
+		le := `le="` + formatValue(BucketBoundSeconds(i)) + `"`
+		fmt.Fprintf(buf, "%s_bucket%s %d\n", name, labelBlock(pairs, le), cum)
+	}
+	fmt.Fprintf(buf, "%s_sum%s %s\n", name, labelBlock(pairs, ""), formatValue(float64(d.SumNS)/1e9))
+	fmt.Fprintf(buf, "%s_count%s %d\n", name, labelBlock(pairs, ""), d.N)
+}
+
+// Handler serves the registry at a /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsTTL bounds how often a scrape re-reads runtime.MemStats —
+// the read briefly stops the world, so several memstats-backed series
+// in one scrape share a single read.
+const memStatsTTL = 100 * time.Millisecond
+
+// RegisterRuntime adds the Go runtime metric families: goroutine
+// count, heap/total allocation, GC cycles and pause time, and process
+// uptime. All memstats-backed series share one cached ReadMemStats per
+// scrape window.
+func (r *Registry) RegisterRuntime() {
+	start := time.Now()
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	var last time.Time
+	mem := func(read func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if last.IsZero() || time.Since(last) > memStatsTTL {
+				runtime.ReadMemStats(&ms)
+				last = time.Now()
+			}
+			return read(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.Sys) }))
+	r.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+	r.GaugeFunc("process_uptime_seconds", "Seconds since this registry was created.", nil,
+		func() float64 { return time.Since(start).Seconds() })
+}
