@@ -133,5 +133,17 @@ func (s *Server) registerMetrics() {
 	r.GaugeFunc("qgear_build_info", "Serving-layer version as a label; value is always 1.", telemetry.Labels{"version": Version},
 		func() float64 { return 1 })
 
+	// Stage-latency histograms, resolved once so the per-span hot path
+	// (observeStages runs for every span of every job) indexes a
+	// read-only map instead of building a label map and taking the
+	// registry lock. Pre-registering also makes every stage series
+	// visible on /metrics from the first scrape.
+	s.stageLatency = make(map[string]*telemetry.Histogram)
+	for _, stage := range telemetry.Stages() {
+		s.stageLatency[stage] = r.Histogram("qgear_stage_duration_seconds",
+			"Pipeline stage latency, labeled by stage.",
+			telemetry.Labels{"stage": stage})
+	}
+
 	r.RegisterRuntime()
 }

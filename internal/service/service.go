@@ -290,6 +290,12 @@ type Server struct {
 	mgpuExchanges, mgpuAvoided   uint64
 	mgpuBytesSent                int64
 	latency                      map[string]*telemetry.Histogram
+
+	// stageLatency holds the per-stage registry histograms, resolved
+	// once at registerMetrics time and read-only afterwards, so the
+	// per-span hot path (observeStages, the spiller) never takes the
+	// registry lock or allocates a label map.
+	stageLatency map[string]*telemetry.Histogram
 }
 
 // spillItem is one artifact bound for the persistent store: exactly
@@ -565,7 +571,13 @@ func planTrace(t0 time.Time, loadDur, compileDur time.Duration) *telemetry.Trace
 }
 
 // stageHist returns the registry histogram for one pipeline stage.
+// Every known stage is pre-resolved at registerMetrics time; the
+// registry path only runs for a stage name outside telemetry.Stages
+// (which would be a bug in the caller, but must not lose the sample).
 func (s *Server) stageHist(stage string) *telemetry.Histogram {
+	if h, ok := s.stageLatency[stage]; ok {
+		return h
+	}
 	return s.reg.Histogram("qgear_stage_duration_seconds",
 		"Pipeline stage latency, labeled by stage.",
 		telemetry.Labels{"stage": stage})

@@ -21,7 +21,7 @@ import (
 // old -1 sentinel, and the bounds round-trip.
 func TestHistogramSnapshotGoldenJSON(t *testing.T) {
 	h := &telemetry.Histogram{}
-	h.Observe(1 * time.Microsecond)
+	h.Observe(1 * time.Microsecond) // exactly the le=1µs bound: inclusive, bucket 0
 	h.Observe(3 * time.Microsecond)
 	snap := snapshotHistogram(h)
 
@@ -30,7 +30,7 @@ func TestHistogramSnapshotGoldenJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden := `{"upper_bounds_us":[1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384,32768,65536,131072,262144,524288,"+Inf"],` +
-		`"counts":[0,1,1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],"count":2,"mean_us":2}`
+		`"counts":[1,0,1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],"count":2,"mean_us":2}`
 	if string(data) != golden {
 		t.Errorf("snapshot JSON drifted:\n got %s\nwant %s", data, golden)
 	}

@@ -10,7 +10,9 @@ import (
 // HistogramBuckets is the number of finite power-of-two microsecond
 // buckets in every telemetry histogram: bucket i (i >= 1) counts
 // observations with ceil(log2(µs)) == i, i.e. durations in
-// (2^(i-1), 2^i] µs; bucket 0 counts sub-microsecond observations. The
+// (2^(i-1), 2^i] µs; bucket 0 counts observations of at most 1µs.
+// Upper bounds are inclusive, matching Prometheus le semantics: an
+// observation of exactly 2^i µs lands in bucket i, not i+1. The
 // finite span runs 1µs .. 2^19µs (≈ 0.52s); one final overflow bucket
 // with an upper bound of +Inf catches everything slower. This is the
 // same shape the service layer's /v1/stats latency histograms have
@@ -32,7 +34,10 @@ func (h *Histogram) Observe(d time.Duration) {
 	us := d.Microseconds()
 	var b int
 	if us > 0 {
-		b = bits.Len64(uint64(us)) // 1µs -> 1, 1ms -> ~10, 1s -> ~20
+		// ceil(log2) with an inclusive upper bound: 1µs -> 0, 2µs -> 1,
+		// 3µs -> 2, 1ms -> 10 — exactly 2^i µs stays in bucket i, since
+		// Prometheus le bounds are inclusive.
+		b = bits.Len64(uint64(us) - 1)
 	}
 	if b > HistogramBuckets {
 		b = HistogramBuckets

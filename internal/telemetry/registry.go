@@ -176,10 +176,15 @@ func escapeHelp(v string) string {
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
-// getSeries returns the series for (name, labels), creating family and
-// series as needed. A name reused with a different kind panics — that
-// is a programming error, not a runtime condition.
-func (r *Registry) getSeries(name, help string, kind Kind, labels Labels) *series {
+// bindSeries resolves the series for (name, labels), creating family
+// and series as needed, and invokes bind on it while r.mu is still
+// held. Lazy instrument creation must be atomic with the lookup: two
+// first-use callers racing on the same series would otherwise each
+// allocate an instrument, silently splitting observations between
+// them (and the unsynchronized write would race with snapshot()).
+// A name reused with a different kind panics — that is a programming
+// error, not a runtime condition.
+func (r *Registry) bindSeries(name, help string, kind Kind, labels Labels, bind func(*series)) {
 	if !nameRE.MatchString(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
 	}
@@ -200,65 +205,76 @@ func (r *Registry) getSeries(name, help string, kind Kind, labels Labels) *serie
 		s = &series{pairs: pairs}
 		f.series[key] = s
 	}
-	return s
+	bind(s)
 }
 
 // Counter returns the counter for (name, labels), creating it on first
 // use. Repeat calls return the same instance.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
-	s := r.getSeries(name, help, KindCounter, labels)
-	if s.counter == nil && s.fn == nil {
-		s.counter = &Counter{}
-	}
-	if s.counter == nil {
-		panic(fmt.Sprintf("telemetry: metric %q series already bound to a callback", name))
-	}
-	return s.counter
+	var c *Counter
+	r.bindSeries(name, help, KindCounter, labels, func(s *series) {
+		if s.counter == nil && s.fn == nil {
+			s.counter = &Counter{}
+		}
+		if s.counter == nil {
+			panic(fmt.Sprintf("telemetry: metric %q series already bound to a callback", name))
+		}
+		c = s.counter
+	})
+	return c
 }
 
 // CounterFunc registers a callback-backed counter series: fn is read
 // at every scrape and must be monotonically non-decreasing.
 // Re-registering the same series replaces the callback.
 func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
-	s := r.getSeries(name, help, KindCounter, labels)
-	if s.counter != nil {
-		panic(fmt.Sprintf("telemetry: metric %q series already bound to a direct counter", name))
-	}
-	s.fn = fn
+	r.bindSeries(name, help, KindCounter, labels, func(s *series) {
+		if s.counter != nil {
+			panic(fmt.Sprintf("telemetry: metric %q series already bound to a direct counter", name))
+		}
+		s.fn = fn
+	})
 }
 
 // Gauge returns the gauge for (name, labels), creating it on first
 // use.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
-	s := r.getSeries(name, help, KindGauge, labels)
-	if s.gauge == nil && s.fn == nil {
-		s.gauge = &Gauge{}
-	}
-	if s.gauge == nil {
-		panic(fmt.Sprintf("telemetry: metric %q series already bound to a callback", name))
-	}
-	return s.gauge
+	var g *Gauge
+	r.bindSeries(name, help, KindGauge, labels, func(s *series) {
+		if s.gauge == nil && s.fn == nil {
+			s.gauge = &Gauge{}
+		}
+		if s.gauge == nil {
+			panic(fmt.Sprintf("telemetry: metric %q series already bound to a callback", name))
+		}
+		g = s.gauge
+	})
+	return g
 }
 
 // GaugeFunc registers a callback-backed gauge series, read at every
 // scrape. Re-registering the same series replaces the callback.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
-	s := r.getSeries(name, help, KindGauge, labels)
-	if s.gauge != nil {
-		panic(fmt.Sprintf("telemetry: metric %q series already bound to a direct gauge", name))
-	}
-	s.fn = fn
+	r.bindSeries(name, help, KindGauge, labels, func(s *series) {
+		if s.gauge != nil {
+			panic(fmt.Sprintf("telemetry: metric %q series already bound to a direct gauge", name))
+		}
+		s.fn = fn
+	})
 }
 
 // Histogram returns the histogram for (name, labels), creating it on
 // first use. The bucket shape is fixed: power-of-two microsecond
 // bounds from 1µs to ~0.5s plus +Inf (see HistogramBuckets).
 func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
-	s := r.getSeries(name, help, KindHistogram, labels)
-	if s.hist == nil {
-		s.hist = &Histogram{}
-	}
-	return s.hist
+	var h *Histogram
+	r.bindSeries(name, help, KindHistogram, labels, func(s *series) {
+		if s.hist == nil {
+			s.hist = &Histogram{}
+		}
+		h = s.hist
+	})
+	return h
 }
 
 // famSnap/serSnap are the scrape-time copies rendered without the

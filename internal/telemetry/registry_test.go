@@ -121,8 +121,8 @@ func TestHelpEscaping(t *testing.T) {
 func TestHistogramExposition(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat_seconds", "Latency.", Labels{"stage": "execute"})
-	h.Observe(1 * time.Microsecond)   // bucket le=1µs... Len64(1)=1 -> bucket 1
-	h.Observe(3 * time.Microsecond)   // Len64(3)=2 -> bucket 2
+	h.Observe(1 * time.Microsecond)   // boundary: le=1µs is inclusive -> bucket 0
+	h.Observe(3 * time.Microsecond)   // (2,4]µs -> bucket 2
 	h.Observe(100 * time.Millisecond) // 1e5 µs -> bucket 17
 	h.Observe(time.Hour)              // overflow
 	out := render(t, r)
@@ -155,6 +155,28 @@ func TestHistogramExposition(t *testing.T) {
 	}
 	if last != 4 {
 		t.Errorf("final cumulative bucket = %d, want 4", last)
+	}
+}
+
+// TestHistogramBoundaryInclusive pins the le semantics: an observation
+// of exactly 2^i µs belongs to bucket i (Prometheus upper bounds are
+// inclusive), and the next-larger duration starts bucket i+1.
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond)                     // sub-µs (truncates to 0µs) -> bucket 0
+	h.Observe(1 * time.Microsecond)                      // exactly 2^0 µs -> bucket 0
+	h.Observe(2 * time.Microsecond)                      // exactly 2^1 µs -> bucket 1
+	h.Observe(3 * time.Microsecond)                      // (2,4]µs -> bucket 2
+	h.Observe(4 * time.Microsecond)                      // exactly 2^2 µs -> bucket 2
+	h.Observe(5 * time.Microsecond)                      // (4,8]µs -> bucket 3
+	h.Observe(time.Duration(1<<19) * time.Microsecond)   // exactly the largest finite bound
+	h.Observe(time.Duration(1<<19+1) * time.Microsecond) // one past it -> overflow
+	d := h.Snapshot()
+	want := map[int]uint64{0: 2, 1: 1, 2: 2, 3: 1, HistogramBuckets - 1: 1, HistogramBuckets: 1}
+	for i, c := range d.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, c, want[i])
+		}
 	}
 }
 

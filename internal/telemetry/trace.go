@@ -44,6 +44,17 @@ const (
 	StageSpill = "spill"
 )
 
+// Stages lists every pipeline stage name, in pipeline order. Servers
+// pre-register one stage-latency histogram per entry so the per-span
+// hot path can index a plain map instead of taking the registry lock.
+func Stages() []string {
+	return []string{
+		StageQueueWait, StagePlanCache, StageCompile, StageExecute,
+		StageExchange, StageTranspile, StageReadout, StageSample,
+		StageExpectation, StageStoreLoad, StageSpill,
+	}
+}
+
 // Span is one timed pipeline stage of a job. Durations are integer
 // nanoseconds so span sums are exact.
 type Span struct {
