@@ -10,7 +10,7 @@ COVER_OUT ?= /tmp/qgear-observable-cover.out
 OBSERVABLE_COVER_FLOOR ?= 85
 
 .PHONY: build vet fmt-check test test-fresh check cover-observable serve bench \
-	bench-serve bench-baseline bench-gate ci-load ci-warmstart clean
+	bench-serve bench-baseline bench-gate ci-load ci-warmstart ci-chaos clean
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,15 @@ ci-load: build
 		-shots 64 -expect-every 3 \
 		-max-cache-bytes 2097152 -store-dir $(WARMSTART_DIR)-load \
 		-require-metrics -out $(BENCH_OUT)/BENCH_load.json
+
+# Chaos acceptance: the seeded fault-injection suite, race-enabled.
+# Injected disk faults, short writes, execution panics, and tight
+# deadlines must leave the server serving, quarantines firing, fallback
+# re-simulations bit-identical, and no job hung — the hardened-serving
+# invariants, checked deterministically.
+ci-chaos: build
+	$(GO) test -race -count=1 ./internal/faultfs/
+	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/service/
 
 # Warm-restart acceptance: seed a store in one process, kill it, and
 # verify from a second process that repeat submissions are store hits

@@ -31,8 +31,10 @@ import (
 	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
+	"qgear/internal/bench"
 	"qgear/internal/circuit"
 	"qgear/internal/service"
 )
@@ -91,6 +93,8 @@ func serviceFlags(fs *flag.FlagSet) *service.Config {
 	fs.StringVar(&cfg.StoreDir, "store-dir", "", "persistent artifact store directory: evicted/shutdown cache entries spill there and a restarted server answers repeat fingerprints from disk (empty = no persistence)")
 	fs.IntVar(&cfg.MaxBatch, "batch", 8, "max jobs coalesced into one run")
 	fs.DurationVar(&cfg.BatchWindow, "window", 2*time.Millisecond, "batch coalescing wait window")
+	fs.DurationVar(&cfg.JobTimeout, "job-timeout", 0, "per-job lifetime bound from submission (0 = unbounded); expired jobs fail with a 504 result")
+	fs.Int64Var(&cfg.MaxStateBytes, "max-state-bytes", 0, "memory admission budget: reject circuits whose simulation working set exceeds this many bytes with 422 (0 = half of available RAM, -1 = no admission control)")
 	return cfg
 }
 
@@ -121,7 +125,9 @@ func cmdServe(args []string) error {
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	// SIGTERM is what orchestrators (Kubernetes, systemd) send first;
+	// both it and Ctrl-C get the same graceful drain.
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ecfg := srv.Config()
 	fmt.Printf("qgear-serve: listening on %s (target=%s devices=%d pool=%d queue=%d cache=%d batch=%d)\n",
 		*addr, ecfg.Target, ecfg.Devices, ecfg.WorkerPool, ecfg.QueueSize, ecfg.CacheSize, ecfg.MaxBatch)
@@ -266,7 +272,8 @@ func runWave(client *http.Client, base string, circs []*circuit.Circuit, shots i
 }
 
 // submitAndPoll pushes one job through the API and polls it to a
-// terminal state, backing off on ErrQueueFull responses.
+// terminal state, honoring the server's Retry-After hint on queue-full
+// responses.
 func submitAndPoll(client *http.Client, base string, c *circuit.Circuit, shots int, seed uint64) error {
 	req := service.SubmitRequest{Circuit: service.FromCircuit(c), Shots: shots, Seed: seed}
 	body, err := json.Marshal(req)
@@ -283,7 +290,7 @@ func submitAndPoll(client *http.Client, base string, c *circuit.Circuit, shots i
 		err = json.NewDecoder(resp.Body).Decode(&info)
 		resp.Body.Close()
 		if status == http.StatusTooManyRequests && attempt < 200 {
-			time.Sleep(time.Duration(attempt+1) * time.Millisecond) // backpressure
+			time.Sleep(bench.RetryAfterDelay(resp.Header, time.Duration(attempt+1)*time.Millisecond))
 			continue
 		}
 		if status != http.StatusAccepted {

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"time"
 
+	"qgear/internal/bench"
 	"qgear/internal/circuit"
 	"qgear/internal/core"
 	"qgear/internal/observable"
@@ -228,18 +229,26 @@ func push(client *http.Client, base string, req service.SubmitRequest) (*service
 	if err != nil {
 		return nil, err
 	}
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
 	var info service.JobInfo
-	err = json.NewDecoder(resp.Body).Decode(&info)
-	resp.Body.Close()
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return nil, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 200 {
+			// Shed by the bounded queue: honor the server's hint.
+			time.Sleep(bench.RetryAfterDelay(resp.Header, time.Duration(attempt+1)*time.Millisecond))
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return nil, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+		if err != nil {
+			return nil, err
+		}
+		break
 	}
 	deadline := time.Now().Add(2 * time.Minute)
 	for {

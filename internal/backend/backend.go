@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"qgear/internal/cancel"
 	"qgear/internal/circuit"
 	"qgear/internal/gate"
 	"qgear/internal/kernel"
@@ -93,6 +94,27 @@ type Config struct {
 	// arithmetic-identical to the per-gate path; on trades exactness
 	// at the ~1e-15 rounding level for fewer in-tile multiplies.
 	PlanFusion bool
+	// Cancel, when non-nil, is a cooperative cancellation flag the
+	// executors poll at work boundaries (tile run, exchange segment,
+	// Pauli term): a tripped flag stops the run with the flag's error.
+	// Nil runs unbounded. Cancel never shapes the output of a run that
+	// completes, so it is excluded from option signatures and cache
+	// keys.
+	Cancel *cancel.Flag
+	// ExecHook, when non-nil, runs at the start of every execution
+	// (RunCompiled / RunExpectationCompiled), before any state is
+	// allocated. It exists for fault injection: chaos tests panic or
+	// delay here to exercise the serving layer's isolation without
+	// touching the engines. Like Cancel, it never shapes a completed
+	// run's output and stays out of signatures.
+	ExecHook func()
+}
+
+// execHook fires the injection point if one is configured.
+func (c Config) execHook() {
+	if c.ExecHook != nil {
+		c.ExecHook()
+	}
 }
 
 // pennylaneTranspileReps models the per-gate latency of Pennylane's
@@ -314,11 +336,12 @@ func RunCompiled(comp *Compiled, cfg Config) (*Result, error) {
 		res.PlanStats = &stats
 	}
 	tr := &telemetry.Trace{}
+	cfg.execHook()
 
 	switch cfg.Target {
 	case TargetNvidiaMGPU:
 		t0 := time.Now()
-		out, err := mgpu.SimulateCompiled(comp.Kernel, comp.Plan, cfg.devices(), cfg.workers())
+		out, err := mgpu.SimulateCompiledCancel(comp.Kernel, comp.Plan, cfg.devices(), cfg.workers(), cfg.Cancel)
 		if err != nil {
 			return nil, err
 		}
@@ -331,13 +354,13 @@ func RunCompiled(comp *Compiled, cfg Config) (*Result, error) {
 		t0 := time.Now()
 		pennylaneTranspile(comp.Kernel)
 		tr.Add(telemetry.StageTranspile, time.Since(t0))
-		probs, err := runSingleTraced(comp, cfg.workers(), tr)
+		probs, err := runSingleTraced(comp, cfg.workers(), tr, cfg.Cancel)
 		if err != nil {
 			return nil, err
 		}
 		res.Probabilities = probs
 	default: // aer, nvidia, and mqpu-with-one-circuit all run the local engine
-		probs, err := runSingleTraced(comp, cfg.workers(), tr)
+		probs, err := runSingleTraced(comp, cfg.workers(), tr, cfg.Cancel)
 		if err != nil {
 			return nil, err
 		}
@@ -421,9 +444,9 @@ func sampleShots(probs []float64, cfg Config) (sampling.Counts, error) {
 // runSingleTraced executes a compiled circuit on one in-memory device,
 // through the plan when one was compiled (bit-identical output either
 // way), recording execute and readout spans into tr.
-func runSingleTraced(comp *Compiled, workers int, tr *telemetry.Trace) ([]float64, error) {
+func runSingleTraced(comp *Compiled, workers int, tr *telemetry.Trace, flag *cancel.Flag) ([]float64, error) {
 	t0 := time.Now()
-	s, err := runSingleState(comp, workers)
+	s, err := runSingleState(comp, workers, flag)
 	if err != nil {
 		return nil, err
 	}
@@ -437,15 +460,15 @@ func runSingleTraced(comp *Compiled, workers int, tr *telemetry.Trace) ([]float6
 // runSingleState executes a compiled circuit and returns the resident
 // state itself — possibly with a pending qubit permutation, which the
 // expectation evaluator reads through rather than materializing.
-func runSingleState(comp *Compiled, workers int) (*statevec.State, error) {
+func runSingleState(comp *Compiled, workers int, flag *cancel.Flag) (*statevec.State, error) {
 	s, err := statevec.New(comp.Kernel.NumQubits, workers)
 	if err != nil {
 		return nil, err
 	}
 	if comp.Plan != nil {
-		err = comp.Plan.Execute(s)
+		err = comp.Plan.ExecuteCancel(s, flag)
 	} else {
-		err = kernel.Execute(comp.Kernel, s)
+		err = kernel.ExecuteCancel(comp.Kernel, s, flag)
 	}
 	if err != nil {
 		return nil, err

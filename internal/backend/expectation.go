@@ -63,12 +63,13 @@ func RunExpectationCompiled(comp *Compiled, h *observable.Hamiltonian, cfg Confi
 		res.PlanStats = &stats
 	}
 	tr := &telemetry.Trace{}
+	cfg.execHook()
 
 	var val float64
 	switch cfg.Target {
 	case TargetNvidiaMGPU:
 		t0 := time.Now()
-		out, err := mgpu.ExpectationCompiled(comp.Kernel, comp.Plan, h, cfg.devices(), cfg.workers())
+		out, err := mgpu.ExpectationCompiledCancel(comp.Kernel, comp.Plan, h, cfg.devices(), cfg.workers(), cfg.Cancel)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +88,7 @@ func RunExpectationCompiled(comp *Compiled, h *observable.Hamiltonian, cfg Confi
 		fallthrough
 	default: // aer, nvidia, pennylane, and the mqpu term-parallel mode
 		t0 := time.Now()
-		s, err := runSingleState(comp, cfg.workers())
+		s, err := runSingleState(comp, cfg.workers(), cfg.Cancel)
 		if err != nil {
 			return nil, err
 		}
@@ -98,9 +99,9 @@ func RunExpectationCompiled(comp *Compiled, h *observable.Hamiltonian, cfg Confi
 			// each sweep a stripe of terms over the shared read-only
 			// state; the term-ordered final sum keeps the value
 			// bit-identical to sequential evaluation.
-			val, err = h.ExpectationParallel(s, cfg.devices())
+			val, err = h.ExpectationParallelCancel(s, cfg.devices(), cfg.Cancel)
 		} else {
-			val, err = h.Expectation(s)
+			val, err = h.ExpectationCancel(s, cfg.Cancel)
 		}
 		if err != nil {
 			return nil, err

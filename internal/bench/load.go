@@ -106,6 +106,16 @@ type LoadReport struct {
 	Executed      uint64  `json:"executed"`
 	TracedResults int     `json:"traced_results"`
 
+	// Resilience counters over the run, scraped from /metrics: how many
+	// submissions the server shed with 429 (and the resulting shed
+	// rate over all submission attempts), how many jobs failed on their
+	// deadline, and how many execution panics were recovered. All zero
+	// on a healthy un-stressed run — nonzero panics mean a bug.
+	Shed429         uint64  `json:"shed_429"`
+	ShedRate        float64 `json:"shed_rate"`
+	Cancellations   uint64  `json:"cancellations"`
+	PanicsRecovered uint64  `json:"panics_recovered"`
+
 	// Telemetry cross-check: families seen in the final scrape, the
 	// run's deltas of key counter series, and whether the scrape agreed
 	// with /v1/stats.
@@ -123,6 +133,9 @@ var requiredFamilies = []string{
 	"qgear_job_duration_seconds",
 	"qgear_stage_duration_seconds",
 	"qgear_queue_depth",
+	"qgear_panics_recovered_total",
+	"qgear_jobs_rejected_total",
+	"qgear_jobs_cancelled_total",
 	"go_goroutines",
 }
 
@@ -136,6 +149,11 @@ var keyDeltaSeries = []string{
 	`qgear_cache_hits_total{cache="plan"}`,
 	`qgear_singleflight_hits_total`,
 	`qgear_expectation_jobs_total`,
+	`qgear_panics_recovered_total`,
+	`qgear_jobs_rejected_total{reason="queue_full"}`,
+	`qgear_jobs_rejected_total{reason="too_large"}`,
+	`qgear_jobs_cancelled_total{stage="queue"}`,
+	`qgear_jobs_cancelled_total{stage="running"}`,
 }
 
 // RunLoad drives the mixed workload and returns the report. Progress
@@ -272,6 +290,17 @@ func RunLoad(cfg LoadConfig, w io.Writer) (*LoadReport, error) {
 		}
 	}
 
+	// Resilience view, from the same scrape deltas.
+	delta := func(series string) float64 { return after[series] - before[series] }
+	shed := delta(`qgear_jobs_rejected_total{reason="queue_full"}`)
+	rep.Shed429 = uint64(shed)
+	if attempts := shed + float64(len(samples)); attempts > 0 {
+		rep.ShedRate = shed / attempts
+	}
+	rep.Cancellations = uint64(delta(`qgear_jobs_cancelled_total{stage="queue"}`) +
+		delta(`qgear_jobs_cancelled_total{stage="running"}`))
+	rep.PanicsRecovered = uint64(delta(`qgear_panics_recovered_total`))
+
 	// Consistency: the scrape and /v1/stats are one set of counters
 	// viewed two ways, so after the run quiesces (every job polled to a
 	// terminal state) the headline totals must agree exactly.
@@ -320,6 +349,8 @@ func printLoadReport(w io.Writer, rep *LoadReport) {
 		fmt.Fprintf(w, "load: %-11s n=%-4d p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms mean %.2fms\n",
 			k.Kind, k.Requests, k.P50MS, k.P95MS, k.P99MS, k.MaxMS, k.MeanMS)
 	}
+	fmt.Fprintf(w, "load: shed %d (rate %.1f%%), cancellations %d, panics recovered %d\n",
+		rep.Shed429, rep.ShedRate*100, rep.Cancellations, rep.PanicsRecovered)
 	fmt.Fprintf(w, "load: scraped %d metric families, consistent=%v\n", len(rep.MetricFamilies), rep.Consistent)
 	keys := make([]string, 0, len(rep.MetricDeltas))
 	for k := range rep.MetricDeltas {
@@ -381,9 +412,26 @@ func zzChain(n int) *observable.Hamiltonian {
 	return h
 }
 
+// RetryAfterDelay converts a 429's Retry-After hint into a sleep:
+// the hinted whole seconds when present and sane (capped at 5s — a
+// load client should not be parked indefinitely by one response),
+// otherwise the caller's fallback backoff. Exported for the serve
+// clients, which share the shed-handling behavior.
+func RetryAfterDelay(h http.Header, fallback time.Duration) time.Duration {
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return fallback
+	}
+	d := time.Duration(secs) * time.Second
+	if max := 5 * time.Second; d > max {
+		d = max
+	}
+	return d
+}
+
 // loadSubmitAndPoll pushes one job through the API and polls it to a
-// terminal state, backing off on queue-full responses. Returns the job
-// id.
+// terminal state, honoring the server's Retry-After hint on queue-full
+// responses. Returns the job id.
 func loadSubmitAndPoll(client *http.Client, base string, req *service.SubmitRequest) (string, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -399,7 +447,7 @@ func loadSubmitAndPoll(client *http.Client, base string, req *service.SubmitRequ
 		err = json.NewDecoder(resp.Body).Decode(&info)
 		resp.Body.Close()
 		if status == http.StatusTooManyRequests && attempt < 200 {
-			time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+			time.Sleep(RetryAfterDelay(resp.Header, time.Duration(attempt+1)*time.Millisecond))
 			continue
 		}
 		if status != http.StatusAccepted {

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"qgear/internal/backend"
+	"qgear/internal/cancel"
 	"qgear/internal/circuit"
 	"qgear/internal/kernel"
 	"qgear/internal/observable"
@@ -40,6 +41,14 @@ type Options struct {
 	Workers int
 	Shots   int
 	Seed    uint64
+	// Cancel is a cooperative cancellation flag the executors poll at
+	// work boundaries; nil runs unbounded. It never shapes the output
+	// of a completed run, so Signature deliberately excludes it.
+	Cancel *cancel.Flag
+	// ExecHook, when non-nil, fires at the start of every execution —
+	// the fault-injection point the chaos harness uses. Excluded from
+	// Signature for the same reason as Cancel.
+	ExecHook func()
 }
 
 // backendConfig lowers Options to a backend.Config.
@@ -54,6 +63,8 @@ func (o Options) backendConfig() backend.Config {
 		PruneAngle:   o.PruneAngle,
 		TileBits:     o.TileBits,
 		PlanFusion:   o.PlanFusion,
+		Cancel:       o.Cancel,
+		ExecHook:     o.ExecHook,
 	}
 }
 

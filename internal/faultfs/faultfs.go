@@ -1,0 +1,280 @@
+// Package faultfs provides a pluggable filesystem seam for the
+// persistence layer plus a deterministic fault injector for the chaos
+// harness. The store performs every disk operation through the FS
+// interface; production uses the OS passthrough, and chaos tests wrap
+// it in an Injector that makes seeded, reproducible decisions about
+// which operations fail, return corrupted bytes, write short, or
+// stall — so a failing chaos run replays exactly from its seed.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FS is the set of filesystem operations the store needs. WriteFile
+// covers both direct writes and the tmp-file half of atomic renames;
+// the write-render-rename discipline lives in the store, not here.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the passthrough FS backed by the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+// ErrInjected marks every error the injector fabricates, so tests can
+// distinguish injected faults from real filesystem failures.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op classifies an operation for per-class fault rates.
+type Op int
+
+// Operation classes.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpRename
+	OpRemove
+	OpMeta // MkdirAll / ReadDir / Stat
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpMeta:
+		return "meta"
+	}
+	return "unknown"
+}
+
+// Rates sets per-mille fault probabilities for one operation class.
+// All zero means the class never faults.
+type Rates struct {
+	// ErrPerMille is the chance (out of 1000) the operation returns an
+	// injected error without touching the underlying filesystem.
+	ErrPerMille int
+	// CorruptPerMille is the chance a read's payload comes back with
+	// one byte flipped (reads only; the underlying read still happens).
+	CorruptPerMille int
+	// ShortPerMille is the chance a write persists only a prefix of the
+	// payload and then reports an injected error (writes only).
+	ShortPerMille int
+	// Latency, when non-zero, is added to every operation of the class
+	// that the per-mille draws did not already fail.
+	Latency time.Duration
+}
+
+// Config seeds an Injector.
+type Config struct {
+	// Seed drives every fault decision; the same seed over the same
+	// operation sequence reproduces the same faults.
+	Seed uint64
+	// PerOp maps operation classes to their fault rates; absent classes
+	// never fault.
+	PerOp map[Op]Rates
+}
+
+// Injector wraps an FS and injects deterministic faults. Decisions are
+// a pure function of (seed, op class, per-class operation ordinal), so
+// a single-goroutine replay of the same operation sequence hits the
+// same faults; under concurrency the global fault *set* stays seeded
+// and bounded even though interleaving may reassign which caller sees
+// which ordinal.
+type Injector struct {
+	inner FS
+	cfg   Config
+	ops   [numOps]atomic.Uint64 // per-class operation ordinals
+	mu    sync.Mutex
+	log   []Fault
+}
+
+// Fault records one injected fault, for post-hoc assertions.
+type Fault struct {
+	Op   Op
+	Kind string // "err", "corrupt", "short"
+	Path string
+}
+
+// New wraps inner with a seeded injector.
+func New(inner FS, cfg Config) *Injector {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Injector{inner: inner, cfg: cfg}
+}
+
+// splitmix64 is the standard 64-bit mix — cheap, stateless, and good
+// enough to decorrelate (seed, class, ordinal) triples.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw returns a deterministic pseudo-random value for the n-th
+// operation of class op, with a salt decorrelating the independent
+// decisions (error vs corrupt vs short) taken for one operation.
+func (in *Injector) draw(op Op, n uint64, salt uint64) uint64 {
+	return splitmix64(in.cfg.Seed ^ uint64(op)<<56 ^ salt<<48 ^ n)
+}
+
+// decide advances the class ordinal and resolves this operation's
+// fate: which fault (if any) fires, and the latency to add.
+func (in *Injector) decide(op Op, path string) (kind string, short int, lat time.Duration) {
+	r, ok := in.cfg.PerOp[op]
+	if !ok {
+		return "", 0, 0
+	}
+	n := in.ops[op].Add(1) - 1
+	switch {
+	case r.ErrPerMille > 0 && in.draw(op, n, 1)%1000 < uint64(r.ErrPerMille):
+		kind = "err"
+	case op == OpRead && r.CorruptPerMille > 0 && in.draw(op, n, 2)%1000 < uint64(r.CorruptPerMille):
+		kind = "corrupt"
+	case op == OpWrite && r.ShortPerMille > 0 && in.draw(op, n, 3)%1000 < uint64(r.ShortPerMille):
+		kind = "short"
+		short = int(in.draw(op, n, 4))
+	}
+	if kind != "" {
+		in.mu.Lock()
+		in.log = append(in.log, Fault{Op: op, Kind: kind, Path: path})
+		in.mu.Unlock()
+	}
+	return kind, short, r.Latency
+}
+
+// Faults returns a copy of every fault injected so far.
+func (in *Injector) Faults() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Fault, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// FaultCount returns the number of faults injected so far.
+func (in *Injector) FaultCount() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.log)
+}
+
+func injectedErr(op Op, path string) error {
+	return fmt.Errorf("%w: %s %s", ErrInjected, op, path)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	kind, _, lat := in.decide(OpMeta, path)
+	time.Sleep(lat)
+	if kind == "err" {
+		return injectedErr(OpMeta, path)
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	kind, _, lat := in.decide(OpMeta, name)
+	time.Sleep(lat)
+	if kind == "err" {
+		return nil, injectedErr(OpMeta, name)
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	kind, _, lat := in.decide(OpMeta, name)
+	time.Sleep(lat)
+	if kind == "err" {
+		return nil, injectedErr(OpMeta, name)
+	}
+	return in.inner.Stat(name)
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	kind, _, lat := in.decide(OpRead, name)
+	time.Sleep(lat)
+	if kind == "err" {
+		return nil, injectedErr(OpRead, name)
+	}
+	data, err := in.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if kind == "corrupt" && len(data) > 0 {
+		// Flip one deterministic byte in a private copy; the file on
+		// disk stays intact, modeling a transient read-path corruption.
+		c := make([]byte, len(data))
+		copy(c, data)
+		pos := int(in.draw(OpRead, in.ops[OpRead].Load(), 5) % uint64(len(c)))
+		c[pos] ^= 0xff
+		return c, nil
+	}
+	return data, err
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm os.FileMode) error {
+	kind, short, lat := in.decide(OpWrite, name)
+	time.Sleep(lat)
+	switch kind {
+	case "err":
+		return injectedErr(OpWrite, name)
+	case "short":
+		n := 0
+		if len(data) > 0 {
+			n = int(uint64(short) % uint64(len(data)))
+		}
+		// Persist the truncated prefix — a torn write the caller's
+		// atomic-rename discipline must never promote.
+		_ = in.inner.WriteFile(name, data[:n], perm)
+		return injectedErr(OpWrite, name)
+	}
+	return in.inner.WriteFile(name, data, perm)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	kind, _, lat := in.decide(OpRename, oldpath)
+	time.Sleep(lat)
+	if kind == "err" {
+		return injectedErr(OpRename, oldpath)
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	kind, _, lat := in.decide(OpRemove, name)
+	time.Sleep(lat)
+	if kind == "err" {
+		return injectedErr(OpRemove, name)
+	}
+	return in.inner.Remove(name)
+}

@@ -1,0 +1,141 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestOSPassthrough exercises the passthrough against a real tempdir.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	sub := filepath.Join(dir, "a", "b")
+	if err := fsys.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(sub, "x.bin")
+	if err := fsys.WriteFile(p, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(p)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if fi, err := fsys.Stat(p); err != nil || fi.Size() != 7 {
+		t.Fatalf("Stat = %v, %v", fi, err)
+	}
+	q := filepath.Join(sub, "y.bin")
+	if err := fsys.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "y.bin" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministic pins that two injectors with the same seed make
+// identical fault decisions over the same operation sequence.
+func TestDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	run := func(seed uint64) []Fault {
+		in := New(OS{}, Config{
+			Seed: seed,
+			PerOp: map[Op]Rates{
+				OpRead:  {ErrPerMille: 300, CorruptPerMille: 300},
+				OpWrite: {ErrPerMille: 200, ShortPerMille: 300},
+			},
+		})
+		p := filepath.Join(dir, "f.bin")
+		for i := 0; i < 200; i++ {
+			_ = in.WriteFile(p, []byte("0123456789"), 0o644)
+			_, _ = in.ReadFile(p)
+		}
+		return in.Faults()
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("expected faults at these rates")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fault counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || a[i].Kind != b[i].Kind {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Kind != c[i].Kind {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestInjectedErrorsAndShortWrites checks the fault mechanics: injected
+// errors are ErrInjected, short writes persist a strict prefix, and
+// corrupt reads differ from disk while leaving the file intact.
+func TestInjectedErrorsAndShortWrites(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("0123456789abcdef")
+
+	in := New(OS{}, Config{Seed: 7, PerOp: map[Op]Rates{OpWrite: {ShortPerMille: 1000}}})
+	p := filepath.Join(dir, "short.bin")
+	err := in.WriteFile(p, payload, 0o644)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write error = %v, want ErrInjected", err)
+	}
+	if on, err := os.ReadFile(p); err != nil || len(on) >= len(payload) {
+		t.Fatalf("short write persisted %d bytes (err %v), want a strict prefix", len(on), err)
+	}
+
+	if err := os.WriteFile(p, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in = New(OS{}, Config{Seed: 7, PerOp: map[Op]Rates{OpRead: {CorruptPerMille: 1000}}})
+	got, err := in.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == string(payload) {
+		t.Fatal("corrupt read returned pristine payload")
+	}
+	if on, _ := os.ReadFile(p); string(on) != string(payload) {
+		t.Fatal("corrupt read modified the file on disk")
+	}
+
+	in = New(OS{}, Config{Seed: 7, PerOp: map[Op]Rates{OpRead: {ErrPerMille: 1000}}})
+	if _, err := in.ReadFile(p); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error = %v, want ErrInjected", err)
+	}
+	if in.FaultCount() != 1 {
+		t.Fatalf("FaultCount = %d, want 1", in.FaultCount())
+	}
+}
+
+// TestLatency checks that configured latency is actually added.
+func TestLatency(t *testing.T) {
+	dir := t.TempDir()
+	in := New(OS{}, Config{Seed: 1, PerOp: map[Op]Rates{OpMeta: {Latency: 30 * time.Millisecond}}})
+	t0 := time.Now()
+	if _, err := in.Stat(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("expected not-exist error")
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("Stat returned in %v, want >= 30ms of injected latency", d)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"qgear/internal/cancel"
 	"qgear/internal/gate"
 	"qgear/internal/statevec"
 )
@@ -562,6 +563,13 @@ func compileTileOp(in Instr, perm []int, tileBits int) statevec.TileOp {
 // which readout materializes lazily. Distributed plans (GlobalBits >
 // 0) belong to mgpu.DistState.ExecutePlan and are rejected here.
 func (p *TilePlan) Execute(s *statevec.State) error {
+	return p.ExecuteCancel(s, nil)
+}
+
+// ExecuteCancel is Execute with a cooperative cancellation flag, polled
+// once per segment — a tile run is the natural unit of interruptible
+// work (one full memory pass over the state). A nil flag never trips.
+func (p *TilePlan) ExecuteCancel(s *statevec.State, flag *cancel.Flag) error {
 	if p.GlobalBits != 0 {
 		return fmt.Errorf("kernel: distributed plan (%d rank bits) cannot run on a single state", p.GlobalBits)
 	}
@@ -570,6 +578,9 @@ func (p *TilePlan) Execute(s *statevec.State) error {
 	}
 	s.MaterializePerm()
 	for i, seg := range p.Segments {
+		if err := flag.Err(); err != nil {
+			return fmt.Errorf("kernel: segment %d: %w", i, err)
+		}
 		switch seg.Kind {
 		case SegRun:
 			if err := s.ApplyTileRun(p.TileBits, seg.Ops); err != nil {
@@ -601,6 +612,13 @@ func (p *TilePlan) Execute(s *statevec.State) error {
 // state for lazy materialization. States no larger than one tile are
 // already cache-resident and run the plain per-gate executor.
 func ExecuteTiled(k *Kernel, s *statevec.State, tileBits int) error {
+	return ExecuteTiledCancel(k, s, tileBits, nil)
+}
+
+// ExecuteTiledCancel is ExecuteTiled with a cooperative cancellation
+// flag (polled per segment on the planned path, every few instructions
+// on the per-gate fallback). A nil flag never trips.
+func ExecuteTiledCancel(k *Kernel, s *statevec.State, tileBits int, flag *cancel.Flag) error {
 	if tileBits <= 0 {
 		tileBits = AutoTileBits()
 	}
@@ -608,11 +626,11 @@ func ExecuteTiled(k *Kernel, s *statevec.State, tileBits int) error {
 		return fmt.Errorf("kernel: state has %d qubits, kernel %q wants %d", s.NumQubits(), k.Name, k.NumQubits)
 	}
 	if k.NumQubits <= tileBits {
-		return Execute(k, s)
+		return ExecuteCancel(k, s, flag)
 	}
 	plan, err := PlanTiled(k, tileBits)
 	if err != nil {
 		return err
 	}
-	return plan.Execute(s)
+	return plan.ExecuteCancel(s, flag)
 }

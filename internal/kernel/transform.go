@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"qgear/internal/cancel"
 	"qgear/internal/circuit"
 	"qgear/internal/gate"
 	"qgear/internal/statevec"
@@ -255,10 +256,28 @@ func (k *Kernel) Adjoint() (*Kernel, error) {
 // Measure instructions are skipped (sampling happens on the final
 // state); the caller is responsible for state/kernel size agreement.
 func Execute(k *Kernel, s *statevec.State) error {
+	return ExecuteCancel(k, s, nil)
+}
+
+// cancelPollInstrs is how many per-gate instructions run between
+// cancellation polls: frequent enough that an expired job stops within
+// a handful of state sweeps, sparse enough that the poll (an atomic
+// load plus, with a deadline set, a clock read) is never measurable
+// against a gate application.
+const cancelPollInstrs = 16
+
+// ExecuteCancel is Execute with a cooperative cancellation flag,
+// polled every cancelPollInstrs instructions. A nil flag never trips.
+func ExecuteCancel(k *Kernel, s *statevec.State, flag *cancel.Flag) error {
 	if s.NumQubits() != k.NumQubits {
 		return fmt.Errorf("kernel: state has %d qubits, kernel %q wants %d", s.NumQubits(), k.Name, k.NumQubits)
 	}
 	for i, in := range k.Instrs {
+		if i%cancelPollInstrs == 0 {
+			if err := flag.Err(); err != nil {
+				return fmt.Errorf("kernel: instr %d: %w", i, err)
+			}
+		}
 		switch in.Kind {
 		case KGate:
 			s.ApplyGate(in.Gate, in.Qubits, in.Params)

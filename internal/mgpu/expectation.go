@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"time"
 
+	"qgear/internal/cancel"
 	"qgear/internal/kernel"
 	"qgear/internal/mpi"
 	"qgear/internal/observable"
@@ -196,6 +197,15 @@ func combineExpectation(specs []termSpec, all []float64, ranks, local int) float
 // than one canonical chunk, so the reduction tree — and therefore the
 // last ulp — can differ from the single-device engines.
 func ExpectationCompiled(k *kernel.Kernel, plan *kernel.TilePlan, h *observable.Hamiltonian, nRanks, workersPerRank int) (*ExpResult, error) {
+	return ExpectationCompiledCancel(k, plan, h, nRanks, workersPerRank, nil)
+}
+
+// ExpectationCompiledCancel is ExpectationCompiled with a cooperative
+// cancellation flag: polled collectively during plan/kernel execution
+// and once per Pauli term of the reduction (terms with rank-bit X/Y
+// factors pay a pairwise exchange, so the per-term poll uses the same
+// all-ranks-agree discipline).
+func ExpectationCompiledCancel(k *kernel.Kernel, plan *kernel.TilePlan, h *observable.Hamiltonian, nRanks, workersPerRank int, flag *cancel.Flag) (*ExpResult, error) {
 	specs, err := buildTermSpecs(h, k.NumQubits)
 	if err != nil {
 		return nil, err
@@ -207,9 +217,9 @@ func ExpectationCompiled(k *kernel.Kernel, plan *kernel.TilePlan, h *observable.
 			return err
 		}
 		if plan != nil {
-			err = d.ExecutePlan(plan)
+			err = d.ExecutePlanCancel(plan, flag)
 		} else {
-			err = d.ExecuteKernel(k)
+			err = d.ExecuteKernelCancel(k, flag)
 		}
 		if err != nil {
 			return err
@@ -219,6 +229,9 @@ func ExpectationCompiled(k *kernel.Kernel, plan *kernel.TilePlan, h *observable.
 		ev := d.st.PauliEvaluator()
 		partials := make([]float64, len(specs))
 		for ti, sp := range specs {
+			if err := d.pollCancel(flag); err != nil {
+				return fmt.Errorf("mgpu: expectation term %d: %w", ti, err)
+			}
 			partials[ti] = d.expTermPartial(ev, sp)
 		}
 		all := c.GatherFloat64s(0, partials)

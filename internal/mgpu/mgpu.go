@@ -18,6 +18,7 @@ import (
 	"math"
 	"time"
 
+	"qgear/internal/cancel"
 	"qgear/internal/gate"
 	"qgear/internal/kernel"
 	"qgear/internal/mpi"
@@ -353,14 +354,63 @@ func (d *DistState) Probabilities() []float64 {
 	return d.comm.GatherFloat64s(0, d.st.Probabilities())
 }
 
+// pollCancel decides a cancellation check collectively. Ranks share
+// one flag object, but deadline polls read per-rank clocks, so at the
+// expiry boundary rank A can conclude "expired" while its partner B —
+// a few nanoseconds behind — has already entered a blocking pairwise
+// Exchange with A; A abandoning the run would strand B forever (the
+// mpi shim, like real MPI, has no cross-rank cancellation). An
+// Allreduce(max) over the local verdicts makes every rank act on the
+// same decision at the same SPMD point: either all ranks continue or
+// all ranks stop, and no exchange is ever left half-entered. A nil
+// flag costs nothing (and is SPMD-consistent: all ranks share it).
+func (d *DistState) pollCancel(flag *cancel.Flag) error {
+	if flag == nil {
+		return nil
+	}
+	v := 0.0
+	err := flag.Err()
+	if err != nil {
+		v = 1
+	}
+	if d.comm.Allreduce(v, mpi.OpMax) == 0 {
+		return nil
+	}
+	if err == nil {
+		// Another rank crossed the deadline boundary first; resolve the
+		// local error now (it is at most nanoseconds away).
+		if err = flag.Err(); err == nil {
+			err = cancel.ErrDeadline
+		}
+	}
+	return err
+}
+
 // ExecuteKernel runs a kernel's instruction stream on the distributed
 // state.
 func (d *DistState) ExecuteKernel(k *kernel.Kernel) error {
+	return d.ExecuteKernelCancel(k, nil)
+}
+
+// cancelPollInstrs is how many per-gate instructions run between
+// collective cancellation polls on the distributed per-gate path — the
+// poll is an Allreduce, so it is rationed more coarsely than a local
+// atomic load would be.
+const cancelPollInstrs = 16
+
+// ExecuteKernelCancel is ExecuteKernel with a cooperative cancellation
+// flag, polled collectively every cancelPollInstrs instructions.
+func (d *DistState) ExecuteKernelCancel(k *kernel.Kernel, flag *cancel.Flag) error {
 	if k.NumQubits != d.n {
 		return fmt.Errorf("mgpu: kernel %q wants %d qubits, state has %d", k.Name, k.NumQubits, d.n)
 	}
 	for i, in := range k.Instrs {
 		var err error
+		if i%cancelPollInstrs == 0 {
+			if err = d.pollCancel(flag); err != nil {
+				return fmt.Errorf("mgpu: instr %d: %w", i, err)
+			}
+		}
 		switch in.Kind {
 		case kernel.KGate:
 			err = d.ApplyGate(in.Gate, in.Qubits, in.Params)

@@ -3,6 +3,7 @@ package mgpu
 import (
 	"fmt"
 
+	"qgear/internal/cancel"
 	"qgear/internal/kernel"
 	"qgear/internal/statevec"
 )
@@ -32,6 +33,14 @@ import (
 // shard. The plan must have been compiled with GlobalBits matching the
 // world size. Every rank must call it (SPMD, like ExecuteKernel).
 func (d *DistState) ExecutePlan(p *kernel.TilePlan) error {
+	return d.ExecutePlanCancel(p, nil)
+}
+
+// ExecutePlanCancel is ExecutePlan with a cooperative cancellation
+// flag, polled collectively (see pollCancel) at every segment boundary
+// — the natural SPMD-aligned point where all ranks agree on whether to
+// stop before any of them commits to the segment's pairwise exchange.
+func (d *DistState) ExecutePlanCancel(p *kernel.TilePlan, flag *cancel.Flag) error {
 	if p.NumQubits != d.n {
 		return fmt.Errorf("mgpu: plan wants %d qubits, state has %d", p.NumQubits, d.n)
 	}
@@ -46,6 +55,9 @@ func (d *DistState) ExecutePlan(p *kernel.TilePlan) error {
 	rankAbs := uint64(d.comm.Rank()) << uint(d.local)
 	for i, seg := range p.Segments {
 		var err error
+		if err = d.pollCancel(flag); err != nil {
+			return fmt.Errorf("mgpu: plan segment %d: %w", i, err)
+		}
 		switch seg.Kind {
 		case kernel.SegRun:
 			buf := d.opBuf[:0]
@@ -161,11 +173,19 @@ func (d *DistState) execExchange(seg kernel.Segment, rankAbs uint64) {
 // the gathered result — the distributed half of the shared-IR
 // pipeline: transform once, plan once, execute anywhere.
 func SimulateCompiled(k *kernel.Kernel, plan *kernel.TilePlan, nRanks, workersPerRank int) (*Result, error) {
+	return SimulateCompiledCancel(k, plan, nRanks, workersPerRank, nil)
+}
+
+// SimulateCompiledCancel is SimulateCompiled with a cooperative
+// cancellation flag shared by all ranks; a tripped flag stops the whole
+// world at the next collective poll and surfaces through mpi.Run as a
+// rank error wrapping the flag's verdict.
+func SimulateCompiledCancel(k *kernel.Kernel, plan *kernel.TilePlan, nRanks, workersPerRank int, flag *cancel.Flag) (*Result, error) {
 	exec := func(d *DistState) error {
 		if plan != nil {
-			return d.ExecutePlan(plan)
+			return d.ExecutePlanCancel(plan, flag)
 		}
-		return d.ExecuteKernel(k)
+		return d.ExecuteKernelCancel(k, flag)
 	}
 	return simulate(k.NumQubits, nRanks, workersPerRank, exec)
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 
+	"qgear/internal/cancel"
 	"qgear/internal/statevec"
 )
 
@@ -177,9 +178,20 @@ func (h *Hamiltonian) String() string {
 // evaluator (one index-table build for all terms), accumulating in
 // term order.
 func (h *Hamiltonian) Expectation(s *statevec.State) (float64, error) {
+	return h.ExpectationCancel(s, nil)
+}
+
+// ExpectationCancel is Expectation with a cooperative cancellation
+// flag, polled once per Pauli term — each term is a full pass over the
+// state, so that is the natural unit of interruptible work. A nil flag
+// never trips.
+func (h *Hamiltonian) ExpectationCancel(s *statevec.State, flag *cancel.Flag) (float64, error) {
 	ev := s.PauliEvaluator()
 	var acc float64
-	for _, t := range h.Terms {
+	for i, t := range h.Terms {
+		if err := flag.Err(); err != nil {
+			return 0, fmt.Errorf("observable: term %d: %w", i, err)
+		}
 		v, _, err := t.expectationOn(ev, s.NumQubits())
 		if err != nil {
 			return 0, err
@@ -212,6 +224,14 @@ func (h *Hamiltonian) Partition(k int) [][]Term {
 // per-term values land in a slice that is then summed in term order:
 // the result is bit-identical to Expectation for any device count.
 func (h *Hamiltonian) ExpectationParallel(s *statevec.State, devices int) (float64, error) {
+	return h.ExpectationParallelCancel(s, devices, nil)
+}
+
+// ExpectationParallelCancel is ExpectationParallel with a cooperative
+// cancellation flag: every striped evaluator polls it per term and
+// abandons its remaining stripe once tripped, so the whole sweep stops
+// within one term per device. A nil flag never trips.
+func (h *Hamiltonian) ExpectationParallelCancel(s *statevec.State, devices int, flag *cancel.Flag) (float64, error) {
 	if devices < 1 {
 		devices = 1
 	}
@@ -228,6 +248,10 @@ func (h *Hamiltonian) ExpectationParallel(s *statevec.State, devices int) (float
 		go func(d int) {
 			defer wg.Done()
 			for i := d; i < len(h.Terms); i += devices {
+				if err := flag.Err(); err != nil {
+					errs[i] = fmt.Errorf("observable: term %d: %w", i, err)
+					return
+				}
 				vals[i], _, errs[i] = h.Terms[i].expectationOn(ev, n)
 			}
 		}(d)

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+
+	"qgear/internal/backend"
+)
+
+// Memory admission control: a dense n-qubit statevector is 2^n
+// complex128 amplitudes, and rejecting a too-large circuit after the
+// allocation has already been attempted means the OOM killer decides
+// the server's fate instead of the server. Submit therefore prices
+// every circuit before any allocation and refuses, with ErrTooLarge,
+// anything whose working set cannot fit the configured budget.
+
+// estimateStateBytes prices the peak resident working set of one
+// n-qubit simulation under the server's target: the amplitude vector
+// (16 bytes each), the probability readout (8 bytes each), and — on
+// the distributed target — the pairwise exchange buffers, which across
+// all ranks total one extra amplitude vector.
+func (s *Server) estimateStateBytes(n int) int64 {
+	if n < 0 {
+		return 0
+	}
+	if n > 57 {
+		// 24<<58 overflows int64; anything this wide exceeds every
+		// realistic budget anyway.
+		return 1<<63 - 1
+	}
+	b := int64(24) << uint(n)
+	if s.cfg.Target == backend.TargetNvidiaMGPU {
+		b += int64(16) << uint(n)
+	}
+	return b
+}
+
+// defaultMaxStateBytes derives the default admission budget: half the
+// machine's currently available RAM, so one admitted worst-case job
+// leaves headroom for the caches, the queue, and a second worker. When
+// availability cannot be determined (non-Linux, hardened /proc), a
+// conservative 4 GiB applies.
+func defaultMaxStateBytes() int64 {
+	const fallback = 4 << 30
+	if avail := memAvailableBytes("/proc/meminfo"); avail > 0 {
+		return avail / 2
+	}
+	return fallback
+}
+
+// memAvailableBytes parses MemAvailable out of a /proc/meminfo-format
+// file; 0 when absent or unreadable.
+func memAvailableBytes(path string) int64 {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "MemAvailable:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || kb <= 0 {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -62,6 +62,10 @@ type SubmitRequest struct {
 	Shots       int              `json:"shots,omitempty"`
 	Seed        uint64           `json:"seed,omitempty"`
 	Hamiltonian *WireHamiltonian `json:"hamiltonian,omitempty"`
+	// TimeoutMs bounds this job's lifetime in milliseconds (see
+	// SubmitOptions.TimeoutMs); a job that runs out reports 504 on its
+	// result.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 // WirePauli is one factor of a wire-form Pauli term.
@@ -286,7 +290,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts := SubmitOptions{Shots: req.Shots, Seed: req.Seed}
+	opts := SubmitOptions{Shots: req.Shots, Seed: req.Seed, TimeoutMs: req.TimeoutMs}
 	switch req.Kind {
 	case "", "simulate":
 		if req.Hamiltonian != nil && req.Kind == "simulate" {
@@ -313,7 +317,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	info, err := s.Submit(c, opts)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// Shed load with a hint: the queue drains at batch granularity,
+		// so a short fixed horizon beats an exponential guess. Clients
+		// (qgear-bench load, the serve warm-start pusher) honor this.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrTooLarge):
+		writeError(w, http.StatusUnprocessableEntity, err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
@@ -322,6 +332,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, info)
 	}
 }
+
+// retryAfterSeconds is the Retry-After hint on 429 responses. The
+// queue turns over in well under a second on every supported target,
+// but Retry-After has whole-second granularity; 1 is the tightest
+// honest hint.
+const retryAfterSeconds = "1"
 
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -351,6 +367,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	if errors.Is(err, ErrNotDone) {
 		writeJSON(w, http.StatusAccepted, info)
+		return
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		// The job ran out of budget (in queue or mid-execution): gateway
+		// timeout, with the snapshot so the caller sees the deadline error.
+		writeJSON(w, http.StatusGatewayTimeout, info)
 		return
 	}
 	if err != nil {

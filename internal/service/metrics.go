@@ -44,6 +44,20 @@ func (s *Server) registerMetrics() {
 	r.CounterFunc("qgear_batched_jobs_total", "Jobs executed through coalesced batches.", nil,
 		locked(func() float64 { return float64(s.batchedJobs) }))
 
+	// Resilience: panic isolation, admission rejections, cancellation.
+	r.CounterFunc("qgear_panics_recovered_total", "Execution panics recovered at the worker boundary (job failed, worker survived).", nil,
+		locked(func() float64 { return float64(s.panicsRecovered) }))
+	r.CounterFunc("qgear_jobs_rejected_total", "Submissions rejected, labeled by reason.", telemetry.Labels{"reason": "queue_full"},
+		locked(func() float64 { return float64(s.rejectedQueueFull) }))
+	r.CounterFunc("qgear_jobs_rejected_total", "Submissions rejected, labeled by reason.", telemetry.Labels{"reason": "too_large"},
+		locked(func() float64 { return float64(s.rejectedTooLarge) }))
+	r.CounterFunc("qgear_jobs_rejected_total", "Submissions rejected, labeled by reason.", telemetry.Labels{"reason": "invalid"},
+		locked(func() float64 { return float64(s.rejectedInvalid) }))
+	r.CounterFunc("qgear_jobs_cancelled_total", "Jobs failed on their deadline, labeled by where the budget ran out.", telemetry.Labels{"stage": "queue"},
+		locked(func() float64 { return float64(s.cancelledQueue) }))
+	r.CounterFunc("qgear_jobs_cancelled_total", "Jobs failed on their deadline, labeled by where the budget ran out.", telemetry.Labels{"stage": "running"},
+		locked(func() float64 { return float64(s.cancelledRunning) }))
+
 	// Caches, labeled by which cache.
 	result := telemetry.Labels{"cache": "result"}
 	plan := telemetry.Labels{"cache": "plan"}

@@ -29,8 +29,10 @@ import (
 	"time"
 
 	"qgear/internal/backend"
+	"qgear/internal/cancel"
 	"qgear/internal/circuit"
 	"qgear/internal/core"
+	"qgear/internal/faultfs"
 	"qgear/internal/observable"
 	"qgear/internal/store"
 	"qgear/internal/telemetry"
@@ -38,7 +40,7 @@ import (
 
 // Version identifies the serving layer in /v1/healthz and the
 // qgear_build_info metric.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // Config sizes the server. Zero values select the documented defaults.
 type Config struct {
@@ -96,6 +98,30 @@ type Config struct {
 	// polling clients; the oldest finished jobs are forgotten beyond
 	// it. Default 4096.
 	MaxRetainedJobs int
+
+	// JobTimeout bounds every job's lifetime from submission: a job
+	// still queued past it is dropped at dequeue without executing, and
+	// a running job is cooperatively cancelled at its next poll point
+	// (tile run, exchange segment, Pauli term). Per-job
+	// SubmitOptions.TimeoutMs tightens this further; single-flight
+	// joiners can only loosen the budget their leader already runs
+	// under. 0 = no server-wide timeout.
+	JobTimeout time.Duration
+	// MaxStateBytes is the memory-admission budget: Submit rejects any
+	// circuit whose simulation working set (statevector + readout, plus
+	// exchange buffers on the mgpu target) would exceed it, with
+	// ErrTooLarge and zero allocation. 0 selects half of the machine's
+	// available RAM (4 GiB when that cannot be determined); < 0
+	// disables admission control.
+	MaxStateBytes int64
+	// StoreFS overrides the filesystem the persistent store runs on —
+	// the chaos harness's fault-injection seam. Nil selects the real
+	// filesystem. Ignored without StoreDir.
+	StoreFS faultfs.FS
+	// ExecHook, when non-nil, fires at the start of every backend
+	// execution. Chaos tests panic or stall here to drive the panic-
+	// isolation and deadline machinery; production leaves it nil.
+	ExecHook func()
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +166,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 4096
 	}
+	if c.MaxStateBytes == 0 {
+		c.MaxStateBytes = defaultMaxStateBytes()
+	} else if c.MaxStateBytes < 0 {
+		c.MaxStateBytes = 0 // admission control disabled
+	}
 	return c
 }
 
@@ -168,6 +199,11 @@ type SubmitOptions struct {
 	// must be 0. Results are cached and persisted under
 	// (circuit fingerprint, hamiltonian hash, option signature).
 	Hamiltonian *observable.Hamiltonian
+	// TimeoutMs bounds this job's lifetime in milliseconds from
+	// submission, on top of (never beyond) the server's JobTimeout:
+	// the effective budget is the tighter of the two. 0 applies the
+	// server default only.
+	TimeoutMs int
 }
 
 // JobInfo is a point-in-time snapshot of one job.
@@ -190,6 +226,19 @@ var (
 	ErrClosed    = errors.New("service: server closed")
 	ErrNotFound  = errors.New("service: no such job")
 	ErrNotDone   = errors.New("service: job not finished")
+	// ErrTooLarge rejects a submission at admission control: the
+	// circuit's simulation working set exceeds MaxStateBytes. Mapped to
+	// HTTP 422 — resubmitting the same circuit can never succeed.
+	ErrTooLarge = errors.New("service: circuit exceeds memory budget")
+	// ErrDeadlineExceeded classifies a job that ran out of its time
+	// budget — dropped at dequeue or cooperatively cancelled mid-run.
+	// Mapped to HTTP 504 on the results surface.
+	ErrDeadlineExceeded = errors.New("service: job deadline exceeded")
+	// ErrPanic classifies a job whose execution panicked. The panic is
+	// recovered at the execution boundary: the job (and its
+	// single-flight joiners) fail with this error, the worker survives,
+	// and qgear_panics_recovered_total increments.
+	ErrPanic = errors.New("service: execution panicked")
 )
 
 // job is the internal job record. The leader of each cache key is the
@@ -210,6 +259,10 @@ type job struct {
 	submittedAt time.Time
 	finishedAt  time.Time
 	done        chan struct{}
+	// flag is the leader's cancellation flag, shared with the execution
+	// engines; nil on jobs served without executing (cache hits) and on
+	// single-flight joiners, which ride their leader's flag instead.
+	flag *cancel.Flag
 }
 
 func (j *job) info() JobInfo {
@@ -230,8 +283,20 @@ func (j *job) info() JobInfo {
 }
 
 // flight tracks one in-flight cache key and every job attached to it.
+// The leader's cancel flag doubles as the flight's time budget: joiners
+// Extend it (deadlines only ever loosen — a second submission of a
+// running key must not tighten what the leader already executes under).
 type flight struct {
 	jobs []*job
+}
+
+// flightFlag returns the flight's shared cancellation flag (the
+// leader's); nil-safe for flights without one.
+func (f *flight) flag() *cancel.Flag {
+	if f == nil || len(f.jobs) == 0 {
+		return nil
+	}
+	return f.jobs[0].flag
 }
 
 // Server is the simulation service. Create with New, submit with
@@ -285,6 +350,12 @@ type Server struct {
 	storeSpills, storeSpillDrops uint64
 	storeQuarantines             uint64
 	batches, batchedJobs         uint64
+	panicsRecovered              uint64
+	rejectedQueueFull            uint64
+	rejectedTooLarge             uint64
+	rejectedInvalid              uint64
+	cancelledQueue               uint64 // expired before execution started
+	cancelledRunning             uint64 // cancelled mid-execution
 	cacheEvictedBytes            int64
 	planEvictedBytes             int64
 	mgpuExchanges, mgpuAvoided   uint64
@@ -356,7 +427,7 @@ func New(cfg Config) (*Server, error) {
 	opts := s.execOptions()
 	s.cfgSig = opts.StoreSignature()
 	if cfg.StoreDir != "" {
-		ast, err := store.Open(cfg.StoreDir)
+		ast, err := store.OpenFS(cfg.StoreDir, cfg.StoreFS)
 		if err != nil {
 			return nil, err
 		}
@@ -442,6 +513,18 @@ func (s *Server) execOptions() core.Options {
 		Devices:      s.cfg.Devices,
 		Workers:      s.cfg.Workers,
 	}
+}
+
+// execOptionsCancel is execOptions armed for a real execution: the
+// job's cancellation flag and the configured fault-injection hook.
+// Neither field enters option signatures or cache keys (they never
+// shape a completed run's output), so key derivation keeps using the
+// bare execOptions.
+func (s *Server) execOptionsCancel(flag *cancel.Flag) core.Options {
+	o := s.execOptions()
+	o.Cancel = flag
+	o.ExecHook = s.cfg.ExecHook
+	return o
 }
 
 // planKey addresses the compiled-plan cache. Everything else that
@@ -633,29 +716,74 @@ func (s *Server) Submit(c *circuit.Circuit, opts SubmitOptions) (JobInfo, error)
 	return j.info(), nil
 }
 
-// submit is Submit returning the job record itself, for callers (Run)
-// that must outlive the finished-job retention window.
-func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
+// validateSubmit is the pure request validation half of submit; every
+// failure here counts as an "invalid" rejection.
+func (s *Server) validateSubmit(c *circuit.Circuit, opts SubmitOptions) error {
 	if c == nil {
-		return nil, errors.New("service: nil circuit")
+		return errors.New("service: nil circuit")
 	}
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("service: invalid circuit: %w", err)
+		return fmt.Errorf("service: invalid circuit: %w", err)
 	}
 	if opts.Shots < 0 {
-		return nil, fmt.Errorf("service: negative shots %d", opts.Shots)
+		return fmt.Errorf("service: negative shots %d", opts.Shots)
+	}
+	if opts.TimeoutMs < 0 {
+		return fmt.Errorf("service: negative timeout %dms", opts.TimeoutMs)
 	}
 	if opts.Hamiltonian != nil {
 		if opts.Shots != 0 {
-			return nil, fmt.Errorf("service: expectation jobs are exact; shots (%d) are not supported", opts.Shots)
+			return fmt.Errorf("service: expectation jobs are exact; shots (%d) are not supported", opts.Shots)
 		}
 		if err := opts.Hamiltonian.Validate(); err != nil {
-			return nil, fmt.Errorf("service: invalid hamiltonian: %w", err)
+			return fmt.Errorf("service: invalid hamiltonian: %w", err)
 		}
 		if opts.Hamiltonian.NumQubits > c.NumQubits {
-			return nil, fmt.Errorf("service: hamiltonian spans %d qubits, circuit has %d",
+			return fmt.Errorf("service: hamiltonian spans %d qubits, circuit has %d",
 				opts.Hamiltonian.NumQubits, c.NumQubits)
 		}
+	}
+	return nil
+}
+
+// deadlineFor resolves a job's absolute expiry from the server-wide
+// JobTimeout and the per-job TimeoutMs — the tighter of the two wins; a
+// zero return means unbounded.
+func (s *Server) deadlineFor(submitted time.Time, opts SubmitOptions) time.Time {
+	d := s.cfg.JobTimeout
+	if opts.TimeoutMs > 0 {
+		if per := time.Duration(opts.TimeoutMs) * time.Millisecond; d == 0 || per < d {
+			d = per
+		}
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return submitted.Add(d)
+}
+
+// submit is Submit returning the job record itself, for callers (Run)
+// that must outlive the finished-job retention window.
+func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
+	if err := s.validateSubmit(c, opts); err != nil {
+		s.mu.Lock()
+		s.rejectedInvalid++
+		s.mu.Unlock()
+		return nil, err
+	}
+	// Memory admission: reject circuits whose working set cannot fit
+	// the budget before anything is allocated for them — no deep copy,
+	// no queue slot, no statevector.
+	if s.cfg.MaxStateBytes > 0 {
+		if need := s.estimateStateBytes(c.NumQubits); need > s.cfg.MaxStateBytes {
+			s.mu.Lock()
+			s.rejectedTooLarge++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d-qubit simulation needs ~%d bytes, budget is %d",
+				ErrTooLarge, c.NumQubits, need, s.cfg.MaxStateBytes)
+		}
+	}
+	if opts.Hamiltonian != nil {
 		// Deep-copy for the same reason as the circuit below.
 		opts.Hamiltonian = opts.Hamiltonian.Clone()
 	}
@@ -697,12 +825,16 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 		s.retainLocked(j)
 		return j, nil
 	}
-	// Single-flight: attach to the identical in-flight job.
+	// Single-flight: attach to the identical in-flight job. The
+	// joiner's deadline can only loosen the leader's budget — an
+	// unbounded joiner removes it entirely — so attaching never
+	// tightens an execution already under way.
 	if f, ok := s.inflight[key]; ok {
 		s.submitted++
 		s.sfHits++
 		j.cached = true
 		j.state = f.jobs[0].state // queued or already running
+		f.flag().Extend(s.deadlineFor(j.submittedAt, opts))
 		f.jobs = append(f.jobs, j)
 		s.jobs[j.id] = j
 		return j, nil
@@ -719,6 +851,9 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 		s.retainLocked(j)
 		return j, nil
 	}
+	// From here on this job leads: it may actually execute, so it
+	// carries the flight's cancellation flag.
+	j.flag = cancel.WithDeadline(s.deadlineFor(j.submittedAt, opts))
 	// Persistent store: a previously computed key is answered from
 	// disk — no simulation, no queue capacity. This job leads a flight
 	// while the load runs, so identical concurrent submissions attach
@@ -743,6 +878,7 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 		if j.ham != nil {
 			s.expSubmitted--
 		}
+		s.rejectedQueueFull++
 		return nil, ErrQueueFull
 	}
 	s.submitted++
@@ -869,7 +1005,7 @@ func (s *Server) worker() {
 		}
 		s.busy.Add(1)
 		batch := s.collectBatch(j)
-		s.runBatch(batch)
+		s.runBatchSafe(batch)
 		s.busy.Add(-1)
 	}
 }
@@ -914,6 +1050,83 @@ func (s *Server) markRunning(batch []*job) {
 	}
 }
 
+// guardPanic runs fn, converting any panic into an ErrPanic-classed
+// error instead of letting it unwind the worker. Every execution
+// boundary in runBatch goes through it, so one panicking job fails
+// alone: its batch-mates, the worker goroutine, and the server all
+// survive, and every waiter's done channel still closes.
+func (s *Server) guardPanic(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.panicsRecovered++
+			s.mu.Unlock()
+			err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// classifyExecErr lifts engine-level cancellation verdicts into the
+// service error taxonomy: anything the cancel package tripped becomes
+// ErrDeadlineExceeded (HTTP 504); every other error passes through.
+func classifyExecErr(err error) error {
+	if err != nil && errors.Is(err, cancel.ErrCancelled) {
+		return fmt.Errorf("%w: %v", ErrDeadlineExceeded, err)
+	}
+	return err
+}
+
+// queueExpiredErr is the dequeue-time drop: the job's budget ran out
+// before a worker ever picked it up, so it fails without executing.
+func queueExpiredErr(cause error) error {
+	return fmt.Errorf("%w (expired in queue): %v", ErrDeadlineExceeded, cause)
+}
+
+// batchFlag derives the coalesced batch's shared cancellation flag: the
+// batch is one execution, so the loosest member deadline governs, and
+// any unbounded member makes the whole batch unbounded (its result is
+// owed regardless of how long it takes).
+func batchFlag(jobs []*job) *cancel.Flag {
+	var max time.Time
+	for _, j := range jobs {
+		d := j.flag.Deadline()
+		if d.IsZero() {
+			return nil
+		}
+		if d.After(max) {
+			max = d
+		}
+	}
+	if max.IsZero() {
+		return nil
+	}
+	return cancel.WithDeadline(max)
+}
+
+// runBatchSafe is the worker's last-resort net around runBatch: the
+// guarded execution boundaries inside should make it unreachable, but
+// if serving-layer code itself panics, every member of the batch still
+// reaches a terminal state (done channels close, flights clear) and
+// the worker survives to drain the next batch.
+func (s *Server) runBatchSafe(batch []*job) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("%w: %v", ErrPanic, r)
+			s.mu.Lock()
+			s.panicsRecovered++
+			for _, j := range batch {
+				// Idempotent per key: members runBatch already completed
+				// before panicking have no flight left and are skipped.
+				s.completeKeyLocked(j.key, nil, err, "panic")
+			}
+			s.mu.Unlock()
+		}
+	}()
+	s.runBatch(batch)
+}
+
 // runBatch executes one coalesced batch: unique circuits (by
 // fingerprint) run through core.Run in a single call — the mqpu
 // device-parallel path when so configured — then each job's shots are
@@ -934,8 +1147,13 @@ func (s *Server) runBatch(batch []*job) {
 		j   *job
 		res *backend.Result
 		err error
+		// skipped marks a job that never executed (expired in queue):
+		// it completes like any failure but stays out of the executed
+		// counter.
+		skipped bool
 	}
 	var outs []outcome
+	var cancelledQueue, cancelledRunning uint64
 
 	// Distributed-communication totals for this batch's fresh
 	// executions, aggregated once per execution event (batch-mates
@@ -953,10 +1171,28 @@ func (s *Server) runBatch(batch []*job) {
 		}
 	}
 	for _, j := range expJobs {
-		comp, ctr, err := s.compiled(j.circ, j.fp)
+		if cerr := j.flag.Err(); cerr != nil {
+			// The budget ran out while the job sat in the queue: fail it
+			// without paying for compilation or execution.
+			cancelledQueue++
+			outs = append(outs, outcome{j: j, err: queueExpiredErr(cerr), skipped: true})
+			continue
+		}
+		var comp *backend.Compiled
+		var ctr *telemetry.Trace
 		var res *backend.Result
-		if err == nil {
-			res, err = core.RunExpectationCompiled(comp, j.ham, s.execOptions())
+		var err error
+		if gerr := s.guardPanic(func() {
+			comp, ctr, err = s.compiled(j.circ, j.fp)
+			if err == nil {
+				res, err = core.RunExpectationCompiled(comp, j.ham, s.execOptionsCancel(j.flag))
+			}
+		}); gerr != nil {
+			res, err = nil, gerr
+		}
+		if cls := classifyExecErr(err); cls != err { //nolint:errorlint // identity check, not a match
+			res, err = nil, cls
+			cancelledRunning++
 		}
 		if res != nil {
 			// Expectation keys are unique within a batch (single-flight
@@ -974,7 +1210,17 @@ func (s *Server) runBatch(batch []*job) {
 		}
 		outs = append(outs, outcome{j: j, res: res, err: err})
 	}
-	batch = probJobs
+	// Probability jobs whose budget expired in the queue drop here, the
+	// same dequeue-time check the expectation path runs.
+	batch = batch[:0]
+	for _, j := range probJobs {
+		if cerr := j.flag.Err(); cerr != nil {
+			cancelledQueue++
+			outs = append(outs, outcome{j: j, err: queueExpiredErr(cerr), skipped: true})
+			continue
+		}
+		batch = append(batch, j)
+	}
 
 	var order []string
 	byFP := make(map[string][]*job, len(batch))
@@ -989,34 +1235,57 @@ func (s *Server) runBatch(batch []*job) {
 
 	// Resolve each unique circuit's execution IR through the plan
 	// cache, then execute the precompiled batch — repeat fingerprints
-	// pay zero transform/planning cost.
+	// pay zero transform/planning cost. Both phases run behind the
+	// panic guard (the tile compiler and the engines are the code most
+	// likely to trip on a pathological circuit), and the batch executes
+	// under the members' loosest deadline.
 	var err error
 	comps := make([]*backend.Compiled, len(circs))
 	compTrs := make([]*telemetry.Trace, len(circs))
-	for i, c := range circs {
-		if comps[i], compTrs[i], err = s.compiled(c, order[i]); err != nil {
-			break
+	bflag := batchFlag(batch)
+	if gerr := s.guardPanic(func() {
+		for i, c := range circs {
+			if comps[i], compTrs[i], err = s.compiled(c, order[i]); err != nil {
+				break
+			}
 		}
+	}); gerr != nil {
+		err = gerr
 	}
 	var results []*backend.Result
 	if err == nil {
-		results, err = core.RunCompiledBatch(comps, s.execOptions())
+		if gerr := s.guardPanic(func() {
+			results, err = core.RunCompiledBatch(comps, s.execOptionsCancel(bflag))
+		}); gerr != nil {
+			results, err = nil, gerr
+		}
 	}
 	var indivErrs []error
-	if err != nil && len(circs) > 1 {
+	if err != nil && len(circs) > 1 && !errors.Is(err, cancel.ErrCancelled) {
 		// One poisonous circuit must not fail its batch-mates: fall
-		// back to individual runs so errors stay job-local. The good
-		// circuits are re-simulated — backend.RunBatch discards its
-		// partial results on error — which is acceptable because error
-		// batches are rare and bad circuits are mostly rejected at
-		// Submit by Validate.
+		// back to individual runs so errors stay job-local (each behind
+		// its own panic guard, so a per-circuit panic fails only that
+		// circuit). The good circuits are re-simulated —
+		// backend.RunBatch discards its partial results on error —
+		// which is acceptable because error batches are rare and bad
+		// circuits are mostly rejected at Submit by Validate. A batch
+		// cancelled on deadline skips the fallback entirely: the shared
+		// flag was the loosest member budget, so every member is
+		// equally expired and re-running them would just burn a worker.
 		results = make([]*backend.Result, len(circs))
 		indivErrs = make([]error, len(circs))
 		for i, c := range circs {
-			results[i], indivErrs[i] = core.RunOne(c, s.execOptions())
+			i, c := i, c
+			if gerr := s.guardPanic(func() {
+				results[i], indivErrs[i] = core.RunOne(c, s.execOptionsCancel(bflag))
+			}); gerr != nil {
+				results[i], indivErrs[i] = nil, gerr
+			}
+			indivErrs[i] = classifyExecErr(indivErrs[i])
 		}
 		err = nil
 	}
+	err = classifyExecErr(err)
 
 	// Build every job's outcome — including shot sampling, which is
 	// O(2^n + shots) — before touching s.mu, so a big batch never
@@ -1025,6 +1294,9 @@ func (s *Server) runBatch(batch []*job) {
 		jobs := byFP[fp]
 		if err != nil {
 			for _, j := range jobs {
+				if errors.Is(err, ErrDeadlineExceeded) {
+					cancelledRunning++
+				}
 				outs = append(outs, outcome{j: j, err: err})
 			}
 			continue
@@ -1037,6 +1309,9 @@ func (s *Server) runBatch(batch []*job) {
 				ferr = indivErrs[i]
 			}
 			for _, j := range jobs {
+				if errors.Is(ferr, ErrDeadlineExceeded) {
+					cancelledRunning++
+				}
 				outs = append(outs, outcome{j: j, err: ferr})
 			}
 			continue
@@ -1078,12 +1353,16 @@ func (s *Server) runBatch(batch []*job) {
 				// a coalesced job's counts match a standalone
 				// backend.Run bit for bit.
 				ts := time.Now()
-				jr.Counts, serr = backend.SampleShots(jr.Probabilities, backend.Config{
-					Target:  s.cfg.Target,
-					Devices: s.cfg.Devices,
-					Shots:   j.opts.Shots,
-					Seed:    j.opts.Seed,
-				})
+				if gerr := s.guardPanic(func() {
+					jr.Counts, serr = backend.SampleShots(jr.Probabilities, backend.Config{
+						Target:  s.cfg.Target,
+						Devices: s.cfg.Devices,
+						Shots:   j.opts.Shots,
+						Seed:    j.opts.Seed,
+					})
+				}); gerr != nil {
+					serr = gerr
+				}
 				sampleDur = time.Since(ts)
 			}
 			own := &telemetry.Trace{}
@@ -1106,13 +1385,22 @@ func (s *Server) runBatch(batch []*job) {
 	s.mgpuExchanges += mgpuExch
 	s.mgpuAvoided += mgpuAvoided
 	s.mgpuBytesSent += mgpuBytes
+	s.cancelledQueue += cancelledQueue
+	s.cancelledRunning += cancelledRunning
 	lat := string(s.cfg.Target)
 	for _, o := range outs {
-		s.executed++
+		if !o.skipped {
+			s.executed++
+		}
 		key := lat
 		if o.j.ham != nil {
-			s.expExecuted++
+			if !o.skipped {
+				s.expExecuted++
+			}
 			key = "expectation"
+		}
+		if o.err != nil && errors.Is(o.err, ErrDeadlineExceeded) {
+			key = "deadline"
 		}
 		s.completeKeyLocked(o.j.key, o.res, o.err, key)
 	}
@@ -1211,6 +1499,12 @@ func (s *Server) Stats() Stats {
 		Submitted:             s.submitted,
 		Completed:             s.completed,
 		Failed:                s.failed,
+		PanicsRecovered:       s.panicsRecovered,
+		RejectedQueueFull:     s.rejectedQueueFull,
+		RejectedTooLarge:      s.rejectedTooLarge,
+		RejectedInvalid:       s.rejectedInvalid,
+		CancelledQueue:        s.cancelledQueue,
+		CancelledRunning:      s.cancelledRunning,
 		CacheHits:             s.cacheHits,
 		SingleFlightHits:      s.sfHits,
 		Executed:              s.executed,

@@ -112,6 +112,18 @@ type Stats struct {
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 
+	// Resilience counters: execution panics recovered at the worker
+	// boundary, submissions rejected at admission (by reason — the
+	// labels of qgear_jobs_rejected_total), and jobs failed on their
+	// deadline (by where the budget ran out — the labels of
+	// qgear_jobs_cancelled_total).
+	PanicsRecovered   uint64 `json:"panics_recovered"`
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	RejectedTooLarge  uint64 `json:"rejected_too_large"`
+	RejectedInvalid   uint64 `json:"rejected_invalid"`
+	CancelledQueue    uint64 `json:"cancelled_queue"`
+	CancelledRunning  uint64 `json:"cancelled_running"`
+
 	// Content-address counters. A submission is served without
 	// re-simulation when it hits the result cache, joins an identical
 	// in-flight job (single-flight), or loads from the persistent

@@ -14,9 +14,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qgear/internal/backend"
+	"qgear/internal/faultfs"
 	"qgear/internal/hdf5"
 	"qgear/internal/kernel"
 	"qgear/internal/sampling"
@@ -60,6 +62,11 @@ func integrityErr(format string, args ...any) error {
 // Store is safe for concurrent use.
 type Store struct {
 	dir string
+	// fsys is the filesystem every disk operation goes through —
+	// faultfs.OS in production, a fault injector in the chaos harness.
+	fsys faultfs.FS
+	// tmpSeq disambiguates concurrent temp-file writers of one key.
+	tmpSeq atomic.Uint64
 
 	mu      sync.Mutex
 	results map[string]int64 // sanitized key -> file bytes
@@ -75,11 +82,22 @@ type Stats struct {
 	Bytes         int64  `json:"bytes"`
 }
 
-// Open creates (if needed) and indexes the store rooted at dir.
+// Open creates (if needed) and indexes the store rooted at dir, on the
+// real filesystem.
 func Open(dir string) (*Store, error) {
-	st := &Store{dir: dir, results: make(map[string]int64), plans: make(map[string]int64)}
+	return OpenFS(dir, faultfs.OS{})
+}
+
+// OpenFS is Open against an explicit filesystem — the seam the chaos
+// harness uses to inject deterministic disk faults under the store. A
+// nil fsys selects the real filesystem.
+func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	st := &Store{dir: dir, fsys: fsys, results: make(map[string]int64), plans: make(map[string]int64)}
 	for _, sub := range []string{resultsSubdir, plansSubdir} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := st.fsys.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
@@ -93,7 +111,7 @@ func Open(dir string) (*Store, error) {
 }
 
 func (st *Store) scan(sub, ext string, index map[string]int64) error {
-	entries, err := os.ReadDir(filepath.Join(st.dir, sub))
+	entries, err := st.fsys.ReadDir(filepath.Join(st.dir, sub))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -106,7 +124,7 @@ func (st *Store) scan(sub, ext string, index map[string]int64) error {
 			// be orphans of a crashed writer — a live writer (a CLI
 			// sharing the store with a booting server) may be mid-write.
 			if info, err := e.Info(); err == nil && time.Since(info.ModTime()) > staleTempAge {
-				os.Remove(filepath.Join(st.dir, sub, e.Name()))
+				st.fsys.Remove(filepath.Join(st.dir, sub, e.Name()))
 			}
 			continue
 		}
@@ -127,20 +145,18 @@ func (st *Store) scan(sub, ext string, index map[string]int64) error {
 // same directory plus rename, so concurrent writers of one key (two
 // CLI invocations sharing a store, or a CLI beside a server) can never
 // interleave into a corrupt artifact — last rename wins, each rename
-// installs a complete file.
-func writeAtomic(path string, write func(tmp string) error) error {
-	tf, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
+// installs a complete file. The artifact is rendered fully in memory
+// before any filesystem call, so a faulted (or torn) temp write can
+// never be promoted: the rename only runs after WriteFile reported the
+// whole payload durable.
+func (st *Store) writeAtomic(path string, data []byte) error {
+	tmp := fmt.Sprintf("%s.tmp%d-%d", path, os.Getpid(), st.tmpSeq.Add(1))
+	if err := st.fsys.WriteFile(tmp, data, 0o644); err != nil {
+		st.fsys.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
-	tmp := tf.Name()
-	tf.Close()
-	if err := write(tmp); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := st.fsys.Rename(tmp, path); err != nil {
+		st.fsys.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -313,19 +329,12 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 		}
 	}
 
-	path := st.resultPath(key)
-	var size int64
-	if err := writeAtomic(path, func(tmp string) error {
-		if err := f.SaveFile(tmp, hdf5.SaveOptions{Compression: hdf5.CompressionFlate}); err != nil {
-			return err
-		}
-		info, err := os.Stat(tmp)
-		if err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		size = info.Size()
-		return nil
-	}); err != nil {
+	var buf bytes.Buffer
+	if err := f.Save(&buf, hdf5.SaveOptions{Compression: hdf5.CompressionFlate}); err != nil {
+		return err
+	}
+	size := int64(buf.Len())
+	if err := st.writeAtomic(st.resultPath(key), buf.Bytes()); err != nil {
 		return err
 	}
 	st.mu.Lock()
@@ -347,7 +356,7 @@ func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
 	// Read and parse in two steps so a transient I/O failure stays
 	// distinguishable from a corrupt file: only the latter is
 	// ErrIntegrity and only it justifies quarantining the artifact.
-	raw, err := os.ReadFile(st.resultPath(key))
+	raw, err := st.fsys.ReadFile(st.resultPath(key))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -467,19 +476,13 @@ func (st *Store) SavePlan(key, sig string, comp *backend.Compiled, cost float64)
 		return err
 	}
 
-	path := st.planPath(key)
 	var out bytes.Buffer
 	out.Write(planMagic)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
 	out.Write(crc[:])
 	out.Write(payload.Bytes())
-	if err := writeAtomic(path, func(tmp string) error {
-		if err := os.WriteFile(tmp, out.Bytes(), 0o644); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		return nil
-	}); err != nil {
+	if err := st.writeAtomic(st.planPath(key), out.Bytes()); err != nil {
 		return err
 	}
 	st.mu.Lock()
@@ -498,7 +501,7 @@ func (st *Store) SavePlan(key, sig string, comp *backend.Compiled, cost float64)
 // and the recompute cost recorded when it was built (the abstract
 // units SavePlan was given).
 func (st *Store) LoadPlan(key, sig string) (*backend.Compiled, float64, error) {
-	raw, err := os.ReadFile(st.planPath(key))
+	raw, err := st.fsys.ReadFile(st.planPath(key))
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}
@@ -577,5 +580,5 @@ func (st *Store) drop(index map[string]int64, sk, path string) {
 		delete(index, sk)
 	}
 	st.mu.Unlock()
-	os.Remove(path)
+	st.fsys.Remove(path)
 }
