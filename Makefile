@@ -10,7 +10,8 @@ COVER_OUT ?= /tmp/qgear-observable-cover.out
 OBSERVABLE_COVER_FLOOR ?= 85
 
 .PHONY: build vet fmt-check test test-fresh check cover-observable serve bench \
-	bench-serve bench-baseline bench-gate ci-load ci-warmstart ci-chaos clean
+	bench-serve bench-baseline bench-gate ci-load ci-warmstart ci-chaos \
+	ci-scaling clean
 
 build:
 	$(GO) build ./...
@@ -90,6 +91,16 @@ ci-load: build
 		-shots 64 -expect-every 3 \
 		-max-cache-bytes 2097152 -store-dir $(WARMSTART_DIR)-load \
 		-require-metrics -out $(BENCH_OUT)/BENCH_load.json
+
+# Workers-axis scaling smoke: the lane-kernel bit-identity fuzz suites
+# and the multi-worker tiled ablation path, race-enabled and uncached.
+# Worker count must never change an amplitude bit — the correctness
+# half of the scaling gate (timing is gated by bench-gate, single-core,
+# where host core counts cannot skew it).
+ci-scaling: build
+	$(GO) test -race -count=1 -run 'BitIdentity|TiledGateSoup|MaskedNorm2' \
+		./internal/statevec/ ./internal/kernel/
+	$(GO) test -race -count=1 -run 'TestTilingAblation' ./internal/bench/
 
 # Chaos acceptance: the seeded fault-injection suite, race-enabled.
 # Injected disk faults, short writes, execution panics, and tight

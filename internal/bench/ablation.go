@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -52,6 +53,15 @@ type AblationRow struct {
 	Shots           int     `json:"shots"`
 	MaxProbDiff     float64 `json:"max_prob_diff"`
 	CountsIdentical bool    `json:"counts_identical"`
+	// Scaling is the workers axis: the same tiled plan executed at 1,
+	// 2, and 4 workers. The gate is BitIdentical — worker count must
+	// not change a single amplitude bit. Timings are informational:
+	// efficiency reflects the host's core count, so CI gates
+	// correctness here and speed on the single-core columns above.
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
+	// ScalingEfficiency is parallel speedup at the widest point
+	// divided by its worker count (1.0 = perfect scaling).
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 	// MGPU is the distributed ablation on the same kernel: the
 	// per-gate DistState path vs planned execution of the shared
 	// TilePlan IR.
@@ -82,6 +92,34 @@ type MGPUAblationRow struct {
 	PlannedBytesSent int64   `json:"planned_bytes_sent"`
 	MaxProbDiff      float64 `json:"max_prob_diff"`
 	CountsIdentical  bool    `json:"counts_identical"`
+}
+
+// ScalingPoint is one workers-axis sample of the ablation: the tiled
+// plan at a fixed worker count, with bit-identity checked against the
+// workers=1 run of the same plan.
+type ScalingPoint struct {
+	Workers      int     `json:"workers"`
+	Seconds      float64 `json:"seconds"`
+	Speedup      float64 `json:"speedup"`       // vs the workers=1 point
+	BitIdentical bool    `json:"bit_identical"` // amplitudes exactly match workers=1
+}
+
+// scalingWorkers is the workers axis every ablation row sweeps.
+var scalingWorkers = []int{1, 2, 4}
+
+// sameAmpBits reports exact bit equality of two amplitude vectors —
+// tolerance-free, sign-of-zero included.
+func sameAmpBits(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
 }
 
 // crossCheck compares two probability vectors elementwise and draws
@@ -176,6 +214,37 @@ func (r *Runner) ablate(name string, k *kernel.Kernel, tileBits, shots int) (Abl
 	row.MaxProbDiff, row.CountsIdentical, err = crossCheck(pNaive, pTiled, shots, r.Seed)
 	if err != nil {
 		return row, err
+	}
+
+	// Workers axis: the same plan re-executed at each scaling worker
+	// count. The reference state (workers=1) stays live so the
+	// bit-identity comparison runs against its raw amplitudes; later
+	// states are released as soon as they are checked.
+	var ref *statevec.State
+	var baseSeconds float64
+	for _, w := range scalingWorkers {
+		sv, err := statevec.New(k.NumQubits, w)
+		if err != nil {
+			return row, err
+		}
+		secs, err := measure(func() error { return plan.Execute(sv) })
+		if err != nil {
+			return row, err
+		}
+		pt := ScalingPoint{Workers: w, Seconds: secs}
+		if ref == nil {
+			ref, baseSeconds = sv, secs
+			pt.Speedup, pt.BitIdentical = 1, true
+		} else {
+			pt.BitIdentical = sameAmpBits(ref.Amplitudes(), sv.Amplitudes())
+			if secs > 0 {
+				pt.Speedup = baseSeconds / secs
+			}
+		}
+		row.Scaling = append(row.Scaling, pt)
+	}
+	if last := row.Scaling[len(row.Scaling)-1]; last.Workers > 0 {
+		row.ScalingEfficiency = last.Speedup / float64(last.Workers)
 	}
 	return row, nil
 }

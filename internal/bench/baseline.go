@@ -77,6 +77,22 @@ func CompareAblation(fresh, base AblationRow, tol float64) []string {
 	if fresh.MaxProbDiff != 0 {
 		fails = append(fails, fmt.Sprintf("%s: max |Δp| = %g, want exactly 0", fresh.Workload, fresh.MaxProbDiff))
 	}
+	// Workers axis: every scaling point must be bit-identical to the
+	// workers=1 run — correctness is gated regardless of what the
+	// baseline recorded (older baselines without a scaling column are
+	// tolerated; their timing columns above still apply). Scaling
+	// timings themselves are never gated: efficiency is a property of
+	// the host's core count, not of the code under test.
+	for _, pt := range fresh.Scaling {
+		if !pt.BitIdentical {
+			fails = append(fails, fmt.Sprintf(
+				"%s: workers=%d tiled run is not bit-identical to workers=1 — worker count changed amplitude bits",
+				fresh.Workload, pt.Workers))
+		}
+	}
+	if len(base.Scaling) > 0 && len(fresh.Scaling) == 0 {
+		fails = append(fails, fmt.Sprintf("%s: baseline has a scaling column but the fresh run does not", fresh.Workload))
+	}
 	if floor := base.Speedup * (1 - tol); fresh.PerGateSeconds >= minTimedSeconds && fresh.Speedup < floor {
 		fails = append(fails, fmt.Sprintf(
 			"%s: tiled speedup %.2fx regressed more than %.0f%% below baseline %.2fx (floor %.2fx)",

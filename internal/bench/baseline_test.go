@@ -82,6 +82,39 @@ func TestCompareAblationEquivalenceStrict(t *testing.T) {
 	}
 }
 
+// TestCompareAblationScalingGate: the workers axis gates bit-identity
+// only — a non-identical point fails whatever the timing, scaling
+// timings are never gated, and baselines predating the scaling column
+// are tolerated.
+func TestCompareAblationScalingGate(t *testing.T) {
+	scaled := func(identical bool) AblationRow {
+		r := gateRow(2.0)
+		r.Scaling = []ScalingPoint{
+			{Workers: 1, Seconds: 1.0, Speedup: 1, BitIdentical: true},
+			{Workers: 2, Seconds: 0.9, Speedup: 1.11, BitIdentical: true},
+			{Workers: 4, Seconds: 1.2, Speedup: 0.83, BitIdentical: identical},
+		}
+		r.ScalingEfficiency = 0.21
+		return r
+	}
+	// Old baseline (no scaling), fresh run with the column: passes —
+	// including with sub-linear (even regressive) scaling timings.
+	base := gateRow(2.0)
+	if fails := CompareAblation(scaled(true), base, 0.20); len(fails) != 0 {
+		t.Fatalf("scaling column rejected against a pre-scaling baseline: %v", fails)
+	}
+	// Bit-identity broken at one worker count: always a failure.
+	fails := CompareAblation(scaled(false), base, 0.20)
+	if len(fails) != 1 || !strings.Contains(fails[0], "workers=4") {
+		t.Fatalf("non-identical scaling point not caught: %v", fails)
+	}
+	// Baseline with a scaling column, fresh run without: the axis was
+	// dropped — a gate failure.
+	if fails := CompareAblation(gateRow(2.0), scaled(true), 0.20); len(fails) == 0 {
+		t.Fatal("dropped scaling column passed the gate")
+	}
+}
+
 // TestCompareAblationSizeMismatch: comparing different workload sizes
 // is refused — speedups across sizes are meaningless.
 func TestCompareAblationSizeMismatch(t *testing.T) {

@@ -2,11 +2,14 @@ package kernel
 
 import (
 	"errors"
+	"math"
+	"math/cmplx"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"qgear/internal/circuit"
+	"qgear/internal/gate"
 	"qgear/internal/qmath"
 	"qgear/internal/statevec"
 )
@@ -66,6 +69,118 @@ func TestRunFusionFoldsAdjacentMat1(t *testing.T) {
 	}
 	if d := maxAmpDiff(t, a, b); d > 1e-12 {
 		t.Errorf("fused plan diverged: %g", d)
+	}
+}
+
+// TestRunFusionFoldsDiagonals checks plan-time diagonal folding:
+// single-target diagonal micro-ops (t/s/p/rz) merge into a neighboring
+// mat1 on the same target as a row or column scale, adjacent diagonals
+// collapse to one TileRelPhase, and the folded plan agrees with the
+// exact plan to rounding.
+func TestRunFusionFoldsDiagonals(t *testing.T) {
+	const n, tileBits = 8, 4
+	type variant struct {
+		name  string
+		build func(c *circuit.Circuit, q int, rng *qmath.RNG)
+	}
+	for _, v := range []variant{
+		{"diag-after-mat1", func(c *circuit.Circuit, q int, rng *qmath.RNG) {
+			c.H(q)
+			c.Append(gate.T, []int{q}, nil) // row scale: T·H
+		}},
+		{"mat1-after-diag", func(c *circuit.Circuit, q int, rng *qmath.RNG) {
+			c.Append(gate.P, []int{q}, []float64{rng.Angle()})
+			c.RY(rng.Angle(), q) // column scale: RY·P
+		}},
+		{"diag-after-diag", func(c *circuit.Circuit, q int, rng *qmath.RNG) {
+			c.Append(gate.RZ, []int{q}, []float64{rng.Angle()})
+			c.Append(gate.S, []int{q}, nil) // collapses to one TileRelPhase
+		}},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			rng := qmath.NewRNG(97)
+			c := circuit.New(n, 0)
+			for i := 0; i < 24; i++ {
+				q := rng.Intn(tileBits)
+				v.build(c, q, rng)
+				if i%6 == 0 {
+					c.CX(q, (q+1)%tileBits) // break runs so folding must restart
+				}
+			}
+			k, _, err := FromCircuit(c, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := Plan(k, PlanConfig{TileBits: tileBits})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fused, err := Plan(k, PlanConfig{TileBits: tileBits, FuseRuns: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fused.Stats.FusedOps == 0 {
+				t.Fatal("no micro-ops folded in a diagonal-heavy stream")
+			}
+			opCount := func(p *TilePlan) int {
+				total := 0
+				for _, seg := range p.Segments {
+					total += len(seg.Ops)
+				}
+				return total
+			}
+			if opCount(fused) >= opCount(exact) {
+				t.Errorf("diag folding did not shrink the op stream: %d vs %d",
+					opCount(fused), opCount(exact))
+			}
+			a := statevec.MustNew(n, 1)
+			if err := exact.Execute(a); err != nil {
+				t.Fatal(err)
+			}
+			b := statevec.MustNew(n, 1)
+			if err := fused.Execute(b); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAmpDiff(t, a, b); d > 1e-12 {
+				t.Errorf("folded plan diverged: %g", d)
+			}
+		})
+	}
+}
+
+// TestDiagDiagCollapsesToRelPhase pins the merged-op shape: two
+// adjacent diagonals on one low target become exactly one TileRelPhase
+// micro-op carrying the product factors.
+func TestDiagDiagCollapsesToRelPhase(t *testing.T) {
+	c := circuit.New(5, 0)
+	c.Append(gate.T, []int{1}, nil)
+	c.Append(gate.S, []int{1}, nil)
+	k, _, err := FromCircuit(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Plan(k, PlanConfig{TileBits: 3, FuseRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []statevec.TileOp
+	for _, seg := range fused.Segments {
+		ops = append(ops, seg.Ops...)
+	}
+	if len(ops) != 1 {
+		t.Fatalf("want 1 merged micro-op, got %d", len(ops))
+	}
+	op := ops[0]
+	if op.Kind != statevec.TileRelPhase || op.T != 1 {
+		t.Fatalf("want TileRelPhase on target 1, got kind=%d T=%d", op.Kind, op.T)
+	}
+	// T then S is diag(1, e^{iπ/4}) then diag(1, i): product diag(1, e^{i3π/4}).
+	want := complex(math.Cos(3*math.Pi/4), math.Sin(3*math.Pi/4))
+	if cmplx.Abs(op.A-1) > 1e-15 || cmplx.Abs(op.B-want) > 1e-15 {
+		t.Fatalf("merged factors A=%v B=%v, want A=1 B=%v", op.A, op.B, want)
+	}
+	if fused.Stats.FusedOps != 1 {
+		t.Fatalf("FusedOps = %d, want 1", fused.Stats.FusedOps)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	mbits "math/bits"
 
 	"qgear/internal/cancel"
 	"qgear/internal/gate"
@@ -129,7 +130,9 @@ type PlanConfig struct {
 	// 0 compiles a single-process plan.
 	GlobalBits int
 	// FuseRuns pre-multiplies adjacent same-target single-qubit gates
-	// into one mat1 micro-op at compile time. Off, plans are
+	// into one mat1 micro-op at compile time, and folds single-target
+	// diagonal/phase micro-ops into a neighboring mat1 on the same
+	// target (merged 2×2 row/column scale). Off, plans are
 	// arithmetic-identical to the per-gate path; on, amplitudes agree
 	// to rounding (~1e-15) with fewer in-tile multiplies.
 	FuseRuns bool
@@ -316,18 +319,75 @@ func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
 		return true
 	}
 
+	// plainMat1 reports whether op is an uncontrolled, unpredicated
+	// mat1 micro-op — the only mat1 shape within-run fusion touches.
+	plainMat1 := func(op *statevec.TileOp) bool {
+		return op.Kind == statevec.TileMat1 && !op.HasCtrl && op.HighMask == 0
+	}
+
+	// diagFactors recognizes a single-target, unpredicated diagonal
+	// micro-op on a low target and returns it as diag(a, b) on t:
+	// TileRelPhase directly, TileDiag with one low bit as diag(1, Phase).
+	diagFactors := func(op *statevec.TileOp) (t uint, a, b complex128, ok bool) {
+		if op.HighMask != 0 {
+			return 0, 0, 0, false
+		}
+		switch op.Kind {
+		case statevec.TileRelPhase:
+			return op.T, op.A, op.B, true
+		case statevec.TileDiag:
+			if mbits.OnesCount64(op.LowMask) == 1 {
+				return uint(mbits.TrailingZeros64(op.LowMask)), 1, op.Phase, true
+			}
+		}
+		return 0, 0, 0, false
+	}
+
 	// appendRunOp adds a compiled micro-op to the open run, folding it
-	// into the previous op when within-run fusion applies: adjacent
-	// uncontrolled, unpredicated mat1 ops on the same target
-	// pre-multiply while the plan is compiled, so every engine executes
-	// one multiply instead of two.
+	// into the previous op when within-run fusion (cfg.FuseRuns)
+	// applies: adjacent uncontrolled, unpredicated mat1 ops on the same
+	// target pre-multiply at compile time, and single-target diagonal
+	// micro-ops fold into a neighboring mat1 on the same target as a
+	// row scale (diag after mat1: D·M) or column scale (mat1 after
+	// diag: M·D) — one merged 2×2 instead of two passes over the pair.
+	// Adjacent diagonals on one target collapse to a single
+	// TileRelPhase. Folding reassociates the products, so fused plans
+	// agree with per-gate execution to rounding, not bitwise — the
+	// documented FuseRuns trade.
 	appendRunOp := func(op statevec.TileOp) {
-		if cfg.FuseRuns && op.Kind == statevec.TileMat1 && !op.HasCtrl && op.HighMask == 0 && len(run) > 0 {
+		if cfg.FuseRuns && len(run) > 0 {
 			last := &run[len(run)-1]
-			if last.Kind == statevec.TileMat1 && !last.HasCtrl && last.HighMask == 0 && last.T == op.T {
-				last.M = op.M.Mul(last.M)
-				p.Stats.FusedOps++
-				return
+			if plainMat1(&op) {
+				if plainMat1(last) && last.T == op.T {
+					last.M = op.M.Mul(last.M)
+					p.Stats.FusedOps++
+					return
+				}
+				if t, a, b, ok := diagFactors(last); ok && t == op.T {
+					m := op.M // column-scale: combined = M·diag(a, b)
+					m[0] *= a
+					m[2] *= a
+					m[1] *= b
+					m[3] *= b
+					*last = statevec.TileOp{Kind: statevec.TileMat1, T: op.T, M: m}
+					p.Stats.FusedOps++
+					return
+				}
+			} else if t, a, b, ok := diagFactors(&op); ok {
+				if plainMat1(last) && last.T == t {
+					// row-scale: combined = diag(a, b)·M
+					last.M[0] *= a
+					last.M[1] *= a
+					last.M[2] *= b
+					last.M[3] *= b
+					p.Stats.FusedOps++
+					return
+				}
+				if lt, la, lb, lok := diagFactors(last); lok && lt == t {
+					*last = statevec.TileOp{Kind: statevec.TileRelPhase, T: t, A: la * a, B: lb * b}
+					p.Stats.FusedOps++
+					return
+				}
 			}
 		}
 		run = append(run, op)

@@ -128,6 +128,77 @@ func TestTiledGateSoupEquivalence(t *testing.T) {
 	}
 }
 
+// TestTiledWorkerCountBitIdentity is the workers-axis scaling gate's
+// correctness half: the same tiled plan executed at 1, 2, and 4
+// workers must produce *bit-identical* amplitude vectors, not merely
+// tolerance-close ones. Worker count only changes how disjoint tiles
+// and full-sweep chunks are sharded; every amplitude pair sees exactly
+// one kernel formula regardless of chunk placement (lanes.go
+// contract), so equality here is exact.
+func TestTiledWorkerCountBitIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		n, tileBits, window int
+	}{
+		{6, 3, 0},
+		{10, 4, 0},
+		{12, 6, 3},
+		{13, 5, 5},
+	} {
+		rng := qmath.NewRNG(0xb17 + uint64(tc.n*100+tc.tileBits*10+tc.window))
+		c := gateSoup(tc.n, 200, rng)
+		k, _, err := FromCircuit(c, Options{FusionWindow: tc.window})
+		if err != nil {
+			t.Fatalf("n=%d: transform: %v", tc.n, err)
+		}
+
+		var ref *statevec.State
+		for _, workers := range []int{1, 2, 4} {
+			s := statevec.MustNew(tc.n, workers)
+			if err := ExecuteTiled(k, s, tc.tileBits); err != nil {
+				t.Fatalf("n=%d workers=%d: tiled execute: %v", tc.n, workers, err)
+			}
+			if ref == nil {
+				ref = s
+				continue
+			}
+			for i := 0; i < s.Len(); i++ {
+				got, want := s.Amp(uint64(i)), ref.Amp(uint64(i))
+				if math.Float64bits(real(got)) != math.Float64bits(real(want)) ||
+					math.Float64bits(imag(got)) != math.Float64bits(imag(want)) {
+					t.Fatalf("n=%d tile=%d window=%d workers=%d: amplitude %d = %v differs from workers=1 value %v",
+						tc.n, tc.tileBits, tc.window, workers, i, got, want)
+				}
+			}
+		}
+
+		// The QFT workload the bench ablation times must satisfy the
+		// same contract at its exact gate mix.
+		kq, _, err := FromCircuit(qftCircuit(tc.n), Options{})
+		if err != nil {
+			t.Fatalf("qft n=%d: transform: %v", tc.n, err)
+		}
+		var qref *statevec.State
+		for _, workers := range []int{1, 2, 4} {
+			s := statevec.MustNew(tc.n, workers)
+			if err := ExecuteTiled(kq, s, tc.tileBits); err != nil {
+				t.Fatalf("qft n=%d workers=%d: tiled execute: %v", tc.n, workers, err)
+			}
+			if qref == nil {
+				qref = s
+				continue
+			}
+			for i := 0; i < s.Len(); i++ {
+				got, want := s.Amp(uint64(i)), qref.Amp(uint64(i))
+				if math.Float64bits(real(got)) != math.Float64bits(real(want)) ||
+					math.Float64bits(imag(got)) != math.Float64bits(imag(want)) {
+					t.Fatalf("qft n=%d workers=%d: amplitude %d = %v differs from workers=1 value %v",
+						tc.n, workers, i, got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestTiledResumesAfterMaterialize checks the lazy-permutation
 // contract: after a tiled run leaves a pending relabeling, readout and
 // further gate application on the same state stay correct.

@@ -16,16 +16,45 @@ func (s *State) ApplyMat1(target int, m gate.Mat2) {
 	s.checkQubit(target)
 	t := uint(target)
 	half := len(s.amps) >> 1
-	mask := uint64(1) << t
-	m0, m1, m2, m3 := m[0], m[1], m[2], m[3]
-	amps := s.amps
+	lm := mat2Lanes(m)
+	v := lanes(s.amps)
+	step := 1 << t
 	s.parallelRange(half, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			i0 := insertBit(uint64(p), t, 0)
-			i1 := i0 | mask
-			a0, a1 := amps[i0], amps[i1]
-			amps[i0] = m0*a0 + m1*a1
-			amps[i1] = m2*a0 + m3*a1
+		if t == 0 {
+			// Pair p is amplitudes (2p, 2p+1): one flat lane pass.
+			lm.adj(v[4*lo : 4*hi])
+			return
+		}
+		// Pairs with equal upper bits form contiguous runs of up to
+		// 2^t. Whole target blocks in the chunk interior stream through
+		// a single inline sweep call (block b's amplitudes are the
+		// contiguous window [2b·2^t, 2(b+1)·2^t)); only the partial
+		// blocks at the chunk edges pay a per-run call.
+		bLo := (lo + step - 1) &^ (step - 1)
+		bHi := hi &^ (step - 1)
+		if bLo >= bHi {
+			for p := lo; p < hi; {
+				within := p & (step - 1)
+				run := step - within
+				if run > hi-p {
+					run = hi - p
+				}
+				j := 2 * int(insertBit(uint64(p), t, 0))
+				lm.run(v[j:j+2*run:j+2*run], v[j+2*step:j+2*step+2*run:j+2*step+2*run])
+				p += run
+			}
+			return
+		}
+		if lo < bLo {
+			run := bLo - lo
+			j := 2 * int(insertBit(uint64(lo), t, 0))
+			lm.run(v[j:j+2*run:j+2*run], v[j+2*step:j+2*step+2*run:j+2*step+2*run])
+		}
+		lm.sweep(v[4*bLo:4*bHi:4*bHi], 2*step)
+		if bHi < hi {
+			run := hi - bHi
+			j := 2 * int(insertBit(uint64(bHi), t, 0))
+			lm.run(v[j:j+2*run:j+2*run], v[j+2*step:j+2*step+2*run:j+2*step+2*run])
 		}
 	})
 }
@@ -44,16 +73,56 @@ func (s *State) ApplyControlled1(control, target int, m gate.Mat2) {
 	}
 	c, t := uint(control), uint(target)
 	quarter := len(s.amps) >> 2
-	tmask := uint64(1) << t
-	m0, m1, m2, m3 := m[0], m[1], m[2], m[3]
-	amps := s.amps
+	lm := mat2Lanes(m)
+	v := lanes(s.amps)
+	step := 1 << t
 	s.parallelRange(quarter, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			i0 := qmath.InsertTwoBits(uint64(p), c, 1, t, 0)
-			i1 := i0 | tmask
-			a0, a1 := amps[i0], amps[i1]
-			amps[i0] = m0*a0 + m1*a1
-			amps[i1] = m2*a0 + m3*a1
+		switch {
+		case t == 0:
+			// Pairs are adjacent cells (2q, 2q+1) with the control bit
+			// set in cell space; cells run contiguously below it.
+			cw := c - 1
+			cm := 1 << cw
+			for p := lo; p < hi; {
+				within := p & (cm - 1)
+				run := cm - within
+				if run > hi-p {
+					run = hi - p
+				}
+				cell := int(insertBit(uint64(p), cw, 1))
+				lm.adj(v[4*cell : 4*(cell+run)])
+				p += run
+			}
+		case c == 0:
+			// Odd amplitude slots of each target block participate.
+			tw := t - 1
+			tm := 1 << tw
+			for p := lo; p < hi; {
+				within := p & (tm - 1)
+				run := tm - within
+				if run > hi-p {
+					run = hi - p
+				}
+				j := 2 * (int(qmath.InsertTwoBits(uint64(p), 0, 1, t, 0)) - 1)
+				lm.runOdd(v[j:j+4*run:j+4*run], v[j+2*step:j+2*step+4*run:j+2*step+4*run])
+				p += run
+			}
+		default:
+			b0 := c
+			if t < c {
+				b0 = t
+			}
+			m0 := 1 << b0
+			for p := lo; p < hi; {
+				within := p & (m0 - 1)
+				run := m0 - within
+				if run > hi-p {
+					run = hi - p
+				}
+				j := 2 * int(qmath.InsertTwoBits(uint64(p), c, 1, t, 0))
+				lm.run(v[j:j+2*run:j+2*run], v[j+2*step:j+2*step+2*run:j+2*step+2*run])
+				p += run
+			}
 		}
 	})
 }
@@ -71,13 +140,52 @@ func (s *State) ApplyCX(control, target int) {
 	}
 	c, t := uint(control), uint(target)
 	quarter := len(s.amps) >> 2
-	tmask := uint64(1) << t
+	step := 1 << t
 	amps := s.amps
 	s.parallelRange(quarter, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			i0 := qmath.InsertTwoBits(uint64(p), c, 1, t, 0)
-			i1 := i0 | tmask
-			amps[i0], amps[i1] = amps[i1], amps[i0]
+		switch {
+		case t == 0:
+			cw := c - 1
+			cm := 1 << cw
+			for p := lo; p < hi; {
+				within := p & (cm - 1)
+				run := cm - within
+				if run > hi-p {
+					run = hi - p
+				}
+				cell := int(insertBit(uint64(p), cw, 1))
+				swapAdj(amps[2*cell : 2*(cell+run)])
+				p += run
+			}
+		case c == 0:
+			tw := t - 1
+			tm := 1 << tw
+			for p := lo; p < hi; {
+				within := p & (tm - 1)
+				run := tm - within
+				if run > hi-p {
+					run = hi - p
+				}
+				base := int(qmath.InsertTwoBits(uint64(p), 0, 1, t, 0)) - 1
+				swapOdd(amps[base:base+2*run:base+2*run], amps[base+step:base+step+2*run:base+step+2*run])
+				p += run
+			}
+		default:
+			b0 := c
+			if t < c {
+				b0 = t
+			}
+			m0 := 1 << b0
+			for p := lo; p < hi; {
+				within := p & (m0 - 1)
+				run := m0 - within
+				if run > hi-p {
+					run = hi - p
+				}
+				i0 := int(qmath.InsertTwoBits(uint64(p), c, 1, t, 0))
+				swapRun(amps[i0:i0+run:i0+run], amps[i0+step:i0+step+run:i0+step+run])
+				p += run
+			}
 		}
 	})
 }
@@ -127,16 +235,46 @@ func (s *State) ApplySwap(a, b int) {
 }
 
 // swapBits is the raw physical-bit exchange kernel behind ApplySwap
-// and MaterializePerm.
+// and MaterializePerm. The swapped pair set is symmetric in (a, b), so
+// positions are normalized to lo1 < hi1 and amplitudes with
+// (lo1, hi1) = (1, 0) exchange with their (0, 1) partners over
+// contiguous runs.
 func (s *State) swapBits(a, b uint) {
 	quarter := len(s.amps) >> 2
-	flip := uint64(1)<<a | uint64(1)<<b
+	lo1, hi1 := a, b
+	if lo1 > hi1 {
+		lo1, hi1 = hi1, lo1
+	}
+	d := 1<<hi1 - 1<<lo1 // partner offset
 	amps := s.amps
 	s.parallelRange(quarter, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			i01 := qmath.InsertTwoBits(uint64(p), a, 0, b, 1)
-			i10 := i01 ^ flip
-			amps[i01], amps[i10] = amps[i10], amps[i01]
+		if lo1 == 0 {
+			// One operand is qubit 0: partners interleave, so swap
+			// every second amplitude of paired windows.
+			hw := hi1 - 1
+			hm := 1 << hw
+			for p := lo; p < hi; {
+				within := p & (hm - 1)
+				run := hm - within
+				if run > hi-p {
+					run = hi - p
+				}
+				i0 := 2*int(insertBit(uint64(p), hw, 0)) + 1
+				swapStride(amps[i0:i0+2*run:i0+2*run], amps[i0+d:i0+d+2*run:i0+d+2*run])
+				p += run
+			}
+			return
+		}
+		m0 := 1 << lo1
+		for p := lo; p < hi; {
+			within := p & (m0 - 1)
+			run := m0 - within
+			if run > hi-p {
+				run = hi - p
+			}
+			i0 := int(qmath.InsertTwoBits(uint64(p), lo1, 1, hi1, 0))
+			swapRun(amps[i0:i0+run:i0+run], amps[i0+d:i0+d+run:i0+d+run])
+			p += run
 		}
 	})
 }
@@ -216,46 +354,76 @@ func (s *State) fusedBuffers(w, dim int) (in, out []complex128, idx []uint64) {
 
 // fusedApplyAt applies the dim×dim matrix m (dim = 2^len(masks)) to
 // the amplitude group anchored at base, where matrix index bit j
-// selects masks[j]. The k=1..3 widths are fully unrolled; the term
-// order of every path matches the generic accumulation loop exactly,
-// so fused execution is arithmetic-identical whichever path runs.
+// selects masks[j]. The k=1..3 widths are unrolled on the float64 lane
+// view with the complex-multiply operation order (lanes.go contract);
+// the term order of every path matches the generic accumulation loop
+// exactly, so fused execution is arithmetic-identical whichever path
+// runs.
 func fusedApplyAt(amps []complex128, base uint64, masks []uint64, m []complex128, in, out []complex128, idx []uint64) {
 	switch len(masks) {
 	case 1:
-		i0 := base
-		i1 := base | masks[0]
-		a0, a1 := amps[i0], amps[i1]
-		amps[i0] = m[0]*a0 + m[1]*a1
-		amps[i1] = m[2]*a0 + m[3]*a1
+		v := lanes(amps)
+		j0 := 2 * int(base)
+		j1 := 2 * int(base|masks[0])
+		ar, ai := v[j0], v[j0+1]
+		br, bi := v[j1], v[j1+1]
+		m0r, m0i := real(m[0]), imag(m[0])
+		m1r, m1i := real(m[1]), imag(m[1])
+		m2r, m2i := real(m[2]), imag(m[2])
+		m3r, m3i := real(m[3]), imag(m[3])
+		v[j0] = (float64(m0r*ar) - float64(m0i*ai)) + (float64(m1r*br) - float64(m1i*bi))
+		v[j0+1] = (float64(m0r*ai) + float64(m0i*ar)) + (float64(m1r*bi) + float64(m1i*br))
+		v[j1] = (float64(m2r*ar) - float64(m2i*ai)) + (float64(m3r*br) - float64(m3i*bi))
+		v[j1+1] = (float64(m2r*ai) + float64(m2i*ar)) + (float64(m3r*bi) + float64(m3i*br))
 	case 2:
-		i0 := base
-		i1 := base | masks[0]
-		i2 := base | masks[1]
-		i3 := base | masks[0] | masks[1]
-		a0, a1, a2, a3 := amps[i0], amps[i1], amps[i2], amps[i3]
-		amps[i0] = m[0]*a0 + m[1]*a1 + m[2]*a2 + m[3]*a3
-		amps[i1] = m[4]*a0 + m[5]*a1 + m[6]*a2 + m[7]*a3
-		amps[i2] = m[8]*a0 + m[9]*a1 + m[10]*a2 + m[11]*a3
-		amps[i3] = m[12]*a0 + m[13]*a1 + m[14]*a2 + m[15]*a3
-	case 3:
-		m0, m1, m2 := masks[0], masks[1], masks[2]
-		i0 := base
-		i1 := base | m0
-		i2 := base | m1
-		i3 := base | m0 | m1
-		i4 := base | m2
-		i5 := base | m0 | m2
-		i6 := base | m1 | m2
-		i7 := base | m0 | m1 | m2
-		a0, a1, a2, a3 := amps[i0], amps[i1], amps[i2], amps[i3]
-		a4, a5, a6, a7 := amps[i4], amps[i5], amps[i6], amps[i7]
-		for r := 0; r < 8; r++ {
-			row := m[r*8 : r*8+8]
-			out[r] = row[0]*a0 + row[1]*a1 + row[2]*a2 + row[3]*a3 +
-				row[4]*a4 + row[5]*a5 + row[6]*a6 + row[7]*a7
+		v := lanes(amps)
+		j0 := 2 * int(base)
+		j1 := 2 * int(base|masks[0])
+		j2 := 2 * int(base|masks[1])
+		j3 := 2 * int(base|masks[0]|masks[1])
+		a0r, a0i := v[j0], v[j0+1]
+		a1r, a1i := v[j1], v[j1+1]
+		a2r, a2i := v[j2], v[j2+1]
+		a3r, a3i := v[j3], v[j3+1]
+		jj := [4]int{j0, j1, j2, j3}
+		for r := 0; r < 4; r++ {
+			row := m[r*4 : r*4+4 : r*4+4]
+			re := (float64(real(row[0])*a0r) - float64(imag(row[0])*a0i)) +
+				(float64(real(row[1])*a1r) - float64(imag(row[1])*a1i)) +
+				(float64(real(row[2])*a2r) - float64(imag(row[2])*a2i)) +
+				(float64(real(row[3])*a3r) - float64(imag(row[3])*a3i))
+			im := (float64(real(row[0])*a0i) + float64(imag(row[0])*a0r)) +
+				(float64(real(row[1])*a1i) + float64(imag(row[1])*a1r)) +
+				(float64(real(row[2])*a2i) + float64(imag(row[2])*a2r)) +
+				(float64(real(row[3])*a3i) + float64(imag(row[3])*a3r))
+			v[jj[r]], v[jj[r]+1] = re, im
 		}
-		amps[i0], amps[i1], amps[i2], amps[i3] = out[0], out[1], out[2], out[3]
-		amps[i4], amps[i5], amps[i6], amps[i7] = out[4], out[5], out[6], out[7]
+	case 3:
+		v := lanes(amps)
+		mk0, mk1, mk2 := masks[0], masks[1], masks[2]
+		var j [8]int
+		j[0] = 2 * int(base)
+		j[1] = 2 * int(base|mk0)
+		j[2] = 2 * int(base|mk1)
+		j[3] = 2 * int(base|mk0|mk1)
+		j[4] = 2 * int(base|mk2)
+		j[5] = 2 * int(base|mk0|mk2)
+		j[6] = 2 * int(base|mk1|mk2)
+		j[7] = 2 * int(base|mk0|mk1|mk2)
+		var ar, ai [8]float64
+		for q := 0; q < 8; q++ {
+			ar[q], ai[q] = v[j[q]], v[j[q]+1]
+		}
+		for r := 0; r < 8; r++ {
+			row := m[r*8 : r*8+8 : r*8+8]
+			re := float64(real(row[0])*ar[0]) - float64(imag(row[0])*ai[0])
+			im := float64(real(row[0])*ai[0]) + float64(imag(row[0])*ar[0])
+			for q := 1; q < 8; q++ {
+				re += float64(real(row[q])*ar[q]) - float64(imag(row[q])*ai[q])
+				im += float64(real(row[q])*ai[q]) + float64(imag(row[q])*ar[q])
+			}
+			v[j[r]], v[j[r]+1] = re, im
+		}
 	default:
 		dim := 1 << uint(len(masks))
 		k := len(masks)

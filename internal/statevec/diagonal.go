@@ -24,27 +24,55 @@ func (s *State) ApplyPhase1(target int, phase complex128) {
 	s.checkQubit(target)
 	t := uint(target)
 	half := len(s.amps) >> 1
-	amps := s.amps
+	pr, pi := real(phase), imag(phase)
+	v := lanes(s.amps)
+	step := 1 << t
 	s.parallelRange(half, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			amps[insertBit(uint64(p), t, 1)] *= phase
+		if t == 0 {
+			scaleOdd(v[4*lo:4*hi], pr, pi)
+			return
+		}
+		for p := lo; p < hi; {
+			within := p & (step - 1)
+			run := step - within
+			if run > hi-p {
+				run = hi - p
+			}
+			j := 2 * int(insertBit(uint64(p), t, 1))
+			scaleRun(v[j:j+2*run:j+2*run], pr, pi)
+			p += run
 		}
 	})
 }
 
 // ApplyGlobalAndRelativePhase applies diag(a, b) on the target qubit —
-// the general single-qubit diagonal (rz has a ≠ 1).
+// the general single-qubit diagonal (rz has a ≠ 1). The index space
+// alternates contiguous a/b blocks of 2^t amplitudes, so the branchy
+// full scan becomes one lane-scale run per block (interleaved
+// two-factor passes when t = 0).
 func (s *State) ApplyGlobalAndRelativePhase(target int, a, b complex128) {
 	s.ensureCanonical()
 	s.checkQubit(target)
-	mask := uint64(1) << uint(target)
-	amps := s.amps
-	s.parallelRange(len(amps), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if uint64(i)&mask != 0 {
-				amps[i] *= b
+	t := uint(target)
+	v := lanes(s.amps)
+	ar, ai := real(a), imag(a)
+	br, bi := real(b), imag(b)
+	if t == 0 {
+		cells := len(s.amps) >> 1
+		s.parallelTiles(cells, 1, func(_, lo, hi int) {
+			scaleAB(v[4*lo:4*hi], ar, ai, br, bi)
+		})
+		return
+	}
+	blocks := len(s.amps) >> t
+	s.parallelTiles(blocks, int(t), func(_, lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			j := 2 * (blk << t)
+			seg := v[j : j+2<<t : j+2<<t]
+			if blk&1 == 1 {
+				scaleRun(seg, br, bi)
 			} else {
-				amps[i] *= a
+				scaleRun(seg, ar, ai)
 			}
 		}
 	})
@@ -63,10 +91,40 @@ func (s *State) ApplyControlledPhase(control, target int, phase complex128) {
 	}
 	c, t := uint(control), uint(target)
 	quarter := len(s.amps) >> 2
-	amps := s.amps
+	pr, pi := real(phase), imag(phase)
+	v := lanes(s.amps)
+	b0, b1 := c, t
+	if b0 > b1 {
+		b0, b1 = b1, b0
+	}
 	s.parallelRange(quarter, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			amps[qmath.InsertTwoBits(uint64(p), c, 1, t, 1)] *= phase
+		if b0 == 0 {
+			// Affected indices are the odd slots of cells with the
+			// other operand bit set.
+			hw := b1 - 1
+			hm := 1 << hw
+			for p := lo; p < hi; {
+				within := p & (hm - 1)
+				run := hm - within
+				if run > hi-p {
+					run = hi - p
+				}
+				cell := int(insertBit(uint64(p), hw, 1))
+				scaleOdd(v[4*cell:4*(cell+run)], pr, pi)
+				p += run
+			}
+			return
+		}
+		m0 := 1 << b0
+		for p := lo; p < hi; {
+			within := p & (m0 - 1)
+			run := m0 - within
+			if run > hi-p {
+				run = hi - p
+			}
+			j := 2 * int(qmath.InsertTwoBits(uint64(p), c, 1, t, 1))
+			scaleRun(v[j:j+2*run:j+2*run], pr, pi)
+			p += run
 		}
 	})
 }

@@ -25,33 +25,54 @@ func (s *State) MeasureQubit(q int, rng *qmath.RNG) int {
 // renormalizes. A zero-probability projection leaves the state at
 // |0...0> (the convention Qiskit uses after an impossible post-select
 // is an error; here the reset keeps the invariant Norm()==1 testable).
+// All three passes — kept-half norm, discarded-half zeroing, rescale —
+// run parallel; the norm follows the canonical chunked reduction
+// (maskedNorm2), so the collapsed state is bit-identical for any
+// worker count.
 func (s *State) CollapseQubit(q int, outcome int) {
 	s.checkQubit(q)
 	if s.perm != nil {
 		q = s.perm[q] // project on the physical home of the logical qubit
 	}
-	mask := uint64(1) << uint(q)
-	want := uint64(0)
+	t := uint(q)
+	keep := uint64(0)
 	if outcome != 0 {
-		want = mask
+		keep = 1
 	}
-	var norm float64
-	for i := range s.amps {
-		if uint64(i)&mask != want {
-			s.amps[i] = 0
-		} else {
-			a := s.amps[i]
-			norm += real(a)*real(a) + imag(a)*imag(a)
+	norm := s.maskedNorm2(t, keep)
+
+	// Zero the discarded half: indices whose bit t is 1-keep, visited
+	// as contiguous runs.
+	half := len(s.amps) >> 1
+	amps := s.amps
+	step := 1 << t
+	drop := 1 - keep
+	s.parallelRange(half, func(lo, hi int) {
+		if t == 0 {
+			for p := lo; p < hi; p++ {
+				amps[2*p+int(drop)] = 0
+			}
+			return
 		}
-	}
+		for p := lo; p < hi; {
+			within := p & (step - 1)
+			run := step - within
+			if run > hi-p {
+				run = hi - p
+			}
+			i0 := int(insertBit(uint64(p), t, drop))
+			clearRun(amps[i0 : i0+run : i0+run])
+			p += run
+		}
+	})
+
 	if norm == 0 {
 		s.Reset()
 		return
 	}
-	inv := complex(1/math.Sqrt(norm), 0)
-	s.parallelRange(len(s.amps), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s.amps[i] *= inv
-		}
+	k := 1 / math.Sqrt(norm)
+	v := lanes(amps)
+	s.parallelRange(len(amps), func(lo, hi int) {
+		scaleRun(v[2*lo:2*hi], k, 0)
 	})
 }

@@ -44,6 +44,15 @@ type State struct {
 	sortBuf []int          // reusable sorted-qubit buffer for ApplyFused
 	maskBuf []uint64       // reusable bit-mask buffer for ApplyFused
 	perm    []int          // logical→physical qubit map; nil = identity
+	permTab *permTabs      // cached permTables for the current perm; nil = stale
+}
+
+// permTabs is the cached physical→logical index-chunk translation of
+// one specific permutation. It is immutable once built (invalidation
+// replaces the pointer), so clones may share it.
+type permTabs struct {
+	lo, hi []uint64
+	loBits uint
 }
 
 // New allocates the n-qubit |0...0> state with the given worker count
@@ -118,6 +127,7 @@ func (s *State) Amplitudes() []complex128 {
 // Reset returns the state to |0...0>.
 func (s *State) Reset() {
 	s.perm = nil
+	s.permTab = nil
 	for i := range s.amps {
 		s.amps[i] = 0
 	}
@@ -130,6 +140,7 @@ func (s *State) PrepareBasis(idx uint64) error {
 		return fmt.Errorf("statevec: basis index %d out of range", idx)
 	}
 	s.perm = nil
+	s.permTab = nil
 	for i := range s.amps {
 		s.amps[i] = 0
 	}
@@ -181,6 +192,7 @@ func (s *State) Clone() *State {
 	copy(c.amps, s.amps)
 	if s.perm != nil {
 		c.perm = append([]int(nil), s.perm...)
+		c.permTab = s.permTab // immutable once built; safe to share
 	}
 	return c
 }
@@ -193,11 +205,12 @@ func (s *State) Clone() *State {
 // amplitude layout is left untouched for further tiled execution.
 func (s *State) Probabilities() []float64 {
 	p := make([]float64, len(s.amps))
+	v := lanes(s.amps)
 	if s.perm == nil {
 		s.parallelRange(len(s.amps), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				a := s.amps[i]
-				p[i] = real(a)*real(a) + imag(a)*imag(a)
+				ar, ai := v[2*i], v[2*i+1]
+				p[i] = float64(ar*ar) + float64(ai*ai)
 			}
 		})
 		return p
@@ -206,18 +219,25 @@ func (s *State) Probabilities() []float64 {
 	loMask := uint64(1)<<loBits - 1
 	s.parallelRange(len(s.amps), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			a := s.amps[i]
+			ar, ai := v[2*i], v[2*i+1]
 			l := tabLo[uint64(i)&loMask] | tabHi[uint64(i)>>loBits]
-			p[l] = real(a)*real(a) + imag(a)*imag(a)
+			p[l] = float64(ar*ar) + float64(ai*ai)
 		}
 	})
 	return p
 }
 
-// permTables builds physical→logical index-chunk lookup tables: a bit
+// permTables returns physical→logical index-chunk lookup tables: a bit
 // permutation maps each index chunk independently, so logical(i) =
-// tabLo[low chunk] | tabHi[high chunk].
+// tabLo[low chunk] | tabHi[high chunk]. The tables are built once per
+// permutation and cached on the state (every perm mutation clears the
+// cache), so repeated readout — the sample-then-read-again pattern of
+// shot loops — pays the O(2^(n/2)) rebuild only when the layout
+// actually changed.
 func (s *State) permTables() (tabLo, tabHi []uint64, loBits uint) {
+	if tab := s.permTab; tab != nil {
+		return tab.lo, tab.hi, tab.loBits
+	}
 	loBits = uint(s.n) / 2
 	hiBits := uint(s.n) - loBits
 	inv := make([]int, s.n) // physical→logical
@@ -240,12 +260,16 @@ func (s *State) permTables() (tabLo, tabHi []uint64, loBits uint) {
 		}
 		tabHi[v] = l
 	}
+	s.permTab = &permTabs{lo: tabLo, hi: tabHi, loBits: loBits}
 	return tabLo, tabHi, loBits
 }
 
 // ProbOne returns the probability that logical qubit q measures 1. A
 // pending permutation is consulted, not materialized: only the bit
-// position changes.
+// position changes. The sum follows the canonical chunked reduction
+// (sequential within ExpChunkBits-wide chunks, TreeSum over chunk
+// partials), so the value is bit-identical for any worker count — the
+// same contract as the PauliEvaluator.
 func (s *State) ProbOne(q int) float64 {
 	if q < 0 || q >= s.n {
 		panic(fmt.Sprintf("statevec: qubit %d out of range", q))
@@ -253,14 +277,49 @@ func (s *State) ProbOne(q int) float64 {
 	if s.perm != nil {
 		q = s.perm[q]
 	}
-	mask := uint64(1) << uint(q)
-	var acc float64
-	for i, a := range s.amps {
-		if uint64(i)&mask != 0 {
-			acc += real(a)*real(a) + imag(a)*imag(a)
-		}
+	return s.maskedNorm2(uint(q), 1)
+}
+
+// maskedNorm2 returns Σ|amps[i]|² over indices whose bit t equals
+// val, reduced in the canonical chunk order (worker-count independent).
+func (s *State) maskedNorm2(t uint, val uint64) float64 {
+	half := len(s.amps) >> 1
+	if half == 0 {
+		return 0
 	}
-	return acc
+	cb := ExpChunkBits(s.n)
+	nChunks := half >> uint(cb)
+	partials := make([]float64, nChunks)
+	v := lanes(s.amps)
+	step := 1 << t
+	s.forChunks(nChunks, 1<<uint(cb), func(c int) {
+		var acc float64
+		lo, hi := c<<uint(cb), (c+1)<<uint(cb)
+		if t == 0 {
+			base := 4*lo + 2*int(val)
+			for j := base; j < 4*hi; j += 4 {
+				ar, ai := v[j], v[j+1]
+				acc += float64(ar*ar) + float64(ai*ai)
+			}
+			partials[c] = acc
+			return
+		}
+		for p := lo; p < hi; {
+			within := p & (step - 1)
+			run := step - within
+			if run > hi-p {
+				run = hi - p
+			}
+			j := 2 * int(insertBit(uint64(p), t, val))
+			for e := j + 2*run; j < e; j += 2 {
+				ar, ai := v[j], v[j+1]
+				acc += float64(ar*ar) + float64(ai*ai)
+			}
+			p += run
+		}
+		partials[c] = acc
+	})
+	return TreeSum(partials)
 }
 
 // ExpZ returns <Z_q> = P(0) - P(1) on qubit q — the observable the
@@ -342,6 +401,7 @@ func (s *State) SetPermutation(perm []int) error {
 	if s.perm != nil {
 		s.MaterializePerm()
 	}
+	s.permTab = nil
 	if identity {
 		s.perm = nil
 		return nil
@@ -366,6 +426,7 @@ func (s *State) SwapLogical(a, b int) {
 		}
 	}
 	s.perm[a], s.perm[b] = s.perm[b], s.perm[a]
+	s.permTab = nil
 }
 
 // MaterializePerm rearranges the amplitude data back to the canonical
@@ -378,6 +439,7 @@ func (s *State) MaterializePerm() {
 	}
 	perm := s.perm
 	s.perm = nil // swapBits below must operate on the raw layout
+	s.permTab = nil
 	inv := make([]int, s.n)
 	for q, p := range perm {
 		inv[p] = q

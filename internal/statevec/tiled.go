@@ -208,120 +208,161 @@ func (s *State) ApplyTileRun(tileBits int, ops []TileOp) error {
 	return nil
 }
 
-// The in-tile loops below enumerate index subspaces with nested block
-// iteration — pure increments over contiguous runs — instead of
-// per-index bit insertion. Visit order over the disjoint pairs changes
-// relative to the full-sweep kernels, but the per-amplitude arithmetic
-// is identical, so results stay bit-identical; the sequential access
-// pattern is what lets a hot tile stream through the core at L2 speed.
+// The in-tile kernels below run on the float64 lane layer (lanes.go):
+// index subspaces are enumerated as contiguous runs — pure increments,
+// no per-index bit insertion — and the arithmetic is explicit real/imag
+// lane math that is bit-identical to the complex128 form (see the
+// contract in lanes.go; pinned by the fuzz suite in lanes_test.go).
+// Visit order over the disjoint pairs changes relative to the
+// full-sweep kernels, but the per-amplitude arithmetic is identical, so
+// results stay bit-identical; the sequential access pattern is what
+// lets a hot tile stream through the core at L2 speed.
 
 // applyTileMat1 mirrors ApplyMat1 / ApplyControlled1 within one tile.
-// The controlled case walks the (c=1, t=0) subspace with three nested
-// block loops, manually inlined: a per-pair closure call here costs
-// more than the complex arithmetic it wraps.
+// Controlled cases reduce to the uncontrolled sweep: with C > T each
+// control=1 block is a contiguous window holding an uncontrolled mat1;
+// with C < T the control selects strided sub-runs inside each target
+// block (odd amplitude slots when C = 0).
 func applyTileMat1(tile []complex128, op *TileOp) {
-	m0, m1, m2, m3 := op.M[0], op.M[1], op.M[2], op.M[3]
-	step := 1 << op.T
-	if op.HasCtrl {
-		cstep := 1 << op.C
-		if int(op.C) > int(op.T) {
-			for cb := cstep; cb < len(tile); cb += 2 * cstep {
-				for blk := cb; blk < cb+cstep; blk += 2 * step {
-					for i0 := blk; i0 < blk+step; i0++ {
-						i1 := i0 + step
-						a0, a1 := tile[i0], tile[i1]
-						tile[i0] = m0*a0 + m1*a1
-						tile[i1] = m2*a0 + m3*a1
-					}
-				}
-			}
-			return
+	lm := mat2Lanes(op.M)
+	v := lanes(tile)
+	step := 2 << op.T
+	if !op.HasCtrl {
+		lm.sweep(v, step)
+		return
+	}
+	cstep := 2 << op.C
+	if op.C > op.T {
+		for cb := cstep; cb < len(v); cb += 2 * cstep {
+			lm.sweep(v[cb:cb+cstep:cb+cstep], step)
 		}
-		for blk := 0; blk < len(tile); blk += 2 * step {
-			for cb := blk + cstep; cb < blk+step; cb += 2 * cstep {
-				for i0 := cb; i0 < cb+cstep; i0++ {
-					i1 := i0 + step
-					a0, a1 := tile[i0], tile[i1]
-					tile[i0] = m0*a0 + m1*a1
-					tile[i1] = m2*a0 + m3*a1
-				}
+		return
+	}
+	// C < T: the control selects short strided sub-runs inside each
+	// target block — too short to amortize a call per run, so the pair
+	// body is inlined here (lanes.go contract; pinned by the fuzz
+	// suite).
+	r0, i0, r1, i1 := lm.r0, lm.i0, lm.r1, lm.i1
+	r2, i2, r3, i3 := lm.r2, lm.i2, lm.r3, lm.i3
+	if op.C == 0 {
+		for blk := 0; blk < len(v); blk += 2 * step {
+			for j := blk + 2; j < blk+step; j += 4 {
+				ar, ai := v[j], v[j+1]
+				br, bi := v[j+step], v[j+step+1]
+				v[j] = (float64(r0*ar) - float64(i0*ai)) + (float64(r1*br) - float64(i1*bi))
+				v[j+1] = (float64(r0*ai) + float64(i0*ar)) + (float64(r1*bi) + float64(i1*br))
+				v[j+step] = (float64(r2*ar) - float64(i2*ai)) + (float64(r3*br) - float64(i3*bi))
+				v[j+step+1] = (float64(r2*ai) + float64(i2*ar)) + (float64(r3*bi) + float64(i3*br))
 			}
 		}
 		return
 	}
-	for blk := 0; blk < len(tile); blk += 2 * step {
-		for i0 := blk; i0 < blk+step; i0++ {
-			i1 := i0 + step
-			a0, a1 := tile[i0], tile[i1]
-			tile[i0] = m0*a0 + m1*a1
-			tile[i1] = m2*a0 + m3*a1
+	for blk := 0; blk < len(v); blk += 2 * step {
+		for cb := blk + cstep; cb < blk+step; cb += 2 * cstep {
+			for j := cb; j < cb+cstep; j += 2 {
+				ar, ai := v[j], v[j+1]
+				br, bi := v[j+step], v[j+step+1]
+				v[j] = (float64(r0*ar) - float64(i0*ai)) + (float64(r1*br) - float64(i1*bi))
+				v[j+1] = (float64(r0*ai) + float64(i0*ar)) + (float64(r1*bi) + float64(i1*br))
+				v[j+step] = (float64(r2*ar) - float64(i2*ai)) + (float64(r3*br) - float64(i3*bi))
+				v[j+step+1] = (float64(r2*ai) + float64(i2*ar)) + (float64(r3*bi) + float64(i3*br))
+			}
 		}
 	}
 }
 
 // applyTileCX mirrors ApplyCX (and the uncontrolled X pair-swap)
-// within one tile, with the same manually inlined subspace loops.
+// within one tile, with the same run decomposition as applyTileMat1;
+// swaps move complex128 values directly.
 func applyTileCX(tile []complex128, op *TileOp) {
 	step := 1 << op.T
-	if op.HasCtrl {
-		cstep := 1 << op.C
-		if int(op.C) > int(op.T) {
-			for cb := cstep; cb < len(tile); cb += 2 * cstep {
-				for blk := cb; blk < cb+cstep; blk += 2 * step {
-					for i0 := blk; i0 < blk+step; i0++ {
-						i1 := i0 + step
-						tile[i0], tile[i1] = tile[i1], tile[i0]
-					}
-				}
-			}
-			return
+	if !op.HasCtrl {
+		swapSweep(tile, step)
+		return
+	}
+	cstep := 1 << op.C
+	if op.C > op.T {
+		for cb := cstep; cb < len(tile); cb += 2 * cstep {
+			swapSweep(tile[cb:cb+cstep:cb+cstep], step)
 		}
+		return
+	}
+	if op.C == 0 {
 		for blk := 0; blk < len(tile); blk += 2 * step {
-			for cb := blk + cstep; cb < blk+step; cb += 2 * cstep {
-				for i0 := cb; i0 < cb+cstep; i0++ {
-					i1 := i0 + step
-					tile[i0], tile[i1] = tile[i1], tile[i0]
-				}
-			}
+			swapOdd(tile[blk:blk+step:blk+step], tile[blk+step:blk+2*step:blk+2*step])
 		}
 		return
 	}
 	for blk := 0; blk < len(tile); blk += 2 * step {
-		for i0 := blk; i0 < blk+step; i0++ {
-			i1 := i0 + step
-			tile[i0], tile[i1] = tile[i1], tile[i0]
+		for cb := blk + cstep; cb < blk+step; cb += 2 * cstep {
+			swapRun(tile[cb:cb+cstep:cb+cstep], tile[cb+step:cb+step+cstep:cb+step+cstep])
 		}
 	}
 }
 
 // applyTileDiag multiplies by op.Phase every tile amplitude whose
-// LowMask bits are all set, enumerating only the affected subspace.
+// LowMask bits are all set, enumerating only the affected subspace as
+// lane runs. The scale loops are written inline, two amplitudes per
+// iteration — this is the cr1 inner loop that dominates the QFT tile
+// profile, and every window here is a multiple of four lanes (the
+// single-low-bit widths that aren't route through scaleOdd), so the
+// unrolled loop needs no tail. Per-amplitude arithmetic is exactly
+// scaleRun's.
 func applyTileDiag(tile []complex128, op *TileOp) {
-	phase := op.Phase
+	v := lanes(tile)
+	pr, pi := real(op.Phase), imag(op.Phase)
 	switch bits.OnesCount64(op.LowMask) {
 	case 0: // all diagonal factors live in the tile base: whole tile
-		for i := range tile {
-			tile[i] *= phase
+		for j := 0; j+3 < len(v); j += 4 {
+			ar, ai := v[j], v[j+1]
+			br, bi := v[j+2], v[j+3]
+			v[j] = float64(ar*pr) - float64(ai*pi)
+			v[j+1] = float64(ar*pi) + float64(ai*pr)
+			v[j+2] = float64(br*pr) - float64(bi*pi)
+			v[j+3] = float64(br*pi) + float64(bi*pr)
 		}
 	case 1:
-		step := 1 << uint(bits.TrailingZeros64(op.LowMask))
-		for blk := step; blk < len(tile); blk += 2 * step {
-			for i := blk; i < blk+step; i++ {
-				tile[i] *= phase
+		step := 2 << uint(bits.TrailingZeros64(op.LowMask))
+		if step == 2 {
+			scaleOdd(v, pr, pi)
+			return
+		}
+		for blk := step; blk < len(v); blk += 2 * step {
+			seg := v[blk : blk+step : blk+step]
+			for j := 0; j+3 < len(seg); j += 4 {
+				ar, ai := seg[j], seg[j+1]
+				br, bi := seg[j+2], seg[j+3]
+				seg[j] = float64(ar*pr) - float64(ai*pi)
+				seg[j+1] = float64(ar*pi) + float64(ai*pr)
+				seg[j+2] = float64(br*pr) - float64(bi*pi)
+				seg[j+3] = float64(br*pi) + float64(bi*pr)
 			}
 		}
 	case 2:
 		lo := bits.TrailingZeros64(op.LowMask)
 		hi := 63 - bits.LeadingZeros64(op.LowMask)
-		lstep, hstep := 1<<uint(lo), 1<<uint(hi)
-		for hb := hstep; hb < len(tile); hb += 2 * hstep {
+		lstep, hstep := 2<<uint(lo), 2<<uint(hi)
+		if lstep == 2 {
+			for hb := hstep; hb < len(v); hb += 2 * hstep {
+				scaleOdd(v[hb:hb+hstep:hb+hstep], pr, pi)
+			}
+			return
+		}
+		for hb := hstep; hb < len(v); hb += 2 * hstep {
 			for lb := hb + lstep; lb < hb+hstep; lb += 2 * lstep {
-				for i := lb; i < lb+lstep; i++ {
-					tile[i] *= phase
+				seg := v[lb : lb+lstep : lb+lstep]
+				for j := 0; j+3 < len(seg); j += 4 {
+					ar, ai := seg[j], seg[j+1]
+					br, bi := seg[j+2], seg[j+3]
+					seg[j] = float64(ar*pr) - float64(ai*pi)
+					seg[j+1] = float64(ar*pi) + float64(ai*pr)
+					seg[j+2] = float64(br*pr) - float64(bi*pi)
+					seg[j+3] = float64(br*pi) + float64(bi*pr)
 				}
 			}
 		}
 	default: // not produced by the current gate set; kept for safety
+		phase := op.Phase
 		for i := range tile {
 			if uint64(i)&op.LowMask == op.LowMask {
 				tile[i] *= phase
@@ -334,22 +375,24 @@ func applyTileDiag(tile []complex128, op *TileOp) {
 // a low target multiplies pairs in-tile; on a high target the whole
 // tile shares one factor chosen by the tile base bit.
 func applyTileRelPhase(tile []complex128, base uint64, op *TileOp) {
+	v := lanes(tile)
 	if op.HighMask != 0 {
 		f := op.A
 		if base&op.HighMask != 0 {
 			f = op.B
 		}
-		for i := range tile {
-			tile[i] *= f
-		}
+		scaleRun(v, real(f), imag(f))
 		return
 	}
-	a, b := op.A, op.B
-	step := 1 << op.T
-	for blk := 0; blk < len(tile); blk += 2 * step {
-		for i0 := blk; i0 < blk+step; i0++ {
-			tile[i0] *= a
-			tile[i0+step] *= b
-		}
+	ar, ai := real(op.A), imag(op.A)
+	br, bi := real(op.B), imag(op.B)
+	if op.T == 0 {
+		scaleAB(v, ar, ai, br, bi)
+		return
+	}
+	step := 2 << op.T
+	for blk := 0; blk < len(v); blk += 2 * step {
+		scaleRun(v[blk:blk+step:blk+step], ar, ai)
+		scaleRun(v[blk+step:blk+2*step:blk+2*step], br, bi)
 	}
 }
