@@ -11,7 +11,7 @@ OBSERVABLE_COVER_FLOOR ?= 85
 
 .PHONY: build vet fmt-check test test-fresh check cover-observable serve bench \
 	bench-serve bench-baseline bench-gate ci-load ci-warmstart ci-chaos \
-	ci-scaling clean
+	ci-scaling ci-sweep clean
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,21 @@ ci-scaling: build
 ci-chaos: build
 	$(GO) test -race -count=1 ./internal/faultfs/
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/service/
+
+# Sweep acceptance: the compile-once property under race detection.
+# The differential suites prove per-point sweep values bit-identical to
+# individually-submitted jobs on all four engines (backend layer) and
+# through the full service path; the 1000-point acceptance run proves a
+# 1k-point TFIM sweep — plus the same 1k points resubmitted as
+# individual expectation jobs — costs exactly one plan compile, via the
+# plan-cache counters of /v1/stats.
+ci-sweep: build
+	$(GO) test -race -count=1 -run 'TestRunSweep|TestRunGradient|TestPlanBind|TestStructuralFingerprint' \
+		./internal/backend/ ./internal/kernel/ ./internal/circuit/
+	$(GO) test -race -count=1 -run 'TestServiceSweep|TestServiceGradient|TestHTTPSweep|TestHTTPGradient|TestHTTPLongPoll' \
+		./internal/service/
+	QGEAR_SWEEP_ACCEPTANCE_POINTS=1000 $(GO) test -race -count=1 -v \
+		-run 'TestServiceSweepCompileOnce' -timeout 20m ./internal/service/
 
 # Warm-restart acceptance: seed a store in one process, kill it, and
 # verify from a second process that repeat submissions are store hits

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"qgear/internal/backend"
@@ -47,6 +48,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "expect":
 		err = cmdExpect(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	case "-h", "--help", "help":
@@ -69,6 +72,7 @@ commands:
   transform  convert saved circuits to kernels, print transformation stats
   run        transform and execute saved circuits on a target
   expect     evaluate exact Hamiltonian expectation values on saved circuits
+  sweep      evaluate a parameterized circuit at many points (compile once, rebind per point)
   info       describe a saved circuit file`)
 }
 
@@ -380,6 +384,154 @@ func cmdExpect(args []string) error {
 			c.Name, res.Target, *res.ExpValue, res.ExpTerms, res.Duration.Round(1e3), fromStore)
 	}
 	return nil
+}
+
+// cmdSweep is the sweep job kind on the CLI: load one parameterized
+// circuit, evaluate it at many parameter points under a single
+// compile-once execution (the plan compiles once and is rebound per
+// point), and print per-point ⟨H⟩ values or sampled counts. With
+// -gradient it computes the exact parameter-shift gradient at the
+// circuit's stored parameter values instead.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	in := fs.String("in", "", "input circuit (.qpy, .h5 or .qasm; first circuit is swept)")
+	target := fs.String("target", "nvidia", "execution target: aer | nvidia | nvidia-mgpu | nvidia-mqpu | pennylane")
+	devices := fs.Int("devices", 1, "simulated devices for mgpu / mqpu (mqpu fans sweep points across devices)")
+	tile := fs.Int("tile", 0, "tiled-executor tile width in qubits (0 = auto, negative = per-gate sweeps)")
+	pointsFile := fs.String("points", "", "JSON point matrix [[θ0,...],[θ0,...],...]; one row per sweep point")
+	grid := fs.String("grid", "", "linear grid start:stop:count for single-parameter circuits (e.g. 0:6.28:100)")
+	gradient := fs.Bool("gradient", false, "compute the parameter-shift gradient at the circuit's own parameter values")
+	counts := fs.Bool("counts", false, "sample measurement counts per point instead of ⟨H⟩ (requires -shots)")
+	shots := fs.Int("shots", 0, "measurement shots per point for -counts mode")
+	seed := fs.Uint64("seed", 42, "base sampling seed (each point derives its own)")
+	hamFile := fs.String("hamiltonian", "", "Hamiltonian JSON file (see qgear expect)")
+	zz := fs.Float64("zz", 0, "ZZ-chain Hamiltonian coupling instead of a file")
+	tfimJ := fs.Float64("tfim-j", 1, "built-in transverse-field Ising coupling J")
+	tfimG := fs.Float64("tfim-g", 1, "built-in transverse-field Ising field g")
+	top := fs.Int("top", 4, "top outcomes to print per point in -counts mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("sweep: -in is required")
+	}
+	cs, err := loadAny(*in)
+	if err != nil {
+		return err
+	}
+	c := cs[0]
+	nParams := c.NumParams()
+	if nParams == 0 {
+		return fmt.Errorf("sweep: circuit %q has no parameterized gates", c.Name)
+	}
+	opts := core.Options{
+		Target: backend.Target(*target), Devices: *devices, TileBits: *tile,
+	}
+
+	if *gradient {
+		h, hname, err := buildHamiltonian(*hamFile, *zz, *tfimJ, *tfimG, c.NumQubits)
+		if err != nil {
+			return err
+		}
+		res, err := core.RunGradient(c, h, c.ParamValues(), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hamiltonian: %s   points=%d rebinds=%d compiles=%d   %v\n",
+			hname, res.SweepPoints, res.Rebinds, res.SweepCompiles, res.Duration.Round(1e3))
+		fmt.Printf("⟨H⟩ = %+.12f\n", *res.ExpValue)
+		for j, g := range res.Gradient {
+			fmt.Printf("  ∂⟨H⟩/∂θ%-3d = %+.12f\n", j, g)
+		}
+		return nil
+	}
+
+	points, err := sweepPoints(*pointsFile, *grid, nParams)
+	if err != nil {
+		return err
+	}
+	var h *observable.Hamiltonian
+	hname := "(none: sampling counts)"
+	if *counts {
+		if *shots <= 0 {
+			return fmt.Errorf("sweep: -counts requires -shots > 0")
+		}
+		opts.Shots, opts.Seed = *shots, *seed
+	} else {
+		if h, hname, err = buildHamiltonian(*hamFile, *zz, *tfimJ, *tfimG, c.NumQubits); err != nil {
+			return err
+		}
+	}
+	res, err := core.RunSweep(c, h, points, opts)
+	if err != nil {
+		return err
+	}
+	name := c.Name
+	if name == "" {
+		name = filepath.Base(*in)
+	}
+	fmt.Printf("%s: %d params, %d points   hamiltonian: %s\n", name, nParams, len(points), hname)
+	fmt.Printf("compile-once: rebinds=%d compiles=%d   target=%s   %v\n",
+		res.Rebinds, res.SweepCompiles, res.Target, res.Duration.Round(1e3))
+	for i, pt := range points {
+		if h != nil {
+			fmt.Printf("  point %-5d %v  ⟨H⟩ = %+.12f\n", i, fmtPoint(pt), res.SweepValues[i])
+			continue
+		}
+		fmt.Printf("  point %-5d %v\n", i, fmtPoint(pt))
+		for _, key := range res.SweepCounts[i].TopK(*top) {
+			fmt.Printf("    %0*b  %d\n", c.NumQubits, key, res.SweepCounts[i][key])
+		}
+	}
+	return nil
+}
+
+// sweepPoints resolves the CLI's point-matrix sources: an explicit
+// JSON file, or a start:stop:count linear grid for single-parameter
+// circuits.
+func sweepPoints(pointsFile, grid string, nParams int) ([][]float64, error) {
+	switch {
+	case pointsFile != "" && grid != "":
+		return nil, fmt.Errorf("sweep: -points and -grid are mutually exclusive")
+	case pointsFile != "":
+		raw, err := os.ReadFile(pointsFile)
+		if err != nil {
+			return nil, err
+		}
+		var points [][]float64
+		if err := json.Unmarshal(raw, &points); err != nil {
+			return nil, fmt.Errorf("sweep: parsing %s: %w", pointsFile, err)
+		}
+		return points, nil
+	case grid != "":
+		var start, stop float64
+		var count int
+		if _, err := fmt.Sscanf(grid, "%g:%g:%d", &start, &stop, &count); err != nil || count < 1 {
+			return nil, fmt.Errorf("sweep: -grid wants start:stop:count, got %q", grid)
+		}
+		if nParams != 1 {
+			return nil, fmt.Errorf("sweep: -grid is for single-parameter circuits; this one has %d (use -points)", nParams)
+		}
+		points := make([][]float64, count)
+		for i := range points {
+			t := 0.0
+			if count > 1 {
+				t = float64(i) / float64(count-1)
+			}
+			points[i] = []float64{start + t*(stop-start)}
+		}
+		return points, nil
+	default:
+		return nil, fmt.Errorf("sweep: one of -points or -grid is required")
+	}
+}
+
+func fmtPoint(pt []float64) string {
+	parts := make([]string, len(pt))
+	for i, v := range pt {
+		parts[i] = fmt.Sprintf("%.4f", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // buildHamiltonian resolves the CLI's Hamiltonian source precedence:

@@ -141,6 +141,25 @@ type Result struct {
 	ExpValue *float64
 	// ExpTerms is the number of Pauli terms the expectation evaluated.
 	ExpTerms int
+	// SweepValues is the per-point ⟨H⟩ vector of a Hamiltonian sweep
+	// (RunSweep with an observable), in point order; nil otherwise.
+	SweepValues []float64
+	// SweepCounts is the per-point sampled histogram of a sampling
+	// sweep (RunSweep without an observable, Shots > 0); nil otherwise.
+	SweepCounts []sampling.Counts
+	// SweepPoints is the number of parameter points a sweep (or
+	// gradient) job evaluated; 0 on non-sweep runs.
+	SweepPoints int
+	// Rebinds counts sweep points served by rebinding the compiled
+	// plan; SweepCompiles counts points that needed a full per-point
+	// compile (fusion/pruning configurations). Their sum is SweepPoints
+	// on sweep runs.
+	Rebinds       int
+	SweepCompiles int
+	// Gradient is the parameter-shift gradient ∂⟨H⟩/∂θ of a gradient
+	// job, one entry per parameter slot; nil otherwise. ExpValue then
+	// carries ⟨H⟩ at the base point.
+	Gradient []float64
 	// KernelStats reports the circuit→kernel transformation.
 	KernelStats kernel.Stats
 	// PlanStats reports what the plan compiler did (tile runs, global

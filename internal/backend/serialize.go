@@ -21,8 +21,10 @@ import (
 
 var compiledMagic = []byte("QGCMP1\n")
 
-// compiledVersion tags the Compiled container layout.
-const compiledVersion uint16 = 1
+// compiledVersion tags the Compiled container layout. Version 2 added
+// binding sites to the plan encoding (compile-once parameter sweeps);
+// version-1 artifacts are rejected on load and recompiled fresh.
+const compiledVersion uint16 = 2
 
 // maxCompiledBytes bounds one encoded Compiled (a plan is a few MB at
 // the sizes this repo serves; 1 GiB is a corruption guard, not a real
@@ -166,6 +168,11 @@ func (r *Result) SizeBytes() int64 {
 	n := int64(unsafe.Sizeof(Result{})) + 8*int64(len(r.Probabilities)) + countsEntryBytes*int64(len(r.Counts))
 	if r.PlanStats != nil {
 		n += int64(unsafe.Sizeof(*r.PlanStats))
+	}
+	n += 8 * int64(len(r.SweepValues))
+	n += 8 * int64(len(r.Gradient))
+	for _, c := range r.SweepCounts {
+		n += 24 + countsEntryBytes*int64(len(c))
 	}
 	return n
 }

@@ -70,6 +70,10 @@ type AblationRow struct {
 	// on the resident state vs a shot-sampled two-basis estimate, with
 	// cross-engine bit-identity enforced.
 	Expectation *ExpectationAblationRow `json:"expectation,omitempty"`
+	// Sweep is the compile-once column: the same parameterized circuit
+	// evaluated at many points by per-point compilation vs one plan
+	// rebound per point, gated on bit-identical per-point values.
+	Sweep *SweepAblationRow `json:"sweep,omitempty"`
 }
 
 // MGPUAblationRow is the planned-mgpu ablation column: the same kernel
@@ -355,6 +359,16 @@ func (r *Runner) Tiling() (Experiment, error) {
 				row.Workload, e.Hamiltonian, e.Terms, e.ExactValue, e.ExactSeconds,
 				e.SampledValue, e.SampledSeconds, e.Shots, e.SpeedupVsSampled, e.SampledAbsErr, e.MaxEngineDelta))
 		}
+		if sw := row.Sweep; sw != nil {
+			exp.Series = append(exp.Series, Series{
+				Label: "measured sweep: " + row.Workload, XLabel: "mode (1=compile-per-point, 2=compile-once)", YLabel: "seconds",
+				Points: []Point{{X: 1, Y: sw.PerPointSeconds}, {X: 2, Y: sw.CompileOnceSeconds}},
+			})
+			exp.Notes = append(exp.Notes, fmt.Sprintf(
+				"%s sweep %s: %d points over %d params, compile-once %.1fx (%d rebinds, %d per-point compiles); bit-identical: %v, max |Δ⟨H⟩| %.2g",
+				row.Workload, sw.Hamiltonian, sw.Points, sw.Params, sw.Speedup,
+				sw.Rebinds, sw.SweepCompiles, sw.BitIdentical, sw.MaxValueDelta))
+		}
 	}
 
 	if r.JSONDir != "" {
@@ -399,6 +413,13 @@ func (r *Runner) TilingRows() (qftRow, qcrankRow AblationRow, err error) {
 	if qftRow.Expectation, err = r.expectationAblate(qftK, qftTile, 4096); err != nil {
 		return
 	}
+	var qftC *circuit.Circuit
+	if qftC, err = qft.Circuit(qftN, true); err != nil {
+		return
+	}
+	if qftRow.Sweep, err = r.sweepAblate(qftC, qftTile, r.sweepAblationPoints()); err != nil {
+		return
+	}
 	var img *qimage.Image
 	if img, err = qimage.Synthetic("zebra", imgW, imgH, r.Seed); err != nil {
 		return
@@ -421,6 +442,9 @@ func (r *Runner) TilingRows() (qftRow, qcrankRow AblationRow, err error) {
 	if qcrankRow.MGPU, err = r.mgpuAblate(qcK, qcTile, mgpuAblationDevices, plan.Shots); err != nil {
 		return
 	}
-	qcrankRow.Expectation, err = r.expectationAblate(qcK, qcTile, plan.Shots)
+	if qcrankRow.Expectation, err = r.expectationAblate(qcK, qcTile, plan.Shots); err != nil {
+		return
+	}
+	qcrankRow.Sweep, err = r.sweepAblate(qc, qcTile, r.sweepAblationPoints())
 	return
 }

@@ -63,6 +63,23 @@ func TestTilingAblation(t *testing.T) {
 			t.Errorf("%s: missing tile-bits provenance (%q/%d)", row.Workload, row.TileBitsSource, row.AutoTileBits)
 		}
 	}
+	// The sweep column: compile-once per-point values must be
+	// bit-identical to compile-per-point, and a rebindable plan must
+	// actually rebind (zero per-point compiles).
+	for _, row := range []AblationRow{qftRow, qcRow} {
+		sw := row.Sweep
+		if sw == nil {
+			t.Fatalf("%s: missing sweep ablation column", row.Workload)
+		}
+		if !sw.BitIdentical {
+			t.Errorf("%s sweep: compile-once values differ from compile-per-point (max Δ %g)",
+				row.Workload, sw.MaxValueDelta)
+		}
+		if sw.Rebinds != sw.Points || sw.SweepCompiles != 0 {
+			t.Errorf("%s sweep: want %d rebinds and 0 per-point compiles, got %d/%d",
+				row.Workload, sw.Points, sw.Rebinds, sw.SweepCompiles)
+		}
+	}
 	// QFT reversal swaps must ride the permutation table.
 	if qftRow.PermSwaps == 0 {
 		t.Error("qft: no swaps absorbed into the permutation table")
@@ -102,7 +119,8 @@ func TestTilingJSONEmission(t *testing.T) {
 			t.Fatalf("%s not written: %v", f, err)
 		}
 		for _, key := range []string{`"speedup"`, `"tile_bits"`, `"counts_identical": true`,
-			`"tile_bits_source"`, `"mgpu"`, `"exchange_segments"`, `"avoided_exchanges"`} {
+			`"tile_bits_source"`, `"mgpu"`, `"exchange_segments"`, `"avoided_exchanges"`,
+			`"sweep"`, `"bit_identical": true`} {
 			if !strings.Contains(string(data), key) {
 				t.Errorf("%s missing %s", f, key)
 			}

@@ -429,9 +429,11 @@ func RetryAfterDelay(h http.Header, fallback time.Duration) time.Duration {
 	return d
 }
 
-// loadSubmitAndPoll pushes one job through the API and polls it to a
-// terminal state, honoring the server's Retry-After hint on queue-full
-// responses. Returns the job id.
+// loadSubmitAndPoll pushes one job through the API and follows it to a
+// terminal state with the ?wait_ms long-poll (one blocking GET per
+// round instead of a tight 2 ms sleep-and-GET spin), honoring the
+// server's Retry-After hint on queue-full responses. Returns the job
+// id.
 func loadSubmitAndPoll(client *http.Client, base string, req *service.SubmitRequest) (string, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -469,8 +471,7 @@ func loadSubmitAndPoll(client *http.Client, base string, req *service.SubmitRequ
 		if time.Now().After(deadline) {
 			return info.ID, fmt.Errorf("job %s: poll deadline exceeded in state %q", info.ID, info.State)
 		}
-		time.Sleep(2 * time.Millisecond)
-		resp, err := client.Get(base + "/v1/jobs/" + info.ID)
+		resp, err := client.Get(base + "/v1/jobs/" + info.ID + "?wait_ms=1000")
 		if err != nil {
 			return info.ID, err
 		}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/observable"
+)
+
+// The sweep ablation column: the compile-once property as a measured
+// quantity. One parameterized workload circuit is evaluated at many
+// parameter points two ways — compile-per-point (each point bound into
+// its own circuit and planned from scratch, what a fingerprint-keyed
+// cache does today) and compile-once (one plan, rebound per point) —
+// and the per-point ⟨H⟩ values are gated on exact bit-identity, like
+// the tiled and mgpu columns gate on amplitudes and counts.
+
+// SweepAblationRow is the "sweep" object of BENCH_*.json.
+type SweepAblationRow struct {
+	Hamiltonian string `json:"hamiltonian"`
+	Points      int    `json:"points"`
+	Params      int    `json:"params"`
+	// PerPointSeconds times one full compile + execute per point;
+	// CompileOnceSeconds times one compile plus a rebind + execute per
+	// point (the RunSweep path).
+	PerPointSeconds    float64 `json:"per_point_seconds"`
+	CompileOnceSeconds float64 `json:"compile_once_seconds"`
+	Speedup            float64 `json:"speedup"`
+	// Rebinds/SweepCompiles report which path the sweep actually took:
+	// a rebindable plan shows points rebinds and zero per-point
+	// compiles.
+	Rebinds       int `json:"rebinds"`
+	SweepCompiles int `json:"sweep_compiles"`
+	// BitIdentical is the gate: every compile-once value must equal its
+	// compile-per-point counterpart to the last bit. MaxValueDelta is
+	// the worst |Δ⟨H⟩| observed (0 when the gate holds).
+	BitIdentical  bool    `json:"bit_identical"`
+	MaxValueDelta float64 `json:"max_value_delta"`
+}
+
+// sweepAblationPoints sizes the sweep column: enough points that the
+// per-point compile cost dominates, few enough to keep test runs fast.
+func (r *Runner) sweepAblationPoints() int {
+	if r.Large {
+		return 256
+	}
+	return 32
+}
+
+// sweepAblate measures the sweep column for one parameterized workload
+// circuit at the given tile width. Returns nil (column absent) for
+// circuits with no parameter slots.
+func (r *Runner) sweepAblate(c *circuit.Circuit, tileBits, points int) (*SweepAblationRow, error) {
+	nParams := c.NumParams()
+	if nParams == 0 {
+		return nil, nil
+	}
+	h := observable.TransverseFieldIsing(c.NumQubits, 1.0, 0.7)
+	row := &SweepAblationRow{
+		Hamiltonian: fmt.Sprintf("tfim(n=%d, J=1, g=0.7)", c.NumQubits),
+		Points:      points,
+		Params:      nParams,
+	}
+
+	// Deterministic point matrix: the circuit's own values, each point
+	// nudged by a distinct offset so every point is a distinct binding.
+	base := c.ParamValues()
+	pts := make([][]float64, points)
+	for i := range pts {
+		pt := make([]float64, nParams)
+		off := 1e-3 * float64(i+1)
+		for j, v := range base {
+			pt[j] = v + off
+		}
+		pts[i] = pt
+	}
+
+	cfg := backend.Config{Target: backend.TargetNvidia, Workers: maxWorkers(r), TileBits: tileBits}
+
+	// Compile-per-point arm: every point bound into its own circuit and
+	// planned from scratch — the cost a fingerprint-keyed plan cache
+	// pays for a sweep today.
+	perPoint := make([]float64, points)
+	var err error
+	row.PerPointSeconds, err = measure(func() error {
+		for i, pt := range pts {
+			bound, err := c.BindParams(pt)
+			if err != nil {
+				return err
+			}
+			res, err := backend.RunExpectation(bound, h, cfg)
+			if err != nil {
+				return err
+			}
+			perPoint[i] = *res.ExpValue
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Compile-once arm: one plan, rebound per point.
+	var sweep *backend.Result
+	row.CompileOnceSeconds, err = measure(func() error {
+		sweep, err = backend.RunSweep(c, h, pts, cfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.Rebinds, row.SweepCompiles = sweep.Rebinds, sweep.SweepCompiles
+	if row.CompileOnceSeconds > 0 {
+		row.Speedup = row.PerPointSeconds / row.CompileOnceSeconds
+	}
+
+	row.BitIdentical = true
+	for i, v := range sweep.SweepValues {
+		if math.Float64bits(v) != math.Float64bits(perPoint[i]) {
+			row.BitIdentical = false
+		}
+		if d := math.Abs(v - perPoint[i]); d > row.MaxValueDelta {
+			row.MaxValueDelta = d
+		}
+	}
+	return row, nil
+}

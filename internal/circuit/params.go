@@ -1,0 +1,124 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// Parameterized-circuit support: a circuit with rotation gates is a
+// *shape* (gate sequence, operands) plus a flat vector of parameter
+// values, read off the ops in program order. The structural fingerprint
+// hashes the shape with the values erased, so every point of a
+// parameter sweep shares one address — the key the compiled-plan cache
+// uses to serve a 10k-point sweep with a single compilation.
+
+// structuralVersion tags the StructuralFingerprint byte layout,
+// independent of the exact-fingerprint version: the two encodings hash
+// different information and must never collide across releases
+// separately.
+const structuralVersion = 1
+
+// structuralDomain separates the structural hash domain from
+// Fingerprint's: a fully-bound circuit with zero parameters must not
+// share an address between the two schemes.
+var structuralDomain = []byte("qgear-structural|")
+
+// paramSlot marks one erased parameter value in the structural
+// encoding. Only the slot *count* of each op is hashed — values are
+// what sweeps vary.
+const paramSlot = 0xFF
+
+// StructuralFingerprint returns the content hash of the circuit's
+// shape: register sizes and every operation's gate type, qubit
+// operands, and measurement destination, with the parameter values of
+// parameterized gates (ParamCount > 0) replaced by slot markers. Two
+// circuits share a structural fingerprint iff one can be turned into
+// the other by changing rotation angles alone — exactly the set of
+// circuits one compiled plan skeleton can serve through rebinding.
+func (c *Circuit) StructuralFingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	h.Write(structuralDomain)
+	h.Write([]byte{structuralVersion})
+	wInt(c.NumQubits)
+	wInt(c.NumClbits)
+	wInt(len(c.Ops))
+	for _, op := range c.Ops {
+		h.Write([]byte{byte(op.Gate)})
+		wInt(len(op.Qubits))
+		for _, q := range op.Qubits {
+			wInt(q)
+		}
+		if op.Gate.ParamCount() > 0 {
+			// Erase the values; keep the slot count so shapes with
+			// different parameter arities stay distinct.
+			wInt(len(op.Params))
+			for range op.Params {
+				h.Write([]byte{paramSlot})
+			}
+		} else {
+			// Non-parameterized ops hash their (fixed) params exactly as
+			// Fingerprint does, so malformed extra params still split keys.
+			wInt(len(op.Params))
+			for _, p := range op.Params {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+				h.Write(buf[:])
+			}
+		}
+		wInt(op.Clbit)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// NumParams returns the total number of free parameters: the summed
+// parameter counts of every parameterized gate, in program order — the
+// length of the flat vector BindParams consumes and ParamValues
+// produces.
+func (c *Circuit) NumParams() int {
+	n := 0
+	for _, op := range c.Ops {
+		if op.Gate.ParamCount() > 0 {
+			n += len(op.Params)
+		}
+	}
+	return n
+}
+
+// ParamValues returns the circuit's current parameter values as the
+// flat vector (program order), the point this circuit represents in
+// its structural family's parameter space.
+func (c *Circuit) ParamValues() []float64 {
+	vals := make([]float64, 0, c.NumParams())
+	for _, op := range c.Ops {
+		if op.Gate.ParamCount() > 0 {
+			vals = append(vals, op.Params...)
+		}
+	}
+	return vals
+}
+
+// BindParams returns a copy of the circuit with its free parameters
+// replaced by vals (flat vector, program order). The copy shares no
+// slices with the receiver. len(vals) must equal NumParams.
+func (c *Circuit) BindParams(vals []float64) (*Circuit, error) {
+	if want := c.NumParams(); len(vals) != want {
+		return nil, fmt.Errorf("circuit %q: binding %d values to %d parameter slots", c.Name, len(vals), want)
+	}
+	out := c.Copy()
+	i := 0
+	for oi := range out.Ops {
+		op := &out.Ops[oi]
+		if op.Gate.ParamCount() > 0 {
+			copy(op.Params, vals[i:i+len(op.Params)])
+			i += len(op.Params)
+		}
+	}
+	return out, nil
+}

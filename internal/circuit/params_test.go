@@ -1,0 +1,168 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qgear/internal/gate"
+)
+
+// randomShape builds a random parameterized circuit from a seeded
+// stream: a mix of parameterized rotations, fixed gates, and measures.
+func randomShape(rng *rand.Rand, nq int) *Circuit {
+	c := New(nq, nq)
+	ops := 5 + rng.Intn(20)
+	for i := 0; i < ops; i++ {
+		q := rng.Intn(nq)
+		switch rng.Intn(6) {
+		case 0:
+			c.RX(rng.Float64(), q)
+		case 1:
+			c.RY(rng.Float64(), q)
+		case 2:
+			c.RZ(rng.Float64(), q)
+		case 3:
+			c.H(q)
+		case 4:
+			c.CX(q, (q+1)%nq)
+		case 5:
+			c.CP(rng.Float64(), q, (q+1)%nq)
+		}
+	}
+	return c
+}
+
+// TestStructuralFingerprintValueInvariance: rebinding any parameter
+// vector never moves a circuit out of its structural family.
+func TestStructuralFingerprintValueInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		c := randomShape(rng, 2+rng.Intn(4))
+		fp := c.StructuralFingerprint()
+		n := c.NumParams()
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		bound, err := c.BindParams(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bound.StructuralFingerprint(); got != fp {
+			t.Fatalf("trial %d: rebinding changed the structural fingerprint", trial)
+		}
+		if n > 0 && c.ParamValues()[0] != vals[0] && bound.Fingerprint() == c.Fingerprint() {
+			t.Fatalf("trial %d: distinct values share the exact fingerprint", trial)
+		}
+	}
+}
+
+// TestStructuralFingerprintCollisionFuzz: independently drawn shapes
+// must not collide, and every single-op structural mutation (gate
+// type, operand, arity) must change the hash.
+func TestStructuralFingerprintCollisionFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := make(map[string]string)
+	for trial := 0; trial < 500; trial++ {
+		c := randomShape(rng, 2+rng.Intn(4))
+		fp := c.StructuralFingerprint()
+		sig := shapeSig(c)
+		if prev, ok := seen[fp]; ok && prev != sig {
+			t.Fatalf("trial %d: structural collision between distinct shapes", trial)
+		}
+		seen[fp] = sig
+	}
+
+	// Directed mutations on one base shape.
+	base := New(3, 3)
+	base.H(0)
+	base.RX(0.5, 1)
+	base.CX(0, 2)
+	fp := base.StructuralFingerprint()
+	mutations := map[string]*Circuit{}
+	m := base.Copy()
+	m.Ops[0].Gate = gate.X
+	mutations["gate type"] = m
+	m = base.Copy()
+	m.Ops[2].Qubits = []int{0, 1}
+	mutations["operand"] = m
+	m = base.Copy()
+	m.RZ(0.1, 0)
+	mutations["extra op"] = m
+	m = New(4, 3)
+	m.H(0)
+	m.RX(0.5, 1)
+	m.CX(0, 2)
+	mutations["register width"] = m
+	for name, mc := range mutations {
+		if mc.StructuralFingerprint() == fp {
+			t.Errorf("mutating %s left the structural fingerprint unchanged", name)
+		}
+	}
+
+	// The structural and exact domains are separated even for
+	// parameter-free circuits.
+	free := New(2, 0)
+	free.H(0)
+	free.CX(0, 1)
+	if free.StructuralFingerprint() == free.Fingerprint() {
+		t.Error("structural and exact fingerprints share an address")
+	}
+}
+
+// shapeSig is an explicit (non-hashed) shape encoding used to detect
+// genuine collisions in the fuzz loop.
+func shapeSig(c *Circuit) string {
+	sig := make([]byte, 0, 64)
+	sig = append(sig, byte(c.NumQubits), byte(c.NumClbits))
+	for _, op := range c.Ops {
+		sig = append(sig, byte(op.Gate), byte(len(op.Qubits)))
+		for _, q := range op.Qubits {
+			sig = append(sig, byte(q))
+		}
+		if op.Gate.ParamCount() > 0 {
+			sig = append(sig, byte(len(op.Params)))
+		} else {
+			for _, p := range op.Params {
+				b := math.Float64bits(p)
+				sig = append(sig, byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+					byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))
+			}
+		}
+		sig = append(sig, byte(op.Clbit))
+	}
+	return string(sig)
+}
+
+// TestBindParams covers the flat-vector contract: program order,
+// length checking, and no aliasing with the source circuit.
+func TestBindParams(t *testing.T) {
+	c := New(2, 0)
+	c.RX(0.1, 0)
+	c.H(1)
+	c.CP(0.2, 0, 1)
+	c.RZ(0.3, 1)
+	if got := c.NumParams(); got != 3 {
+		t.Fatalf("NumParams = %d, want 3", got)
+	}
+	want := []float64{0.1, 0.2, 0.3}
+	for i, v := range c.ParamValues() {
+		if v != want[i] {
+			t.Fatalf("ParamValues[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	bound, err := c.BindParams([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals := bound.ParamValues(); vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Fatalf("bound values = %v", vals)
+	}
+	if vals := c.ParamValues(); vals[0] != 0.1 {
+		t.Fatal("BindParams mutated the source circuit")
+	}
+	if _, err := c.BindParams([]float64{1}); err == nil {
+		t.Fatal("BindParams accepted a short vector")
+	}
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"math"
@@ -171,6 +172,84 @@ func RunExpectation(c *circuit.Circuit, h *observable.Hamiltonian, opts Options)
 // cheap term sweeps.
 func RunExpectationCompiled(comp *backend.Compiled, h *observable.Hamiltonian, opts Options) (*backend.Result, error) {
 	return backend.RunExpectationCompiled(comp, h, opts.backendConfig())
+}
+
+// RunSweep executes one circuit shape at every parameter point:
+// compile once, rebind and run per point (see backend.RunSweep). With
+// a Hamiltonian the artifact is the per-point ⟨H⟩ vector (exact;
+// Shots/Seed ignored must be unset by callers); without one it is the
+// per-point sampled histogram (Shots required).
+func RunSweep(c *circuit.Circuit, h *observable.Hamiltonian, points [][]float64, opts Options) (*backend.Result, error) {
+	return backend.RunSweep(c, h, points, opts.backendConfig())
+}
+
+// RunSweepCompiled is RunSweep for a precompiled circuit — the serving
+// layer's path: the structurally-cached compile serves every point
+// through rebinds. Surfaces backend.ErrNotRebindable for
+// configurations that must compile per point.
+func RunSweepCompiled(comp *backend.Compiled, h *observable.Hamiltonian, points [][]float64, opts Options) (*backend.Result, error) {
+	return backend.RunSweepCompiled(comp, h, points, opts.backendConfig())
+}
+
+// RunGradient evaluates the parameter-shift gradient of ⟨H⟩ at one
+// base point — a derived 2k+1-point sweep.
+func RunGradient(c *circuit.Circuit, h *observable.Hamiltonian, base []float64, opts Options) (*backend.Result, error) {
+	return backend.RunGradient(c, h, base, opts.backendConfig())
+}
+
+// RunGradientCompiled is RunGradient for a precompiled circuit.
+func RunGradientCompiled(comp *backend.Compiled, h *observable.Hamiltonian, base []float64, opts Options) (*backend.Result, error) {
+	return backend.RunGradientCompiled(comp, h, base, opts.backendConfig())
+}
+
+// Rebindable reports whether these options admit compile-once
+// rebinding (no fusion, no pruning, no plan fusion) — the predicate
+// gating the service's structural plan-cache keying and sweep fast
+// path.
+func (o Options) Rebindable() bool {
+	return o.backendConfig().Rebindable()
+}
+
+// SweepCacheKey returns the content address of a sweep job: the
+// *structural* circuit fingerprint (every parameter slot is overridden
+// per point, so the skeleton's own values cannot shape the artifact),
+// the point matrix bit-for-bit, the optional Hamiltonian hash, and the
+// output-shaping options. Hamiltonian sweeps are exact, so Shots/Seed
+// normalize away like expectation jobs; sampling sweeps keep both.
+func SweepCacheKey(c *circuit.Circuit, h *observable.Hamiltonian, points [][]float64, opts Options) string {
+	opts.Workers = 0
+	hash := sha256.New()
+	hash.Write([]byte(c.StructuralFingerprint()))
+	hash.Write([]byte("|sweep|"))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(points)))
+	hash.Write(buf[:])
+	for _, pt := range points {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(pt)))
+		hash.Write(buf[:])
+		for _, v := range pt {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			hash.Write(buf[:])
+		}
+	}
+	if h != nil {
+		opts.Shots, opts.Seed = 0, 0
+		hash.Write([]byte("|h|"))
+		hash.Write([]byte(h.Fingerprint()))
+	}
+	hash.Write([]byte{'|'})
+	hash.Write([]byte(opts.Signature()))
+	return hex.EncodeToString(hash.Sum(nil))
+}
+
+// GradientCacheKey returns the content address of a gradient job: a
+// sweep key over the derived base-point singleton under a distinct
+// domain tag (the artifact shape differs from a one-point sweep's).
+func GradientCacheKey(c *circuit.Circuit, h *observable.Hamiltonian, base []float64, opts Options) string {
+	hash := sha256.New()
+	hash.Write([]byte("grad|"))
+	hash.Write([]byte(SweepCacheKey(c, h, [][]float64{base}, opts)))
+	return hex.EncodeToString(hash.Sum(nil))
 }
 
 // ExpectationCacheKey returns the content address of an expectation

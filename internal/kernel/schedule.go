@@ -155,6 +155,14 @@ type TilePlan struct {
 	// executor applies FinalPerm[:local] to its shard.
 	FinalPerm []int
 	Stats     PlanStats
+	// Binds locates every parameterized gate's value-derived artifact,
+	// letting Bind rebind the plan to new rotation angles without
+	// re-planning (see bind.go). BindSlots is the flat parameter-vector
+	// length Bind expects; Bindable is false for plans compiled with
+	// run fusion, whose matrices were pre-multiplied at compile time.
+	Binds     []BindSite
+	BindSlots int
+	Bindable  bool
 }
 
 // mixingTargets appends to dst the logical qubits instruction in mixes
@@ -222,6 +230,21 @@ func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
 	p := &TilePlan{TileBits: tileBits, NumQubits: k.NumQubits, GlobalBits: g}
 	n := k.NumQubits
 
+	// Binding-site recording: slotOf[i] is instruction i's offset into
+	// the flat parameter vector. Fusion pre-multiplies values into
+	// matrices, so fused plans skip recording and stay non-bindable.
+	bindable := !cfg.FuseRuns
+	slotOf := make([]int, len(k.Instrs))
+	slots := 0
+	for i, in := range k.Instrs {
+		slotOf[i] = slots
+		if in.Kind == KGate && in.Gate.ParamCount() > 0 {
+			slots += len(in.Params)
+		}
+	}
+	p.BindSlots = slots
+	var pendRun, pendX []BindSite
+
 	// Per-qubit mixing-use positions, for residency decisions: uses[q]
 	// lists the instruction indices where q must be tile-resident, and
 	// ptr[q] advances monotonically as planning walks the stream.
@@ -259,7 +282,13 @@ func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
 		if len(run) == 0 {
 			return
 		}
+		seg := len(p.Segments)
 		p.Segments = append(p.Segments, Segment{Kind: SegRun, Ops: append([]statevec.TileOp(nil), run...)})
+		for _, b := range pendRun {
+			b.Seg = seg
+			p.Binds = append(p.Binds, b)
+		}
+		pendRun = pendRun[:0]
 		p.Stats.Runs++
 		run = run[:0]
 	}
@@ -270,7 +299,13 @@ func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
 		if len(xOps) == 0 {
 			return
 		}
+		seg := len(p.Segments)
 		p.Segments = append(p.Segments, Segment{Kind: SegExchange, TBit: xTBit, XOps: append([]ExchOp(nil), xOps...)})
+		for _, b := range pendX {
+			b.Seg = seg
+			p.Binds = append(p.Binds, b)
+		}
+		pendX = pendX[:0]
 		p.Stats.ExchangeSegs++
 		p.Stats.ExchangeGates += len(xOps)
 		xOps = xOps[:0]
@@ -468,6 +503,9 @@ func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
 				xTBit = t
 			}
 			xOps = append(xOps, op)
+			if bindable && in.Gate.ParamCount() > 0 {
+				pendX = append(pendX, BindSite{Kind: BindExch, Op: len(xOps) - 1, Gate: in.Gate, Slot: slotOf[i], NParams: len(in.Params)})
+			}
 			return nil
 		}
 		// Anything else closes the exchange segment (ops must stay in
@@ -494,6 +532,9 @@ func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
 		if !tileLocal {
 			flush()
 			p.Segments = append(p.Segments, Segment{Kind: SegGlobal, Instr: physInstr(in, perm)})
+			if bindable && in.Kind == KGate && in.Gate.ParamCount() > 0 {
+				p.Binds = append(p.Binds, BindSite{Kind: BindGlobal, Seg: len(p.Segments) - 1, Gate: in.Gate, Slot: slotOf[i], NParams: len(in.Params)})
+			}
 			p.Stats.Global++
 			return nil
 		}
@@ -502,6 +543,9 @@ func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
 			p.Stats.RankLocal++
 		}
 		appendRunOp(op)
+		if bindable && in.Kind == KGate && in.Gate.ParamCount() > 0 {
+			pendRun = append(pendRun, BindSite{Kind: BindRun, Op: len(run) - 1, Gate: in.Gate, Slot: slotOf[i], NParams: len(in.Params)})
+		}
 		p.Stats.TileLocal++
 		return nil
 	}
@@ -524,6 +568,7 @@ func Plan(k *Kernel, cfg PlanConfig) (*TilePlan, error) {
 	if !identity {
 		p.FinalPerm = append([]int(nil), perm...)
 	}
+	p.Bindable = bindable
 	return p, nil
 }
 

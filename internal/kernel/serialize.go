@@ -248,6 +248,21 @@ func EncodePlan(w io.Writer, p *TilePlan) error {
 	} {
 		e.i64(int64(v))
 	}
+	var bindable uint8
+	if p.Bindable {
+		bindable = 1
+	}
+	e.u8(bindable)
+	e.u32(uint32(p.BindSlots))
+	e.u32(uint32(len(p.Binds)))
+	for _, b := range p.Binds {
+		e.u8(uint8(b.Kind))
+		e.u32(uint32(b.Seg))
+		e.u32(uint32(b.Op))
+		e.u8(uint8(b.Gate))
+		e.u32(uint32(b.Slot))
+		e.u32(uint32(b.NParams))
+	}
 	return e.err
 }
 
@@ -419,6 +434,20 @@ func DecodePlan(r io.Reader) (*TilePlan, error) {
 	} {
 		*dst = int(d.i64())
 	}
+	p.Bindable = d.u8() != 0
+	p.BindSlots = int(d.u32())
+	if nb := d.count(maxSerialInstrs, "binding site"); d.err == nil && nb > 0 {
+		p.Binds = make([]BindSite, nb)
+		for j := range p.Binds {
+			b := &p.Binds[j]
+			b.Kind = BindSiteKind(d.u8())
+			b.Seg = int(d.u32())
+			b.Op = int(d.u32())
+			b.Gate = gate.Type(d.u8())
+			b.Slot = int(d.u32())
+			b.NParams = int(d.u32())
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -437,6 +466,7 @@ const (
 	segBase    = int64(unsafe.Sizeof(Segment{}))
 	tileOpBase = int64(unsafe.Sizeof(statevec.TileOp{}))
 	exchOpBase = int64(unsafe.Sizeof(ExchOp{}))
+	bindBase   = int64(unsafe.Sizeof(BindSite{}))
 	planBase   = int64(unsafe.Sizeof(TilePlan{}))
 	kernelBase = int64(unsafe.Sizeof(Kernel{}))
 )
@@ -460,7 +490,7 @@ func (k *Kernel) SizeBytes() int64 {
 // the final permutation. Byte-accounted plan caches charge this figure
 // per entry.
 func (p *TilePlan) SizeBytes() int64 {
-	n := planBase + 8*int64(len(p.FinalPerm)) + segBase*int64(len(p.Segments))
+	n := planBase + 8*int64(len(p.FinalPerm)) + segBase*int64(len(p.Segments)) + bindBase*int64(len(p.Binds))
 	for _, seg := range p.Segments {
 		for _, op := range seg.Ops {
 			n += tileOpBase + 8*int64(len(op.Qubits)) + 16*int64(len(op.Mat))

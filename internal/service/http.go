@@ -1,11 +1,14 @@
 package service
 
 import (
+	"bytes"
 	"container/heap"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,15 +26,31 @@ import (
 
 // The HTTP JSON API:
 //
-//	POST /v1/jobs          submit a circuit; returns the job snapshot
-//	GET  /v1/jobs/{id}     poll a job's state
+//	POST /v1/jobs          submit a job; returns the job snapshot
+//	GET  /v1/jobs/{id}     poll a job's state (?wait_ms=N long-polls)
 //	GET  /v1/results/{id}  fetch a finished job's result
 //	GET  /v1/stats         server counters, hit rate, latency histograms
 //	GET  /v1/healthz       liveness, version, uptime, queue depth
 //	GET  /metrics          Prometheus text exposition
 //
-// Circuits are submitted either as OpenQASM 2.0 text ("qasm") or as a
-// structured op list ("circuit"); shots and seed ride alongside.
+// POST /v1/jobs takes a polymorphic envelope discriminated by "kind":
+// "simulate" (probabilities/counts), "expectation" (exact ⟨H⟩),
+// "sweep" (one parameterized circuit at many points), and "gradient"
+// (parameter-shift ∂⟨H⟩/∂θ). Envelopes carrying a "kind" parse
+// strictly — unknown fields are rejected — while legacy bodies without
+// one are still accepted as bare simulate/expectation submissions and
+// answered with a "Deprecation: true" header. Circuits are submitted
+// either as OpenQASM 2.0 text ("qasm") or as a structured op list
+// ("circuit").
+//
+// Every error response is the uniform envelope
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": N}}
+//
+// with machine-readable codes: invalid_request (400/405),
+// not_found (404), too_large (413/422), queue_full (429, with
+// retry_after_ms and a Retry-After header), unavailable (503), and
+// deadline_exceeded (504).
 
 // WireOp is one operation of a structured circuit submission. Gate
 // names are the canonical lowercase spellings of internal/gate ("h",
@@ -51,17 +70,33 @@ type WireCircuit struct {
 	Ops    []WireOp `json:"ops"`
 }
 
-// SubmitRequest is the POST /v1/jobs payload. Exactly one of Circuit
-// and QASM must be set. Kind "expectation" (or simply a non-nil
-// Hamiltonian) selects an expectation-value job: the exact ⟨H⟩ on the
-// circuit's final state, no shots.
+// SubmitRequest is the POST /v1/jobs payload: a polymorphic envelope
+// discriminated by Kind. Exactly one of Circuit and QASM must be set.
+//
+//   - "simulate" — probabilities, plus sampled counts when Shots > 0;
+//   - "expectation" — the exact ⟨H⟩ of Hamiltonian on the final state
+//     (no shots);
+//   - "sweep" — the circuit is a parameterized skeleton evaluated at
+//     every Points entry: per-point ⟨H⟩ with a Hamiltonian (Shots must
+//     be 0), per-point histograms without one (Shots required);
+//   - "gradient" — exact parameter-shift ∂⟨H⟩/∂θ at the circuit's own
+//     parameter values (requires Hamiltonian).
+//
+// Bodies carrying Kind parse strictly (unknown fields are rejected
+// with invalid_request). A body without it is the deprecated legacy
+// form: parsed leniently as simulate — or expectation when a
+// Hamiltonian is present — and answered with "Deprecation: true".
 type SubmitRequest struct {
-	Kind        string           `json:"kind,omitempty"` // "" | "simulate" | "expectation"
+	Kind        string           `json:"kind,omitempty"` // "" | "simulate" | "expectation" | "sweep" | "gradient"
 	Circuit     *WireCircuit     `json:"circuit,omitempty"`
 	QASM        string           `json:"qasm,omitempty"`
 	Shots       int              `json:"shots,omitempty"`
 	Seed        uint64           `json:"seed,omitempty"`
 	Hamiltonian *WireHamiltonian `json:"hamiltonian,omitempty"`
+	// Points is the sweep's parameter matrix: one flat vector per
+	// point, each with one value per parameter slot of the circuit in
+	// program order. Only valid with kind "sweep".
+	Points [][]float64 `json:"points,omitempty"`
 	// TimeoutMs bounds this job's lifetime in milliseconds (see
 	// SubmitOptions.TimeoutMs); a job that runs out reports 504 on its
 	// result.
@@ -207,6 +242,24 @@ type ResultResponse struct {
 	// carry the original execution's trace (Cached marks that case), so
 	// the span sum can exceed the serving job's own wall time.
 	Trace *telemetry.Trace `json:"trace,omitempty"`
+	// Sweep artifacts (kind "sweep"): one entry per parameter point —
+	// exact ⟨H⟩ values for Hamiltonian sweeps, bitstring histograms for
+	// sampling sweeps. SweepPoints always carries the full point count,
+	// even when the payload lists fewer entries (see the truncation
+	// rules at truncationLimit). Rebinds versus SweepCompiles reports
+	// how points were produced: rebinds of one compiled plan, or
+	// per-point compiles under a value-dependent configuration.
+	SweepPoints   int              `json:"sweep_points,omitempty"`
+	SweepValues   []float64        `json:"sweep_values,omitempty"`
+	SweepCounts   []map[string]int `json:"sweep_counts,omitempty"`
+	Rebinds       int              `json:"rebinds,omitempty"`
+	SweepCompiles int              `json:"sweep_compiles,omitempty"`
+	// Gradient is the parameter-shift ∂⟨H⟩/∂θ vector of a kind
+	// "gradient" job (ExpValue carries ⟨H⟩ at the base point).
+	Gradient []float64 `json:"gradient,omitempty"`
+	// Truncated marks a payload whose sweep or gradient entries were
+	// elided by the default top-k rule; ?full=1 returns everything.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // HealthResponse is the GET /v1/healthz payload: enough to tell a
@@ -251,8 +304,39 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// Machine-readable error codes of the uniform error envelope. Clients
+// branch on these, never on message text or ad-hoc body shapes.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeNotFound         = "not_found"
+	CodeTooLarge         = "too_large"
+	CodeQueueFull        = "queue_full"
+	CodeUnavailable      = "unavailable"
+	CodeDeadlineExceeded = "deadline_exceeded"
+)
+
+// APIError is the machine-readable error body of every non-2xx
+// response: a stable code to branch on, a human message, and — for
+// queue_full — the retry hint in milliseconds (also sent as a
+// Retry-After header).
+type APIError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int    `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorResponse is the uniform error envelope: {"error": {...}}.
+type ErrorResponse struct {
+	Error APIError `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	e := APIError{Code: code, Message: err.Error()}
+	if code == CodeQueueFull {
+		e.RetryAfterMs = retryAfterMs
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	writeJSON(w, status, ErrorResponse{Error: e})
 }
 
 // maxSubmitBytes bounds one submission body (a few hundred thousand
@@ -261,55 +345,103 @@ const maxSubmitBytes = 16 << 20
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		writeError(w, http.StatusMethodNotAllowed, CodeInvalidRequest, errors.New("POST required"))
 		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxSubmitBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	// Version discrimination: a body carrying "kind" is the polymorphic
+	// envelope and parses strictly — a misspelled field fails loudly
+	// instead of silently doing something else. A body without it is
+	// the legacy bare form (simulate, or expectation via the
+	// hamiltonian field), still parsed leniently but flagged with a
+	// Deprecation header so clients can find themselves in logs.
+	var probe struct {
+		Kind *string `json:"kind"`
+	}
+	legacy := json.Unmarshal(body, &probe) == nil && probe.Kind == nil
+	if legacy {
+		w.Header().Set("Deprecation", "true")
 	}
 	var req SubmitRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	dec := json.NewDecoder(bytes.NewReader(body))
+	if !legacy {
+		dec.DisallowUnknownFields()
+	}
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	var (
-		c   *circuit.Circuit
-		err error
-	)
+	var c *circuit.Circuit
 	switch {
 	case req.Circuit != nil && req.QASM != "":
-		writeError(w, http.StatusBadRequest, errors.New("set exactly one of circuit and qasm"))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("set exactly one of circuit and qasm"))
 		return
 	case req.Circuit != nil:
 		c, err = req.Circuit.ToCircuit()
 	case req.QASM != "":
 		c, err = qasm.Parse(req.QASM)
 	default:
-		writeError(w, http.StatusBadRequest, errors.New("missing circuit"))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("missing circuit"))
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	opts := SubmitOptions{Shots: req.Shots, Seed: req.Seed, TimeoutMs: req.TimeoutMs}
 	switch req.Kind {
 	case "", "simulate":
-		if req.Hamiltonian != nil && req.Kind == "simulate" {
-			writeError(w, http.StatusBadRequest, errors.New("kind simulate does not take a hamiltonian"))
+		if req.Kind == "simulate" && req.Hamiltonian != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("kind simulate does not take a hamiltonian"))
+			return
+		}
+		if len(req.Points) > 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New(`sweep points require kind "sweep"`))
 			return
 		}
 	case "expectation":
 		if req.Hamiltonian == nil {
-			writeError(w, http.StatusBadRequest, errors.New("kind expectation requires a hamiltonian"))
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("kind expectation requires a hamiltonian"))
 			return
 		}
+		if len(req.Points) > 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New(`sweep points require kind "sweep"`))
+			return
+		}
+	case "sweep":
+		if len(req.Points) == 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("kind sweep requires points"))
+			return
+		}
+		opts.SweepPoints = req.Points
+	case "gradient":
+		if req.Hamiltonian == nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("kind gradient requires a hamiltonian"))
+			return
+		}
+		if len(req.Points) > 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, errors.New("kind gradient derives its own sweep; points are not accepted"))
+			return
+		}
+		opts.Gradient = true
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown job kind %q", req.Kind))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("unknown job kind %q", req.Kind))
 		return
 	}
 	if req.Hamiltonian != nil {
 		h, herr := req.Hamiltonian.ToHamiltonian()
 		if herr != nil {
-			writeError(w, http.StatusBadRequest, herr)
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, herr)
 			return
 		}
 		opts.Hamiltonian = h
@@ -320,49 +452,95 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		// Shed load with a hint: the queue drains at batch granularity,
 		// so a short fixed horizon beats an exponential guess. Clients
 		// (qgear-bench load, the serve warm-start pusher) honor this.
-		w.Header().Set("Retry-After", retryAfterSeconds)
-		writeError(w, http.StatusTooManyRequests, err)
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err)
 	case errors.Is(err, ErrTooLarge):
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeTooLarge, err)
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err)
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 	default:
 		writeJSON(w, http.StatusAccepted, info)
 	}
 }
 
-// retryAfterSeconds is the Retry-After hint on 429 responses. The
-// queue turns over in well under a second on every supported target,
-// but Retry-After has whole-second granularity; 1 is the tightest
-// honest hint.
+// retryAfterSeconds is the Retry-After hint on 429 responses (the
+// header form; retryAfterMs is the same hint inside the error body).
+// The queue turns over in well under a second on every supported
+// target, but Retry-After has whole-second granularity; 1 is the
+// tightest honest hint.
 const retryAfterSeconds = "1"
+
+// retryAfterMs mirrors retryAfterSeconds in the queue_full error body.
+const retryAfterMs = 1000
 
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		writeError(w, http.StatusMethodNotAllowed, CodeInvalidRequest, errors.New("GET required"))
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
-	info, err := s.Job(id)
+	var info JobInfo
+	var err error
+	if wv := r.URL.Query().Get("wait_ms"); wv != "" {
+		// Long poll: hold the request until the job finishes or the
+		// budget elapses, then return the current snapshot either way.
+		// Budgets are clamped to the server's MaxWaitMs, never rejected,
+		// so clients can ask for "as long as you allow".
+		n, perr := strconv.Atoi(wv)
+		if perr != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad wait_ms %q", wv))
+			return
+		}
+		if n > s.cfg.MaxWaitMs {
+			n = s.cfg.MaxWaitMs
+		}
+		info, err = s.WaitFor(id, time.Duration(n)*time.Millisecond)
+	} else {
+		info, err = s.Job(id)
+	}
 	if errors.Is(err, ErrNotFound) {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
 }
 
+// Artifact truncation — the one place the rules live, applied
+// uniformly to every artifact shape a result can carry:
+//
+//   - probability vectors render as the top-k basis states by
+//     probability (descending; k defaults to 16, ?top=N raises it to
+//     at most 4096);
+//   - sweep artifacts (per-point expectation values or histograms) and
+//     gradient vectors render their first k entries under the same k;
+//     sweep_points always reports the full point count and "truncated"
+//     marks an elided payload;
+//   - ?full=1 disables truncation entirely: the whole 2^n probability
+//     vector, every sweep point, every gradient entry.
+func truncationLimit(q url.Values) (k int, full bool) {
+	if q.Get("full") == "1" {
+		return 0, true
+	}
+	k = 16
+	if kv := q.Get("top"); kv != "" {
+		if n, err := strconv.Atoi(kv); err == nil && n > 0 && n <= 4096 {
+			k = n
+		}
+	}
+	return k, false
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		writeError(w, http.StatusMethodNotAllowed, CodeInvalidRequest, errors.New("GET required"))
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/results/")
 	// One consistent read: snapshot state and result presence agree.
 	info, res, err := s.Lookup(id)
 	if errors.Is(err, ErrNotFound) {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	if errors.Is(err, ErrNotDone) {
@@ -370,9 +548,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if errors.Is(err, ErrDeadlineExceeded) {
-		// The job ran out of budget (in queue or mid-execution): gateway
-		// timeout, with the snapshot so the caller sees the deadline error.
-		writeJSON(w, http.StatusGatewayTimeout, info)
+		// The job ran out of budget (in queue or mid-execution).
+		writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded, err)
 		return
 	}
 	if err != nil {
@@ -380,20 +557,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, info)
 		return
 	}
-	resp := buildResultResponse(info, res)
-	q := r.URL.Query()
-	if q.Get("full") == "1" {
-		resp.Probabilities = res.Probabilities
-	} else {
-		k := 16
-		if kv := q.Get("top"); kv != "" {
-			if n, err := strconv.Atoi(kv); err == nil && n > 0 && n <= 4096 {
-				k = n
-			}
-		}
-		resp.Top = topProbs(res.Probabilities, k, numQubits(res))
-	}
-	writeJSON(w, http.StatusOK, resp)
+	k, full := truncationLimit(r.URL.Query())
+	writeJSON(w, http.StatusOK, buildResultResponse(info, res, k, full))
 }
 
 func numQubits(res *backend.Result) int {
@@ -407,26 +572,60 @@ func numQubits(res *backend.Result) int {
 	return n
 }
 
-func buildResultResponse(info JobInfo, res *backend.Result) ResultResponse {
+// buildResultResponse renders a finished result under the truncation
+// rules documented at truncationLimit.
+func buildResultResponse(info JobInfo, res *backend.Result, k int, full bool) ResultResponse {
 	resp := ResultResponse{
-		ID:         info.ID,
-		State:      info.State,
-		Cached:     info.Cached,
-		Target:     string(res.Target),
-		DurationMS: float64(res.Duration.Microseconds()) / 1e3,
-		NumQubits:  numQubits(res),
-		GateCount:  res.KernelStats.SourceOps,
-		FusedOps:   res.KernelStats.EmittedOps,
-		ExpValue:   res.ExpValue,
-		ExpTerms:   res.ExpTerms,
-		TileBits:   res.TileBits,
-		PlanStats:  res.PlanStats,
-		Trace:      res.Trace,
+		ID:            info.ID,
+		State:         info.State,
+		Cached:        info.Cached,
+		Target:        string(res.Target),
+		DurationMS:    float64(res.Duration.Microseconds()) / 1e3,
+		NumQubits:     numQubits(res),
+		GateCount:     res.KernelStats.SourceOps,
+		FusedOps:      res.KernelStats.EmittedOps,
+		ExpValue:      res.ExpValue,
+		ExpTerms:      res.ExpTerms,
+		TileBits:      res.TileBits,
+		PlanStats:     res.PlanStats,
+		Trace:         res.Trace,
+		SweepPoints:   res.SweepPoints,
+		Rebinds:       res.Rebinds,
+		SweepCompiles: res.SweepCompiles,
 	}
 	if len(res.Counts) > 0 {
 		resp.Counts = make(map[string]int, len(res.Counts))
 		for idx, n := range res.Counts {
 			resp.Counts[sampling.Bitstring(idx, resp.NumQubits)] = n
+		}
+	}
+	if full {
+		resp.Probabilities = res.Probabilities
+	} else if len(res.Probabilities) > 0 {
+		resp.Top = topProbs(res.Probabilities, k, resp.NumQubits)
+	}
+	sv, grad, sc := res.SweepValues, res.Gradient, res.SweepCounts
+	if !full {
+		if len(sv) > k {
+			sv, resp.Truncated = sv[:k], true
+		}
+		if len(grad) > k {
+			grad, resp.Truncated = grad[:k], true
+		}
+		if len(sc) > k {
+			sc, resp.Truncated = sc[:k], true
+		}
+	}
+	resp.SweepValues = sv
+	resp.Gradient = grad
+	if len(sc) > 0 {
+		resp.SweepCounts = make([]map[string]int, len(sc))
+		for i, cts := range sc {
+			m := make(map[string]int, len(cts))
+			for idx, n := range cts {
+				m[sampling.Bitstring(idx, resp.NumQubits)] = n
+			}
+			resp.SweepCounts[i] = m
 		}
 	}
 	return resp
@@ -484,7 +683,7 @@ func topProbs(probs []float64, k int, nq int) []TopProb {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		writeError(w, http.StatusMethodNotAllowed, CodeInvalidRequest, errors.New("GET required"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
@@ -502,7 +701,7 @@ type StoreResponse struct {
 
 func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		writeError(w, http.StatusMethodNotAllowed, CodeInvalidRequest, errors.New("GET required"))
 		return
 	}
 	resp := StoreResponse{}

@@ -1,0 +1,296 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"qgear/internal/backend"
+	"qgear/internal/observable"
+)
+
+// The PR-9 API surface: polymorphic job kinds, the uniform error
+// envelope, legacy-body deprecation, and the wait_ms long-poll.
+
+func wireAnsatz(nq int) *WireCircuit {
+	return FromCircuit(sweepAnsatz(nq))
+}
+
+func decodeError(t *testing.T, resp *http.Response) ErrorResponse {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body did not parse as the error envelope: %v", err)
+	}
+	return e
+}
+
+// TestHTTPErrorEnvelopeGolden: every failure mode answers with the
+// exact {"error":{"code","message",...}} JSON shape and its documented
+// machine-readable code.
+func TestHTTPErrorEnvelopeGolden(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{})
+
+	for _, tc := range []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"bad json", "POST", "/v1/jobs", `{`, http.StatusBadRequest, CodeInvalidRequest},
+		{"unknown kind", "POST", "/v1/jobs", `{"kind":"warp"}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"unknown field", "POST", "/v1/jobs", `{"kind":"simulate","bogus":1}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"missing circuit", "POST", "/v1/jobs", `{"kind":"simulate"}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"sweep without points", "POST", "/v1/jobs", `{"kind":"sweep","qasm":"OPENQASM 2.0;\nqreg q[1];\nrx(0.5) q[0];\n"}`, http.StatusBadRequest, CodeInvalidRequest},
+		{"job not found", "GET", "/v1/jobs/j-missing", "", http.StatusNotFound, CodeNotFound},
+		{"result not found", "GET", "/v1/results/j-missing", "", http.StatusNotFound, CodeNotFound},
+		{"bad wait_ms", "GET", "/v1/jobs/j-x?wait_ms=banana", "", http.StatusBadRequest, CodeInvalidRequest},
+		{"method", "GET", "/v1/jobs", "", http.StatusMethodNotAllowed, CodeInvalidRequest},
+	} {
+		var resp *http.Response
+		var err error
+		if tc.method == "POST" {
+			resp, err = http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		} else {
+			resp, err = http.Get(ts.URL + tc.path)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		e := decodeError(t, resp)
+		resp.Body.Close()
+		if e.Error.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Error.Code, tc.code)
+		}
+		if e.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+		if tc.code != CodeQueueFull && e.Error.RetryAfterMs != 0 {
+			t.Errorf("%s: unexpected retry_after_ms %d", tc.name, e.Error.RetryAfterMs)
+		}
+	}
+}
+
+// TestHTTPQueueFullEnvelope: 429 carries both the Retry-After header
+// and retry_after_ms inside the envelope.
+func TestHTTPQueueFullEnvelope(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{WorkerPool: 1, MaxBatch: 1, QueueSize: 1})
+	// Stall the worker with slow jobs, then overfill the queue.
+	var infos []JobInfo
+	for i := 0; i < 16; i++ {
+		body := fmt.Sprintf(`{"kind":"simulate","qasm":"OPENQASM 2.0;\nqreg q[14];\nh q[%d];\n","shots":1,"seed":%d}`, i%14, i)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if got := resp.Header.Get("Retry-After"); got == "" {
+				t.Error("429 without Retry-After header")
+			}
+			e := decodeError(t, resp)
+			resp.Body.Close()
+			if e.Error.Code != CodeQueueFull {
+				t.Fatalf("429 code %q, want %q", e.Error.Code, CodeQueueFull)
+			}
+			if e.Error.RetryAfterMs <= 0 {
+				t.Fatalf("429 envelope without retry_after_ms: %+v", e.Error)
+			}
+			_ = s
+			return
+		}
+		var info JobInfo
+		_ = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		infos = append(infos, info)
+	}
+	t.Skip("queue never filled on this machine")
+}
+
+// TestHTTPLegacyBodyDeprecation: bodies without "kind" still work,
+// parse leniently (unknown fields tolerated), and carry the
+// Deprecation header on the 202.
+func TestHTTPLegacyBodyDeprecation(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{})
+	body := `{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n","shots":32,"seed":1,"some_future_field":true}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy body: HTTP %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy body accepted without a Deprecation header")
+	}
+
+	// The same body with kind set is strict: the unknown field is fatal
+	// and the response carries no Deprecation header.
+	strict := `{"kind":"simulate","qasm":"OPENQASM 2.0;\nqreg q[1];\nh q[0];\n","some_future_field":true}`
+	resp2, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(strict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("strict body with unknown field: HTTP %d, want 400", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Deprecation") != "" {
+		t.Error("kind-bearing body marked deprecated")
+	}
+
+	// An explicit kind gets no Deprecation header on success.
+	modern := `{"kind":"simulate","qasm":"OPENQASM 2.0;\nqreg q[1];\nh q[0];\n"}`
+	resp3, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(modern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusAccepted || resp3.Header.Get("Deprecation") != "" {
+		t.Fatalf("modern body: HTTP %d, Deprecation %q", resp3.StatusCode, resp3.Header.Get("Deprecation"))
+	}
+}
+
+// TestHTTPSweepJobKind: the sweep kind end to end over the wire,
+// including the truncation rules shared with probability vectors.
+func TestHTTPSweepJobKind(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Target: backend.TargetNvidia, Workers: 1, TileBits: 3})
+	const nq, points = 4, 40
+	c := sweepAnsatz(nq)
+	h := observable.TransverseFieldIsing(nq, 1.0, 0.7)
+	req := SubmitRequest{
+		Kind:        "sweep",
+		Circuit:     FromCircuit(c),
+		Hamiltonian: FromHamiltonian(h),
+		Points:      angleGrid(c.NumParams(), points),
+	}
+	info, status := postJob(t, ts.URL, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("sweep submit: HTTP %d", status)
+	}
+	info = pollDone(t, ts.URL, info.ID)
+	if info.State != StateDone {
+		t.Fatalf("sweep job: %+v", info)
+	}
+
+	// Default view truncates the 40-point vector to 16 values.
+	var rr ResultResponse
+	getJSON(t, ts.URL+"/v1/results/"+info.ID, &rr)
+	if rr.SweepPoints != points {
+		t.Fatalf("sweep_points = %d, want %d", rr.SweepPoints, points)
+	}
+	if len(rr.SweepValues) != 16 || !rr.Truncated {
+		t.Fatalf("default view: %d values, truncated=%v; want 16/true", len(rr.SweepValues), rr.Truncated)
+	}
+	// ?full=1 returns every point.
+	var full ResultResponse
+	getJSON(t, ts.URL+"/v1/results/"+info.ID+"?full=1", &full)
+	if len(full.SweepValues) != points || full.Truncated {
+		t.Fatalf("full view: %d values, truncated=%v", len(full.SweepValues), full.Truncated)
+	}
+	// ?top=N widens the window.
+	var topped ResultResponse
+	getJSON(t, ts.URL+"/v1/results/"+info.ID+"?top=25", &topped)
+	if len(topped.SweepValues) != 25 || !topped.Truncated {
+		t.Fatalf("top=25 view: %d values, truncated=%v", len(topped.SweepValues), topped.Truncated)
+	}
+	for i, v := range full.SweepValues[:16] {
+		if math.Float64bits(v) != math.Float64bits(rr.SweepValues[i]) {
+			t.Fatalf("truncated view diverges at %d", i)
+		}
+	}
+	if rr.Rebinds != points {
+		t.Errorf("rebinds = %d, want %d", rr.Rebinds, points)
+	}
+}
+
+// TestHTTPGradientJobKind: the gradient kind over the wire.
+func TestHTTPGradientJobKind(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Target: backend.TargetNvidia, Workers: 1, TileBits: 3})
+	c := sweepAnsatz(4)
+	req := SubmitRequest{
+		Kind:        "gradient",
+		Circuit:     FromCircuit(c),
+		Hamiltonian: FromHamiltonian(observable.TransverseFieldIsing(4, 1.0, 0.7)),
+	}
+	info, status := postJob(t, ts.URL, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("gradient submit: HTTP %d", status)
+	}
+	info = pollDone(t, ts.URL, info.ID)
+	if info.State != StateDone {
+		t.Fatalf("gradient job: %+v", info)
+	}
+	var rr ResultResponse
+	getJSON(t, ts.URL+"/v1/results/"+info.ID, &rr)
+	if len(rr.Gradient) != c.NumParams() {
+		t.Fatalf("gradient has %d entries for %d params", len(rr.Gradient), c.NumParams())
+	}
+	if rr.ExpValue == nil {
+		t.Fatal("gradient result without its base expectation value")
+	}
+}
+
+// TestHTTPLongPoll: GET /v1/jobs/{id}?wait_ms blocks until the job
+// finishes (or the clamped budget runs out) instead of demanding a
+// busy-poll loop.
+func TestHTTPLongPoll(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Target: backend.TargetNvidia, Workers: 1, MaxWaitMs: 2000})
+	req := SubmitRequest{
+		Kind: "simulate",
+		QASM: "OPENQASM 2.0;\nqreg q[12];\nh q[0];\ncx q[0],q[1];\n",
+	}
+	info, status := postJob(t, ts.URL, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", status)
+	}
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "?wait_ms=1500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("long-poll: HTTP %d", resp.StatusCode)
+	}
+	var got JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone && time.Since(start) < 1200*time.Millisecond {
+		t.Fatalf("long-poll returned %q after only %v", got.State, time.Since(start))
+	}
+	// A negative budget is invalid_request.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "?wait_ms=-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative wait_ms: HTTP %d, want 400", resp2.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,16 @@ func (s *Server) registerMetrics() {
 		locked(func() float64 { return float64(s.expSubmitted) }))
 	r.CounterFunc("qgear_expectation_executed_total", "Expectation-value jobs freshly evaluated.", nil,
 		locked(func() float64 { return float64(s.expExecuted) }))
+	r.CounterFunc("qgear_sweep_jobs_total", "Sweep jobs submitted.", nil,
+		locked(func() float64 { return float64(s.sweepSubmitted) }))
+	r.CounterFunc("qgear_sweep_executed_total", "Sweep jobs freshly executed.", nil,
+		locked(func() float64 { return float64(s.sweepExecuted) }))
+	r.CounterFunc("qgear_sweep_points_total", "Sweep points freshly executed (rebind + run).", nil,
+		locked(func() float64 { return float64(s.sweepPointsRun) }))
+	r.CounterFunc("qgear_gradient_jobs_total", "Parameter-shift gradient jobs submitted.", nil,
+		locked(func() float64 { return float64(s.gradSubmitted) }))
+	r.CounterFunc("qgear_plan_rebinds_total", "Structural plan-cache hits served by rebinding a cached skeleton.", nil,
+		locked(func() float64 { return float64(s.planRebinds) }))
 	r.CounterFunc("qgear_singleflight_hits_total", "Submissions attached to an identical in-flight job.", nil,
 		locked(func() float64 { return float64(s.sfHits) }))
 	r.CounterFunc("qgear_batches_total", "Coalesced batches executed.", nil,

@@ -40,7 +40,7 @@ import (
 
 // Version identifies the serving layer in /v1/healthz and the
 // qgear_build_info metric.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // Config sizes the server. Zero values select the documented defaults.
 type Config struct {
@@ -98,6 +98,14 @@ type Config struct {
 	// polling clients; the oldest finished jobs are forgotten beyond
 	// it. Default 4096.
 	MaxRetainedJobs int
+	// MaxSweepPoints bounds one sweep job's point count — the admission
+	// control of the per-point artifact a sweep accumulates. Default
+	// 65536; < 0 removes the bound.
+	MaxSweepPoints int
+	// MaxWaitMs bounds the long-poll budget a GET /v1/jobs/{id}?wait_ms=N
+	// request may ask for; larger values are clamped, not rejected.
+	// Default 30000.
+	MaxWaitMs int
 
 	// JobTimeout bounds every job's lifetime from submission: a job
 	// still queued past it is dropped at dequeue without executing, and
@@ -166,6 +174,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 4096
 	}
+	if c.MaxSweepPoints == 0 {
+		c.MaxSweepPoints = 65536
+	} else if c.MaxSweepPoints < 0 {
+		c.MaxSweepPoints = 0 // unbounded
+	}
+	if c.MaxWaitMs <= 0 {
+		c.MaxWaitMs = 30000
+	}
 	if c.MaxStateBytes == 0 {
 		c.MaxStateBytes = defaultMaxStateBytes()
 	} else if c.MaxStateBytes < 0 {
@@ -204,6 +220,22 @@ type SubmitOptions struct {
 	// the effective budget is the tighter of the two. 0 applies the
 	// server default only.
 	TimeoutMs int
+	// SweepPoints selects a sweep job: the circuit is treated as a
+	// parameterized skeleton (its own parameter values are irrelevant)
+	// and evaluated at every point — each a flat vector with one value
+	// per parameter slot, program order. With a Hamiltonian the
+	// artifact is the exact per-point ⟨H⟩ vector (Shots must be 0);
+	// without one Shots must be > 0 and the artifact is the per-point
+	// sampled histogram, point i seeded with
+	// backend.SweepPointSeed(Seed, i). Under a rebindable server
+	// configuration the whole sweep costs one compile: every point is a
+	// rebind of the structurally-cached plan.
+	SweepPoints [][]float64
+	// Gradient selects a parameter-shift gradient job: exact ∂⟨H⟩/∂θ at
+	// the circuit's own parameter values, evaluated as a derived
+	// 2k+1-point sweep. Requires Hamiltonian; SweepPoints must be
+	// empty.
+	Gradient bool
 }
 
 // JobInfo is a point-in-time snapshot of one job.
@@ -308,7 +340,12 @@ type Server struct {
 	start  time.Time
 	store  *store.Store // nil without StoreDir
 	cfgSig string       // normalized option signature stamped on store artifacts
-	spill  chan spillItem
+	// rebindable records whether the execution configuration keeps
+	// compiled structure value-independent (no fusion, no pruning) —
+	// the gate for structural plan-cache keying and the sweep
+	// compile-once fast path. Fixed at New.
+	rebindable bool
+	spill      chan spillItem
 	// reg is the server's metric registry: every counter below is
 	// exported through it (as a callback reading the same field, so
 	// /metrics and /v1/stats can never disagree), job and stage
@@ -341,26 +378,30 @@ type Server struct {
 	spillBytes    int64          // bytes pinned by the eviction-spill backlog
 
 	// counters (under mu)
-	submitted, completed, failed uint64
-	cacheHits, sfHits, executed  uint64
-	expSubmitted, expExecuted    uint64
-	planHits, planMisses         uint64
-	storeHits, planStoreHits     uint64
-	storeMisses, storeErrors     uint64
-	storeSpills, storeSpillDrops uint64
-	storeQuarantines             uint64
-	batches, batchedJobs         uint64
-	panicsRecovered              uint64
-	rejectedQueueFull            uint64
-	rejectedTooLarge             uint64
-	rejectedInvalid              uint64
-	cancelledQueue               uint64 // expired before execution started
-	cancelledRunning             uint64 // cancelled mid-execution
-	cacheEvictedBytes            int64
-	planEvictedBytes             int64
-	mgpuExchanges, mgpuAvoided   uint64
-	mgpuBytesSent                int64
-	latency                      map[string]*telemetry.Histogram
+	submitted, completed, failed  uint64
+	cacheHits, sfHits, executed   uint64
+	expSubmitted, expExecuted     uint64
+	sweepSubmitted, sweepExecuted uint64
+	sweepPointsRun                uint64
+	gradSubmitted, gradExecuted   uint64
+	planHits, planMisses          uint64
+	planRebinds                   uint64
+	storeHits, planStoreHits      uint64
+	storeMisses, storeErrors      uint64
+	storeSpills, storeSpillDrops  uint64
+	storeQuarantines              uint64
+	batches, batchedJobs          uint64
+	panicsRecovered               uint64
+	rejectedQueueFull             uint64
+	rejectedTooLarge              uint64
+	rejectedInvalid               uint64
+	cancelledQueue                uint64 // expired before execution started
+	cancelledRunning              uint64 // cancelled mid-execution
+	cacheEvictedBytes             int64
+	planEvictedBytes              int64
+	mgpuExchanges, mgpuAvoided    uint64
+	mgpuBytesSent                 int64
+	latency                       map[string]*telemetry.Histogram
 
 	// stageLatency holds the per-stage registry histograms, resolved
 	// once at registerMetrics time and read-only afterwards, so the
@@ -426,6 +467,7 @@ func New(cfg Config) (*Server, error) {
 	s.registerMetrics()
 	opts := s.execOptions()
 	s.cfgSig = opts.StoreSignature()
+	s.rebindable = opts.Rebindable()
 	if cfg.StoreDir != "" {
 		ast, err := store.OpenFS(cfg.StoreDir, cfg.StoreFS)
 		if err != nil {
@@ -529,9 +571,19 @@ func (s *Server) execOptionsCancel(flag *cancel.Flag) core.Options {
 
 // planKey addresses the compiled-plan cache. Everything else that
 // shapes a plan (target, devices, fusion, prune, plan fusion) is
-// server-constant, so the circuit fingerprint plus the configured tile
-// width identifies the artifact.
-func (s *Server) planKey(fp string) string {
+// server-constant, so a circuit identity plus the configured tile
+// width identifies the artifact. Under a rebindable configuration —
+// where compiled structure is provably value-independent — a
+// parameterized circuit keys by its *structural* fingerprint: every
+// submission sharing a shape, whatever its angles, resolves to one
+// cached skeleton that compiled() rebinds to the job's own values. A
+// 10k-point sweep (or 10k individually-submitted points) therefore
+// costs exactly one compile. Value-dependent configurations (fusion,
+// pruning) keep exact-fingerprint keying.
+func (s *Server) planKey(c *circuit.Circuit, fp string) string {
+	if s.rebindable && c.NumParams() > 0 {
+		return fmt.Sprintf("%s|b%d", c.StructuralFingerprint(), s.cfg.TileBits)
+	}
 	return fmt.Sprintf("%s|b%d", fp, s.cfg.TileBits)
 }
 
@@ -544,19 +596,29 @@ func (s *Server) planKey(fp string) string {
 // winner's plan instead of compiling the same circuit again.
 //
 // The returned trace fragment breaks the call's own wall time into a
-// fresh compile span, a persistent-store load span, and a plan_cache
-// span covering everything else (lookup, single-flight waits, spill
-// lookaside) — so a cache hit shows pure plan_cache time while a cold
-// miss shows mostly compile.
+// fresh compile span, a persistent-store load span, a rebind span
+// (structural-key hits only), and a plan_cache span covering
+// everything else (lookup, single-flight waits, spill lookaside) — so
+// a cache hit shows pure plan_cache time while a cold miss shows
+// mostly compile.
+//
+// Under structural keying (see planKey) the cached artifact is a
+// *skeleton*: its structure matches every circuit sharing the shape,
+// but its value-derived matrices carry whatever parameter values
+// first populated the key. Every serving path that did not compile
+// from this job's own circuit — cache hit, spill lookaside, store
+// load — therefore rebinds the skeleton to c's parameter values
+// before returning; only a fresh compile is already bound.
 func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, *telemetry.Trace, error) {
 	t0 := time.Now()
-	key := s.planKey(fp)
+	structural := s.rebindable && c.NumParams() > 0
+	key := s.planKey(c, fp)
 	s.mu.Lock()
 	for {
 		if comp, ok := s.plans.Get(key); ok {
 			s.planHits++
 			s.mu.Unlock()
-			return comp, planTrace(t0, 0, 0), nil
+			return s.rebound(comp, c, structural, t0, 0, 0)
 		}
 		if it, ok := s.pendingSpills[key]; ok && it.plan != nil {
 			// Spill lookaside: an evicted plan still bound for disk is
@@ -569,7 +631,7 @@ func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, *te
 				s.enqueueSpillLocked(spillItem{key: ev.Key, plan: ev.Val, cost: ev.Cost, bytes: ev.Bytes})
 			}
 			s.mu.Unlock()
-			return comp, planTrace(t0, 0, 0), nil
+			return s.rebound(comp, c, structural, t0, 0, 0)
 		}
 		ch, compiling := s.planFlights[key]
 		if !compiling {
@@ -639,17 +701,43 @@ func (s *Server) compiled(c *circuit.Circuit, fp string) (*backend.Compiled, *te
 	delete(s.planFlights, key)
 	close(ch)
 	s.mu.Unlock()
-	return comp, planTrace(t0, loadDur, compileDur), err
+	if err == nil && fromStore {
+		// A warm-started skeleton was compiled by another process from
+		// values this job never chose — rebind like any other hit.
+		return s.rebound(comp, c, structural, t0, loadDur, compileDur)
+	}
+	return comp, planTrace(t0, loadDur, compileDur, 0), err
 }
 
-// planTrace assembles compiled()'s trace fragment: store-load and
-// compile get their own spans, and whatever remains of the call's wall
-// time is plan-cache overhead.
-func planTrace(t0 time.Time, loadDur, compileDur time.Duration) *telemetry.Trace {
+// rebound finishes a structural-cache hit: the cached skeleton's
+// value-derived matrices are patched (copy-on-write — the cached
+// artifact stays immutable and shared) to this circuit's own parameter
+// values. Exact-keyed artifacts pass through untouched.
+func (s *Server) rebound(comp *backend.Compiled, c *circuit.Circuit, structural bool, t0 time.Time, loadDur, compileDur time.Duration) (*backend.Compiled, *telemetry.Trace, error) {
+	if !structural {
+		return comp, planTrace(t0, loadDur, compileDur, 0), nil
+	}
+	tb := time.Now()
+	bound, err := comp.BindParams(c.ParamValues())
+	rebindDur := time.Since(tb)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: rebinding cached plan: %w", err)
+	}
+	s.mu.Lock()
+	s.planRebinds++
+	s.mu.Unlock()
+	return bound, planTrace(t0, loadDur, compileDur, rebindDur), nil
+}
+
+// planTrace assembles compiled()'s trace fragment: store-load,
+// compile, and rebind get their own spans, and whatever remains of the
+// call's wall time is plan-cache overhead.
+func planTrace(t0 time.Time, loadDur, compileDur, rebindDur time.Duration) *telemetry.Trace {
 	tr := &telemetry.Trace{}
-	tr.Add(telemetry.StagePlanCache, time.Since(t0)-loadDur-compileDur)
+	tr.Add(telemetry.StagePlanCache, time.Since(t0)-loadDur-compileDur-rebindDur)
 	tr.Add(telemetry.StageStoreLoad, loadDur)
 	tr.Add(telemetry.StageCompile, compileDur)
+	tr.Add(telemetry.StageRebind, rebindDur)
 	return tr
 }
 
@@ -690,6 +778,19 @@ func (s *Server) observeStages(tr *telemetry.Trace) {
 func (s *Server) key(c *circuit.Circuit, opts SubmitOptions) string {
 	kopts := s.execOptions() // derive, so key and execution never drift
 	kopts.Workers = 0        // wall-clock only, not output
+	if opts.Gradient {
+		// Gradient jobs: keyed on the structural shape, the base point
+		// (the circuit's own parameter values), and the Hamiltonian.
+		return core.GradientCacheKey(c, opts.Hamiltonian, c.ParamValues(), kopts)
+	}
+	if len(opts.SweepPoints) > 0 {
+		// Sweep jobs: structural shape + the point matrix bit-for-bit.
+		// Shots and seed shape sampling sweeps and are normalized away
+		// for exact Hamiltonian sweeps inside SweepCacheKey.
+		kopts.Shots = opts.Shots
+		kopts.Seed = opts.Seed
+		return core.SweepCacheKey(c, opts.Hamiltonian, opts.SweepPoints, kopts)
+	}
 	if opts.Hamiltonian != nil {
 		// Expectation jobs: (fingerprint, hamiltonian hash, options);
 		// shots and seed are normalized away inside (exact results).
@@ -743,6 +844,31 @@ func (s *Server) validateSubmit(c *circuit.Circuit, opts SubmitOptions) error {
 				opts.Hamiltonian.NumQubits, c.NumQubits)
 		}
 	}
+	if opts.Gradient {
+		if opts.Hamiltonian == nil {
+			return errors.New("service: gradient jobs need a hamiltonian")
+		}
+		if len(opts.SweepPoints) > 0 {
+			return errors.New("service: gradient jobs derive their own sweep; points are not accepted")
+		}
+		if c.NumParams() == 0 {
+			return errors.New("service: gradient of a circuit with no parameterized gates")
+		}
+	}
+	if n := len(opts.SweepPoints); n > 0 {
+		if s.cfg.MaxSweepPoints > 0 && n > s.cfg.MaxSweepPoints {
+			return fmt.Errorf("service: sweep of %d points exceeds the %d-point bound", n, s.cfg.MaxSweepPoints)
+		}
+		nParams := c.NumParams()
+		for i, pt := range opts.SweepPoints {
+			if len(pt) != nParams {
+				return fmt.Errorf("service: sweep point %d has %d values, circuit has %d parameter slots", i, len(pt), nParams)
+			}
+		}
+		if opts.Hamiltonian == nil && opts.Shots <= 0 {
+			return errors.New("service: a sweep without a hamiltonian must sample (shots > 0); per-point probability vectors are unbounded")
+		}
+	}
 	return nil
 }
 
@@ -787,6 +913,15 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 		// Deep-copy for the same reason as the circuit below.
 		opts.Hamiltonian = opts.Hamiltonian.Clone()
 	}
+	if len(opts.SweepPoints) > 0 {
+		// Deep-copy the point matrix: the worker reads it long after
+		// Submit returns.
+		pts := make([][]float64, len(opts.SweepPoints))
+		for i, pt := range opts.SweepPoints {
+			pts[i] = append([]float64(nil), pt...)
+		}
+		opts.SweepPoints = pts
+	}
 	// Deep-copy: the server owns its jobs' circuits, so a caller
 	// mutating theirs after Submit cannot race the worker or poison
 	// the cache under the pre-mutation fingerprint.
@@ -811,7 +946,12 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 		submittedAt: time.Now(),
 		done:        make(chan struct{}),
 	}
-	if j.ham != nil {
+	switch {
+	case j.opts.Gradient:
+		s.gradSubmitted++
+	case len(j.opts.SweepPoints) > 0:
+		s.sweepSubmitted++
+	case j.ham != nil:
 		s.expSubmitted++
 	}
 
@@ -875,7 +1015,12 @@ func (s *Server) submit(c *circuit.Circuit, opts SubmitOptions) (*job, error) {
 	case s.queue <- j:
 	default:
 		s.nextID-- // job never existed
-		if j.ham != nil {
+		switch {
+		case j.opts.Gradient:
+			s.gradSubmitted--
+		case len(j.opts.SweepPoints) > 0:
+			s.sweepSubmitted--
+		case j.ham != nil:
 			s.expSubmitted--
 		}
 		s.rejectedQueueFull++
@@ -1163,10 +1308,14 @@ func (s *Server) runBatch(batch []*job) {
 
 	var probJobs []*job
 	var expJobs []*job
+	var sweepJobs []*job
 	for _, j := range batch {
-		if j.ham != nil {
+		switch {
+		case j.opts.Gradient || len(j.opts.SweepPoints) > 0:
+			sweepJobs = append(sweepJobs, j)
+		case j.ham != nil:
 			expJobs = append(expJobs, j)
-		} else {
+		default:
 			probJobs = append(probJobs, j)
 		}
 	}
@@ -1198,6 +1347,64 @@ func (s *Server) runBatch(batch []*job) {
 			// Expectation keys are unique within a batch (single-flight
 			// collapses duplicates), so the merged trace is both this
 			// job's breakdown and exactly one execution event.
+			tr := &telemetry.Trace{}
+			tr.Add(telemetry.StageQueueWait, dequeued.Sub(j.submittedAt))
+			tr.Append(ctr)
+			tr.Append(res.Trace)
+			res.Trace = tr
+			s.observeStages(tr)
+			mgpuExch += uint64(res.Exchanges)
+			mgpuAvoided += uint64(res.AvoidedExchanges)
+			mgpuBytes += res.BytesSent
+		}
+		outs = append(outs, outcome{j: j, res: res, err: err})
+	}
+	// Sweep and gradient jobs execute one by one like expectation jobs
+	// (their keys are unique within a batch by single-flight): one
+	// compiled() resolution — a single compile or a structural-cache
+	// hit — serves every point of the sweep through rebinds. A
+	// configuration whose transform is value-dependent surfaces
+	// ErrNotRebindable from the compiled fast path and falls back to
+	// per-point compilation from the source circuit: same results, none
+	// of the compile-once savings.
+	var sweepPts uint64
+	for _, j := range sweepJobs {
+		if cerr := j.flag.Err(); cerr != nil {
+			cancelledQueue++
+			outs = append(outs, outcome{j: j, err: queueExpiredErr(cerr), skipped: true})
+			continue
+		}
+		var comp *backend.Compiled
+		var ctr *telemetry.Trace
+		var res *backend.Result
+		var err error
+		if gerr := s.guardPanic(func() {
+			comp, ctr, err = s.compiled(j.circ, j.fp)
+			if err != nil {
+				return
+			}
+			o := s.execOptionsCancel(j.flag)
+			o.Shots, o.Seed = j.opts.Shots, j.opts.Seed
+			if j.opts.Gradient {
+				res, err = core.RunGradientCompiled(comp, j.ham, j.circ.ParamValues(), o)
+				if errors.Is(err, backend.ErrNotRebindable) {
+					res, err = core.RunGradient(j.circ, j.ham, j.circ.ParamValues(), o)
+				}
+			} else {
+				res, err = core.RunSweepCompiled(comp, j.ham, j.opts.SweepPoints, o)
+				if errors.Is(err, backend.ErrNotRebindable) {
+					res, err = core.RunSweep(j.circ, j.ham, j.opts.SweepPoints, o)
+				}
+			}
+		}); gerr != nil {
+			res, err = nil, gerr
+		}
+		if cls := classifyExecErr(err); cls != err { //nolint:errorlint // identity check, not a match
+			res, err = nil, cls
+			cancelledRunning++
+		}
+		if res != nil {
+			sweepPts += uint64(res.SweepPoints)
 			tr := &telemetry.Trace{}
 			tr.Add(telemetry.StageQueueWait, dequeued.Sub(j.submittedAt))
 			tr.Append(ctr)
@@ -1387,13 +1594,25 @@ func (s *Server) runBatch(batch []*job) {
 	s.mgpuBytesSent += mgpuBytes
 	s.cancelledQueue += cancelledQueue
 	s.cancelledRunning += cancelledRunning
+	s.sweepPointsRun += sweepPts
 	lat := string(s.cfg.Target)
 	for _, o := range outs {
 		if !o.skipped {
 			s.executed++
 		}
 		key := lat
-		if o.j.ham != nil {
+		switch {
+		case o.j.opts.Gradient:
+			if !o.skipped {
+				s.gradExecuted++
+			}
+			key = "gradient"
+		case len(o.j.opts.SweepPoints) > 0:
+			if !o.skipped {
+				s.sweepExecuted++
+			}
+			key = "sweep"
+		case o.j.ham != nil:
 			if !o.skipped {
 				s.expExecuted++
 			}
@@ -1464,6 +1683,30 @@ func (s *Server) Wait(ctx context.Context, id string) (JobInfo, error) {
 	return j.info(), nil
 }
 
+// WaitFor blocks until the job finishes or d elapses, returning the
+// job's current snapshot either way — the long-poll primitive behind
+// GET /v1/jobs/{id}?wait_ms=N. A non-positive d degenerates to a plain
+// poll.
+func (s *Server) WaitFor(id string, d time.Duration) (JobInfo, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.info(), nil
+}
+
 // Run is the synchronous convenience path: submit and wait, returning
 // the result directly — the embeddable equivalent of one API call. It
 // holds the job record itself, so the result survives even if the
@@ -1510,6 +1753,12 @@ func (s *Server) Stats() Stats {
 		Executed:              s.executed,
 		ExpectationJobs:       s.expSubmitted,
 		ExpectationExecuted:   s.expExecuted,
+		SweepJobs:             s.sweepSubmitted,
+		SweepExecuted:         s.sweepExecuted,
+		SweepPointsRun:        s.sweepPointsRun,
+		GradientJobs:          s.gradSubmitted,
+		GradientExecuted:      s.gradExecuted,
+		PlanRebinds:           s.planRebinds,
 		CacheLen:              s.cache.Len(),
 		CacheCapacity:         s.cfg.CacheSize,
 		CacheBytes:            s.cache.Bytes(),

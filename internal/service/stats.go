@@ -141,6 +141,21 @@ type Stats struct {
 	ExpectationJobs     uint64 `json:"expectation_jobs"`
 	ExpectationExecuted uint64 `json:"expectation_executed"`
 
+	// Sweep jobs (kind "sweep"): one parameterized circuit evaluated at
+	// many points under one job. SweepPointsRun counts points freshly
+	// executed (the qgear_sweep_points_total metric); gradient jobs are
+	// the derived parameter-shift variant (kind "gradient").
+	// PlanRebinds counts structural plan-cache hits that were served by
+	// rebinding a cached skeleton to the submission's own parameter
+	// values instead of compiling — together with PlanCacheMisses it
+	// proves the compile-once property (a 1k-point sweep shows 1 miss).
+	SweepJobs        uint64 `json:"sweep_jobs"`
+	SweepExecuted    uint64 `json:"sweep_executed"`
+	SweepPointsRun   uint64 `json:"sweep_points_run"`
+	GradientJobs     uint64 `json:"gradient_jobs"`
+	GradientExecuted uint64 `json:"gradient_executed"`
+	PlanRebinds      uint64 `json:"plan_rebinds"`
+
 	// Cache occupancy. Entries are byte-accounted: CacheBytes is the
 	// resident size charged against CacheMaxBytes (0 = unbounded), and
 	// evictions are cost-per-byte-aware, not pure recency.

@@ -1,0 +1,317 @@
+package service
+
+import (
+	"context"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"qgear/internal/backend"
+	"qgear/internal/circuit"
+	"qgear/internal/observable"
+)
+
+// sweepAnsatz is a small parameterized circuit: RY layer, CX ladder,
+// RZ/RX layer — enough structure to exercise tile, global, and
+// exchange binding sites on every engine.
+func sweepAnsatz(nq int) *circuit.Circuit {
+	c := circuit.New(nq, 0)
+	for q := 0; q < nq; q++ {
+		c.RY(0.1*float64(q+1), q)
+	}
+	for q := 0; q+1 < nq; q++ {
+		c.CX(q, q+1)
+	}
+	for q := 0; q < nq; q++ {
+		c.RZ(0.2*float64(q+1), q)
+	}
+	return c
+}
+
+func angleGrid(nParams, n int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pt := make([]float64, nParams)
+		for j := range pt {
+			pt[j] = 0.05*float64(i+1) + 0.01*float64(j)
+		}
+		pts[i] = pt
+	}
+	return pts
+}
+
+// TestServiceSweepAllEngines: the sweep job kind through the full
+// service path on all four engines, differenced against individually
+// submitted expectation jobs at the same points — values bit-identical.
+func TestServiceSweepAllEngines(t *testing.T) {
+	const nq, points = 5, 8
+	h := observable.TransverseFieldIsing(nq, 1.0, 0.7)
+	for _, tc := range []struct {
+		target  backend.Target
+		devices int
+	}{
+		{backend.TargetAer, 1},
+		{backend.TargetNvidia, 1},
+		{backend.TargetNvidiaMQPU, 2},
+		{backend.TargetNvidiaMGPU, 2},
+	} {
+		t.Run(string(tc.target), func(t *testing.T) {
+			c := sweepAnsatz(nq)
+			pts := angleGrid(c.NumParams(), points)
+			sweepSrv := newTestServer(t, Config{Target: tc.target, Devices: tc.devices, Workers: 2, TileBits: 3})
+			res, info, err := sweepSrv.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, SweepPoints: pts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.State != StateDone {
+				t.Fatalf("info = %+v", info)
+			}
+			if len(res.SweepValues) != points || res.SweepPoints != points {
+				t.Fatalf("%d values / %d points recorded for %d submitted", len(res.SweepValues), res.SweepPoints, points)
+			}
+			// Individual expectation jobs on a separate server (so the
+			// sweep server's caches can't serve them).
+			indSrv := newTestServer(t, Config{Target: tc.target, Devices: tc.devices, Workers: 2, TileBits: 3})
+			for i, pt := range pts {
+				bound, err := c.BindParams(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ind, _, err := indSrv.Run(context.Background(), bound, SubmitOptions{Hamiltonian: h})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(res.SweepValues[i]) != math.Float64bits(*ind.ExpValue) {
+					t.Fatalf("point %d: sweep %v != individual job %v", i, res.SweepValues[i], *ind.ExpValue)
+				}
+			}
+			st := sweepSrv.Stats()
+			if st.SweepJobs != 1 || st.SweepExecuted != 1 || st.SweepPointsRun != points {
+				t.Errorf("sweep counters: jobs=%d executed=%d points=%d", st.SweepJobs, st.SweepExecuted, st.SweepPointsRun)
+			}
+		})
+	}
+}
+
+// TestServiceSweepCompileOnce is the compile-once acceptance check: an
+// N-point TFIM sweep performs exactly one plan compile, and the same N
+// points submitted as individual expectation jobs afterwards still
+// compile nothing — every one rebinds the structurally-cached plan to
+// bit-identical values. N defaults small for test runs;
+// QGEAR_SWEEP_ACCEPTANCE_POINTS=1000 scales it up for make ci-sweep.
+func TestServiceSweepCompileOnce(t *testing.T) {
+	points := 48
+	if v := os.Getenv("QGEAR_SWEEP_ACCEPTANCE_POINTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad QGEAR_SWEEP_ACCEPTANCE_POINTS %q", v)
+		}
+		points = n
+	}
+	const nq = 5
+	c := sweepAnsatz(nq)
+	h := observable.TransverseFieldIsing(nq, 1.0, 0.7)
+	pts := angleGrid(c.NumParams(), points)
+
+	s := newTestServer(t, Config{Target: backend.TargetNvidia, Workers: 2, TileBits: 3})
+	res, _, err := s.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, SweepPoints: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebinds != points || res.SweepCompiles != 0 {
+		t.Fatalf("sweep: want %d rebinds / 0 per-point compiles, got %d/%d", points, res.Rebinds, res.SweepCompiles)
+	}
+	st := s.Stats()
+	if st.PlanCacheMisses != 1 {
+		t.Fatalf("after the sweep: plan compiles = %d, want exactly 1", st.PlanCacheMisses)
+	}
+
+	// The same points as individual expectation jobs: every submission
+	// has a distinct exact fingerprint but the same structural one, so
+	// the plan cache serves all of them by rebinding — still 1 compile.
+	for i, pt := range pts {
+		bound, err := c.BindParams(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ind, _, err := s.Run(context.Background(), bound, SubmitOptions{Hamiltonian: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(res.SweepValues[i]) != math.Float64bits(*ind.ExpValue) {
+			t.Fatalf("point %d: sweep %v != rebound-plan job %v", i, res.SweepValues[i], *ind.ExpValue)
+		}
+	}
+	st = s.Stats()
+	if st.PlanCacheMisses != 1 {
+		t.Errorf("after %d individual jobs: plan compiles = %d, want still 1", points, st.PlanCacheMisses)
+	}
+	if st.PlanRebinds < uint64(points) {
+		t.Errorf("plan rebinds = %d, want >= %d (one per structural cache hit)", st.PlanRebinds, points)
+	}
+}
+
+// TestServiceSweepCached: an identical sweep resubmission is a result
+// cache hit — no new points run.
+func TestServiceSweepCached(t *testing.T) {
+	const nq = 4
+	c := sweepAnsatz(nq)
+	h := observable.TransverseFieldIsing(nq, 1.0, 0.7)
+	pts := anglesGridOrDie(c, 6)
+	s := newTestServer(t, Config{Target: backend.TargetNvidia, Workers: 1, TileBits: 3})
+	first, _, err := s.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, SweepPoints: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, info, err := s.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, SweepPoints: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Cached {
+		t.Fatal("identical sweep resubmission was not served from cache")
+	}
+	for i := range first.SweepValues {
+		if math.Float64bits(first.SweepValues[i]) != math.Float64bits(again.SweepValues[i]) {
+			t.Fatalf("cached sweep value %d differs", i)
+		}
+	}
+	if st := s.Stats(); st.SweepPointsRun != uint64(len(pts)) {
+		t.Errorf("points run = %d, want %d (cache hit must not re-run)", st.SweepPointsRun, len(pts))
+	}
+}
+
+func anglesGridOrDie(c *circuit.Circuit, n int) [][]float64 {
+	return angleGrid(c.NumParams(), n)
+}
+
+// TestServiceGradientJob: the derived gradient job kind end to end,
+// differenced against the backend entry point.
+func TestServiceGradientJob(t *testing.T) {
+	const nq = 4
+	c := sweepAnsatz(nq)
+	h := observable.TransverseFieldIsing(nq, 1.0, 0.7)
+	s := newTestServer(t, Config{Target: backend.TargetNvidia, Workers: 1, TileBits: 3})
+	res, info, err := s.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, Gradient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateDone {
+		t.Fatalf("info = %+v", info)
+	}
+	ref, err := backend.RunGradient(c, h, c.ParamValues(), backend.Config{
+		Target: backend.TargetNvidia, Workers: 1, TileBits: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(*res.ExpValue) != math.Float64bits(*ref.ExpValue) {
+		t.Fatalf("base value %v != backend %v", *res.ExpValue, *ref.ExpValue)
+	}
+	if len(res.Gradient) != len(ref.Gradient) {
+		t.Fatalf("gradient lengths %d vs %d", len(res.Gradient), len(ref.Gradient))
+	}
+	for j := range ref.Gradient {
+		if math.Float64bits(res.Gradient[j]) != math.Float64bits(ref.Gradient[j]) {
+			t.Fatalf("gradient[%d] %v != backend %v", j, res.Gradient[j], ref.Gradient[j])
+		}
+	}
+	if st := s.Stats(); st.GradientJobs != 1 || st.GradientExecuted != 1 {
+		t.Errorf("gradient counters: jobs=%d executed=%d", st.GradientJobs, st.GradientExecuted)
+	}
+}
+
+// TestServiceSweepStoreWarmRestart: a sweep artifact spills to the
+// persistent store on shutdown and a fresh server answers the same
+// submission from disk, bit-identically, without re-running points —
+// for both ⟨H⟩ sweeps and sampled-histogram sweeps.
+func TestServiceSweepStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	const nq = 4
+	c := sweepAnsatz(nq)
+	h := observable.TransverseFieldIsing(nq, 1.0, 0.7)
+	pts := anglesGridOrDie(c, 5)
+	cfg := Config{Target: backend.TargetNvidia, Workers: 1, TileBits: 3, StoreDir: dir, CacheSize: 1}
+
+	s1 := newTestServer(t, cfg)
+	expRes, _, err := s1.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, SweepPoints: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cntRes, _, err := s1.Run(context.Background(), c, SubmitOptions{SweepPoints: pts, Shots: 128, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradRes, _, err := s1.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, Gradient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2 := newTestServer(t, cfg)
+	expAgain, info, err := s2.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, SweepPoints: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Cached {
+		t.Fatal("warm-restarted sweep was re-executed")
+	}
+	for i := range expRes.SweepValues {
+		if math.Float64bits(expRes.SweepValues[i]) != math.Float64bits(expAgain.SweepValues[i]) {
+			t.Fatalf("sweep value %d changed across restart", i)
+		}
+	}
+	cntAgain, _, err := s2.Run(context.Background(), c, SubmitOptions{SweepPoints: pts, Shots: 128, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cntAgain.SweepCounts) != len(cntRes.SweepCounts) {
+		t.Fatalf("histogram counts lost across restart: %d vs %d", len(cntAgain.SweepCounts), len(cntRes.SweepCounts))
+	}
+	for i := range cntRes.SweepCounts {
+		if len(cntRes.SweepCounts[i]) != len(cntAgain.SweepCounts[i]) {
+			t.Fatalf("point %d: histogram key sets differ across restart", i)
+		}
+		for k, n := range cntRes.SweepCounts[i] {
+			if cntAgain.SweepCounts[i][k] != n {
+				t.Fatalf("point %d key %b: %d != %d across restart", i, k, cntAgain.SweepCounts[i][k], n)
+			}
+		}
+	}
+	gradAgain, _, err := s2.Run(context.Background(), c, SubmitOptions{Hamiltonian: h, Gradient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range gradRes.Gradient {
+		if math.Float64bits(gradRes.Gradient[j]) != math.Float64bits(gradAgain.Gradient[j]) {
+			t.Fatalf("gradient[%d] changed across restart", j)
+		}
+	}
+	if st := s2.Stats(); st.SweepPointsRun != 0 {
+		t.Errorf("restarted server ran %d points; all three jobs should be store hits", st.SweepPointsRun)
+	}
+}
+
+// TestServiceSweepValidation covers sweep/gradient admission rules.
+func TestServiceSweepValidation(t *testing.T) {
+	c := sweepAnsatz(3)
+	h := observable.TransverseFieldIsing(3, 1.0, 0.7)
+	s := newTestServer(t, Config{Target: backend.TargetAer, MaxSweepPoints: 4})
+	bad := [][]float64{make([]float64, c.NumParams()+2)}
+	if _, err := s.Submit(c, SubmitOptions{Hamiltonian: h, SweepPoints: bad}); err == nil {
+		t.Error("wrong-arity sweep point accepted")
+	}
+	if _, err := s.Submit(c, SubmitOptions{Hamiltonian: h, SweepPoints: anglesGridOrDie(c, 5)}); err == nil {
+		t.Error("sweep exceeding MaxSweepPoints accepted")
+	}
+	if _, err := s.Submit(c, SubmitOptions{SweepPoints: anglesGridOrDie(c, 2)}); err == nil {
+		t.Error("sampling sweep without shots accepted")
+	}
+	if _, err := s.Submit(c, SubmitOptions{Gradient: true}); err == nil {
+		t.Error("gradient without hamiltonian accepted")
+	}
+	free := circuit.GHZ(3, false)
+	if _, err := s.Submit(free, SubmitOptions{Hamiltonian: h, Gradient: true}); err == nil {
+		t.Error("gradient of a parameter-free circuit accepted")
+	}
+}

@@ -234,6 +234,13 @@ type resultMeta struct {
 	// debugging spilled artifacts; never parsed back.
 	ExpValue *float64 `json:"exp_value,omitempty"`
 	ExpTerms int      `json:"exp_terms,omitempty"`
+	// Sweep artifacts: the per-point vectors live in their own datasets
+	// (result/sweep_values, result/gradient, and the flattened
+	// result/sweep_count_* triplet); the meta records the point count
+	// and how the points were produced.
+	SweepPoints   int `json:"sweep_points,omitempty"`
+	Rebinds       int `json:"rebinds,omitempty"`
+	SweepCompiles int `json:"sweep_compiles,omitempty"`
 }
 
 // numQubits infers n from the probability-vector length.
@@ -270,16 +277,20 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 		BytesSent:        res.BytesSent,
 		AvoidedExchanges: res.AvoidedExchanges,
 		ExpTerms:         res.ExpTerms,
+		SweepPoints:      res.SweepPoints,
+		Rebinds:          res.Rebinds,
+		SweepCompiles:    res.SweepCompiles,
 	}
 	if meta.NumQubits == 0 {
 		meta.NumQubits = numQubits(res.Probabilities)
 	}
+	sweepArtifact := len(res.SweepValues) > 0 || len(res.SweepCounts) > 0 || len(res.Gradient) > 0
 	if res.ExpValue != nil {
 		bits := math.Float64bits(*res.ExpValue)
 		v := *res.ExpValue
 		meta.ExpValueBits, meta.ExpValue = &bits, &v
-	} else if len(res.Probabilities) == 0 {
-		return fmt.Errorf("store: result %s carries neither probabilities nor an expectation value", key)
+	} else if len(res.Probabilities) == 0 && !sweepArtifact {
+		return fmt.Errorf("store: result %s carries neither probabilities, an expectation value, nor a sweep artifact", key)
 	}
 	metaJSON, err := json.Marshal(meta)
 	if err != nil {
@@ -315,6 +326,44 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 			return fmt.Errorf("store: %w", err)
 		}
 		if err := f.PutInt64s("result/count_vals", cv); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if len(res.SweepValues) > 0 {
+		if err := f.PutFloat64s("result/sweep_values", res.SweepValues); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if len(res.Gradient) > 0 {
+		if err := f.PutFloat64s("result/gradient", res.Gradient); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if len(res.SweepCounts) > 0 {
+		// Per-point count maps flatten into one key stream, one value
+		// stream, and an offsets vector of length points+1: point i's
+		// pairs live at [offsets[i], offsets[i+1]).
+		offs := make([]int64, len(res.SweepCounts)+1)
+		var ck, cv []int64
+		for i, counts := range res.SweepCounts {
+			keys := make([]uint64, 0, len(counts))
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			for _, k := range keys {
+				ck = append(ck, int64(k))
+				cv = append(cv, int64(counts[k]))
+			}
+			offs[i+1] = int64(len(ck))
+		}
+		if err := f.PutInt64s("result/sweep_count_keys", ck); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := f.PutInt64s("result/sweep_count_vals", cv); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := f.PutInt64s("result/sweep_count_offsets", offs); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 	}
@@ -387,9 +436,9 @@ func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
 		if len(probs) != 1<<uint(meta.NumQubits) {
 			return nil, integrityErr("store: result %s: %d probabilities for %d qubits", key, len(probs), meta.NumQubits)
 		}
-	} else if meta.ExpValueBits == nil {
-		// Expectation artifacts legitimately omit the vector; anything
-		// else without one is damaged.
+	} else if meta.ExpValueBits == nil && meta.SweepPoints == 0 {
+		// Expectation and sweep artifacts legitimately omit the vector;
+		// anything else without one is damaged.
 		return nil, integrityErr("store: result %s: no probability dataset and no expectation value", key)
 	}
 	res := &backend.Result{
@@ -424,6 +473,58 @@ func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
 		res.Counts = make(sampling.Counts, len(ck))
 		for i := range ck {
 			res.Counts[uint64(ck[i])] = int(cv[i])
+		}
+	}
+	res.SweepPoints = meta.SweepPoints
+	res.Rebinds = meta.Rebinds
+	res.SweepCompiles = meta.SweepCompiles
+	if _, derr := f.Dataset("result/sweep_values"); derr == nil {
+		sv, _, err := f.Float64s("result/sweep_values")
+		if err != nil {
+			return nil, integrityErr("store: result %s: %v", key, err)
+		}
+		if len(sv) != meta.SweepPoints {
+			return nil, integrityErr("store: result %s: %d sweep values for %d points", key, len(sv), meta.SweepPoints)
+		}
+		res.SweepValues = sv
+	}
+	if _, derr := f.Dataset("result/gradient"); derr == nil {
+		g, _, err := f.Float64s("result/gradient")
+		if err != nil {
+			return nil, integrityErr("store: result %s: %v", key, err)
+		}
+		res.Gradient = g
+	}
+	if _, derr := f.Dataset("result/sweep_count_offsets"); derr == nil {
+		offs, _, err := f.Int64s("result/sweep_count_offsets")
+		if err != nil {
+			return nil, integrityErr("store: result %s: %v", key, err)
+		}
+		ck, _, err := f.Int64s("result/sweep_count_keys")
+		if err != nil {
+			return nil, integrityErr("store: result %s: %v", key, err)
+		}
+		cv, _, err := f.Int64s("result/sweep_count_vals")
+		if err != nil {
+			return nil, integrityErr("store: result %s: %v", key, err)
+		}
+		if len(ck) != len(cv) {
+			return nil, integrityErr("store: result %s: %d sweep count keys, %d values", key, len(ck), len(cv))
+		}
+		if len(offs) == 0 || offs[0] != 0 || offs[len(offs)-1] != int64(len(ck)) || len(offs)-1 != meta.SweepPoints {
+			return nil, integrityErr("store: result %s: malformed sweep count offsets", key)
+		}
+		res.SweepCounts = make([]sampling.Counts, len(offs)-1)
+		for i := 0; i < len(offs)-1; i++ {
+			lo, hi := offs[i], offs[i+1]
+			if lo > hi || hi > int64(len(ck)) {
+				return nil, integrityErr("store: result %s: malformed sweep count offsets", key)
+			}
+			counts := make(sampling.Counts, hi-lo)
+			for j := lo; j < hi; j++ {
+				counts[uint64(ck[j])] = int(cv[j])
+			}
+			res.SweepCounts[i] = counts
 		}
 	}
 	return res, nil

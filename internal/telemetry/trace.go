@@ -35,6 +35,11 @@ const (
 	// StageExpectation is the Pauli-term reduction of an
 	// expectation-value job.
 	StageExpectation = "expectation_reduce"
+	// StageRebind is parameter rebinding during a sweep: patching a
+	// compiled plan's value-derived matrices to a new sweep point
+	// without re-planning. One aggregated span covers all points of a
+	// sweep job.
+	StageRebind = "rebind"
 	// StageStoreLoad is a persistent-store artifact load (result or
 	// plan).
 	StageStoreLoad = "store_load"
@@ -49,9 +54,9 @@ const (
 // hot path can index a plain map instead of taking the registry lock.
 func Stages() []string {
 	return []string{
-		StageQueueWait, StagePlanCache, StageCompile, StageExecute,
-		StageExchange, StageTranspile, StageReadout, StageSample,
-		StageExpectation, StageStoreLoad, StageSpill,
+		StageQueueWait, StagePlanCache, StageCompile, StageRebind,
+		StageExecute, StageExchange, StageTranspile, StageReadout,
+		StageSample, StageExpectation, StageStoreLoad, StageSpill,
 	}
 }
 

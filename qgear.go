@@ -324,6 +324,71 @@ func ExpectationCacheKey(c *Circuit, h *Hamiltonian, opts RunOptions) string {
 	return core.ExpectationCacheKey(c, h, opts)
 }
 
+// RunSweep evaluates one parameterized circuit at many parameter
+// points under a single job: the circuit compiles once (when the
+// configured transform is value-independent — see
+// RunOptions.Rebindable) and the compiled plan is rebound per point.
+// With h non-nil each point yields an exact ⟨H⟩ in
+// Result.SweepValues[i]; with h nil and Shots > 0 each point yields
+// sampled counts in Result.SweepCounts[i] under a per-point derived
+// seed. Per-point values are bit-identical to submitting each point
+// as its own job.
+func RunSweep(c *Circuit, h *Hamiltonian, points [][]float64, opts RunOptions) (*Result, error) {
+	return core.RunSweep(c, h, points, opts)
+}
+
+// RunSweepCompiled is RunSweep against an already-compiled circuit:
+// the plan skeleton is rebound per point with zero re-planning.
+func RunSweepCompiled(comp *Compiled, h *Hamiltonian, points [][]float64, opts RunOptions) (*Result, error) {
+	return core.RunSweepCompiled(comp, h, points, opts)
+}
+
+// RunGradient computes the exact parameter-shift gradient of ⟨H⟩ at
+// the given base parameters: 2k+1 sweep points (base plus ±π/2 shifts
+// per parameter) executed as one compile-once sweep.
+// Result.ExpValue is ⟨H⟩ at base and Result.Gradient[j] = ∂⟨H⟩/∂θj.
+func RunGradient(c *Circuit, h *Hamiltonian, base []float64, opts RunOptions) (*Result, error) {
+	return core.RunGradient(c, h, base, opts)
+}
+
+// RunGradientCompiled is RunGradient against a precompiled circuit.
+func RunGradientCompiled(comp *Compiled, h *Hamiltonian, base []float64, opts RunOptions) (*Result, error) {
+	return core.RunGradientCompiled(comp, h, base, opts)
+}
+
+// StructuralFingerprint returns the circuit's value-erased shape hash:
+// two circuits that differ only in the rotation angles of
+// parameterized gates share it. It keys the serving layer's
+// compile-once plan cache.
+func StructuralFingerprint(c *Circuit) string { return c.StructuralFingerprint() }
+
+// SweepCacheKey returns the content address of a sweep job; equal keys
+// are guaranteed to produce bit-identical per-point results.
+func SweepCacheKey(c *Circuit, h *Hamiltonian, points [][]float64, opts RunOptions) string {
+	return core.SweepCacheKey(c, h, points, opts)
+}
+
+// GradientCacheKey returns the content address of a parameter-shift
+// gradient job.
+func GradientCacheKey(c *Circuit, h *Hamiltonian, base []float64, opts RunOptions) string {
+	return core.GradientCacheKey(c, h, base, opts)
+}
+
+// Typed HTTP wire structs for the versioned /v1/jobs API, re-exported
+// so Go clients can build requests and parse responses without
+// importing internal packages. SubmitRequest is the polymorphic job
+// envelope (kind "simulate" | "expectation" | "sweep" | "gradient"),
+// ResultResponse the job/result body, and ErrorResponse the uniform
+// error envelope every non-2xx status carries.
+type (
+	SubmitRequest   = service.SubmitRequest
+	ResultResponse  = service.ResultResponse
+	ErrorResponse   = service.ErrorResponse
+	APIError        = service.APIError
+	WireCircuit     = service.WireCircuit
+	WireHamiltonian = service.WireHamiltonian
+)
+
 // Expectation evaluates a Hamiltonian on the final state of a circuit,
 // partitioning its terms across `devices` concurrent evaluators when
 // devices > 1 (the Fig. 2c parallel-Hamiltonian mode). RunExpectation
