@@ -11,7 +11,7 @@ OBSERVABLE_COVER_FLOOR ?= 85
 
 .PHONY: build vet fmt-check test test-fresh check cover-observable serve bench \
 	bench-serve bench-baseline bench-gate ci-load ci-warmstart ci-chaos \
-	ci-scaling ci-sweep clean
+	ci-scaling ci-sweep ci-store clean
 
 build:
 	$(GO) build ./...
@@ -125,6 +125,23 @@ ci-sweep: build
 		./internal/service/
 	QGEAR_SWEEP_ACCEPTANCE_POINTS=1000 $(GO) test -race -count=1 -v \
 		-run 'TestServiceSweepCompileOnce' -timeout 20m ./internal/service/
+
+# Bounded-store acceptance, race-enabled: the store and service suites
+# covering on-disk GC, the manifest journal, sharding/migration, and
+# the store-layer bugfix regressions — then the two-phase acceptance
+# run: (1) 2000 concurrent saves against a tight byte budget, with the
+# on-disk footprint audited against the budget after every wave and
+# warm-restart survivors verified bit-identical; (2) a 10k-artifact
+# store whose second Open must index everything from the manifest
+# journal alone — zero ReadDir calls, proven by faultfs op counters.
+# The phase report lands in $(BENCH_OUT)/BENCH_store.json.
+ci-store: build
+	$(GO) test -race -count=1 ./internal/store/
+	$(GO) test -race -count=1 -run 'TestChaosStoreGCFaultingDeletes|TestChaosManifestReplayAfterKill|TestStoreAdmissionSkipsCheapResults|TestWarmRestart|TestCorruptStore' \
+		./internal/service/
+	mkdir -p $(BENCH_OUT)
+	QGEAR_STORE_ACCEPTANCE_N=10000 QGEAR_STORE_STATS_OUT=$(BENCH_OUT)/BENCH_store.json \
+		$(GO) test -race -count=1 -v -run 'TestStoreAcceptance' -timeout 20m ./internal/store/
 
 # Warm-restart acceptance: seed a store in one process, kill it, and
 # verify from a second process that repeat submissions are store hits

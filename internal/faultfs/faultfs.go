@@ -20,14 +20,20 @@ import (
 // FS is the set of filesystem operations the store needs. WriteFile
 // covers both direct writes and the tmp-file half of atomic renames;
 // the write-render-rename discipline lives in the store, not here.
+// AppendFile is the manifest journal's primitive (create-if-needed,
+// append one framed record); Sync is the durability seam — fsync of a
+// file or directory — so the chaos harness can fault exactly the
+// operations a crash-safe store depends on.
 type FS interface {
 	MkdirAll(path string, perm os.FileMode) error
 	ReadDir(name string) ([]os.DirEntry, error)
 	ReadFile(name string) ([]byte, error)
 	WriteFile(name string, data []byte, perm os.FileMode) error
+	AppendFile(name string, data []byte, perm os.FileMode) error
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	Stat(name string) (fs.FileInfo, error)
+	Sync(name string) error
 }
 
 // OS is the passthrough FS backed by the real filesystem.
@@ -41,6 +47,35 @@ func (OS) Remove(name string) error                     { return os.Remove(name)
 func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
 func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
 	return os.WriteFile(name, data, perm)
+}
+
+func (OS) AppendFile(name string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// Sync fsyncs a file or directory by path. Opening read-only is enough
+// on the platforms we target: fsync flushes the object the descriptor
+// names, not the descriptor's access mode.
+func (OS) Sync(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // ErrInjected marks every error the injector fabricates, so tests can
@@ -57,6 +92,7 @@ const (
 	OpRename
 	OpRemove
 	OpMeta // MkdirAll / ReadDir / Stat
+	OpSync // Sync (file and directory fsync)
 	numOps
 )
 
@@ -72,6 +108,8 @@ func (o Op) String() string {
 		return "remove"
 	case OpMeta:
 		return "meta"
+	case OpSync:
+		return "sync"
 	}
 	return "unknown"
 }
@@ -113,8 +151,15 @@ type Injector struct {
 	inner FS
 	cfg   Config
 	ops   [numOps]atomic.Uint64 // per-class operation ordinals
-	mu    sync.Mutex
-	log   []Fault
+	// calls counts every operation per class, configured for faults or
+	// not — the observability half of the harness (tests assert e.g.
+	// "this boot path performed zero directory scans"). readDirs counts
+	// ReadDir specifically, which shares the OpMeta fault class with
+	// MkdirAll and Stat but is the signature of a full store scan.
+	calls    [numOps]atomic.Uint64
+	readDirs atomic.Uint64
+	mu       sync.Mutex
+	log      []Fault
 }
 
 // Fault records one injected fault, for post-hoc assertions.
@@ -151,6 +196,7 @@ func (in *Injector) draw(op Op, n uint64, salt uint64) uint64 {
 // decide advances the class ordinal and resolves this operation's
 // fate: which fault (if any) fires, and the latency to add.
 func (in *Injector) decide(op Op, path string) (kind string, short int, lat time.Duration) {
+	in.calls[op].Add(1)
 	r, ok := in.cfg.PerOp[op]
 	if !ok {
 		return "", 0, 0
@@ -189,6 +235,20 @@ func (in *Injector) FaultCount() int {
 	return len(in.log)
 }
 
+// OpCalls returns how many operations of one class have passed through
+// the injector (faulted or not).
+func (in *Injector) OpCalls(op Op) uint64 {
+	if op < 0 || op >= numOps {
+		return 0
+	}
+	return in.calls[op].Load()
+}
+
+// ReadDirCalls returns how many directory listings have passed through
+// — the op-counter proof that a manifest-replayed boot never fell back
+// to scanning the artifact tree.
+func (in *Injector) ReadDirCalls() uint64 { return in.readDirs.Load() }
+
 func injectedErr(op Op, path string) error {
 	return fmt.Errorf("%w: %s %s", ErrInjected, op, path)
 }
@@ -203,6 +263,7 @@ func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
 }
 
 func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	in.readDirs.Add(1)
 	kind, _, lat := in.decide(OpMeta, name)
 	time.Sleep(lat)
 	if kind == "err" {
@@ -259,6 +320,34 @@ func (in *Injector) WriteFile(name string, data []byte, perm os.FileMode) error 
 		return injectedErr(OpWrite, name)
 	}
 	return in.inner.WriteFile(name, data, perm)
+}
+
+func (in *Injector) AppendFile(name string, data []byte, perm os.FileMode) error {
+	kind, short, lat := in.decide(OpWrite, name)
+	time.Sleep(lat)
+	switch kind {
+	case "err":
+		return injectedErr(OpWrite, name)
+	case "short":
+		n := 0
+		if len(data) > 0 {
+			n = int(uint64(short) % uint64(len(data)))
+		}
+		// Append the truncated prefix — a torn journal tail the reader's
+		// framing must absorb without losing the valid prefix.
+		_ = in.inner.AppendFile(name, data[:n], perm)
+		return injectedErr(OpWrite, name)
+	}
+	return in.inner.AppendFile(name, data, perm)
+}
+
+func (in *Injector) Sync(name string) error {
+	kind, _, lat := in.decide(OpSync, name)
+	time.Sleep(lat)
+	if kind == "err" {
+		return injectedErr(OpSync, name)
+	}
+	return in.inner.Sync(name)
 }
 
 func (in *Injector) Rename(oldpath, newpath string) error {

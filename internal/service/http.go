@@ -697,6 +697,16 @@ type StoreResponse struct {
 	ResultEntries int    `json:"result_entries"`
 	PlanEntries   int    `json:"plan_entries"`
 	Bytes         int64  `json:"bytes"`
+	// MaxBytes is the on-disk budget (0 = unbounded); the GC fields
+	// report its enforcement and ManifestRecords/BootScanned how the
+	// index was built at the last open.
+	MaxBytes            int64  `json:"max_bytes"`
+	GCEvictions         uint64 `json:"gc_evictions"`
+	GCEvictedBytes      int64  `json:"gc_evicted_bytes"`
+	GCRejected          uint64 `json:"gc_rejected"`
+	ManifestRecords     uint64 `json:"manifest_records"`
+	ManifestCompactions uint64 `json:"manifest_compactions"`
+	BootScanned         bool   `json:"boot_scanned"`
 }
 
 func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
@@ -707,7 +717,20 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	resp := StoreResponse{}
 	if s.store != nil {
 		ss := s.store.Stats()
-		resp = StoreResponse{Enabled: true, Dir: ss.Dir, ResultEntries: ss.ResultEntries, PlanEntries: ss.PlanEntries, Bytes: ss.Bytes}
+		resp = StoreResponse{
+			Enabled:             true,
+			Dir:                 ss.Dir,
+			ResultEntries:       ss.ResultEntries,
+			PlanEntries:         ss.PlanEntries,
+			Bytes:               ss.Bytes,
+			MaxBytes:            ss.MaxBytes,
+			GCEvictions:         ss.GCEvictions,
+			GCEvictedBytes:      ss.GCEvictedBytes,
+			GCRejected:          ss.GCRejected,
+			ManifestRecords:     ss.ManifestRecords,
+			ManifestCompactions: ss.ManifestCompactions,
+			BootScanned:         ss.BootScanned,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -134,6 +134,34 @@ func (s *Server) registerMetrics() {
 			}
 			return float64(s.store.Stats().PlanEntries)
 		})
+	r.GaugeFunc("qgear_store_max_bytes", "Configured on-disk store budget (0 = unbounded).", nil,
+		func() float64 { return float64(s.cfg.MaxStoreBytes) })
+	r.CounterFunc("qgear_store_gc_total", "Artifacts evicted from disk by the store byte-budget GC.", nil,
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().GCEvictions)
+		})
+	r.CounterFunc("qgear_store_gc_bytes_total", "Bytes reclaimed from disk by the store byte-budget GC.", nil,
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().GCEvictedBytes)
+		})
+	r.CounterFunc("qgear_store_gc_rejected_total", "Saves refused because the artifact could not fit under the store budget.", nil,
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().GCRejected)
+		})
+	r.CounterFunc("qgear_store_admission_skips_total", "Results not persisted because recomputing them is cheaper than a median store load.", nil,
+		locked(func() float64 { return float64(s.storeAdmissionSkips) }))
+	// Store-load latency: the measured half of the admission rule.
+	s.storeLoad = r.Histogram("qgear_store_load_seconds",
+		"Latency of successful result loads from the persistent store.", nil)
 
 	// Distributed-execution communication (nvidia-mgpu).
 	r.CounterFunc("qgear_mgpu_exchanges_total", "Pairwise buffer exchanges across completed distributed executions.", nil,

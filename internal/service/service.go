@@ -88,6 +88,11 @@ type Config struct {
 	// fingerprints are answered from disk, bit-identically, without
 	// re-simulating. Empty disables persistence.
 	StoreDir string
+	// MaxStoreBytes bounds the store's on-disk footprint: saves evict
+	// the lowest-priority artifacts (Greedy-Dual-Size, same policy as
+	// the in-memory caches) or are refused, so the directory can never
+	// outgrow the budget. 0 = unbounded. Ignored without StoreDir.
+	MaxStoreBytes int64
 	// MaxBatch caps how many queued jobs one worker coalesces into a
 	// single core.Run call. Default 8; 1 disables coalescing.
 	MaxBatch int
@@ -390,6 +395,7 @@ type Server struct {
 	storeMisses, storeErrors      uint64
 	storeSpills, storeSpillDrops  uint64
 	storeQuarantines              uint64
+	storeAdmissionSkips           uint64
 	batches, batchedJobs          uint64
 	panicsRecovered               uint64
 	rejectedQueueFull             uint64
@@ -408,6 +414,11 @@ type Server struct {
 	// per-span hot path (observeStages, the spiller) never takes the
 	// registry lock or allocates a label map.
 	stageLatency map[string]*telemetry.Histogram
+	// storeLoad measures successful result loads from the persistent
+	// store; its observed median is the measured-admission bar a
+	// result's modeled recompute cost must clear to be worth
+	// persisting at all.
+	storeLoad *telemetry.Histogram
 }
 
 // spillItem is one artifact bound for the persistent store: exactly
@@ -469,7 +480,7 @@ func New(cfg Config) (*Server, error) {
 	s.cfgSig = opts.StoreSignature()
 	s.rebindable = opts.Rebindable()
 	if cfg.StoreDir != "" {
-		ast, err := store.OpenFS(cfg.StoreDir, cfg.StoreFS)
+		ast, err := store.OpenOptions(cfg.StoreDir, store.Options{FS: cfg.StoreFS, MaxBytes: cfg.MaxStoreBytes})
 		if err != nil {
 			return nil, err
 		}
@@ -516,10 +527,45 @@ func (s *Server) spiller() {
 	}
 }
 
+// minAdmissionSamples is how many store loads must have been measured
+// before the measured-admission rule activates; below it every result
+// is persisted (cold stores should fill, not starve).
+const minAdmissionSamples = 32
+
+// admitResultSpill applies measured admission: once enough store
+// loads have been observed, a result whose modeled recompute cost
+// (its recorded simulation time) is below the observed median load
+// latency is cheaper to re-simulate than to read back, so persisting
+// it would only burn disk budget and GC pressure. Shutdown-time
+// spills bypass this (Close writes the spill channel directly):
+// post-restart the cache is empty and even cheap results are wins.
+func (s *Server) admitResultSpill(res *backend.Result) bool {
+	d := s.storeLoad.Snapshot()
+	if d.N < minAdmissionSamples || res.Duration <= 0 {
+		return true
+	}
+	// Median from the bucket histogram: the upper bound of the first
+	// bucket holding the middle observation.
+	var cum uint64
+	median := telemetry.BucketBoundSeconds(telemetry.HistogramBuckets)
+	for i, c := range d.Counts {
+		cum += c
+		if cum*2 >= d.N {
+			median = telemetry.BucketBoundSeconds(i)
+			break
+		}
+	}
+	return res.Duration.Seconds() >= median
+}
+
 // enqueueSpillLocked hands an artifact to the spiller without ever
 // blocking the serving path. Callers hold s.mu.
 func (s *Server) enqueueSpillLocked(it spillItem) {
 	if s.spill == nil {
+		return
+	}
+	if it.result != nil && !s.admitResultSpill(it.result) {
+		s.storeAdmissionSkips++
 		return
 	}
 	if s.spillBytes > 0 && s.spillBytes+it.bytes > spillBudget(s.cfg.MaxCacheBytes) {
@@ -1097,6 +1143,7 @@ func (s *Server) serveFromStore(key string) {
 	res, err := s.store.LoadResult(key, s.cfgSig)
 	loadDur := time.Since(t0)
 	if err == nil {
+		s.storeLoad.Observe(loadDur)
 		// The store does not persist traces; a loaded result's trace is
 		// this serving event's own cost — one store_load span.
 		tr := &telemetry.Trace{}
@@ -1793,6 +1840,14 @@ func (s *Server) Stats() Stats {
 		st.StoreResultEntries = ss.ResultEntries
 		st.StorePlanEntries = ss.PlanEntries
 		st.StoreBytes = ss.Bytes
+		st.StoreMaxBytes = ss.MaxBytes
+		st.StoreGCEvictions = ss.GCEvictions
+		st.StoreGCEvictedBytes = ss.GCEvictedBytes
+		st.StoreGCRejected = ss.GCRejected
+		st.StoreAdmissionSkips = s.storeAdmissionSkips
+		st.StoreManifestRecords = ss.ManifestRecords
+		st.StoreManifestCompactions = ss.ManifestCompactions
+		st.StoreBootScanned = ss.BootScanned
 	}
 	if st.Submitted > 0 {
 		st.HitRate = float64(st.CacheHits+st.SingleFlightHits+st.StoreHits) / float64(st.Submitted)

@@ -199,6 +199,22 @@ type Stats struct {
 	StoreResultEntries int    `json:"store_result_entries"`
 	StorePlanEntries   int    `json:"store_plan_entries"`
 	StoreBytes         int64  `json:"store_bytes"`
+	// On-disk GC (zero-valued unless MaxStoreBytes is set):
+	// StoreGCEvictions/StoreGCEvictedBytes count artifacts deleted by
+	// the budget enforcer, StoreGCRejected saves refused for lack of
+	// room, and StoreAdmissionSkips results not persisted because
+	// their modeled recompute cost was below the measured median
+	// store-load latency. StoreManifestRecords/StoreManifestCompactions
+	// describe the boot manifest journal; StoreBootScanned reports
+	// whether the last Open fell back to a full directory scan.
+	StoreMaxBytes            int64  `json:"store_max_bytes"`
+	StoreGCEvictions         uint64 `json:"store_gc_evictions"`
+	StoreGCEvictedBytes      int64  `json:"store_gc_evicted_bytes"`
+	StoreGCRejected          uint64 `json:"store_gc_rejected"`
+	StoreAdmissionSkips      uint64 `json:"store_admission_skips"`
+	StoreManifestRecords     uint64 `json:"store_manifest_records"`
+	StoreManifestCompactions uint64 `json:"store_manifest_compactions"`
+	StoreBootScanned         bool   `json:"store_boot_scanned"`
 
 	// Batch coalescing.
 	Batches      uint64  `json:"batches"`

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"sort"
+)
+
+// On-disk GC: when the store has a byte budget, every save first
+// reserves room, evicting the lowest-priority artifacts under the
+// same Greedy-Dual-Size policy the in-memory Cache uses (priority =
+// clock + recompute-cost/bytes, clock ratcheting to each eviction's
+// priority). Victims leave the index under the lock but their files
+// are deleted afterwards, outside it — batched, lock-free deletes —
+// and until a delete succeeds the victim's bytes stay charged against
+// the budget (the doomed set), so the on-disk footprint can never
+// overshoot even when deletes fail.
+
+// victim is an evicted artifact awaiting its disk delete.
+type victim struct {
+	kind kind
+	stem string
+	size int64
+}
+
+func vkey(k kind, stem string) string {
+	if k == kindPlan {
+		return "p/" + stem
+	}
+	return "r/" + stem
+}
+
+// reserve admits size new bytes against the budget, evicting as
+// needed. Eviction is optimistic — it assumes the victims' deletes
+// will succeed — so the caller must pass the victims to removeVictims
+// and then call confirmReserve, which re-checks against whatever
+// doomed bytes the deletes failed to free. reserve returns every
+// victim whose file still needs deleting (including retries of
+// earlier failed deletes) and whether the save may tentatively
+// proceed.
+func (st *Store) reserve(size int64) ([]victim, bool) {
+	if st.maxBytes <= 0 {
+		return nil, true
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if size > st.maxBytes {
+		st.gcRejected++
+		return st.pendingVictimsLocked(), false
+	}
+	st.evictLocked(st.maxBytes - size - st.reserved)
+	if st.bytes+st.reserved+size > st.maxBytes {
+		// Even evicting everything could not make room (concurrent
+		// reservations hold the rest of the budget).
+		st.gcRejected++
+		return st.pendingVictimsLocked(), false
+	}
+	st.reserved += size
+	return st.pendingVictimsLocked(), true
+}
+
+// confirmReserve is the pessimistic half of reserve, called after
+// removeVictims: any victim whose delete failed is still on disk and
+// still charged (doomedBytes), so if those pins leave no room the
+// reservation is released and the save refused — the footprint can
+// never overshoot even when deletes fail.
+func (st *Store) confirmReserve(size int64) bool {
+	if st.maxBytes <= 0 {
+		return true
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.bytes+st.doomedBytes+st.reserved <= st.maxBytes {
+		return true
+	}
+	st.reserved -= size
+	st.gcRejected++
+	return false
+}
+
+func (st *Store) unreserve(size int64) {
+	st.mu.Lock()
+	st.reserved -= size
+	st.mu.Unlock()
+}
+
+// evictLocked moves lowest-priority entries into the doomed set until
+// the indexed bytes fit under target. Doomed bytes are not counted
+// here — eviction assumes their deletes will succeed; confirmReserve
+// accounts for the ones that did not.
+func (st *Store) evictLocked(target int64) {
+	if target < 0 {
+		target = 0
+	}
+	if st.bytes <= target {
+		return
+	}
+	type cand struct {
+		k kind
+		e *entry
+	}
+	cands := make([]cand, 0, len(st.results)+len(st.plans))
+	for _, e := range st.results {
+		cands = append(cands, cand{kindResult, e})
+	}
+	for _, e := range st.plans {
+		cands = append(cands, cand{kindPlan, e})
+	}
+	// Min-priority first, ties broken toward least recently touched —
+	// the same order Cache's eviction heap pops.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].e.prio != cands[j].e.prio {
+			return cands[i].e.prio < cands[j].e.prio
+		}
+		return cands[i].e.seq < cands[j].e.seq
+	})
+	for _, c := range cands {
+		if st.bytes <= target {
+			break
+		}
+		delete(st.index(c.k), c.e.stem)
+		st.bytes -= c.e.size
+		st.doomed[vkey(c.k, c.e.stem)] = victim{kind: c.k, stem: c.e.stem, size: c.e.size}
+		st.doomedBytes += c.e.size
+		if c.e.prio > st.clock {
+			st.clock = c.e.prio // Greedy-Dual aging: survivors now outrank the departed
+		}
+	}
+}
+
+func (st *Store) pendingVictimsLocked() []victim {
+	if len(st.doomed) == 0 {
+		return nil
+	}
+	out := make([]victim, 0, len(st.doomed))
+	for _, v := range st.doomed {
+		out = append(out, v)
+	}
+	return out
+}
+
+// removeVictims deletes evicted artifacts from disk, outside the
+// store lock. A successful (or already-gone) delete settles the
+// victim's budget charge and journals the drop; a failed delete
+// leaves it doomed — still charged — to be retried by the next
+// reserve.
+func (st *Store) removeVictims(victims []victim) {
+	if len(victims) == 0 {
+		return
+	}
+	var dropped []manRecord
+	for _, v := range victims {
+		st.mu.Lock()
+		if _, doomed := st.doomed[vkey(v.kind, v.stem)]; !doomed {
+			// Another save's batch already settled this victim.
+			st.mu.Unlock()
+			continue
+		}
+		if _, revived := st.index(v.kind)[v.stem]; revived {
+			// The key was re-saved while doomed; the new file must
+			// live. Its new size is already accounted in st.bytes.
+			delete(st.doomed, vkey(v.kind, v.stem))
+			st.doomedBytes -= v.size
+			st.mu.Unlock()
+			continue
+		}
+		st.mu.Unlock()
+		err := st.fsys.Remove(st.stemPath(v.kind, v.stem))
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		st.mu.Lock()
+		if _, doomed := st.doomed[vkey(v.kind, v.stem)]; doomed {
+			delete(st.doomed, vkey(v.kind, v.stem))
+			st.doomedBytes -= v.size
+			st.gcEvictions++
+			st.gcEvictedBytes += v.size
+			dropped = append(dropped, manRecord{op: manDrop, kind: v.kind, stem: v.stem})
+		}
+		st.mu.Unlock()
+	}
+	st.appendManifest(dropped...)
+}
+
+// runGC enforces the budget immediately — the boot-time hook for a
+// budget that shrank (or appeared) since the artifacts were written.
+func (st *Store) runGC() {
+	if st.maxBytes <= 0 {
+		return
+	}
+	st.mu.Lock()
+	st.evictLocked(st.maxBytes)
+	victims := st.pendingVictimsLocked()
+	st.mu.Unlock()
+	st.removeVictims(victims)
+}

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
@@ -42,6 +44,14 @@ var planMagic = []byte("QGPLN1\n")
 // scan treats it as a crashed writer's orphan and reaps it.
 const staleTempAge = time.Hour
 
+// tmpNameRE matches exactly the writer's temp-file suffix,
+// "<name>.tmp<pid>-<seq>". The boot scan must not skip anything
+// looser: '.' is a legal key byte, so an artifact whose stem merely
+// contains ".tmp" is a real artifact, not a temp file.
+var tmpNameRE = regexp.MustCompile(`\.tmp\d+-\d+$`)
+
+func isTempName(name string) bool { return tmpNameRE.MatchString(name) }
+
 // ErrIntegrity marks load failures where the artifact itself is bad —
 // corrupt bytes, checksum mismatch, wrong recorded key or config
 // signature, unsupported format. Callers quarantine (delete) the file
@@ -54,24 +64,80 @@ func integrityErr(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, ErrIntegrity)...)
 }
 
+// kind distinguishes the two artifact families sharing the store.
+type kind uint8
+
+const (
+	kindResult kind = 1
+	kindPlan   kind = 2
+)
+
+func (k kind) subdir() string {
+	if k == kindPlan {
+		return plansSubdir
+	}
+	return resultsSubdir
+}
+
+func (k kind) ext() string {
+	if k == kindPlan {
+		return planExt
+	}
+	return resultExt
+}
+
+// entry is one indexed on-disk artifact. cost and prio mirror the
+// Greedy-Dual-Size accounting of Cache: prio = clock + cost/size at
+// last touch, and the store-level GC evicts lowest-prio first.
+type entry struct {
+	stem   string
+	size   int64
+	cost   float64
+	prio   float64
+	seq    uint64
+	legacy bool // stem written by the pre-sharding lossy sanitizer
+}
+
 // Store is the on-disk artifact store: simulation results as HDF5-lite
 // files keyed by their core.CacheKey content address, compiled plans
-// as compact binary sidecars. Open scans the directory into an index
-// (no file is parsed until it is asked for); loads verify checksums
-// and the recorded key/config signature before anything is trusted.
-// Store is safe for concurrent use.
+// as compact binary sidecars, both sharded into 256 two-hex-char
+// subdirectories so the tree stays listable at millions of entries.
+// Open replays the manifest journal when one is present (O(one file
+// read)) and falls back to a full directory scan — migrating any flat
+// pre-sharding layout — when it is missing or corrupt. Loads verify
+// checksums and the recorded key/config signature before anything is
+// trusted. Store is safe for concurrent use.
 type Store struct {
 	dir string
 	// fsys is the filesystem every disk operation goes through —
 	// faultfs.OS in production, a fault injector in the chaos harness.
 	fsys faultfs.FS
+	// maxBytes, when > 0, bounds the on-disk footprint; saves evict
+	// lowest-priority artifacts (or are refused) to stay under it.
+	maxBytes int64
 	// tmpSeq disambiguates concurrent temp-file writers of one key.
 	tmpSeq atomic.Uint64
 
+	man *manifest
+
 	mu      sync.Mutex
-	results map[string]int64 // sanitized key -> file bytes
-	plans   map[string]int64
-	bytes   int64
+	results map[string]*entry // stem -> entry
+	plans   map[string]*entry
+	bytes   int64 // total size of indexed artifacts
+	// reserved is bytes claimed by in-flight saves that have evicted
+	// their way under budget but not yet landed on disk.
+	reserved int64
+	clock    float64 // Greedy-Dual aging clock (see cache.go)
+	seq      uint64
+	// doomed holds evicted entries whose file delete has not yet
+	// succeeded; their bytes still count against the budget so a
+	// failing delete can never let the disk footprint overshoot.
+	doomed         map[string]victim
+	doomedBytes    int64
+	gcEvictions    uint64
+	gcEvictedBytes int64
+	gcRejected     uint64
+	bootScanned    bool // Open fell back to the full directory scan
 }
 
 // Stats is a point-in-time view of the store's contents.
@@ -80,38 +146,206 @@ type Stats struct {
 	ResultEntries int    `json:"result_entries"`
 	PlanEntries   int    `json:"plan_entries"`
 	Bytes         int64  `json:"bytes"`
+	// MaxBytes is the on-disk budget (0 = unbounded).
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// GCEvictions / GCEvictedBytes count artifacts removed from disk by
+	// the budget enforcer; GCRejected counts saves refused because the
+	// artifact could not fit (or eviction could not make room).
+	GCEvictions    uint64 `json:"gc_evictions,omitempty"`
+	GCEvictedBytes int64  `json:"gc_evicted_bytes,omitempty"`
+	GCRejected     uint64 `json:"gc_rejected,omitempty"`
+	// ManifestRecords is the journal's current record count;
+	// ManifestCompactions counts rewrites. BootScanned reports whether
+	// the last Open had to fall back to the full directory scan.
+	ManifestRecords     uint64 `json:"manifest_records"`
+	ManifestCompactions uint64 `json:"manifest_compactions,omitempty"`
+	BootScanned         bool   `json:"boot_scanned"`
+}
+
+// Options configures OpenOptions beyond the directory.
+type Options struct {
+	// FS is the filesystem seam; nil selects the real filesystem.
+	FS faultfs.FS
+	// MaxBytes, when > 0, bounds the store's on-disk footprint with
+	// Greedy-Dual-Size eviction.
+	MaxBytes int64
 }
 
 // Open creates (if needed) and indexes the store rooted at dir, on the
-// real filesystem.
+// real filesystem, with no byte bound.
 func Open(dir string) (*Store, error) {
-	return OpenFS(dir, faultfs.OS{})
+	return OpenOptions(dir, Options{})
 }
 
 // OpenFS is Open against an explicit filesystem — the seam the chaos
 // harness uses to inject deterministic disk faults under the store. A
 // nil fsys selects the real filesystem.
 func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
+	return OpenOptions(dir, Options{FS: fsys})
+}
+
+// OpenOptions creates (if needed) and indexes the store rooted at dir.
+// When a manifest journal is present and sound, the index comes from
+// replaying it — one file read, no directory walk; otherwise the
+// artifact tree is scanned (migrating any flat pre-sharding layout
+// into the sharded one) and a fresh manifest written from the scan.
+func OpenOptions(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
 	if fsys == nil {
 		fsys = faultfs.OS{}
 	}
-	st := &Store{dir: dir, fsys: fsys, results: make(map[string]int64), plans: make(map[string]int64)}
+	st := &Store{
+		dir:      dir,
+		fsys:     fsys,
+		maxBytes: opts.MaxBytes,
+		results:  make(map[string]*entry),
+		plans:    make(map[string]*entry),
+		doomed:   make(map[string]victim),
+	}
+	st.man = &manifest{path: filepath.Join(dir, manifestName), fsys: fsys}
 	for _, sub := range []string{resultsSubdir, plansSubdir} {
 		if err := st.fsys.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	if err := st.scan(resultsSubdir, resultExt, st.results); err != nil {
+	if err := st.load(); err != nil {
 		return nil, err
 	}
-	if err := st.scan(plansSubdir, planExt, st.plans); err != nil {
-		return nil, err
-	}
+	// The budget may be new (or smaller) this run: enforce it now.
+	st.runGC()
 	return st, nil
 }
 
-func (st *Store) scan(sub, ext string, index map[string]int64) error {
-	entries, err := st.fsys.ReadDir(filepath.Join(st.dir, sub))
+// load builds the index: manifest replay when possible, full scan
+// (with self-healing manifest rewrite) otherwise.
+func (st *Store) load() error {
+	raw, err := st.fsys.ReadFile(st.man.path)
+	if err == nil {
+		if recs, torn, perr := parseManifest(raw); perr == nil {
+			for _, r := range recs {
+				st.applyRecord(r)
+			}
+			st.man.records = uint64(len(recs))
+			if torn {
+				// A crash tore the final append; the valid prefix is the
+				// index, rewrite the journal whole so it parses clean.
+				st.compactManifest()
+			}
+			return nil
+		}
+		// Mid-file corruption: distrust the whole journal and rebuild
+		// from what is actually on disk.
+	}
+	st.bootScanned = true
+	if err := st.scanKind(kindResult, st.results); err != nil {
+		return err
+	}
+	if err := st.scanKind(kindPlan, st.plans); err != nil {
+		return err
+	}
+	st.compactManifest()
+	return nil
+}
+
+// applyRecord replays one manifest record into the index (boot only;
+// no locking needed).
+func (st *Store) applyRecord(r manRecord) {
+	var index map[string]*entry
+	switch r.kind {
+	case kindResult:
+		index = st.results
+	case kindPlan:
+		index = st.plans
+	default:
+		return
+	}
+	switch r.op {
+	case manAdd:
+		if old, ok := index[r.stem]; ok {
+			st.bytes -= old.size
+		}
+		st.seq++
+		index[r.stem] = &entry{
+			stem:   r.stem,
+			size:   r.size,
+			cost:   r.cost,
+			prio:   r.cost / float64(max(r.size, int64(1))),
+			seq:    st.seq,
+			legacy: isLegacyStem(r.stem),
+		}
+		st.bytes += r.size
+	case manDrop:
+		if old, ok := index[r.stem]; ok {
+			st.bytes -= old.size
+			delete(index, r.stem)
+		}
+	}
+}
+
+// isShardDir reports whether a directory name is one of the 256
+// two-hex-char shard buckets.
+func isShardDir(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		c := name[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// scanKind walks one artifact family's tree: sharded subdirectories
+// plus any flat pre-sharding files, which it migrates into their shard
+// bucket as it indexes them.
+func (st *Store) scanKind(k kind, index map[string]*entry) error {
+	root := filepath.Join(st.dir, k.subdir())
+	entries, err := st.fsys.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			if isShardDir(name) {
+				if err := st.scanShard(k, name, index); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if isTempName(name) {
+			st.reapStaleTemp(root, e)
+			continue
+		}
+		if !strings.HasSuffix(name, k.ext()) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with deletion; skip
+		}
+		// Flat legacy layout: move the artifact into its shard bucket.
+		// A failed migration just leaves the file flat for the next
+		// scan-boot to retry; it is not indexed meanwhile.
+		stem := strings.TrimSuffix(name, k.ext())
+		shardDir := filepath.Join(root, shardOf(stem))
+		if err := st.fsys.MkdirAll(shardDir, 0o755); err != nil {
+			continue
+		}
+		if err := st.fsys.Rename(filepath.Join(root, name), filepath.Join(shardDir, name)); err != nil {
+			continue
+		}
+		st.addScanned(index, stem, info.Size())
+	}
+	return nil
+}
+
+func (st *Store) scanShard(k kind, shard string, index map[string]*entry) error {
+	dir := filepath.Join(st.dir, k.subdir(), shard)
+	entries, err := st.fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -119,44 +353,77 @@ func (st *Store) scan(sub, ext string, index map[string]int64) error {
 		if e.IsDir() {
 			continue
 		}
-		if strings.Contains(e.Name(), ".tmp") {
-			// Temp file: never an artifact. Only reap ones old enough to
-			// be orphans of a crashed writer — a live writer (a CLI
-			// sharing the store with a booting server) may be mid-write.
-			if info, err := e.Info(); err == nil && time.Since(info.ModTime()) > staleTempAge {
-				st.fsys.Remove(filepath.Join(st.dir, sub, e.Name()))
-			}
+		name := e.Name()
+		if isTempName(name) {
+			st.reapStaleTemp(dir, e)
 			continue
 		}
-		if !strings.HasSuffix(e.Name(), ext) {
+		if !strings.HasSuffix(name, k.ext()) {
 			continue
 		}
 		info, err := e.Info()
 		if err != nil {
-			continue // raced with deletion; skip
+			continue
 		}
-		index[strings.TrimSuffix(e.Name(), ext)] = info.Size()
-		st.bytes += info.Size()
+		st.addScanned(index, strings.TrimSuffix(name, k.ext()), info.Size())
 	}
 	return nil
 }
 
-// writeAtomic lands data at path via a uniquely named temp file in the
-// same directory plus rename, so concurrent writers of one key (two
-// CLI invocations sharing a store, or a CLI beside a server) can never
-// interleave into a corrupt artifact — last rename wins, each rename
-// installs a complete file. The artifact is rendered fully in memory
-// before any filesystem call, so a faulted (or torn) temp write can
-// never be promoted: the rename only runs after WriteFile reported the
-// whole payload durable.
+// addScanned indexes a scanned artifact at a neutral cost (its size,
+// i.e. cost-per-byte 1); the real recompute cost is refreshed from the
+// artifact's own metadata on its first successful load.
+func (st *Store) addScanned(index map[string]*entry, stem string, size int64) {
+	if old, ok := index[stem]; ok {
+		st.bytes -= old.size
+	}
+	st.seq++
+	index[stem] = &entry{
+		stem:   stem,
+		size:   size,
+		cost:   float64(size),
+		prio:   1,
+		seq:    st.seq,
+		legacy: isLegacyStem(stem),
+	}
+	st.bytes += size
+}
+
+// reapStaleTemp removes a temp file only if it is old enough to be a
+// crashed writer's orphan — a live writer (a CLI sharing the store
+// with a booting server) may be mid-write.
+func (st *Store) reapStaleTemp(dir string, e os.DirEntry) {
+	if info, err := e.Info(); err == nil && time.Since(info.ModTime()) > staleTempAge {
+		st.fsys.Remove(filepath.Join(dir, e.Name()))
+	}
+}
+
+// writeAtomic lands data at path durably: a uniquely named temp file
+// in the same directory, fsync of the temp file, rename over the
+// final name, fsync of the parent directory. Concurrent writers of
+// one key can never interleave into a corrupt artifact (last rename
+// wins, each rename installs a complete file), and a crash after
+// writeAtomic returns can never resurrect a zero-length or torn
+// artifact — the payload was durable before the rename, and the
+// rename itself before we report success.
 func (st *Store) writeAtomic(path string, data []byte) error {
 	tmp := fmt.Sprintf("%s.tmp%d-%d", path, os.Getpid(), st.tmpSeq.Add(1))
 	if err := st.fsys.WriteFile(tmp, data, 0o644); err != nil {
 		st.fsys.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := st.fsys.Sync(tmp); err != nil {
+		st.fsys.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
 	if err := st.fsys.Rename(tmp, path); err != nil {
 		st.fsys.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := st.fsys.Sync(filepath.Dir(path)); err != nil {
+		// The rename is not yet durable; report failure so the caller
+		// never indexes it. The complete file stays behind harmlessly —
+		// a future scan-boot will index it.
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -168,37 +435,166 @@ func (st *Store) Dir() string { return st.dir }
 // Stats snapshots the index.
 func (st *Store) Stats() Stats {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	return Stats{Dir: st.dir, ResultEntries: len(st.results), PlanEntries: len(st.plans), Bytes: st.bytes}
+	s := Stats{
+		Dir:            st.dir,
+		ResultEntries:  len(st.results),
+		PlanEntries:    len(st.plans),
+		Bytes:          st.bytes,
+		MaxBytes:       st.maxBytes,
+		GCEvictions:    st.gcEvictions,
+		GCEvictedBytes: st.gcEvictedBytes,
+		GCRejected:     st.gcRejected,
+		BootScanned:    st.bootScanned,
+	}
+	st.mu.Unlock()
+	s.ManifestRecords, s.ManifestCompactions = st.man.counts()
+	return s
 }
 
-// sanitizeKey maps a cache key to a portable file stem. Result keys
-// are already hex; plan keys carry a '|' separator that some
-// filesystems dislike.
-func sanitizeKey(key string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
-			return r
-		default:
-			return '+'
+// safeStemByte reports whether a key byte passes into the file stem
+// unescaped.
+func safeStemByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '-' || c == '.' || c == '_'
+}
+
+// encodeKey maps a cache key to a portable file stem injectively:
+// safe bytes pass through, everything else (which includes '%', the
+// escape byte itself) becomes %XX — so distinct keys always get
+// distinct stems and a loaded artifact's recorded-key check can never
+// condemn an innocent collision victim.
+func encodeKey(key string) string {
+	var b strings.Builder
+	b.Grow(len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if safeStemByte(c) {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "%%%02X", c)
 		}
+	}
+	return b.String()
+}
+
+// legacyStem is the lossy sanitizer earlier releases used: every
+// disallowed byte collapsed to '+', so distinct keys could collide.
+// Kept only to locate artifacts those releases wrote; never used for
+// new files.
+func legacyStem(key string) string {
+	return strings.Map(func(r rune) rune {
+		if r < 0x80 && safeStemByte(byte(r)) {
+			return r
+		}
+		return '+'
 	}, key)
 }
 
+// decodeStem inverts encodeKey; failure means the stem was not
+// produced by it (a legacy sanitized name).
+func decodeStem(stem string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(stem); i++ {
+		c := stem[i]
+		switch {
+		case c == '%':
+			if i+2 >= len(stem) {
+				return "", false
+			}
+			hi, ok1 := unhex(stem[i+1])
+			lo, ok2 := unhex(stem[i+2])
+			if !ok1 || !ok2 {
+				return "", false
+			}
+			b.WriteByte(hi<<4 | lo)
+			i += 2
+		case safeStemByte(c):
+			b.WriteByte(c)
+		default:
+			return "", false
+		}
+	}
+	return b.String(), true
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// isLegacyStem reports whether a stem could not have come from
+// encodeKey, i.e. it was written by the legacy sanitizer.
+func isLegacyStem(stem string) bool {
+	_, ok := decodeStem(stem)
+	return !ok
+}
+
+// shardOf buckets a stem into one of 256 two-hex-char subdirectories.
+// A hash of the whole stem rather than its leading bytes: result keys
+// share long common hex prefixes, which would pile everything into a
+// handful of buckets.
+func shardOf(stem string) string {
+	return fmt.Sprintf("%02x", byte(crc32.ChecksumIEEE([]byte(stem))))
+}
+
+// stemPath is the sharded on-disk location of an artifact stem.
+func (st *Store) stemPath(k kind, stem string) string {
+	return filepath.Join(st.dir, k.subdir(), shardOf(stem), stem+k.ext())
+}
+
 func (st *Store) resultPath(key string) string {
-	return filepath.Join(st.dir, resultsSubdir, sanitizeKey(key)+resultExt)
+	return st.stemPath(kindResult, encodeKey(key))
 }
 
 func (st *Store) planPath(key string) string {
-	return filepath.Join(st.dir, plansSubdir, sanitizeKey(key)+planExt)
+	return st.stemPath(kindPlan, encodeKey(key))
+}
+
+func (st *Store) index(k kind) map[string]*entry {
+	if k == kindPlan {
+		return st.plans
+	}
+	return st.results
+}
+
+// lookupLocked resolves a key in an index: the injective stem first,
+// then — for artifacts written by pre-sharding releases — the stem the
+// lossy legacy sanitizer would have produced.
+func lookupLocked(index map[string]*entry, key string) (*entry, bool) {
+	enc := encodeKey(key)
+	if e, ok := index[enc]; ok {
+		return e, true
+	}
+	if ls := legacyStem(key); ls != enc {
+		if e, ok := index[ls]; ok && e.legacy {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// resolve finds the on-disk stem serving key, if any.
+func (st *Store) resolve(k kind, key string) (stem string, legacy bool, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, found := lookupLocked(st.index(k), key); found {
+		return e.stem, e.legacy, true
+	}
+	return "", false, false
 }
 
 // HasResult reports whether a result for key is on disk.
 func (st *Store) HasResult(key string) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	_, ok := st.results[sanitizeKey(key)]
+	_, ok := lookupLocked(st.results, key)
 	return ok
 }
 
@@ -206,8 +602,40 @@ func (st *Store) HasResult(key string) bool {
 func (st *Store) HasPlan(key string) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	_, ok := st.plans[sanitizeKey(key)]
+	_, ok := lookupLocked(st.plans, key)
 	return ok
+}
+
+// touchEntry refreshes a loaded artifact's Greedy-Dual priority (and,
+// when the load learned the real recompute cost, its cost) so hits
+// keep it resident — the on-disk mirror of Cache.touch.
+func (st *Store) touchEntry(k kind, stem string, cost float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.index(k)[stem]; ok {
+		if cost > 0 {
+			e.cost = cost
+		}
+		e.prio = st.clock + e.cost/float64(max(e.size, int64(1)))
+		st.seq++
+		e.seq = st.seq
+	}
+}
+
+// forget drops a ghost index entry (manifest said add, file is gone)
+// and journals the drop so the next boot agrees.
+func (st *Store) forget(k kind, stem string) {
+	st.mu.Lock()
+	index := st.index(k)
+	e, ok := index[stem]
+	if ok {
+		st.bytes -= e.size
+		delete(index, stem)
+	}
+	st.mu.Unlock()
+	if ok {
+		st.appendManifest(manRecord{op: manDrop, kind: k, stem: stem})
+	}
 }
 
 // resultMeta is the JSON metadata blob persisted with each result —
@@ -241,6 +669,10 @@ type resultMeta struct {
 	SweepPoints   int `json:"sweep_points,omitempty"`
 	Rebinds       int `json:"rebinds,omitempty"`
 	SweepCompiles int `json:"sweep_compiles,omitempty"`
+	// GradientLen pins the gradient dataset's expected length so a
+	// truncated or padded dataset is rejected like any other shape
+	// mismatch.
+	GradientLen int `json:"gradient_len,omitempty"`
 }
 
 // numQubits infers n from the probability-vector length.
@@ -252,15 +684,33 @@ func numQubits(probs []float64) int {
 	return n
 }
 
+// resultRecomputeCost models what re-simulating this result would cost
+// in the same abstract units the serving layer's caches use (emitted
+// kernel ops × state size), so on-disk GC ranks artifacts exactly like
+// the in-memory Greedy-Dual-Size cache does.
+func resultRecomputeCost(meta *resultMeta, probsLen int) float64 {
+	size := probsLen
+	if size == 0 && meta.NumQubits > 0 && meta.NumQubits < 63 {
+		size = 1 << uint(meta.NumQubits)
+	}
+	if size == 0 {
+		size = 1
+	}
+	return float64(1+meta.KernelStats.EmittedOps) * float64(size)
+}
+
 // SaveResult persists a completed result under its cache key, tagged
-// with the server's configuration signature. Writes are atomic
-// (temp file + rename) and idempotent: a key already on disk is left
-// untouched, so eviction-time spills of warm-started entries cost a
-// stat, not a rewrite.
+// with the server's configuration signature. Writes are durable and
+// atomic (temp file + fsync + rename + directory fsync) and
+// idempotent: a key already on disk is left untouched, so
+// eviction-time spills of warm-started entries cost a stat, not a
+// rewrite. Under a byte budget the save may instead evict
+// lower-priority artifacts, or be skipped entirely (nil error) if the
+// artifact cannot fit.
 func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
-	sk := sanitizeKey(key)
+	stem := encodeKey(key)
 	st.mu.Lock()
-	_, exists := st.results[sk]
+	_, exists := st.results[stem]
 	st.mu.Unlock()
 	if exists {
 		return nil
@@ -280,6 +730,7 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 		SweepPoints:      res.SweepPoints,
 		Rebinds:          res.Rebinds,
 		SweepCompiles:    res.SweepCompiles,
+		GradientLen:      len(res.Gradient),
 	}
 	if meta.NumQubits == 0 {
 		meta.NumQubits = numQubits(res.Probabilities)
@@ -382,17 +833,61 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 	if err := f.Save(&buf, hdf5.SaveOptions{Compression: hdf5.CompressionFlate}); err != nil {
 		return err
 	}
-	size := int64(buf.Len())
-	if err := st.writeAtomic(st.resultPath(key), buf.Bytes()); err != nil {
+	return st.saveArtifact(kindResult, stem, buf.Bytes(), resultRecomputeCost(&meta, len(res.Probabilities)))
+}
+
+// saveArtifact lands an encoded artifact under the byte budget:
+// reserve room (evicting lower-priority artifacts if needed), delete
+// the victims outside the store lock, write durably, then publish to
+// the index and the manifest journal. A budget refusal is not an
+// error — the artifact is simply not persisted (counted in
+// GCRejected).
+func (st *Store) saveArtifact(k kind, stem string, data []byte, cost float64) error {
+	size := int64(len(data))
+	victims, admit := st.reserve(size)
+	st.removeVictims(victims)
+	if admit {
+		admit = st.confirmReserve(size)
+	}
+	if !admit {
+		return nil
+	}
+	if err := st.fsys.MkdirAll(filepath.Join(st.dir, k.subdir(), shardOf(stem)), 0o755); err != nil {
+		st.unreserve(size)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := st.writeAtomic(st.stemPath(k, stem), data); err != nil {
+		st.unreserve(size)
 		return err
 	}
+	// Journal the add and publish to the index inside one critical
+	// section: an eviction can only doom an indexed entry, so its drop
+	// record always lands after this add, and a concurrent compaction
+	// (which snapshots the index under the same lock) can neither lose
+	// the record nor resurrect a deleted file. The append precedes the
+	// publish, so a crash in between replays an add whose file is
+	// already durable — consistent.
 	st.mu.Lock()
-	if old, ok := st.results[sk]; ok {
-		st.bytes -= old
+	st.man.append(manRecord{op: manAdd, kind: k, stem: stem, size: size, cost: cost})
+	st.reserved -= size
+	index := st.index(k)
+	if old, ok := index[stem]; ok {
+		st.bytes -= old.size
 	}
-	st.results[sk] = size
+	st.seq++
+	index[stem] = &entry{
+		stem: stem,
+		size: size,
+		cost: cost,
+		prio: st.clock + cost/float64(max(size, int64(1))),
+		seq:  st.seq,
+	}
 	st.bytes += size
+	live := uint64(len(st.results) + len(st.plans))
 	st.mu.Unlock()
+	if st.man.needsCompact(live) {
+		st.compactManifest()
+	}
 	return nil
 }
 
@@ -402,18 +897,28 @@ func (st *Store) SaveResult(key, sig string, res *backend.Result) error {
 // sig. The returned probabilities and counts are bit-identical to
 // what was saved.
 func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
+	stem, legacy, indexed := st.resolve(kindResult, key)
+	if !indexed {
+		stem, legacy = encodeKey(key), false
+	}
+	path := st.stemPath(kindResult, stem)
 	// Read and parse in two steps so a transient I/O failure stays
 	// distinguishable from a corrupt file: only the latter is
 	// ErrIntegrity and only it justifies quarantining the artifact.
-	raw, err := st.fsys.ReadFile(st.resultPath(key))
+	raw, err := st.fsys.ReadFile(path)
 	if err != nil {
+		if indexed && errors.Is(err, fs.ErrNotExist) {
+			// Ghost entry (journal promised a file that is gone): heal
+			// the index so the miss is not permanent.
+			st.forget(kindResult, stem)
+		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	f, err := hdf5.Load(bytes.NewReader(raw))
 	if err != nil {
 		return nil, integrityErr("store: result %s: %v", key, err)
 	}
-	if err := st.verifyAttrs(f, "result", key, sig); err != nil {
+	if err := st.verifyAttrs(f, "result", key, sig, legacy); err != nil {
 		return nil, err
 	}
 	metaAttr, err := f.Attr("result", "meta")
@@ -493,7 +998,12 @@ func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
 		if err != nil {
 			return nil, integrityErr("store: result %s: %v", key, err)
 		}
+		if len(g) != meta.GradientLen {
+			return nil, integrityErr("store: result %s: %d gradient values, meta records %d", key, len(g), meta.GradientLen)
+		}
 		res.Gradient = g
+	} else if meta.GradientLen > 0 {
+		return nil, integrityErr("store: result %s: gradient dataset missing (%d values recorded)", key, meta.GradientLen)
 	}
 	if _, derr := f.Dataset("result/sweep_count_offsets"); derr == nil {
 		offs, _, err := f.Int64s("result/sweep_count_offsets")
@@ -527,16 +1037,25 @@ func (st *Store) LoadResult(key, sig string) (*backend.Result, error) {
 			res.SweepCounts[i] = counts
 		}
 	}
+	st.touchEntry(kindResult, stem, resultRecomputeCost(&meta, len(probs)))
 	return res, nil
 }
 
-func (st *Store) verifyAttrs(f *hdf5.File, group, key, sig string) error {
+// verifyAttrs checks the artifact's self-describing attributes. A
+// recorded-key mismatch on a legacy-named artifact is NOT an
+// integrity failure: the lossy legacy sanitizer could map two distinct
+// keys to one stem, so the file legitimately belongs to the other key
+// and must not be quarantined — the caller just misses.
+func (st *Store) verifyAttrs(f *hdf5.File, group, key, sig string, legacy bool) error {
 	v, err := f.Attr(group, "format_version")
 	if err != nil || v.I != FormatVersion {
 		return integrityErr("store: %s %s: wrong or missing format version", group, key)
 	}
 	k, err := f.Attr(group, "cache_key")
 	if err != nil || k.S != key {
+		if legacy && err == nil {
+			return fmt.Errorf("store: legacy %s file for key %s records key %q (sanitizer collision)", group, key, k.S)
+		}
 		return integrityErr("store: %s file for key %s records key %q", group, key, k.S)
 	}
 	s, err := f.Attr(group, "config_sig")
@@ -549,11 +1068,12 @@ func (st *Store) verifyAttrs(f *hdf5.File, group, key, sig string) error {
 // SavePlan persists a compiled execution IR under its plan-cache key
 // with its recompute cost — the same abstract cost units the eviction
 // policy weighs (instruction count for plans), not wall-clock. Same
-// atomicity and idempotence as SaveResult.
+// durability, atomicity, idempotence, and budget discipline as
+// SaveResult.
 func (st *Store) SavePlan(key, sig string, comp *backend.Compiled, cost float64) error {
-	sk := sanitizeKey(key)
+	stem := encodeKey(key)
 	st.mu.Lock()
-	_, exists := st.plans[sk]
+	_, exists := st.plans[stem]
 	st.mu.Unlock()
 	if exists {
 		return nil
@@ -583,17 +1103,10 @@ func (st *Store) SavePlan(key, sig string, comp *backend.Compiled, cost float64)
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
 	out.Write(crc[:])
 	out.Write(payload.Bytes())
-	if err := st.writeAtomic(st.planPath(key), out.Bytes()); err != nil {
-		return err
+	if cost <= 0 {
+		cost = float64(out.Len())
 	}
-	st.mu.Lock()
-	if old, ok := st.plans[sk]; ok {
-		st.bytes -= old
-	}
-	st.plans[sk] = int64(out.Len())
-	st.bytes += int64(out.Len())
-	st.mu.Unlock()
-	return nil
+	return st.saveArtifact(kindPlan, stem, out.Bytes(), cost)
 }
 
 // LoadPlan reads the compiled plan stored under key, with the same
@@ -602,8 +1115,15 @@ func (st *Store) SavePlan(key, sig string, comp *backend.Compiled, cost float64)
 // and the recompute cost recorded when it was built (the abstract
 // units SavePlan was given).
 func (st *Store) LoadPlan(key, sig string) (*backend.Compiled, float64, error) {
-	raw, err := st.fsys.ReadFile(st.planPath(key))
+	stem, legacy, indexed := st.resolve(kindPlan, key)
+	if !indexed {
+		stem, legacy = encodeKey(key), false
+	}
+	raw, err := st.fsys.ReadFile(st.stemPath(kindPlan, stem))
 	if err != nil {
+		if indexed && errors.Is(err, fs.ErrNotExist) {
+			st.forget(kindPlan, stem)
+		}
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}
 	if len(raw) < len(planMagic)+4 || !bytes.Equal(raw[:len(planMagic)], planMagic) {
@@ -642,6 +1162,9 @@ func (st *Store) LoadPlan(key, sig string) (*backend.Compiled, float64, error) {
 		return nil, 0, integrityErr("store: plan %s: %v", key, err)
 	}
 	if gotKey != key {
+		if legacy {
+			return nil, 0, fmt.Errorf("store: legacy plan file for key %s records key %q (sanitizer collision)", key, gotKey)
+		}
 		return nil, 0, integrityErr("store: plan file for key %s records key %q", key, gotKey)
 	}
 	gotSig, err := readStr()
@@ -660,26 +1183,36 @@ func (st *Store) LoadPlan(key, sig string) (*backend.Compiled, float64, error) {
 	if err != nil {
 		return nil, 0, integrityErr("store: plan %s: %v", key, err)
 	}
+	st.touchEntry(kindPlan, stem, costVal)
 	return comp, costVal, nil
 }
 
 // DropResult removes a (corrupt or mismatched) result file from disk
 // and the index so it is never consulted again.
 func (st *Store) DropResult(key string) {
-	st.drop(st.results, sanitizeKey(key), st.resultPath(key))
+	st.dropKey(kindResult, key)
 }
 
 // DropPlan removes a plan file from disk and the index.
 func (st *Store) DropPlan(key string) {
-	st.drop(st.plans, sanitizeKey(key), st.planPath(key))
+	st.dropKey(kindPlan, key)
 }
 
-func (st *Store) drop(index map[string]int64, sk, path string) {
+func (st *Store) dropKey(k kind, key string) {
+	stem, _, ok := st.resolve(k, key)
+	if !ok {
+		stem = encodeKey(key)
+	}
 	st.mu.Lock()
-	if sz, ok := index[sk]; ok {
-		st.bytes -= sz
-		delete(index, sk)
+	index := st.index(k)
+	e, had := index[stem]
+	if had {
+		st.bytes -= e.size
+		delete(index, stem)
 	}
 	st.mu.Unlock()
-	st.fsys.Remove(path)
+	st.fsys.Remove(st.stemPath(k, stem))
+	if had {
+		st.appendManifest(manRecord{op: manDrop, kind: k, stem: stem})
+	}
 }

@@ -126,7 +126,15 @@ func TestWrongKeyRejected(t *testing.T) {
 	if err := st.SaveResult("aaaa", testSig, testResult(t)); err != nil {
 		t.Fatal(err)
 	}
+	if err := os.MkdirAll(filepath.Dir(st.resultPath("bbbb")), 0o755); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.Rename(st.resultPath("aaaa"), st.resultPath("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the manifest so the reopen re-scans the tree and discovers
+	// the file under its new name.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
 		t.Fatal(err)
 	}
 	st2, err := Open(dir) // re-index
